@@ -1,0 +1,421 @@
+package privconsensus
+
+// Benchmark harness: one benchmark per paper table/figure (see DESIGN.md's
+// experiment index) plus ablation benches for the design choices called out
+// there. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The figure benches execute a reduced-scale experiment per iteration and
+// report the headline metric via b.ReportMetric, so `-bench` output records
+// both runtime and reproduced values.
+
+import (
+	"context"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"github.com/privconsensus/privconsensus/internal/dgk"
+	"github.com/privconsensus/privconsensus/internal/experiments"
+	"github.com/privconsensus/privconsensus/internal/ml"
+	"github.com/privconsensus/privconsensus/internal/paillier"
+	"github.com/privconsensus/privconsensus/internal/transport"
+)
+
+// benchOptions returns experiment options small enough for benchmarking.
+func benchOptions() experiments.Options {
+	return experiments.Options{
+		Scale:   0.01,
+		Queries: 100,
+		Users:   []int{10, 25},
+		Reps:    1,
+		Seed:    1,
+		Train:   ml.TrainConfig{Epochs: 10, LearnRate: 0.3, L2: 1e-4, BatchSize: 16},
+	}
+}
+
+// BenchmarkTable1ProtocolSteps reproduces Table I: the full cryptographic
+// protocol per query instance, with per-step times printed by
+// cmd/experiments table1. Here the benchmark measures the end-to-end
+// per-instance cost.
+func BenchmarkTable1ProtocolSteps(b *testing.B) {
+	cfg := experiments.ProtocolBenchConfig{Instances: 1, Users: 10, Classes: 10, Seed: 1, ForceConsensus: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := experiments.ProtocolBench(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2MessageSizes reproduces Table II: per-step traffic of one
+// protocol instance, reported as bytes-per-party metrics.
+func BenchmarkTable2MessageSizes(b *testing.B) {
+	var last *experiments.ProtocolBenchResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ProtocolBench(experiments.ProtocolBenchConfig{
+			Instances: 1, Users: 10, Classes: 10, Seed: int64(i + 1), ForceConsensus: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if last != nil {
+		for _, s := range last.Steps {
+			b.ReportMetric(float64(s.AvgBytesPerParty), s.Step+"-bytes")
+		}
+		b.ReportMetric(float64(last.UserToServerBytes), "user-to-server-bytes")
+	}
+}
+
+// BenchmarkTable3Retention reproduces Table III: retention and label
+// accuracy on SVHN-like data under uneven divisions.
+func BenchmarkTable3Retention(b *testing.B) {
+	opts := benchOptions()
+	opts.Users = []int{10}
+	var cells []experiments.Table3Cell
+	for i := 0; i < b.N; i++ {
+		opts.Seed = int64(i + 1)
+		var err error
+		cells, err = experiments.Table3(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(cells) > 0 {
+		b.ReportMetric(cells[0].Retention, "retention-2-8")
+		b.ReportMetric(cells[0].LabelAcc, "labelacc-2-8")
+	}
+}
+
+// BenchmarkFig2UserAccuracy reproduces Fig. 2: user accuracy vs user count
+// and data distribution.
+func BenchmarkFig2UserAccuracy(b *testing.B) {
+	opts := benchOptions()
+	var figs []experiments.Figure
+	for i := 0; i < b.N; i++ {
+		opts.Seed = int64(i + 1)
+		var err error
+		figs, err = experiments.Fig2(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(figs) > 0 && len(figs[0].Series) > 0 {
+		s := figs[0].Series[0]
+		b.ReportMetric(s.Y[0], "useracc-few-users")
+		b.ReportMetric(s.Y[len(s.Y)-1], "useracc-many-users")
+	}
+}
+
+// BenchmarkFig3Accuracy reproduces Fig. 3: consensus vs baseline label and
+// aggregator accuracy across privacy levels.
+func BenchmarkFig3Accuracy(b *testing.B) {
+	opts := benchOptions()
+	opts.Users = []int{10}
+	var figs []experiments.Figure
+	for i := 0; i < b.N; i++ {
+		opts.Seed = int64(i + 1)
+		var err error
+		figs, err = experiments.Fig3(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(figs) > 0 {
+		// Series 0 is consensus at the lowest-noise level; series 1 the
+		// matching baseline.
+		b.ReportMetric(figs[0].Series[0].Y[0], "labelacc-consensus")
+		b.ReportMetric(figs[0].Series[1].Y[0], "labelacc-baseline")
+	}
+}
+
+// BenchmarkFig4VoteTypes reproduces Fig. 4: one-hot vs softmax aggregator
+// accuracy.
+func BenchmarkFig4VoteTypes(b *testing.B) {
+	opts := benchOptions()
+	opts.Users = []int{10}
+	var figs []experiments.Figure
+	for i := 0; i < b.N; i++ {
+		opts.Seed = int64(i + 1)
+		var err error
+		figs, err = experiments.Fig4(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(figs) >= 2 {
+		b.ReportMetric(figs[0].Series[0].Y[0], "aggacc-onehot")
+		b.ReportMetric(figs[1].Series[0].Y[0], "aggacc-softmax")
+	}
+}
+
+// BenchmarkFig5Threshold reproduces Fig. 5: aggregator accuracy across
+// consensus thresholds and uneven divisions.
+func BenchmarkFig5Threshold(b *testing.B) {
+	opts := benchOptions()
+	opts.Users = []int{10}
+	var figs []experiments.Figure
+	for i := 0; i < b.N; i++ {
+		opts.Seed = int64(i + 1)
+		var err error
+		figs, err = experiments.Fig5(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(figs) > 0 {
+		s := figs[0].Series[0]
+		b.ReportMetric(s.Y[0], "aggacc-thr30")
+		b.ReportMetric(s.Y[len(s.Y)-1], "aggacc-thr90")
+	}
+}
+
+// BenchmarkFig6CelebA reproduces Fig. 6: the multi-label CelebA-like task.
+func BenchmarkFig6CelebA(b *testing.B) {
+	opts := benchOptions()
+	opts.Users = []int{8}
+	opts.Scale = 0.003
+	opts.Queries = 30
+	var figs []experiments.Figure
+	for i := 0; i < b.N; i++ {
+		opts.Seed = int64(i + 1)
+		var err error
+		figs, err = experiments.Fig6(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(figs) > 0 {
+		b.ReportMetric(figs[0].Series[0].Y[0], "labelacc-even")
+	}
+}
+
+// BenchmarkSelfTraining ablates the semi-supervised student extension:
+// supervised-only vs self-training on the rejected queries.
+func BenchmarkSelfTraining(b *testing.B) {
+	for _, selfTrain := range []bool{false, true} {
+		name := "supervised"
+		if selfTrain {
+			name = "self-train"
+		}
+		b.Run(name, func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				res, err := RunPATE(PATEConfig{
+					Dataset:       "svhn",
+					Scale:         0.02,
+					Users:         10,
+					Division:      "even",
+					Queries:       200,
+					UseConsensus:  true,
+					ThresholdFrac: 0.75,
+					Sigma1:        1.5,
+					Sigma2:        1.5,
+					Seed:          int64(i + 1),
+					Epochs:        15,
+					SelfTrain:     selfTrain,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc = res.StudentAccuracy
+			}
+			b.ReportMetric(acc, "student-acc")
+		})
+	}
+}
+
+// --- Ablation benches (DESIGN.md) ---
+
+// BenchmarkPaillierPoolOnOff isolates the paper's pre-generated randomness
+// table optimization (§VI-A): pooled vs on-demand encryption.
+func BenchmarkPaillierPoolOnOff(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	key, err := paillier.GenerateKey(rng, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := big.NewInt(123456)
+
+	b.Run("on-demand", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := key.Encrypt(rng, msg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		pool, err := paillier.NewNoncePool(rand.New(rand.NewSource(2)), key.Public(), 256, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer pool.Close()
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pool.Encrypt(ctx, msg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPaillierCRT isolates the CRT decryption speedup.
+func BenchmarkPaillierCRT(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	key, err := paillier.GenerateKey(rng, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := key.Encrypt(rng, big.NewInt(987654))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("crt", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := key.Decrypt(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := key.DecryptSlow(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDGKBitLength shows the secure-comparison cost scaling with the
+// compared bit length, the dominant end-to-end cost per the paper's
+// Table I discussion.
+func BenchmarkDGKBitLength(b *testing.B) {
+	for _, l := range []int{16, 32, 56} {
+		b.Run(bitName(l), func(b *testing.B) {
+			params := dgk.Params{NBits: 192, TBits: 40, U: 1009, L: l}
+			rng := rand.New(rand.NewSource(4))
+			key, err := dgk.GenerateKey(rng, params)
+			if err != nil {
+				b.Fatal(err)
+			}
+			a := big.NewInt(12345 % (1 << l))
+			v := big.NewInt(54321 % (1 << l))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				connA, connB := transport.Pair()
+				errCh := make(chan error, 1)
+				go func() {
+					_, err := key.Public().CompareA(context.Background(), rand.New(rand.NewSource(5)), connA, a)
+					errCh <- err
+				}()
+				if _, err := key.CompareB(context.Background(), rand.New(rand.NewSource(6)), connB, v); err != nil {
+					b.Fatal(err)
+				}
+				if err := <-errCh; err != nil {
+					b.Fatal(err)
+				}
+				connA.Close()
+				connB.Close()
+			}
+		})
+	}
+}
+
+// bitName renders a bit-length sub-benchmark name.
+func bitName(l int) string {
+	return "L=" + string(rune('0'+l/10)) + string(rune('0'+l%10))
+}
+
+// BenchmarkDGKPoolProtocol ablates the randomness-table optimization
+// applied to the protocol's dominant cost: S2's DGK bit encryptions.
+func BenchmarkDGKPoolProtocol(b *testing.B) {
+	for _, pooled := range []bool{false, true} {
+		name := "plain"
+		if pooled {
+			name = "pooled"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := experiments.ProtocolBenchConfig{
+					Instances: 1, Users: 6, Classes: 6,
+					Seed: int64(i + 1), ForceConsensus: true,
+					UseDGKPool: pooled,
+				}
+				if _, err := experiments.ProtocolBench(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTransportSegmentation isolates the paper's 18-digit decimal
+// segmentation workaround vs raw binary framing.
+func BenchmarkTransportSegmentation(b *testing.B) {
+	val := new(big.Int).Lsh(big.NewInt(1), 1024)
+	val.Sub(val, big.NewInt(12345))
+	b.Run("segmented", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			segs, err := transport.Segment(val)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := transport.Recompose(segs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("raw", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bytes := val.Bytes()
+			_ = new(big.Int).SetBytes(bytes)
+		}
+	})
+}
+
+// BenchmarkKeySizes measures the full protocol instance cost across
+// Paillier key sizes (the paper prototypes with 64-bit keys).
+func BenchmarkKeySizes(b *testing.B) {
+	for _, bits := range []int{64, 256, 512} {
+		b.Run(keyName(bits), func(b *testing.B) {
+			cfg := DefaultConfig(4)
+			cfg.Classes = 4
+			cfg.Sigma1, cfg.Sigma2 = 0, 0
+			cfg.PaillierBits = bits
+			cfg.Seed = int64(bits)
+			engine, err := NewEngine(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			votes := [][]float64{
+				{0, 0, 1, 0}, {0, 0, 1, 0}, {0, 0, 1, 0}, {1, 0, 0, 0},
+			}
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.LabelInstance(ctx, votes); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// keyName renders a key-size sub-benchmark name.
+func keyName(bits int) string {
+	switch bits {
+	case 64:
+		return "paillier-64"
+	case 256:
+		return "paillier-256"
+	case 512:
+		return "paillier-512"
+	default:
+		return "paillier-other"
+	}
+}

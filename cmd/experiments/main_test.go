@@ -1,0 +1,73 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/privconsensus/privconsensus/internal/experiments"
+)
+
+func TestParseUsers(t *testing.T) {
+	got, err := parseUsers("10, 25,50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 10 || got[2] != 50 {
+		t.Errorf("parseUsers = %v", got)
+	}
+	if _, err := parseUsers("10,x"); err == nil {
+		t.Error("expected error for non-numeric")
+	}
+	if _, err := parseUsers("0"); err == nil {
+		t.Error("expected error for zero users")
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("expected usage error with no experiment id")
+	}
+	if err := run([]string{"bogus-id"}); err == nil {
+		t.Error("expected error for unknown id")
+	}
+	if err := run([]string{"-users", "nope", "fig2"}); err == nil {
+		t.Error("expected error for bad user list")
+	}
+}
+
+func TestRunTinyTable3(t *testing.T) {
+	err := run([]string{
+		"-scale", "0.004", "-queries", "30", "-users", "4", "-epochs", "4", "table3",
+	})
+	if err != nil {
+		t.Fatalf("tiny table3 run: %v", err)
+	}
+}
+
+func TestPrintersDoNotPanic(t *testing.T) {
+	res := &experiments.ProtocolBenchResult{
+		Config: experiments.ProtocolBenchConfig{Instances: 1, Users: 2, Classes: 3},
+		Steps: []experiments.StepRow{
+			{Step: "threshold-checking(5)", AvgBytesPerParty: 10},
+		},
+	}
+	printTable1(res)
+	printTable2(res)
+	printTable3([]experiments.Table3Cell{{Users: 10, Retention: 0.5, LabelAcc: 0.9}})
+	printEpsMatched([]experiments.EpsMatchedCell{{Users: 10, Level: "x", Epsilon: 1}})
+	printFigures([]experiments.Figure{{ID: "f", Series: []experiments.Series{{Name: "s", X: []float64{1}, Y: []float64{2}}}}})
+}
+
+func TestWriteSVGs(t *testing.T) {
+	dir := t.TempDir()
+	figs := []experiments.Figure{{
+		ID: "figX", Title: "t", XLabel: "x", YLabel: "y",
+		Series: []experiments.Series{{Name: "s", X: []float64{1, 2}, Y: []float64{3, 4}}},
+	}}
+	if err := writeSVGs(dir, figs); err != nil {
+		t.Fatalf("writeSVGs: %v", err)
+	}
+	bad := []experiments.Figure{{ID: "figY"}} // no series
+	if err := writeSVGs(dir, bad); err == nil {
+		t.Error("expected render error for empty figure")
+	}
+}

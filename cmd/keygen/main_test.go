@@ -1,0 +1,52 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/privconsensus/privconsensus/internal/keystore"
+)
+
+func TestRunWritesAllFiles(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-out", dir, "-users", "2", "-classes", "3",
+		"-paillier-bits", "64", "-dgk-bits", "160",
+	})
+	if err != nil {
+		t.Fatalf("keygen run: %v", err)
+	}
+	var s1 keystore.S1File
+	if err := keystore.Load(filepath.Join(dir, "s1.json"), &s1); err != nil {
+		t.Fatalf("load s1: %v", err)
+	}
+	if _, err := s1.KeysS1(); err != nil {
+		t.Errorf("s1 keys unusable: %v", err)
+	}
+	var s2 keystore.S2File
+	if err := keystore.Load(filepath.Join(dir, "s2.json"), &s2); err != nil {
+		t.Fatalf("load s2: %v", err)
+	}
+	if _, err := s2.KeysS2(); err != nil {
+		t.Errorf("s2 keys unusable: %v", err)
+	}
+	var pub keystore.PublicFile
+	if err := keystore.Load(filepath.Join(dir, "public.json"), &pub); err != nil {
+		t.Fatalf("load public: %v", err)
+	}
+	if err := pub.Validate(); err != nil {
+		t.Errorf("public bundle invalid: %v", err)
+	}
+	if pub.Config.Users != 2 || pub.Config.Classes != 3 {
+		t.Errorf("config not embedded: %+v", pub.Config)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if err := run([]string{"-users", "0"}); err == nil {
+		t.Error("expected error for zero users")
+	}
+	if err := run([]string{"-threshold", "3"}); err == nil {
+		t.Error("expected error for threshold > 1")
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import "testing"
+
+func TestRunSmallPipeline(t *testing.T) {
+	err := run([]string{
+		"-dataset", "mnist", "-scale", "0.005", "-users", "5",
+		"-queries", "30", "-sigma1", "1", "-sigma2", "1",
+	})
+	if err != nil {
+		t.Fatalf("small pipeline run: %v", err)
+	}
+}
+
+func TestRunBaselineAndCelebA(t *testing.T) {
+	if err := run([]string{
+		"-dataset", "svhn", "-scale", "0.005", "-users", "5",
+		"-queries", "30", "-baseline",
+	}); err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	if err := run([]string{
+		"-dataset", "celeba", "-scale", "0.001", "-users", "4",
+		"-queries", "10", "-division", "2-8",
+	}); err != nil {
+		t.Fatalf("celeba run: %v", err)
+	}
+}
+
+func TestRunRejectsBadDataset(t *testing.T) {
+	if err := run([]string{"-dataset", "imagenet", "-scale", "0.01", "-users", "3", "-queries", "10"}); err == nil {
+		t.Error("expected error for unknown dataset")
+	}
+}
+
+func TestRunCryptoSample(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crypto sample is slow in -short mode")
+	}
+	if err := runCryptoSample(1, 4, 0.5, 0.5, 0.5, 7); err != nil {
+		t.Fatalf("crypto sample: %v", err)
+	}
+}

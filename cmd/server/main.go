@@ -1,0 +1,100 @@
+// Command server runs one of the two non-colluding protocol servers as a
+// standalone process.
+//
+// S1 (listens for users and for S2):
+//
+//	server -role s1 -keys keys/s1.json -listen :9001 -instances 5
+//
+// S2 (listens for users, dials S1):
+//
+//	server -role s2 -keys keys/s2.json -listen :9002 -peer host1:9001 -instances 5
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/privconsensus/privconsensus/internal/deploy"
+	"github.com/privconsensus/privconsensus/internal/keystore"
+	"github.com/privconsensus/privconsensus/internal/protocol"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("server", flag.ContinueOnError)
+	var (
+		role      = fs.String("role", "", "server role: s1 or s2")
+		keysPath  = fs.String("keys", "", "path to this server's key file")
+		listen    = fs.String("listen", "127.0.0.1:0", "address to accept users (and, on s1, the peer)")
+		peer      = fs.String("peer", "", "S1 address (required for s2)")
+		instances = fs.Int("instances", 1, "number of query instances to run")
+		timeout   = fs.Duration("timeout", 10*time.Minute, "overall deadline")
+		seed      = fs.Int64("seed", 0, "deterministic seed (0 = crypto/rand)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *keysPath == "" {
+		return fmt.Errorf("-keys is required")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := deploy.ServerOptions{
+		ListenAddr: *listen,
+		PeerAddr:   *peer,
+		Instances:  *instances,
+		Seed:       *seed,
+		Logf:       deploy.DefaultLogger("[" + *role + "] "),
+	}
+
+	var outcomes []protocol.Outcome
+	switch *role {
+	case "s1":
+		var file keystore.S1File
+		if err := keystore.Load(*keysPath, &file); err != nil {
+			return err
+		}
+		var err error
+		outcomes, err = deploy.RunS1(ctx, &file, opts)
+		if err != nil {
+			return err
+		}
+	case "s2":
+		var file keystore.S2File
+		if err := keystore.Load(*keysPath, &file); err != nil {
+			return err
+		}
+		var err error
+		outcomes, err = deploy.RunS2(ctx, &file, opts)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("-role must be s1 or s2, got %q", *role)
+	}
+
+	fmt.Printf("%s finished %d instances:\n", *role, len(outcomes))
+	for i, out := range outcomes {
+		if out.Consensus {
+			fmt.Printf("  instance %d: label %d\n", i, out.Label)
+		} else {
+			fmt.Printf("  instance %d: no consensus\n", i)
+		}
+	}
+	return nil
+}

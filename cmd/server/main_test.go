@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("expected error for missing -keys")
+	}
+	if err := run([]string{"-keys", "x.json", "-role", "nope"}); err == nil {
+		t.Error("expected error for unknown role")
+	}
+	if err := run([]string{"-keys", "missing.json", "-role", "s1"}); err == nil {
+		t.Error("expected error for missing key file")
+	}
+	if err := run([]string{"-keys", "missing.json", "-role", "s2"}); err == nil {
+		t.Error("expected error for missing key file")
+	}
+}

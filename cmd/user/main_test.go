@@ -1,0 +1,72 @@
+package main
+
+import "testing"
+
+func TestParseVotes(t *testing.T) {
+	votes, err := parseVotes("2, 0,3", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(votes) != 3 {
+		t.Fatalf("expected 3 instances, got %d", len(votes))
+	}
+	if votes[0][2] != 1 || votes[1][0] != 1 || votes[2][3] != 1 {
+		t.Errorf("one-hot positions wrong: %v", votes)
+	}
+	for _, v := range votes {
+		var sum float64
+		for _, x := range v {
+			sum += x
+		}
+		if sum != 1 {
+			t.Errorf("vote not one-hot: %v", v)
+		}
+	}
+	if _, err := parseVotes("4", 4); err == nil {
+		t.Error("expected error for out-of-range class")
+	}
+	if _, err := parseVotes("abc", 4); err == nil {
+		t.Error("expected error for non-numeric class")
+	}
+	if _, err := parseVotes("-1", 4); err == nil {
+		t.Error("expected error for negative class")
+	}
+}
+
+func TestRunRejectsMissingFlags(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("expected usage error")
+	}
+	if err := run([]string{"-keys", "nonexistent.json", "-user", "0", "-s1", "a", "-s2", "b", "-votes", "1"}); err == nil {
+		t.Error("expected error for missing key file")
+	}
+}
+
+func TestParseProbs(t *testing.T) {
+	votes, err := parseProbs("0.7:0.2:0.1;0.1:0.8:0.1", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(votes) != 2 || votes[0][0] != 0.7 || votes[1][1] != 0.8 {
+		t.Errorf("parseProbs = %v", votes)
+	}
+	if _, err := parseProbs("0.5:0.5", 3); err == nil {
+		t.Error("expected class-count error")
+	}
+	if _, err := parseProbs("0.5:0.9:0.1", 3); err == nil {
+		t.Error("expected sum error")
+	}
+	if _, err := parseProbs("x:0.5:0.5", 3); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := parseProbs("-0.1:0.6:0.5", 3); err == nil {
+		t.Error("expected range error")
+	}
+}
+
+func TestRunRejectsBothVoteFlags(t *testing.T) {
+	if err := run([]string{"-keys", "k.json", "-user", "0", "-s1", "a", "-s2", "b",
+		"-votes", "1", "-probs", "0.5:0.5"}); err == nil {
+		t.Error("expected error for both -votes and -probs")
+	}
+}

@@ -1,0 +1,379 @@
+package privconsensus
+
+import (
+	"context"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	mrand "math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/privconsensus/privconsensus/internal/dgk"
+	"github.com/privconsensus/privconsensus/internal/fixedpoint"
+	"github.com/privconsensus/privconsensus/internal/protocol"
+	"github.com/privconsensus/privconsensus/internal/transport"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Classes is the number of labels K.
+	Classes int
+	// Users is the number of voting parties.
+	Users int
+	// ThresholdFrac is the consensus threshold as a fraction of users
+	// (the paper defaults to 0.6: consensus requires 60% agreement).
+	ThresholdFrac float64
+	// Sigma1 is the threshold-check (SVT) noise deviation in votes.
+	Sigma1 float64
+	// Sigma2 is the Report-Noisy-Maximum deviation in votes.
+	Sigma2 float64
+	// PaillierBits sizes the servers' Paillier keys (paper prototype: 64;
+	// production: >= 2048). Zero selects the default 64.
+	PaillierBits int
+	// DGKBits sizes the DGK comparison modulus. Zero selects a fast
+	// simulation default (192); production should use >= 1024.
+	DGKBits int
+	// Seed, when non-zero, makes the engine fully deterministic (for
+	// tests and reproducible simulations). Zero uses crypto/rand.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's experimental setup.
+func DefaultConfig(users int) Config {
+	return Config{
+		Classes:       10,
+		Users:         users,
+		ThresholdFrac: 0.6,
+		Sigma1:        4,
+		Sigma2:        2,
+	}
+}
+
+// Outcome is the protocol result for one query instance.
+type Outcome struct {
+	// Consensus reports whether the highest noisy vote cleared the
+	// threshold.
+	Consensus bool
+	// Label is the released label (argmax of the noisy votes), or -1
+	// when no consensus was reached.
+	Label int
+}
+
+// Submission is a user's encrypted contribution for one query instance.
+// It is opaque: the halves are encrypted under different server keys, so
+// neither server alone learns the user's votes.
+type Submission struct {
+	inner *protocol.Submission
+}
+
+// Role identifies a protocol server.
+type Role int
+
+// The two non-colluding servers of the protocol.
+const (
+	RoleS1 Role = iota + 1
+	RoleS2
+)
+
+// Engine holds the key material and configuration for running the private
+// consensus protocol. Create one with NewEngine; an Engine is safe for
+// concurrent use once constructed.
+type Engine struct {
+	cfg   Config
+	pcfg  protocol.Config
+	keys  *protocol.Keys
+	rngMu sync.Mutex
+	rng   io.Reader
+	noise *mrand.Rand
+}
+
+// NewEngine validates cfg and generates all server key material.
+func NewEngine(cfg Config) (*Engine, error) {
+	pcfg, err := toProtocolConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var rng io.Reader = rand.Reader
+	noiseSeed := int64(0)
+	if cfg.Seed != 0 {
+		rng = mrand.New(mrand.NewSource(cfg.Seed))
+		noiseSeed = cfg.Seed + 1
+	} else {
+		var b [8]byte
+		if _, err := io.ReadFull(rand.Reader, b[:]); err != nil {
+			return nil, fmt.Errorf("privconsensus: seed noise rng: %w", err)
+		}
+		for _, x := range b {
+			noiseSeed = noiseSeed<<8 | int64(x)
+		}
+	}
+	keys, err := protocol.GenerateKeys(rng, pcfg)
+	if err != nil {
+		return nil, fmt.Errorf("privconsensus: generate keys: %w", err)
+	}
+	return &Engine{
+		cfg:   cfg,
+		pcfg:  pcfg,
+		keys:  keys,
+		rng:   rng,
+		noise: mrand.New(mrand.NewSource(noiseSeed)),
+	}, nil
+}
+
+// toProtocolConfig maps the public config onto the internal protocol
+// parameters.
+func toProtocolConfig(cfg Config) (protocol.Config, error) {
+	if cfg.Users < 1 {
+		return protocol.Config{}, errors.New("privconsensus: need at least 1 user")
+	}
+	pcfg := protocol.DefaultConfig(cfg.Users)
+	if cfg.Classes > 0 {
+		pcfg.Classes = cfg.Classes
+	}
+	pcfg.ThresholdFrac = cfg.ThresholdFrac
+	pcfg.Sigma1 = cfg.Sigma1
+	pcfg.Sigma2 = cfg.Sigma2
+	if cfg.PaillierBits > 0 {
+		pcfg.PaillierBits = cfg.PaillierBits
+	}
+	if cfg.DGKBits > 0 {
+		pcfg.DGK = dgk.Params{NBits: cfg.DGKBits, TBits: 40, U: 1009, L: 56}
+	}
+	if err := pcfg.Validate(); err != nil {
+		return protocol.Config{}, err
+	}
+	return pcfg, nil
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// SubmissionFor builds user `user`'s encrypted submission for one query.
+// votes is the user's per-class prediction: a one-hot indicator or a
+// probability vector; each entry must be in [0, 1].
+func (e *Engine) SubmissionFor(user int, votes []float64) (*Submission, error) {
+	if len(votes) != e.pcfg.Classes {
+		return nil, fmt.Errorf("privconsensus: votes length %d != classes %d", len(votes), e.pcfg.Classes)
+	}
+	units := make([]*big.Int, len(votes))
+	for i, v := range votes {
+		if v < 0 || v > 1 {
+			return nil, fmt.Errorf("privconsensus: vote %g for class %d outside [0, 1]", v, i)
+		}
+		u, err := fixedpoint.EncodeUnits(v)
+		if err != nil {
+			return nil, fmt.Errorf("privconsensus: encode vote for class %d: %w", i, err)
+		}
+		units[i] = big.NewInt(u)
+	}
+	e.rngMu.Lock()
+	defer e.rngMu.Unlock()
+	sub, _, err := protocol.BuildSubmission(e.rng, e.noise, e.pcfg, user, units,
+		e.keys.S1Paillier.Public(), e.keys.S2Paillier.Public())
+	if err != nil {
+		return nil, err
+	}
+	return &Submission{inner: sub}, nil
+}
+
+// LabelInstance runs the full two-server protocol in-process for one query
+// instance: votes[user][class] are every user's predictions. Both servers
+// execute concurrently over an in-memory transport.
+func (e *Engine) LabelInstance(ctx context.Context, votes [][]float64) (*Outcome, error) {
+	if len(votes) != e.pcfg.Users {
+		return nil, fmt.Errorf("privconsensus: got votes from %d users, want %d", len(votes), e.pcfg.Users)
+	}
+	subs := make([]*Submission, len(votes))
+	for u, v := range votes {
+		sub, err := e.SubmissionFor(u, v)
+		if err != nil {
+			return nil, fmt.Errorf("privconsensus: user %d: %w", u, err)
+		}
+		subs[u] = sub
+	}
+	out, _, err := e.labelInstance(ctx, votes, subs, nil)
+	return out, err
+}
+
+// StepStats reports one protocol step's cost, mirroring the rows of the
+// paper's Tables I and II.
+type StepStats struct {
+	// Step is the Alg. 5 step label, e.g. "secure-comparison(4)".
+	Step string
+	// BytesSent is the traffic S1 sent to S2 during the step.
+	BytesSent int64
+	// BytesReceived is the traffic S1 received from S2.
+	BytesReceived int64
+	// Messages counts frames sent by S1.
+	Messages int64
+	// Elapsed is the wall time S1 spent in the step.
+	Elapsed time.Duration
+}
+
+// LabelInstanceMetered is LabelInstance plus per-step time and traffic
+// accounting, for cost analysis of a deployment.
+func (e *Engine) LabelInstanceMetered(ctx context.Context, votes [][]float64) (*Outcome, []StepStats, error) {
+	if len(votes) != e.pcfg.Users {
+		return nil, nil, fmt.Errorf("privconsensus: got votes from %d users, want %d", len(votes), e.pcfg.Users)
+	}
+	subs := make([]*Submission, len(votes))
+	for u, v := range votes {
+		sub, err := e.SubmissionFor(u, v)
+		if err != nil {
+			return nil, nil, fmt.Errorf("privconsensus: user %d: %w", u, err)
+		}
+		subs[u] = sub
+	}
+	meter := transport.NewMeter()
+	out, stats, err := e.labelInstance(ctx, votes, subs, meter)
+	return out, stats, err
+}
+
+// labelInstance runs both servers over an in-memory transport.
+func (e *Engine) labelInstance(ctx context.Context, votes [][]float64, subs []*Submission, meter *transport.Meter) (*Outcome, []StepStats, error) {
+	connA, connB := transport.Pair()
+	var c1, c2 transport.Conn = connA, connB
+	if meter != nil {
+		c1 = transport.Metered(connA, meter, "secure-sum(2)")
+		c2 = transport.Metered(connB, nil, "secure-sum(2)")
+	}
+	defer c1.Close()
+	defer c2.Close()
+
+	type result struct {
+		out *Outcome
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		out, err := e.runServerMetered(ctx, RoleS1, c1, subs, meter)
+		ch <- result{out, err}
+	}()
+	out2, err := e.runServer(ctx, RoleS2, c2, subs)
+	r1 := <-ch
+	if err != nil {
+		return nil, nil, fmt.Errorf("privconsensus: S2: %w", err)
+	}
+	if r1.err != nil {
+		return nil, nil, fmt.Errorf("privconsensus: S1: %w", r1.err)
+	}
+	if *r1.out != *out2 {
+		return nil, nil, fmt.Errorf("privconsensus: servers disagree: %+v vs %+v", r1.out, out2)
+	}
+	var stats []StepStats
+	if meter != nil {
+		for _, s := range meter.Snapshot() {
+			stats = append(stats, StepStats{
+				Step:          s.Step,
+				BytesSent:     s.BytesSent,
+				BytesReceived: s.BytesReceived,
+				Messages:      s.MsgsSent,
+				Elapsed:       s.Elapsed,
+			})
+		}
+	}
+	return out2, stats, nil
+}
+
+// BatchResult pairs each query's outcome with the cumulative privacy spend
+// of the batch.
+type BatchResult struct {
+	Outcomes []Outcome
+	// Epsilon is the batch's total (ε, δ=1e-6)-DP spend per the paper's
+	// accounting: every query pays SVT, released labels additionally pay
+	// RNM.
+	Epsilon float64
+	// Released counts the queries that reached consensus.
+	Released int
+}
+
+// LabelBatch runs LabelInstance for every query in votes (votes[q][user]
+// [class]) and tracks the privacy spend with the built-in accountant.
+func (e *Engine) LabelBatch(ctx context.Context, votes [][][]float64) (*BatchResult, error) {
+	res := &BatchResult{Outcomes: make([]Outcome, 0, len(votes))}
+	acc := NewAccountant()
+	for q, instance := range votes {
+		out, err := e.LabelInstance(ctx, instance)
+		if err != nil {
+			return nil, fmt.Errorf("privconsensus: query %d: %w", q, err)
+		}
+		res.Outcomes = append(res.Outcomes, *out)
+		if e.cfg.Sigma1 > 0 {
+			if err := acc.RecordQuery(e.cfg.Sigma1); err != nil {
+				return nil, err
+			}
+		}
+		if out.Consensus {
+			res.Released++
+			if e.cfg.Sigma2 > 0 {
+				if err := acc.RecordRelease(e.cfg.Sigma2); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	eps, _, err := acc.Epsilon(1e-6)
+	if err != nil {
+		return nil, err
+	}
+	res.Epsilon = eps
+	return res, nil
+}
+
+// RunServer executes one server's role over an established network
+// connection (e.g. TCP), for deployments where S1 and S2 are separate
+// processes. subs must contain every user's submission in user order.
+func (e *Engine) RunServer(ctx context.Context, role Role, conn net.Conn, subs []*Submission) (*Outcome, error) {
+	return e.runServer(ctx, role, transport.NewTCPConn(conn), subs)
+}
+
+// runServer dispatches to the protocol engine over any transport.
+func (e *Engine) runServer(ctx context.Context, role Role, conn transport.Conn, subs []*Submission) (*Outcome, error) {
+	return e.runServerMetered(ctx, role, conn, subs, nil)
+}
+
+// runServerMetered is runServer with optional step accounting.
+func (e *Engine) runServerMetered(ctx context.Context, role Role, conn transport.Conn, subs []*Submission, meter *transport.Meter) (*Outcome, error) {
+	halves := make([]protocol.SubmissionHalf, len(subs))
+	for i, s := range subs {
+		if s == nil || s.inner == nil {
+			return nil, fmt.Errorf("privconsensus: nil submission at index %d", i)
+		}
+		if role == RoleS1 {
+			halves[i] = s.inner.ToS1
+		} else {
+			halves[i] = s.inner.ToS2
+		}
+	}
+	e.rngMu.Lock()
+	var seed int64
+	if r, ok := e.rng.(*mrand.Rand); ok {
+		seed = r.Int63()
+	}
+	e.rngMu.Unlock()
+	var rng io.Reader = rand.Reader
+	if seed != 0 {
+		rng = mrand.New(mrand.NewSource(seed))
+	}
+
+	var (
+		out *protocol.Outcome
+		err error
+	)
+	switch role {
+	case RoleS1:
+		out, err = protocol.RunS1(ctx, rng, e.pcfg, e.keys.ForS1(), conn, halves, meter)
+	case RoleS2:
+		out, err = protocol.RunS2(ctx, rng, e.pcfg, e.keys.ForS2(), conn, halves, meter)
+	default:
+		return nil, fmt.Errorf("privconsensus: unknown role %d", int(role))
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{Consensus: out.Consensus, Label: out.Label}, nil
+}

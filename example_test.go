@@ -1,0 +1,55 @@
+package privconsensus_test
+
+import (
+	"context"
+	"fmt"
+
+	privconsensus "github.com/privconsensus/privconsensus"
+)
+
+// ExampleEngine_LabelInstance labels one query where 4 of 5 users agree.
+func ExampleEngine_LabelInstance() {
+	cfg := privconsensus.DefaultConfig(5)
+	cfg.Classes = 4
+	cfg.Sigma1, cfg.Sigma2 = 0, 0 // noise-free for a deterministic example
+	cfg.Seed = 1
+	engine, err := privconsensus.NewEngine(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	oneHot := func(label int) []float64 {
+		v := make([]float64, cfg.Classes)
+		v[label] = 1
+		return v
+	}
+	votes := [][]float64{oneHot(2), oneHot(2), oneHot(2), oneHot(2), oneHot(0)}
+	out, err := engine.LabelInstance(context.Background(), votes)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("consensus=%v label=%d\n", out.Consensus, out.Label)
+	// Output: consensus=true label=2
+}
+
+// ExampleAccountant tracks the privacy spend of a labeling workload.
+func ExampleAccountant() {
+	acc := privconsensus.NewAccountant()
+	for q := 0; q < 100; q++ {
+		_ = acc.RecordQuery(8) // every query pays the SVT check
+	}
+	for r := 0; r < 60; r++ {
+		_ = acc.RecordRelease(8) // released labels pay report-noisy-max
+	}
+	eps, _, _ := acc.Epsilon(1e-6)
+	fmt.Printf("eps = %.2f\n", eps)
+	// Output: eps = 28.95
+}
+
+// ExampleQueryEpsilon evaluates the paper's Theorem 5 for one query.
+func ExampleQueryEpsilon() {
+	eps, _ := privconsensus.QueryEpsilon(4, 2, 1e-6)
+	fmt.Printf("single-query eps = %.3f\n", eps)
+	// Output: single-query eps = 5.950
+}

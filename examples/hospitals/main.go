@@ -1,0 +1,70 @@
+// Hospitals: the paper's motivating scenario (§I). A group of hospitals
+// holds highly unbalanced private datasets — a few research hospitals hold
+// most of the records, many community clinics hold a little each — and a
+// public-health aggregator wants a joint diagnostic model without any
+// hospital sharing its records.
+//
+// This example runs the full PATE pipeline twice on SVHN-like (hard)
+// synthetic data with a 2-8 division: once with the private consensus
+// protocol and once with the noisy-argmax baseline, showing that consensus
+// filtering yields more accurate labels and a stronger aggregator model at
+// the same privacy level.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	privconsensus "github.com/privconsensus/privconsensus"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	base := privconsensus.PATEConfig{
+		Dataset:       "svhn", // the harder multiclass generator
+		Scale:         0.05,   // ~3.6k training records across hospitals
+		Users:         25,     // 25 hospitals
+		Division:      "2-8",  // 20% of records spread over 80% of hospitals
+		Queries:       600,    // unlabeled public-health instances
+		ThresholdFrac: 0.6,    // consensus needs 60% agreement
+		Sigma1:        4,      // DP noise (votes)
+		Sigma2:        4,
+		Seed:          2024,
+	}
+
+	consensus := base
+	consensus.UseConsensus = true
+	consRes, err := privconsensus.RunPATE(consensus)
+	if err != nil {
+		return fmt.Errorf("consensus run: %w", err)
+	}
+
+	baseline := base
+	baseline.UseConsensus = false
+	baseRes, err := privconsensus.RunPATE(baseline)
+	if err != nil {
+		return fmt.Errorf("baseline run: %w", err)
+	}
+
+	fmt.Println("25 hospitals, 2-8 division (community clinics hold 20% of data)")
+	fmt.Printf("  clinic (majority) accuracy:   %.3f\n", consRes.MajorityAcc)
+	fmt.Printf("  research (minority) accuracy: %.3f\n", consRes.MinorityAcc)
+	fmt.Println()
+	fmt.Printf("%-26s %-12s %-12s %-12s %-10s\n", "method", "label acc", "retention", "model acc", "epsilon")
+	fmt.Printf("%-26s %-12.3f %-12.3f %-12.3f %-10.2f\n",
+		"private consensus", consRes.LabelAccuracy, consRes.Retention, consRes.StudentAccuracy, consRes.Epsilon)
+	fmt.Printf("%-26s %-12.3f %-12.3f %-12.3f %-10.2f\n",
+		"noisy-argmax baseline", baseRes.LabelAccuracy, baseRes.Retention, baseRes.StudentAccuracy, baseRes.Epsilon)
+	fmt.Println()
+	if consRes.LabelAccuracy > baseRes.LabelAccuracy {
+		fmt.Println("consensus filtering discarded contested instances and produced cleaner labels.")
+	} else {
+		fmt.Println("note: at this seed the baseline matched consensus; rerun with more queries.")
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+// Privacybudget: plan and track a differential-privacy budget with the
+// Rényi-DP accountant.
+//
+// The example answers: "I have a privacy budget of (eps=8.19, delta=1e-6)
+// — the setting of the paper's Fig. 5 — and expect to answer 1000 consensus
+// queries of which roughly 70% will release a label. How much noise must
+// users add, and where does the budget actually land?"
+package main
+
+import (
+	"fmt"
+	"log"
+
+	privconsensus "github.com/privconsensus/privconsensus"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		epsBudget = 8.19
+		delta     = 1e-6
+		queries   = 1000
+	)
+
+	// Plan: the conservative multiplier assumes every query releases.
+	sigma, err := privconsensus.PlanNoise(epsBudget, delta, queries)
+	if err != nil {
+		return fmt.Errorf("plan noise: %w", err)
+	}
+	fmt.Printf("budget (eps=%.2f, delta=%.0e) over %d queries -> sigma1 = sigma2 = %.2f votes\n",
+		epsBudget, delta, queries, sigma)
+
+	// Per-query guarantee of the paper's Theorem 5 at that noise level.
+	perQuery, err := privconsensus.QueryEpsilon(sigma, sigma, delta)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("single-query guarantee (Theorem 5): eps = %.4f\n", perQuery)
+
+	// Track the actual spend: only ~70% of queries pass the threshold,
+	// so the realized epsilon comes in under budget.
+	acc := privconsensus.NewAccountant()
+	released := 0
+	for q := 0; q < queries; q++ {
+		if err := acc.RecordQuery(sigma); err != nil {
+			return err
+		}
+		if q%10 < 7 { // 70% release rate
+			if err := acc.RecordRelease(sigma); err != nil {
+				return err
+			}
+			released++
+		}
+	}
+	eps, alpha, err := acc.Epsilon(delta)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("realized spend after %d queries (%d released): eps = %.3f at Renyi order %.1f\n",
+		queries, released, eps, alpha)
+	fmt.Printf("headroom versus budget: %.3f\n", epsBudget-eps)
+
+	// Sensitivity: how the budget moves with the release rate.
+	fmt.Println("\nrelease-rate sensitivity:")
+	for _, rate := range []float64{0.3, 0.5, 0.7, 0.9, 1.0} {
+		a := privconsensus.NewAccountant()
+		for q := 0; q < queries; q++ {
+			if err := a.RecordQuery(sigma); err != nil {
+				return err
+			}
+			if float64(q%100) < rate*100 {
+				if err := a.RecordRelease(sigma); err != nil {
+					return err
+				}
+			}
+		}
+		e, _, err := a.Epsilon(delta)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  release rate %.0f%% -> eps = %.3f\n", rate*100, e)
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+// Quickstart: label a handful of query instances with the private
+// consensus protocol using the public Engine API.
+//
+// Ten users vote on 10-class instances; the protocol releases the winning
+// label only when the (noisy) highest vote clears the 60% threshold.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	privconsensus "github.com/privconsensus/privconsensus"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A deterministic engine for 10 users and 10 classes with the
+	// paper's default threshold (60%) and mild noise.
+	cfg := privconsensus.DefaultConfig(10)
+	cfg.Sigma1, cfg.Sigma2 = 2, 2
+	cfg.Seed = 7
+	engine, err := privconsensus.NewEngine(cfg)
+	if err != nil {
+		return fmt.Errorf("create engine: %w", err)
+	}
+
+	oneHot := func(label int) []float64 {
+		v := make([]float64, cfg.Classes)
+		v[label] = 1
+		return v
+	}
+
+	scenarios := []struct {
+		name  string
+		votes [][]float64
+	}{
+		{
+			name: "strong agreement (9 of 10 vote class 3)",
+			votes: [][]float64{
+				oneHot(3), oneHot(3), oneHot(3), oneHot(3), oneHot(3),
+				oneHot(3), oneHot(3), oneHot(3), oneHot(3), oneHot(7),
+			},
+		},
+		{
+			name: "split vote (no class reaches 60%)",
+			votes: [][]float64{
+				oneHot(0), oneHot(0), oneHot(1), oneHot(1), oneHot(2),
+				oneHot(2), oneHot(3), oneHot(3), oneHot(4), oneHot(5),
+			},
+		},
+	}
+
+	ctx := context.Background()
+	for _, sc := range scenarios {
+		out, err := engine.LabelInstance(ctx, sc.votes)
+		if err != nil {
+			return fmt.Errorf("%s: %w", sc.name, err)
+		}
+		if out.Consensus {
+			fmt.Printf("%-45s -> released label %d\n", sc.name, out.Label)
+		} else {
+			fmt.Printf("%-45s -> no consensus, instance discarded\n", sc.name)
+		}
+	}
+
+	// Privacy spend of the two queries (one released, one rejected).
+	acc := privconsensus.NewAccountant()
+	for range scenarios {
+		if err := acc.RecordQuery(cfg.Sigma1); err != nil {
+			return err
+		}
+	}
+	if err := acc.RecordRelease(cfg.Sigma2); err != nil {
+		return err
+	}
+	eps, alpha, err := acc.Epsilon(1e-6)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("privacy spend so far: eps = %.3f (delta = 1e-6, optimal Renyi order %.1f)\n", eps, alpha)
+	return nil
+}

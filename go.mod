@@ -1,0 +1,3 @@
+module github.com/privconsensus/privconsensus
+
+go 1.22

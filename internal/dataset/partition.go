@@ -1,0 +1,138 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/privconsensus/privconsensus/internal/ml"
+)
+
+// Division names the paper's uneven data distributions. Division 2-8 means
+// 20% of the data is held by 80% of the users (the "majority" group) and
+// the remaining 80% of the data by 20% of the users (the "minority").
+type Division int
+
+// Supported divisions.
+const (
+	DivisionEven Division = iota + 1
+	Division28
+	Division37
+	Division46
+)
+
+// String implements fmt.Stringer.
+func (d Division) String() string {
+	switch d {
+	case DivisionEven:
+		return "even"
+	case Division28:
+		return "2-8"
+	case Division37:
+		return "3-7"
+	case Division46:
+		return "4-6"
+	default:
+		return fmt.Sprintf("division(%d)", int(d))
+	}
+}
+
+// fractions returns (dataFrac, userFrac): dataFrac of the data goes to
+// userFrac of the users (the majority group).
+func (d Division) fractions() (dataFrac, userFrac float64, err error) {
+	switch d {
+	case DivisionEven:
+		return 0, 0, fmt.Errorf("dataset: even division has no fractions")
+	case Division28:
+		return 0.2, 0.8, nil
+	case Division37:
+		return 0.3, 0.7, nil
+	case Division46:
+		return 0.4, 0.6, nil
+	default:
+		return 0, 0, fmt.Errorf("dataset: unknown division %d", int(d))
+	}
+}
+
+// Partition holds the per-user datasets plus group bookkeeping for the
+// paper's majority/minority accuracy reporting (Fig. 2(b)-(d)).
+type Partition struct {
+	Users []*ml.Dataset
+	// MajorityIdx lists user indices in the majority group (the many
+	// users sharing little data); empty for even partitions.
+	MajorityIdx []int
+	// MinorityIdx lists the few users holding most of the data.
+	MinorityIdx []int
+}
+
+// PartitionEven splits ds uniformly at random into `users` near-equal
+// shards.
+func PartitionEven(rng *rand.Rand, ds *ml.Dataset, users int) (*Partition, error) {
+	if users < 1 {
+		return nil, fmt.Errorf("dataset: need at least 1 user, got %d", users)
+	}
+	if ds.Len() < users {
+		return nil, fmt.Errorf("dataset: %d rows cannot cover %d users", ds.Len(), users)
+	}
+	idx := rng.Perm(ds.Len())
+	out := &Partition{Users: make([]*ml.Dataset, users)}
+	for u := 0; u < users; u++ {
+		lo := u * len(idx) / users
+		hi := (u + 1) * len(idx) / users
+		out.Users[u] = ds.Subset(idx[lo:hi])
+	}
+	return out, nil
+}
+
+// PartitionUneven splits ds per the division: dataFrac of rows spread over
+// userFrac of users, the rest over the remaining users. Group sizes are
+// rounded to keep at least one user in each group.
+func PartitionUneven(rng *rand.Rand, ds *ml.Dataset, users int, div Division) (*Partition, error) {
+	if div == DivisionEven {
+		return PartitionEven(rng, ds, users)
+	}
+	if users < 2 {
+		return nil, fmt.Errorf("dataset: uneven partition needs >= 2 users, got %d", users)
+	}
+	dataFrac, userFrac, err := div.fractions()
+	if err != nil {
+		return nil, err
+	}
+	if ds.Len() < users {
+		return nil, fmt.Errorf("dataset: %d rows cannot cover %d users", ds.Len(), users)
+	}
+	majUsers := int(float64(users)*userFrac + 0.5)
+	majUsers = min(max(majUsers, 1), users-1)
+	minUsers := users - majUsers
+	majRows := int(float64(ds.Len()) * dataFrac)
+	majRows = min(max(majRows, majUsers), ds.Len()-minUsers)
+
+	idx := rng.Perm(ds.Len())
+	out := &Partition{Users: make([]*ml.Dataset, users)}
+	// Majority group: many users, few rows.
+	for u := 0; u < majUsers; u++ {
+		lo := u * majRows / majUsers
+		hi := (u + 1) * majRows / majUsers
+		out.Users[u] = ds.Subset(idx[lo:hi])
+		out.MajorityIdx = append(out.MajorityIdx, u)
+	}
+	// Minority group: few users, most rows.
+	rest := idx[majRows:]
+	for u := 0; u < minUsers; u++ {
+		lo := u * len(rest) / minUsers
+		hi := (u + 1) * len(rest) / minUsers
+		out.Users[majUsers+u] = ds.Subset(rest[lo:hi])
+		out.MinorityIdx = append(out.MinorityIdx, majUsers+u)
+	}
+	return out, nil
+}
+
+// QuerySplit carves the aggregator's query pool out of a training set,
+// mirroring the paper's "9000 training samples set aside for the
+// aggregator". It returns the aggregator pool and the remainder for users.
+func QuerySplit(rng *rand.Rand, ds *ml.Dataset, aggregatorSamples int) (pool, rest *ml.Dataset, err error) {
+	if aggregatorSamples < 1 || aggregatorSamples >= ds.Len() {
+		return nil, nil, fmt.Errorf("dataset: aggregator pool %d outside (0, %d)", aggregatorSamples, ds.Len())
+	}
+	idx := rng.Perm(ds.Len())
+	return ds.Subset(idx[:aggregatorSamples]), ds.Subset(idx[aggregatorSamples:]), nil
+}

@@ -1,0 +1,204 @@
+// Package deploy implements the multi-process deployment of the private
+// consensus protocol: standalone S1 and S2 servers that accept user
+// submissions and each other's protocol traffic over TCP, and the user
+// client that builds and delivers encrypted submissions.
+//
+// Wire protocol. Every connection opens with a hello frame identifying the
+// party. Users then send one frame per query instance carrying their
+// submission half; the peer server connection carries the Alg. 5 protocol
+// messages unchanged.
+//
+//	hello  := Message{Kind: KindControl, Flags: [party]}
+//	submit := Message{Kind: KindShares,
+//	                  Flags: [user, instance, classes],
+//	                  Values: votes || thresh || noisy}   (3K ciphertexts)
+package deploy
+
+import (
+	"context"
+	"crypto/rand"
+	"fmt"
+	"io"
+	"math/big"
+	mrand "math/rand"
+	"sync"
+
+	"github.com/privconsensus/privconsensus/internal/paillier"
+	"github.com/privconsensus/privconsensus/internal/protocol"
+	"github.com/privconsensus/privconsensus/internal/transport"
+)
+
+// Party identifiers in hello frames.
+const (
+	partyUser int64 = 1
+	partyPeer int64 = 2
+)
+
+// EncodeHalf packs one user's submission half for one instance into a wire
+// message.
+func EncodeHalf(user, instance int, h protocol.SubmissionHalf) (*transport.Message, error) {
+	k := len(h.Votes)
+	if k == 0 || len(h.Thresh) != k || len(h.Noisy) != k {
+		return nil, fmt.Errorf("deploy: malformed submission half (%d/%d/%d ciphertexts)",
+			len(h.Votes), len(h.Thresh), len(h.Noisy))
+	}
+	values := make([]*big.Int, 0, 3*k)
+	for _, group := range [][]*paillier.Ciphertext{h.Votes, h.Thresh, h.Noisy} {
+		for _, c := range group {
+			if c == nil || c.C == nil {
+				return nil, fmt.Errorf("deploy: nil ciphertext in submission")
+			}
+			values = append(values, c.C)
+		}
+	}
+	return &transport.Message{
+		Kind:   transport.KindShares,
+		Flags:  []int64{int64(user), int64(instance), int64(k)},
+		Values: values,
+	}, nil
+}
+
+// DecodeHalf unpacks a wire submission frame.
+func DecodeHalf(msg *transport.Message) (user, instance int, half protocol.SubmissionHalf, err error) {
+	if msg.Kind != transport.KindShares || len(msg.Flags) != 3 {
+		return 0, 0, half, fmt.Errorf("deploy: malformed submission frame")
+	}
+	k := int(msg.Flags[2])
+	if k <= 0 || len(msg.Values) != 3*k {
+		return 0, 0, half, fmt.Errorf("deploy: submission frame has %d values for %d classes", len(msg.Values), k)
+	}
+	toCipher := func(vs []*big.Int) []*paillier.Ciphertext {
+		out := make([]*paillier.Ciphertext, len(vs))
+		for i, v := range vs {
+			out[i] = &paillier.Ciphertext{C: v}
+		}
+		return out
+	}
+	half.Votes = toCipher(msg.Values[:k])
+	half.Thresh = toCipher(msg.Values[k : 2*k])
+	half.Noisy = toCipher(msg.Values[2*k:])
+	return int(msg.Flags[0]), int(msg.Flags[1]), half, nil
+}
+
+// sendHello identifies this connection's party to the acceptor.
+func sendHello(ctx context.Context, conn transport.Conn, party int64) error {
+	return conn.Send(ctx, &transport.Message{Kind: transport.KindControl, Flags: []int64{party}})
+}
+
+// recvHello reads and validates a hello frame.
+func recvHello(ctx context.Context, conn transport.Conn) (int64, error) {
+	msg, err := transport.ExpectKind(ctx, conn, transport.KindControl)
+	if err != nil {
+		return 0, fmt.Errorf("deploy: hello: %w", err)
+	}
+	if len(msg.Flags) != 1 || (msg.Flags[0] != partyUser && msg.Flags[0] != partyPeer) {
+		return 0, fmt.Errorf("deploy: invalid hello frame")
+	}
+	return msg.Flags[0], nil
+}
+
+// collector gathers user submissions until every (user, instance) cell is
+// filled.
+type collector struct {
+	mu        sync.Mutex
+	users     int
+	instances int
+	classes   int
+	halves    [][]*protocol.SubmissionHalf // [instance][user]
+	remaining int
+	done      chan struct{}
+	doneOnce  sync.Once
+}
+
+// newCollector prepares an empty submission grid.
+func newCollector(users, instances, classes int) *collector {
+	c := &collector{
+		users:     users,
+		instances: instances,
+		classes:   classes,
+		halves:    make([][]*protocol.SubmissionHalf, instances),
+		remaining: users * instances,
+		done:      make(chan struct{}),
+	}
+	for i := range c.halves {
+		c.halves[i] = make([]*protocol.SubmissionHalf, users)
+	}
+	return c
+}
+
+// add records one submission; duplicate or out-of-range cells error.
+func (c *collector) add(user, instance int, half protocol.SubmissionHalf) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if user < 0 || user >= c.users {
+		return fmt.Errorf("deploy: user index %d outside [0, %d)", user, c.users)
+	}
+	if instance < 0 || instance >= c.instances {
+		return fmt.Errorf("deploy: instance index %d outside [0, %d)", instance, c.instances)
+	}
+	if len(half.Votes) != c.classes {
+		return fmt.Errorf("deploy: submission has %d classes, want %d", len(half.Votes), c.classes)
+	}
+	if c.halves[instance][user] != nil {
+		return fmt.Errorf("deploy: duplicate submission from user %d for instance %d", user, instance)
+	}
+	h := half
+	c.halves[instance][user] = &h
+	c.remaining--
+	if c.remaining == 0 {
+		c.doneOnce.Do(func() { close(c.done) })
+	}
+	return nil
+}
+
+// wait blocks until all submissions arrived or ctx is done.
+func (c *collector) wait(ctx context.Context) error {
+	select {
+	case <-c.done:
+		return nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		missing := c.remaining
+		c.mu.Unlock()
+		return fmt.Errorf("deploy: timed out with %d submissions missing: %w", missing, ctx.Err())
+	}
+}
+
+// instance returns the ordered submission halves for one instance.
+func (c *collector) instance(i int) []protocol.SubmissionHalf {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]protocol.SubmissionHalf, c.users)
+	for u, h := range c.halves[i] {
+		out[u] = *h
+	}
+	return out
+}
+
+// serveUserConn drains submission frames from one user connection into the
+// collector until the user closes or sends all frames.
+func serveUserConn(ctx context.Context, conn transport.Conn, col *collector) error {
+	for {
+		msg, err := conn.Recv(ctx)
+		if err != nil {
+			// Users close after their last frame; a closed connection
+			// is the normal end of stream.
+			return nil //nolint:nilerr // EOF-equivalent by protocol design
+		}
+		user, instance, half, err := DecodeHalf(msg)
+		if err != nil {
+			return err
+		}
+		if err := col.add(user, instance, half); err != nil {
+			return err
+		}
+	}
+}
+
+// newRNG derives a per-run randomness source: deterministic if seed != 0.
+func newRNG(seed int64) io.Reader {
+	if seed != 0 {
+		return mrand.New(mrand.NewSource(seed))
+	}
+	return rand.Reader
+}

@@ -1,0 +1,236 @@
+package deploy
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"github.com/privconsensus/privconsensus/internal/keystore"
+	"github.com/privconsensus/privconsensus/internal/protocol"
+	"github.com/privconsensus/privconsensus/internal/transport"
+)
+
+// ServerOptions configures one protocol server process.
+type ServerOptions struct {
+	// ListenAddr accepts user submissions (and, on S1, the S2 peer
+	// connection).
+	ListenAddr string
+	// PeerAddr is S1's address; only S2 dials it.
+	PeerAddr string
+	// Instances is the number of query instances to run.
+	Instances int
+	// Seed, when non-zero, makes protocol randomness deterministic.
+	Seed int64
+	// Logf receives progress lines; nil silences logging.
+	Logf func(format string, args ...any)
+	// Ready, when non-nil, receives the bound listen address once the
+	// server is accepting (lets tests use port 0).
+	Ready chan<- string
+}
+
+// announceReady reports the bound address to the Ready channel, if any.
+func (o ServerOptions) announceReady(addr string) {
+	if o.Ready != nil {
+		o.Ready <- addr
+	}
+}
+
+// logf logs through the configured sink.
+func (o ServerOptions) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// validate checks the options.
+func (o ServerOptions) validate() error {
+	if o.Instances < 1 {
+		return fmt.Errorf("deploy: need at least 1 instance, got %d", o.Instances)
+	}
+	return nil
+}
+
+// RunS1 runs server S1: it listens for all users and for S2, collects the
+// submissions, executes Alg. 5 once per instance over the peer connection,
+// and returns the outcomes.
+func RunS1(ctx context.Context, file *keystore.S1File, opts ServerOptions) ([]protocol.Outcome, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	keys, err := file.KeysS1()
+	if err != nil {
+		return nil, err
+	}
+	cfg := file.Config
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	l, err := transport.Listen(opts.ListenAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer l.Close()
+	opts.logf("S1 listening on %s", l.Addr())
+	opts.announceReady(l.Addr())
+
+	col := newCollector(cfg.Users, opts.Instances, cfg.Classes)
+	peerCh := make(chan transport.Conn, 1)
+	acceptErr := make(chan error, 1)
+	acceptCtx, stopAccept := context.WithCancel(ctx)
+	defer stopAccept()
+
+	go acceptLoop(acceptCtx, l, col, peerCh, acceptErr, opts)
+
+	// Wait for the peer and all submissions.
+	var peer transport.Conn
+	select {
+	case peer = <-peerCh:
+	case err := <-acceptErr:
+		return nil, err
+	case <-ctx.Done():
+		return nil, fmt.Errorf("deploy: waiting for S2: %w", ctx.Err())
+	}
+	defer peer.Close()
+	opts.logf("S1 connected to peer S2")
+	if err := col.wait(ctx); err != nil {
+		return nil, err
+	}
+	stopAccept()
+	opts.logf("S1 received all %d×%d submissions", cfg.Users, opts.Instances)
+
+	rng := newRNG(opts.Seed)
+	outcomes := make([]protocol.Outcome, opts.Instances)
+	for i := 0; i < opts.Instances; i++ {
+		out, err := protocol.RunS1(ctx, rng, cfg, keys, peer, col.instance(i), nil)
+		if err != nil {
+			return nil, fmt.Errorf("deploy: S1 instance %d: %w", i, err)
+		}
+		outcomes[i] = *out
+		opts.logf("S1 instance %d: consensus=%v label=%d", i, out.Consensus, out.Label)
+	}
+	return outcomes, nil
+}
+
+// RunS2 runs server S2: it listens for users on its own address, dials S1
+// for the protocol channel, and mirrors S1's per-instance execution.
+func RunS2(ctx context.Context, file *keystore.S2File, opts ServerOptions) ([]protocol.Outcome, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if opts.PeerAddr == "" {
+		return nil, fmt.Errorf("deploy: S2 requires the S1 peer address")
+	}
+	keys, err := file.KeysS2()
+	if err != nil {
+		return nil, err
+	}
+	cfg := file.Config
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	l, err := transport.Listen(opts.ListenAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer l.Close()
+	opts.logf("S2 listening on %s", l.Addr())
+	opts.announceReady(l.Addr())
+
+	col := newCollector(cfg.Users, opts.Instances, cfg.Classes)
+	acceptErr := make(chan error, 1)
+	acceptCtx, stopAccept := context.WithCancel(ctx)
+	defer stopAccept()
+	go acceptLoop(acceptCtx, l, col, nil, acceptErr, opts)
+
+	peer, err := transport.Dial(ctx, opts.PeerAddr)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: dial S1: %w", err)
+	}
+	defer peer.Close()
+	if err := sendHello(ctx, peer, partyPeer); err != nil {
+		return nil, err
+	}
+	opts.logf("S2 connected to peer S1 at %s", opts.PeerAddr)
+
+	if err := col.wait(ctx); err != nil {
+		return nil, err
+	}
+	stopAccept()
+	opts.logf("S2 received all %d×%d submissions", cfg.Users, opts.Instances)
+
+	// Derive a distinct deterministic stream from S1's only when seeded;
+	// seed 0 must stay crypto/rand.
+	seed := opts.Seed
+	if seed != 0 {
+		seed++
+	}
+	rng := newRNG(seed)
+	outcomes := make([]protocol.Outcome, opts.Instances)
+	for i := 0; i < opts.Instances; i++ {
+		out, err := protocol.RunS2(ctx, rng, cfg, keys, peer, col.instance(i), nil)
+		if err != nil {
+			return nil, fmt.Errorf("deploy: S2 instance %d: %w", i, err)
+		}
+		outcomes[i] = *out
+		opts.logf("S2 instance %d: consensus=%v label=%d", i, out.Consensus, out.Label)
+	}
+	return outcomes, nil
+}
+
+// acceptLoop classifies inbound connections by their hello frame: user
+// connections feed the collector, the (single) peer connection is handed
+// to peerCh. Errors on individual user connections are logged and the
+// connection dropped; structural errors abort via errCh.
+func acceptLoop(ctx context.Context, l *transport.Listener, col *collector,
+	peerCh chan<- transport.Conn, errCh chan<- error, opts ServerOptions) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-ctx.Done():
+			default:
+				select {
+				case errCh <- fmt.Errorf("deploy: accept: %w", err):
+				default:
+				}
+			}
+			return
+		}
+		go func(conn transport.Conn) {
+			party, err := recvHello(ctx, conn)
+			if err != nil {
+				opts.logf("dropping connection with bad hello: %v", err)
+				conn.Close()
+				return
+			}
+			switch party {
+			case partyPeer:
+				if peerCh == nil {
+					opts.logf("unexpected peer hello on this server; dropping")
+					conn.Close()
+					return
+				}
+				select {
+				case peerCh <- conn:
+				default:
+					opts.logf("duplicate peer connection; dropping")
+					conn.Close()
+				}
+			case partyUser:
+				if err := serveUserConn(ctx, conn, col); err != nil {
+					opts.logf("user connection error: %v", err)
+				}
+				conn.Close()
+			}
+		}(conn)
+	}
+}
+
+// DefaultLogger returns a stdlib-backed log sink for the CLIs.
+func DefaultLogger(prefix string) func(string, ...any) {
+	return func(format string, args ...any) {
+		log.Printf(prefix+format, args...)
+	}
+}

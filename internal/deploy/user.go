@@ -1,0 +1,121 @@
+package deploy
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"math/big"
+	mrand "math/rand"
+
+	"github.com/privconsensus/privconsensus/internal/fixedpoint"
+	"github.com/privconsensus/privconsensus/internal/keystore"
+	"github.com/privconsensus/privconsensus/internal/protocol"
+	"github.com/privconsensus/privconsensus/internal/transport"
+)
+
+// UserOptions configures one user client.
+type UserOptions struct {
+	// User is this party's index in [0, Users).
+	User int
+	// S1Addr and S2Addr are the servers' listen addresses.
+	S1Addr string
+	S2Addr string
+	// Seed, when non-zero, makes share/noise randomness deterministic.
+	Seed int64
+}
+
+// SubmitVotes builds encrypted submissions for each instance's vote vector
+// (votes[instance][class], entries in [0, 1]) and delivers the halves to
+// both servers. It returns after both servers have accepted every frame.
+func SubmitVotes(ctx context.Context, pub *keystore.PublicFile, opts UserOptions, votes [][]float64) error {
+	if err := pub.Validate(); err != nil {
+		return err
+	}
+	cfg := pub.Config
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if opts.User < 0 || opts.User >= cfg.Users {
+		return fmt.Errorf("deploy: user index %d outside [0, %d)", opts.User, cfg.Users)
+	}
+	if len(votes) == 0 {
+		return fmt.Errorf("deploy: no instances to submit")
+	}
+
+	cryptoRNG := newRNG(opts.Seed)
+	noiseSeed := opts.Seed * 7919
+	if opts.Seed == 0 {
+		// Unseeded runs must draw unpredictable DP noise: derive the
+		// noise stream's seed from crypto/rand rather than anything an
+		// observer could guess (such as the user index).
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return fmt.Errorf("deploy: seed noise rng: %w", err)
+		}
+		noiseSeed = int64(binary.BigEndian.Uint64(b[:]))
+	}
+	noiseRNG := mrand.New(mrand.NewSource(noiseSeed))
+
+	conn1, err := transport.Dial(ctx, opts.S1Addr)
+	if err != nil {
+		return fmt.Errorf("deploy: dial S1: %w", err)
+	}
+	defer conn1.Close()
+	conn2, err := transport.Dial(ctx, opts.S2Addr)
+	if err != nil {
+		return fmt.Errorf("deploy: dial S2: %w", err)
+	}
+	defer conn2.Close()
+	if err := sendHello(ctx, conn1, partyUser); err != nil {
+		return err
+	}
+	if err := sendHello(ctx, conn2, partyUser); err != nil {
+		return err
+	}
+
+	for instance, vote := range votes {
+		units, err := votesToUnits(vote, cfg.Classes)
+		if err != nil {
+			return fmt.Errorf("deploy: instance %d: %w", instance, err)
+		}
+		sub, _, err := protocol.BuildSubmission(cryptoRNG, noiseRNG, cfg, opts.User, units, pub.PK1, pub.PK2)
+		if err != nil {
+			return fmt.Errorf("deploy: build submission %d: %w", instance, err)
+		}
+		msg1, err := EncodeHalf(opts.User, instance, sub.ToS1)
+		if err != nil {
+			return err
+		}
+		msg2, err := EncodeHalf(opts.User, instance, sub.ToS2)
+		if err != nil {
+			return err
+		}
+		if err := conn1.Send(ctx, msg1); err != nil {
+			return fmt.Errorf("deploy: send to S1: %w", err)
+		}
+		if err := conn2.Send(ctx, msg2); err != nil {
+			return fmt.Errorf("deploy: send to S2: %w", err)
+		}
+	}
+	return nil
+}
+
+// votesToUnits converts a [0,1] float vote vector to fixed-point units.
+func votesToUnits(vote []float64, classes int) ([]*big.Int, error) {
+	if len(vote) != classes {
+		return nil, fmt.Errorf("vote vector length %d, want %d", len(vote), classes)
+	}
+	units := make([]*big.Int, classes)
+	for i, v := range vote {
+		if v < 0 || v > 1 {
+			return nil, fmt.Errorf("vote %g for class %d outside [0, 1]", v, i)
+		}
+		u, err := fixedpoint.EncodeUnits(v)
+		if err != nil {
+			return nil, fmt.Errorf("encode vote for class %d: %w", i, err)
+		}
+		units[i] = big.NewInt(u)
+	}
+	return units, nil
+}

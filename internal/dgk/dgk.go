@@ -1,0 +1,364 @@
+// Package dgk implements the Damgård–Geisler–Krøigaard (DGK) cryptosystem
+// and the interactive DGK secure-comparison protocol (refs. [12], [13] of
+// the paper), which the private consensus protocol uses for its Secure
+// Comparison and Threshold Checking steps.
+//
+// DGK ciphertexts live in Z_n^* with E(m) = g^m · h^r mod n. The plaintext
+// space Z_u is deliberately tiny (u is a small prime), which makes the
+// zero-test decryption used by the comparison protocol a single modular
+// exponentiation — the property that makes DGK faster than Paillier for
+// bitwise comparison.
+package dgk
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"github.com/privconsensus/privconsensus/internal/mathutil"
+)
+
+// Errors returned by the package.
+var (
+	ErrMessageRange  = errors.New("dgk: message outside plaintext space [0, u)")
+	ErrCiphertextNil = errors.New("dgk: nil ciphertext")
+	ErrNotInTable    = errors.New("dgk: plaintext not in decryption table")
+	ErrBadParams     = errors.New("dgk: invalid key parameters")
+)
+
+// Params configures DGK key generation.
+type Params struct {
+	// NBits is the modulus size. The paper's prototype regime is small
+	// (64-bit Paillier); production should use >= 1024.
+	NBits int
+	// TBits is the bit length of the secret primes v_p, v_q (security of
+	// the blinding; >= 160 in production).
+	TBits int
+	// U is the plaintext-space prime. It must exceed 3*L+2 so comparison
+	// intermediate values cannot wrap to zero.
+	U uint64
+	// L is the bit length of the values compared by the comparison
+	// protocol.
+	L int
+}
+
+// DefaultParams returns parameters suitable for the paper's experimental
+// regime: 40-bit compared values with a comfortable plaintext space.
+func DefaultParams() Params {
+	return Params{NBits: 512, TBits: 160, U: 1009, L: 40}
+}
+
+// TestParams returns small, fast parameters for tests and simulations.
+func TestParams() Params {
+	return Params{NBits: 192, TBits: 40, U: 1009, L: 40}
+}
+
+// Validate checks internal consistency of the parameters.
+func (p Params) Validate() error {
+	if p.L <= 0 || p.L > 62 {
+		return fmt.Errorf("%w: L=%d must be in [1, 62]", ErrBadParams, p.L)
+	}
+	if p.U <= uint64(3*p.L+2) {
+		return fmt.Errorf("%w: U=%d must exceed 3*L+2=%d", ErrBadParams, p.U, 3*p.L+2)
+	}
+	if !new(big.Int).SetUint64(p.U).ProbablyPrime(32) {
+		return fmt.Errorf("%w: U=%d must be prime", ErrBadParams, p.U)
+	}
+	uBits := new(big.Int).SetUint64(p.U).BitLen()
+	minHalf := uBits + p.TBits + 8
+	if p.NBits/2 < minHalf {
+		return fmt.Errorf("%w: NBits=%d too small for TBits=%d and U=%d (need >= %d)",
+			ErrBadParams, p.NBits, p.TBits, p.U, 2*minHalf)
+	}
+	return nil
+}
+
+// PublicKey is the DGK public key.
+type PublicKey struct {
+	N *big.Int // modulus
+	G *big.Int // order u*v_p*v_q element
+	H *big.Int // order v_p*v_q element
+	U *big.Int // plaintext-space prime
+	// RBits is the bit length of encryption randomness (2.5 * TBits).
+	RBits int
+	// L is the comparison bit length carried for protocol agreement.
+	L int
+}
+
+// PrivateKey holds the DGK secret key with its zero-test and decryption
+// tables.
+type PrivateKey struct {
+	PublicKey
+	p, vp *big.Int
+	// decTable maps (g^{v_p})^m mod p -> m for full decryption.
+	decTable map[string]uint64
+}
+
+// Ciphertext is a DGK ciphertext in Z_n^*.
+type Ciphertext struct {
+	C *big.Int
+}
+
+// Clone returns an independent copy.
+func (c *Ciphertext) Clone() *Ciphertext {
+	if c == nil || c.C == nil {
+		return nil
+	}
+	return &Ciphertext{C: new(big.Int).Set(c.C)}
+}
+
+// GenerateKey creates a DGK key pair. rng defaults to crypto/rand.Reader.
+func GenerateKey(rng io.Reader, params Params) (*PrivateKey, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		rng = rand.Reader
+	}
+	u := new(big.Int).SetUint64(params.U)
+	vp, err := mathutil.RandPrime(rng, params.TBits)
+	if err != nil {
+		return nil, err
+	}
+	vq, err := mathutil.RandPrime(rng, params.TBits)
+	if err != nil {
+		return nil, err
+	}
+	for vq.Cmp(vp) == 0 {
+		if vq, err = mathutil.RandPrime(rng, params.TBits); err != nil {
+			return nil, err
+		}
+	}
+
+	half := params.NBits / 2
+	p, err := findDGKPrime(rng, half, u, vp)
+	if err != nil {
+		return nil, fmt.Errorf("dgk: generate p: %w", err)
+	}
+	q, err := findDGKPrime(rng, params.NBits-half, u, vq)
+	if err != nil {
+		return nil, fmt.Errorf("dgk: generate q: %w", err)
+	}
+	for q.Cmp(p) == 0 {
+		if q, err = findDGKPrime(rng, params.NBits-half, u, vq); err != nil {
+			return nil, err
+		}
+	}
+	n := new(big.Int).Mul(p, q)
+
+	gp, err := elementOfOrder(rng, p, u, vp) // order u*vp mod p
+	if err != nil {
+		return nil, fmt.Errorf("dgk: find g mod p: %w", err)
+	}
+	gq, err := elementOfOrder(rng, q, u, vq)
+	if err != nil {
+		return nil, fmt.Errorf("dgk: find g mod q: %w", err)
+	}
+	hp, err := elementOfOrder(rng, p, mathutil.One, vp) // order vp mod p
+	if err != nil {
+		return nil, fmt.Errorf("dgk: find h mod p: %w", err)
+	}
+	hq, err := elementOfOrder(rng, q, mathutil.One, vq)
+	if err != nil {
+		return nil, fmt.Errorf("dgk: find h mod q: %w", err)
+	}
+	crt, err := mathutil.NewCRTParams(p, q)
+	if err != nil {
+		return nil, fmt.Errorf("dgk: CRT setup: %w", err)
+	}
+	g := crt.Combine(gp, gq)
+	h := crt.Combine(hp, hq)
+
+	key := &PrivateKey{
+		PublicKey: PublicKey{
+			N: n, G: g, H: h, U: u,
+			RBits: params.TBits * 5 / 2,
+			L:     params.L,
+		},
+		p: p, vp: vp,
+	}
+	key.buildDecTable(params.U)
+	return key, nil
+}
+
+// findDGKPrime finds a prime s of the given bit length with u*v | s-1.
+func findDGKPrime(rng io.Reader, bits int, u, v *big.Int) (*big.Int, error) {
+	uv := new(big.Int).Mul(u, v)
+	uv.Mul(uv, mathutil.Two)
+	wBits := bits - uv.BitLen()
+	if wBits < 2 {
+		return nil, fmt.Errorf("dgk: %d-bit prime too small for cofactors", bits)
+	}
+	s := new(big.Int)
+	for i := 0; i < 100000; i++ {
+		w, err := mathutil.RandBits(rng, wBits)
+		if err != nil {
+			return nil, err
+		}
+		w.SetBit(w, wBits-1, 1) // force size
+		s.Mul(uv, w)
+		s.Add(s, mathutil.One)
+		if s.BitLen() >= bits-1 && s.ProbablyPrime(32) {
+			return new(big.Int).Set(s), nil
+		}
+	}
+	return nil, errors.New("dgk: no suitable prime found")
+}
+
+// elementOfOrder returns an element of order exactly a*b mod prime s, where
+// a and b are distinct primes or a == 1.
+func elementOfOrder(rng io.Reader, s, a, b *big.Int) (*big.Int, error) {
+	sm1 := new(big.Int).Sub(s, mathutil.One)
+	ab := new(big.Int).Mul(a, b)
+	exp := new(big.Int).Div(sm1, ab)
+	cand := new(big.Int)
+	for i := 0; i < 10000; i++ {
+		x, err := mathutil.RandInt(rng, s)
+		if err != nil {
+			return nil, err
+		}
+		if x.Sign() == 0 {
+			continue
+		}
+		cand.Exp(x, exp, s) // order divides a*b
+		if cand.Cmp(mathutil.One) == 0 {
+			continue
+		}
+		// Order is in {a, b, ab} (or {b} when a==1). Require exactly ab.
+		if a.Cmp(mathutil.One) != 0 {
+			if new(big.Int).Exp(cand, a, s).Cmp(mathutil.One) == 0 {
+				continue // order divides a, not ab
+			}
+			if new(big.Int).Exp(cand, b, s).Cmp(mathutil.One) == 0 {
+				continue // order divides b
+			}
+		}
+		return new(big.Int).Set(cand), nil
+	}
+	return nil, errors.New("dgk: no element of required order found")
+}
+
+// buildDecTable precomputes the discrete-log table for full decryption.
+func (k *PrivateKey) buildDecTable(u uint64) {
+	base := new(big.Int).Exp(k.G, k.vp, k.p) // g^{vp} mod p, order u
+	k.decTable = make(map[string]uint64, u)
+	acc := big.NewInt(1)
+	for m := uint64(0); m < u; m++ {
+		k.decTable[string(acc.Bytes())] = m
+		acc.Mul(acc, base)
+		acc.Mod(acc, k.p)
+	}
+}
+
+// Public returns the public part of the key.
+func (k *PrivateKey) Public() *PublicKey {
+	pub := k.PublicKey
+	return &pub
+}
+
+func (pk *PublicKey) validateMessage(m *big.Int) error {
+	if m == nil || m.Sign() < 0 || m.Cmp(pk.U) >= 0 {
+		return fmt.Errorf("%w: m=%v u=%v", ErrMessageRange, m, pk.U)
+	}
+	return nil
+}
+
+func (pk *PublicKey) validateCiphertext(c *Ciphertext) error {
+	if c == nil || c.C == nil {
+		return ErrCiphertextNil
+	}
+	if c.C.Sign() <= 0 || c.C.Cmp(pk.N) >= 0 {
+		return fmt.Errorf("dgk: ciphertext out of range")
+	}
+	return nil
+}
+
+// Encrypt encrypts m in [0, u): E(m) = g^m h^r mod n.
+func (pk *PublicKey) Encrypt(rng io.Reader, m *big.Int) (*Ciphertext, error) {
+	if err := pk.validateMessage(m); err != nil {
+		return nil, err
+	}
+	r, err := mathutil.RandBits(rng, pk.RBits)
+	if err != nil {
+		return nil, fmt.Errorf("dgk: sample randomness: %w", err)
+	}
+	gm := new(big.Int).Exp(pk.G, m, pk.N)
+	hr := new(big.Int).Exp(pk.H, r, pk.N)
+	c := gm.Mul(gm, hr)
+	c.Mod(c, pk.N)
+	return &Ciphertext{C: c}, nil
+}
+
+// EncryptBit encrypts a single bit.
+func (pk *PublicKey) EncryptBit(rng io.Reader, b uint8) (*Ciphertext, error) {
+	if b > 1 {
+		return nil, fmt.Errorf("dgk: bit must be 0 or 1, got %d", b)
+	}
+	return pk.Encrypt(rng, big.NewInt(int64(b)))
+}
+
+// Add returns the ciphertext of m1 + m2 mod u.
+func (pk *PublicKey) Add(c1, c2 *Ciphertext) (*Ciphertext, error) {
+	if err := pk.validateCiphertext(c1); err != nil {
+		return nil, err
+	}
+	if err := pk.validateCiphertext(c2); err != nil {
+		return nil, err
+	}
+	out := new(big.Int).Mul(c1.C, c2.C)
+	out.Mod(out, pk.N)
+	return &Ciphertext{C: out}, nil
+}
+
+// ScalarMul returns the ciphertext of a*m mod u. Negative a is reduced
+// mod u.
+func (pk *PublicKey) ScalarMul(c *Ciphertext, a *big.Int) (*Ciphertext, error) {
+	if err := pk.validateCiphertext(c); err != nil {
+		return nil, err
+	}
+	aMod := new(big.Int).Mod(a, pk.U)
+	out := new(big.Int).Exp(c.C, aMod, pk.N)
+	return &Ciphertext{C: out}, nil
+}
+
+// AddPlain returns the ciphertext of m + k mod u for plaintext k.
+func (pk *PublicKey) AddPlain(c *Ciphertext, k *big.Int) (*Ciphertext, error) {
+	if err := pk.validateCiphertext(c); err != nil {
+		return nil, err
+	}
+	kMod := new(big.Int).Mod(k, pk.U)
+	gk := new(big.Int).Exp(pk.G, kMod, pk.N)
+	out := gk.Mul(gk, c.C)
+	out.Mod(out, pk.N)
+	return &Ciphertext{C: out}, nil
+}
+
+// Neg returns the ciphertext of -m mod u.
+func (pk *PublicKey) Neg(c *Ciphertext) (*Ciphertext, error) {
+	return pk.ScalarMul(c, big.NewInt(-1))
+}
+
+// IsZero reports whether c encrypts 0, using the fast zero test
+// c^{v_p} mod p == 1.
+func (k *PrivateKey) IsZero(c *Ciphertext) (bool, error) {
+	if err := k.validateCiphertext(c); err != nil {
+		return false, err
+	}
+	t := new(big.Int).Exp(c.C, k.vp, k.p)
+	return t.Cmp(mathutil.One) == 0, nil
+}
+
+// Decrypt fully decrypts c via the discrete-log table.
+func (k *PrivateKey) Decrypt(c *Ciphertext) (*big.Int, error) {
+	if err := k.validateCiphertext(c); err != nil {
+		return nil, err
+	}
+	t := new(big.Int).Exp(c.C, k.vp, k.p)
+	m, ok := k.decTable[string(t.Bytes())]
+	if !ok {
+		return nil, ErrNotInTable
+	}
+	return new(big.Int).SetUint64(m), nil
+}

@@ -1,0 +1,408 @@
+package dgk
+
+import (
+	"context"
+	"math/big"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/privconsensus/privconsensus/internal/transport"
+)
+
+func testRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+var (
+	sharedKeyOnce sync.Once
+	sharedKey     *PrivateKey
+)
+
+// sharedTestKey generates one small key reused across tests (DGK keygen is
+// the slow part).
+func sharedTestKey(t testing.TB) *PrivateKey {
+	t.Helper()
+	sharedKeyOnce.Do(func() {
+		key, err := GenerateKey(testRNG(99), TestParams())
+		if err != nil {
+			t.Fatalf("GenerateKey: %v", err)
+		}
+		sharedKey = key
+	})
+	if sharedKey == nil {
+		t.Fatal("shared key generation failed earlier")
+	}
+	return sharedKey
+}
+
+func TestParamsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Params
+		ok   bool
+	}{
+		{"default", DefaultParams(), true},
+		{"test", TestParams(), true},
+		{"l too large", Params{NBits: 512, TBits: 160, U: 1009, L: 63}, false},
+		{"l zero", Params{NBits: 512, TBits: 160, U: 1009, L: 0}, false},
+		{"u too small", Params{NBits: 512, TBits: 160, U: 101, L: 40}, false},
+		{"u composite", Params{NBits: 512, TBits: 160, U: 1000, L: 40}, false},
+		{"modulus too small", Params{NBits: 64, TBits: 40, U: 1009, L: 40}, false},
+	}
+	for _, c := range cases {
+		err := c.p.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+// Structural key properties: g must have order u*v_p mod p (so g^{v_p} has
+// order exactly u) and h must vanish under the zero test.
+func TestKeyStructure(t *testing.T) {
+	key := sharedTestKey(t)
+	// h encrypts randomness only: h^r must zero-test as E(0)'s blinding.
+	hEnc := &Ciphertext{C: new(big.Int).Set(key.H)}
+	z, err := key.IsZero(hEnc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !z {
+		t.Error("h alone must decrypt to zero (it carries no message)")
+	}
+	// g encrypts 1 with zero randomness.
+	gEnc := &Ciphertext{C: new(big.Int).Set(key.G)}
+	m, err := key.Decrypt(gEnc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Int64() != 1 {
+		t.Errorf("g decrypts to %v, want 1", m)
+	}
+	// g^u must be indistinguishable from an encryption of zero.
+	gu := new(big.Int).Exp(key.G, key.U, key.N)
+	z, err = key.IsZero(&Ciphertext{C: gu})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !z {
+		t.Error("g^u must zero-test true (plaintext space wraps at u)")
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	key := sharedTestKey(t)
+	rng := testRNG(1)
+	for _, m := range []int64{0, 1, 2, 500, 1008} {
+		c, err := key.Encrypt(rng, big.NewInt(m))
+		if err != nil {
+			t.Fatalf("Encrypt(%d): %v", m, err)
+		}
+		got, err := key.Decrypt(c)
+		if err != nil {
+			t.Fatalf("Decrypt: %v", err)
+		}
+		if got.Cmp(big.NewInt(m)) != 0 {
+			t.Errorf("round trip %d -> %v", m, got)
+		}
+	}
+}
+
+func TestEncryptRejectsOutOfRange(t *testing.T) {
+	key := sharedTestKey(t)
+	rng := testRNG(2)
+	if _, err := key.Encrypt(rng, big.NewInt(1009)); err == nil {
+		t.Error("expected error for m = u")
+	}
+	if _, err := key.Encrypt(rng, big.NewInt(-1)); err == nil {
+		t.Error("expected error for negative m")
+	}
+	if _, err := key.EncryptBit(rng, 2); err == nil {
+		t.Error("expected error for non-bit")
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	key := sharedTestKey(t)
+	rng := testRNG(3)
+	zero, err := key.Encrypt(rng, big.NewInt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z, err := key.IsZero(zero); err != nil || !z {
+		t.Errorf("IsZero(E[0]) = %v, %v; want true", z, err)
+	}
+	one, err := key.Encrypt(rng, big.NewInt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z, err := key.IsZero(one); err != nil || z {
+		t.Errorf("IsZero(E[1]) = %v, %v; want false", z, err)
+	}
+}
+
+func TestHomomorphicOps(t *testing.T) {
+	key := sharedTestKey(t)
+	rng := testRNG(4)
+	u := key.U.Int64()
+
+	ca, _ := key.Encrypt(rng, big.NewInt(700))
+	cb, _ := key.Encrypt(rng, big.NewInt(400))
+	sum, err := key.Add(ca, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := key.Decrypt(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != (700+400)%u {
+		t.Errorf("Add: %v, want %d", got, (700+400)%u)
+	}
+
+	scaled, err := key.ScalarMul(ca, big.NewInt(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = key.Decrypt(scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != (700*5)%u {
+		t.Errorf("ScalarMul: %v, want %d", got, (700*5)%u)
+	}
+
+	shifted, err := key.AddPlain(ca, big.NewInt(-100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = key.Decrypt(shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != 600 {
+		t.Errorf("AddPlain(-100): %v, want 600", got)
+	}
+
+	neg, err := key.Neg(ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = key.Decrypt(neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != u-700 {
+		t.Errorf("Neg: %v, want %d", got, u-700)
+	}
+}
+
+func TestHomomorphicAddQuick(t *testing.T) {
+	key := sharedTestKey(t)
+	rng := testRNG(5)
+	u := key.U.Int64()
+	f := func(x, y uint16) bool {
+		a, b := int64(x)%u, int64(y)%u
+		ca, err := key.Encrypt(rng, big.NewInt(a))
+		if err != nil {
+			return false
+		}
+		cb, err := key.Encrypt(rng, big.NewInt(b))
+		if err != nil {
+			return false
+		}
+		sum, err := key.Add(ca, cb)
+		if err != nil {
+			return false
+		}
+		got, err := key.Decrypt(sum)
+		if err != nil {
+			return false
+		}
+		return got.Int64() == (a+b)%u
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCiphertextValidation(t *testing.T) {
+	key := sharedTestKey(t)
+	if _, err := key.Decrypt(nil); err == nil {
+		t.Error("expected error for nil ciphertext")
+	}
+	if _, err := key.IsZero(&Ciphertext{C: big.NewInt(0)}); err == nil {
+		t.Error("expected error for zero ciphertext value")
+	}
+	if _, err := key.Decrypt(&Ciphertext{C: new(big.Int).Set(key.N)}); err == nil {
+		t.Error("expected error for out-of-range ciphertext")
+	}
+}
+
+// runCompare executes the comparison protocol over an in-memory transport
+// and checks both parties agree.
+func runCompare(t *testing.T, key *PrivateKey, a, b *big.Int, signed bool) bool {
+	t.Helper()
+	connA, connB := transport.Pair()
+	defer connA.Close()
+	defer connB.Close()
+	ctx := context.Background()
+
+	type result struct {
+		geq bool
+		err error
+	}
+	resA := make(chan result, 1)
+	go func() {
+		rng := testRNG(11)
+		var geq bool
+		var err error
+		if signed {
+			geq, err = key.Public().CompareSignedA(ctx, rng, connA, a)
+		} else {
+			geq, err = key.Public().CompareA(ctx, rng, connA, a)
+		}
+		resA <- result{geq, err}
+	}()
+
+	rng := testRNG(12)
+	var geqB bool
+	var err error
+	if signed {
+		geqB, err = key.CompareSignedB(ctx, rng, connB, b)
+	} else {
+		geqB, err = key.CompareB(ctx, rng, connB, b)
+	}
+	if err != nil {
+		t.Fatalf("CompareB: %v", err)
+	}
+	ra := <-resA
+	if ra.err != nil {
+		t.Fatalf("CompareA: %v", ra.err)
+	}
+	if ra.geq != geqB {
+		t.Fatalf("parties disagree: A=%v B=%v", ra.geq, geqB)
+	}
+	return geqB
+}
+
+func TestCompareProtocol(t *testing.T) {
+	key := sharedTestKey(t)
+	cases := []struct {
+		a, b int64
+		want bool // a >= b
+	}{
+		{0, 0, true},
+		{1, 0, true},
+		{0, 1, false},
+		{100, 100, true},
+		{12345, 12344, true},
+		{12344, 12345, false},
+		{1 << 39, 0, true},
+		{0, 1 << 39, false},
+		{1<<40 - 1, 1<<40 - 2, true},
+	}
+	for _, c := range cases {
+		got := runCompare(t, key, big.NewInt(c.a), big.NewInt(c.b), false)
+		if got != c.want {
+			t.Errorf("compare(%d, %d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareSignedProtocol(t *testing.T) {
+	key := sharedTestKey(t)
+	cases := []struct {
+		a, b int64
+		want bool
+	}{
+		{-5, -10, true},
+		{-10, -5, false},
+		{-1, 0, false},
+		{0, -1, true},
+		{-(1 << 38), 1 << 38, false},
+		{1 << 38, -(1 << 38), true},
+		{-7, -7, true},
+	}
+	for _, c := range cases {
+		got := runCompare(t, key, big.NewInt(c.a), big.NewInt(c.b), true)
+		if got != c.want {
+			t.Errorf("compareSigned(%d, %d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareProtocolQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("interactive comparison is slow in -short mode")
+	}
+	key := sharedTestKey(t)
+	f := func(x, y uint32) bool {
+		a, b := big.NewInt(int64(x)), big.NewInt(int64(y))
+		got := runCompare(t, key, a, b, false)
+		return got == (x >= y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareRejectsOutOfRange(t *testing.T) {
+	key := sharedTestKey(t)
+	connA, connB := transport.Pair()
+	defer connA.Close()
+	defer connB.Close()
+	ctx := context.Background()
+	huge := new(big.Int).Lsh(big.NewInt(1), 41)
+	if _, err := key.Public().CompareA(ctx, testRNG(1), connA, huge); err == nil {
+		t.Error("expected range error on A side")
+	}
+	if _, err := key.CompareB(ctx, testRNG(1), connB, huge); err == nil {
+		t.Error("expected range error on B side")
+	}
+	if _, err := key.Public().CompareSignedA(ctx, testRNG(1), connA, new(big.Int).Neg(huge)); err == nil {
+		t.Error("expected signed range error")
+	}
+}
+
+func TestCompareContextCancel(t *testing.T) {
+	key := sharedTestKey(t)
+	connA, connB := transport.Pair()
+	defer connA.Close()
+	defer connB.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := key.Public().CompareA(ctx, testRNG(1), connA, big.NewInt(5)); err == nil {
+		t.Error("expected context error")
+	}
+	_ = connB
+}
+
+func TestCiphertextClone(t *testing.T) {
+	key := sharedTestKey(t)
+	c, err := key.Encrypt(testRNG(70), big.NewInt(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := c.Clone()
+	clone.C.Add(clone.C, big.NewInt(1))
+	if c.C.Cmp(clone.C) == 0 {
+		t.Error("clone should be independent")
+	}
+	var nilC *Ciphertext
+	if nilC.Clone() != nil {
+		t.Error("nil clone should be nil")
+	}
+}
+
+func TestGenerateKeyRejectsBadParams(t *testing.T) {
+	if _, err := GenerateKey(testRNG(71), Params{NBits: 64, TBits: 40, U: 1009, L: 40}); err == nil {
+		t.Error("expected error for undersized modulus")
+	}
+	if _, err := GenerateKey(testRNG(72), Params{NBits: 512, TBits: 160, U: 15, L: 40}); err == nil {
+		t.Error("expected error for tiny composite plaintext space")
+	}
+}

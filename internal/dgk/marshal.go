@@ -1,0 +1,122 @@
+package dgk
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/big"
+)
+
+// JSON serialization of DGK key material (decimal-string big integers).
+// The private key stores the secret prime p and exponent v_p alongside the
+// public elements; the decryption table is rebuilt on load.
+
+// publicKeyJSON is the wire form of a PublicKey.
+type publicKeyJSON struct {
+	N     string `json:"n"`
+	G     string `json:"g"`
+	H     string `json:"h"`
+	U     uint64 `json:"u"`
+	RBits int    `json:"rBits"`
+	L     int    `json:"l"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (pk *PublicKey) MarshalJSON() ([]byte, error) {
+	if pk.N == nil || pk.G == nil || pk.H == nil || pk.U == nil {
+		return nil, fmt.Errorf("dgk: cannot marshal zero public key")
+	}
+	return json.Marshal(publicKeyJSON{
+		N: pk.N.String(), G: pk.G.String(), H: pk.H.String(),
+		U: pk.U.Uint64(), RBits: pk.RBits, L: pk.L,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (pk *PublicKey) UnmarshalJSON(data []byte) error {
+	var raw publicKeyJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("dgk: decode public key: %w", err)
+	}
+	out, err := raw.toPublic()
+	if err != nil {
+		return err
+	}
+	*pk = *out
+	return nil
+}
+
+// toPublic validates and converts the wire form.
+func (raw publicKeyJSON) toPublic() (*PublicKey, error) {
+	n, ok := new(big.Int).SetString(raw.N, 10)
+	if !ok || n.Sign() <= 0 {
+		return nil, fmt.Errorf("dgk: invalid modulus")
+	}
+	g, ok := new(big.Int).SetString(raw.G, 10)
+	if !ok || g.Sign() <= 0 {
+		return nil, fmt.Errorf("dgk: invalid generator g")
+	}
+	h, ok := new(big.Int).SetString(raw.H, 10)
+	if !ok || h.Sign() <= 0 {
+		return nil, fmt.Errorf("dgk: invalid generator h")
+	}
+	if raw.U < 3 || raw.RBits < 8 || raw.L < 1 || raw.L > 62 {
+		return nil, fmt.Errorf("dgk: invalid parameters u=%d rBits=%d l=%d", raw.U, raw.RBits, raw.L)
+	}
+	return &PublicKey{
+		N: n, G: g, H: h,
+		U: new(big.Int).SetUint64(raw.U), RBits: raw.RBits, L: raw.L,
+	}, nil
+}
+
+// privateKeyJSON is the wire form of a PrivateKey.
+type privateKeyJSON struct {
+	Public publicKeyJSON `json:"public"`
+	P      string        `json:"p"`
+	Vp     string        `json:"vp"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (k *PrivateKey) MarshalJSON() ([]byte, error) {
+	if k.p == nil || k.vp == nil {
+		return nil, fmt.Errorf("dgk: cannot marshal zero private key")
+	}
+	pub, err := k.Public().MarshalJSON()
+	if err != nil {
+		return nil, err
+	}
+	var rawPub publicKeyJSON
+	if err := json.Unmarshal(pub, &rawPub); err != nil {
+		return nil, err
+	}
+	return json.Marshal(privateKeyJSON{
+		Public: rawPub, P: k.p.String(), Vp: k.vp.String(),
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (k *PrivateKey) UnmarshalJSON(data []byte) error {
+	var raw privateKeyJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("dgk: decode private key: %w", err)
+	}
+	pub, err := raw.Public.toPublic()
+	if err != nil {
+		return err
+	}
+	p, ok := new(big.Int).SetString(raw.P, 10)
+	if !ok || p.Sign() <= 0 || !p.ProbablyPrime(32) {
+		return fmt.Errorf("dgk: invalid secret prime")
+	}
+	vp, ok := new(big.Int).SetString(raw.Vp, 10)
+	if !ok || vp.Sign() <= 0 {
+		return fmt.Errorf("dgk: invalid secret exponent")
+	}
+	if new(big.Int).Mod(pub.N, p).Sign() != 0 {
+		return fmt.Errorf("dgk: secret prime does not divide the modulus")
+	}
+	k.PublicKey = *pub
+	k.p = p
+	k.vp = vp
+	k.buildDecTable(pub.U.Uint64())
+	return nil
+}

@@ -1,0 +1,98 @@
+package dgk
+
+import (
+	"encoding/json"
+	"math/big"
+	"testing"
+)
+
+func TestPublicKeyJSONRoundTrip(t *testing.T) {
+	key := sharedTestKey(t)
+	data, err := json.Marshal(key.Public())
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back PublicKey
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.N.Cmp(key.N) != 0 || back.G.Cmp(key.G) != 0 || back.H.Cmp(key.H) != 0 {
+		t.Error("public key elements not preserved")
+	}
+	if back.RBits != key.RBits || back.L != key.L || back.U.Cmp(key.U) != 0 {
+		t.Error("public key parameters not preserved")
+	}
+	// Encrypt with the reloaded key, decrypt with the original.
+	c, err := back.Encrypt(testRNG(40), big.NewInt(123))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := key.Decrypt(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Int64() != 123 {
+		t.Errorf("cross-key round trip = %v", m)
+	}
+}
+
+func TestPrivateKeyJSONRoundTrip(t *testing.T) {
+	key := sharedTestKey(t)
+	data, err := json.Marshal(key)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back PrivateKey
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	// The rebuilt decryption table must work.
+	c, err := key.Encrypt(testRNG(41), big.NewInt(888))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := back.Decrypt(c)
+	if err != nil {
+		t.Fatalf("decrypt with reloaded key: %v", err)
+	}
+	if m.Int64() != 888 {
+		t.Errorf("reloaded decrypt = %v", m)
+	}
+	// Zero test too.
+	zero, err := key.Encrypt(testRNG(42), big.NewInt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	isZero, err := back.IsZero(zero)
+	if err != nil || !isZero {
+		t.Errorf("reloaded IsZero = %v, %v", isZero, err)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	var pk PublicKey
+	if err := json.Unmarshal([]byte(`{"n":"0","g":"1","h":"1","u":1009,"rBits":100,"l":40}`), &pk); err == nil {
+		t.Error("expected error for zero modulus")
+	}
+	if err := json.Unmarshal([]byte(`{"n":"77","g":"2","h":"3","u":1009,"rBits":100,"l":99}`), &pk); err == nil {
+		t.Error("expected error for out-of-range L")
+	}
+	var k PrivateKey
+	if err := json.Unmarshal([]byte(`{"public":{"n":"77","g":"2","h":"3","u":1009,"rBits":100,"l":40},"p":"8","vp":"5"}`), &k); err == nil {
+		t.Error("expected error for composite secret prime")
+	}
+	if err := json.Unmarshal([]byte(`{"public":{"n":"77","g":"2","h":"3","u":1009,"rBits":100,"l":40},"p":"13","vp":"5"}`), &k); err == nil {
+		t.Error("expected error when p does not divide n")
+	}
+}
+
+func TestMarshalZeroKeys(t *testing.T) {
+	var pk PublicKey
+	if _, err := json.Marshal(&pk); err == nil {
+		t.Error("expected error marshaling zero public key")
+	}
+	var k PrivateKey
+	if _, err := json.Marshal(&k); err == nil {
+		t.Error("expected error marshaling zero private key")
+	}
+}

@@ -1,0 +1,143 @@
+package dgk
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"sync"
+
+	"github.com/privconsensus/privconsensus/internal/mathutil"
+	"github.com/privconsensus/privconsensus/internal/transport"
+)
+
+// NoncePool pre-generates the h^r blinding factors that dominate DGK
+// bit-encryption cost, applying the paper's randomness-table optimization
+// (§VI-A) to the comparison protocol: the key owner must encrypt L bits per
+// comparison, and with a warm pool each encryption collapses to one
+// multiplication.
+type NoncePool struct {
+	pk      *PublicKey
+	nonces  chan *big.Int
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	fillErr error
+	errOnce sync.Once
+}
+
+// ErrPoolClosed is returned when drawing from a closed pool.
+var ErrPoolClosed = errors.New("dgk: nonce pool closed")
+
+// NewNoncePool starts `workers` goroutines keeping up to `capacity`
+// precomputed h^r values available. rng must be concurrency-safe when
+// workers > 1.
+func NewNoncePool(rng io.Reader, pk *PublicKey, capacity, workers int) (*NoncePool, error) {
+	if capacity <= 0 || workers <= 0 {
+		return nil, fmt.Errorf("dgk: pool capacity %d and workers %d must be positive", capacity, workers)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &NoncePool{
+		pk:     pk,
+		nonces: make(chan *big.Int, capacity),
+		cancel: cancel,
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.fill(ctx, rng)
+	}
+	return p, nil
+}
+
+// fill keeps the pool topped up until cancelled.
+func (p *NoncePool) fill(ctx context.Context, rng io.Reader) {
+	defer p.wg.Done()
+	for {
+		r, err := mathutil.RandBits(rng, p.pk.RBits)
+		if err != nil {
+			p.errOnce.Do(func() { p.fillErr = err })
+			return
+		}
+		hr := new(big.Int).Exp(p.pk.H, r, p.pk.N)
+		select {
+		case p.nonces <- hr:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// Next returns a precomputed h^r value.
+func (p *NoncePool) Next(ctx context.Context) (*big.Int, error) {
+	select {
+	case hr, ok := <-p.nonces:
+		if !ok {
+			return nil, ErrPoolClosed
+		}
+		return hr, nil
+	case <-ctx.Done():
+		if p.fillErr != nil {
+			return nil, p.fillErr
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// Encrypt encrypts m using a pooled blinding factor.
+func (p *NoncePool) Encrypt(ctx context.Context, m *big.Int) (*Ciphertext, error) {
+	if err := p.pk.validateMessage(m); err != nil {
+		return nil, err
+	}
+	hr, err := p.Next(ctx)
+	if err != nil {
+		return nil, err
+	}
+	gm := new(big.Int).Exp(p.pk.G, m, p.pk.N)
+	c := gm.Mul(gm, hr)
+	c.Mod(c, p.pk.N)
+	return &Ciphertext{C: c}, nil
+}
+
+// Close stops the background workers.
+func (p *NoncePool) Close() {
+	p.cancel()
+	p.wg.Wait()
+	close(p.nonces)
+	for range p.nonces {
+		// Drain so the retained big.Ints become collectable.
+	}
+}
+
+// CompareBPooled is CompareB with the key owner's bit encryptions drawn
+// from a warm nonce pool, removing the dominant per-comparison
+// exponentiations from the critical path.
+func (k *PrivateKey) CompareBPooled(ctx context.Context, pool *NoncePool, conn transport.Conn, b *big.Int) (bool, error) {
+	if err := checkRange(b, k.L); err != nil {
+		return false, fmt.Errorf("dgk: CompareBPooled: %w", err)
+	}
+	bBits, err := mathutil.Bits(b, k.L)
+	if err != nil {
+		return false, err
+	}
+	vals := make([]*big.Int, k.L)
+	for i, bit := range bBits {
+		c, err := pool.Encrypt(ctx, big.NewInt(int64(bit)))
+		if err != nil {
+			return false, fmt.Errorf("dgk: pooled bit encryption: %w", err)
+		}
+		vals[i] = c.C
+	}
+	if err := conn.Send(ctx, &transport.Message{Kind: transport.KindBits, Values: vals}); err != nil {
+		return false, fmt.Errorf("dgk: send encrypted bits: %w", err)
+	}
+	return k.finishCompareB(ctx, conn)
+}
+
+// CompareSignedBPooled is CompareBPooled for signed inputs.
+func (k *PrivateKey) CompareSignedBPooled(ctx context.Context, pool *NoncePool, conn transport.Conn, b *big.Int) (bool, error) {
+	shifted, err := shiftSigned(b, k.L)
+	if err != nil {
+		return false, err
+	}
+	return k.CompareBPooled(ctx, pool, conn, shifted)
+}

@@ -1,0 +1,131 @@
+package dgk
+
+import (
+	"context"
+	"math/big"
+	"testing"
+	"time"
+
+	"github.com/privconsensus/privconsensus/internal/transport"
+)
+
+func TestNoncePoolEncryptDecrypts(t *testing.T) {
+	key := sharedTestKey(t)
+	pool, err := NewNoncePool(testRNG(31), key.Public(), 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	ctx := context.Background()
+	for _, m := range []int64{0, 1, 777} {
+		c, err := pool.Encrypt(ctx, big.NewInt(m))
+		if err != nil {
+			t.Fatalf("pooled encrypt %d: %v", m, err)
+		}
+		got, err := key.Decrypt(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Int64() != m {
+			t.Errorf("pooled round trip %d -> %v", m, got)
+		}
+	}
+	if _, err := pool.Encrypt(ctx, big.NewInt(2000)); err == nil {
+		t.Error("expected range error for m >= u")
+	}
+}
+
+func TestNoncePoolValidation(t *testing.T) {
+	key := sharedTestKey(t)
+	if _, err := NewNoncePool(testRNG(1), key.Public(), 0, 1); err == nil {
+		t.Error("expected capacity error")
+	}
+	if _, err := NewNoncePool(testRNG(1), key.Public(), 1, 0); err == nil {
+		t.Error("expected worker error")
+	}
+}
+
+func TestNoncePoolContextCancel(t *testing.T) {
+	key := sharedTestKey(t)
+	pool, err := NewNoncePool(testRNG(32), key.Public(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i := 0; i < 10; i++ {
+		if _, err := pool.Encrypt(ctx, big.NewInt(1)); err != nil {
+			return // cancellation surfaced once the buffer drained
+		}
+	}
+	t.Error("expected context cancellation")
+}
+
+// The pooled comparison must agree with the plaintext comparison and with
+// the unpooled path.
+func TestCompareBPooledMatchesPlain(t *testing.T) {
+	key := sharedTestKey(t)
+	pool, err := NewNoncePool(testRNG(33), key.Public(), 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	cases := []struct {
+		a, b int64
+		want bool
+	}{
+		{5, 3, true},
+		{3, 5, false},
+		{-7, -7, true},
+		{-10, 4, false},
+		{1 << 30, -(1 << 30), true},
+	}
+	for _, c := range cases {
+		connA, connB := transport.Pair()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		type res struct {
+			geq bool
+			err error
+		}
+		ch := make(chan res, 1)
+		go func() {
+			geq, err := key.Public().CompareSignedA(ctx, testRNG(34), connA, big.NewInt(c.a))
+			ch <- res{geq, err}
+		}()
+		geqB, err := key.CompareSignedBPooled(ctx, pool, connB, big.NewInt(c.b))
+		if err != nil {
+			t.Fatalf("CompareSignedBPooled(%d, %d): %v", c.a, c.b, err)
+		}
+		ra := <-ch
+		cancel()
+		connA.Close()
+		connB.Close()
+		if ra.err != nil {
+			t.Fatalf("CompareSignedA: %v", ra.err)
+		}
+		if geqB != c.want || ra.geq != c.want {
+			t.Errorf("pooled compare(%d, %d) = A:%v B:%v, want %v", c.a, c.b, ra.geq, geqB, c.want)
+		}
+	}
+}
+
+func TestCompareBPooledRange(t *testing.T) {
+	key := sharedTestKey(t)
+	pool, err := NewNoncePool(testRNG(35), key.Public(), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	connA, connB := transport.Pair()
+	defer connA.Close()
+	defer connB.Close()
+	huge := new(big.Int).Lsh(big.NewInt(1), 60)
+	if _, err := key.CompareBPooled(context.Background(), pool, connB, huge); err == nil {
+		t.Error("expected range error")
+	}
+	if _, err := key.CompareSignedBPooled(context.Background(), pool, connB, new(big.Int).Neg(huge)); err == nil {
+		t.Error("expected signed range error")
+	}
+}

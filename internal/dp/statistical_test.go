@@ -1,0 +1,96 @@
+package dp
+
+import (
+	"math"
+	"testing"
+)
+
+// normCDF is the standard normal CDF via erf.
+func normCDF(x float64) float64 {
+	return 0.5 * (1 + math.Erf(x/math.Sqrt2))
+}
+
+// The SVT check's pass probability must match Phi((c - T) / sigma1).
+func TestNoisyThresholdCheckDistribution(t *testing.T) {
+	rng := testRNG(100)
+	const trials = 60000
+	cases := []struct {
+		votes, threshold, sigma float64
+	}{
+		{10, 8, 2},   // above threshold: expect Phi(1) ~ 0.841
+		{8, 10, 2},   // below: Phi(-1) ~ 0.159
+		{10, 10, 4},  // at threshold: 0.5
+		{12, 6, 1.5}, // far above: ~1
+	}
+	for _, c := range cases {
+		pass := 0
+		for i := 0; i < trials; i++ {
+			if NoisyThresholdCheck(rng, c.votes, c.threshold, c.sigma) {
+				pass++
+			}
+		}
+		got := float64(pass) / trials
+		want := normCDF((c.votes - c.threshold) / c.sigma)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("pass rate for (c=%g, T=%g, sigma=%g): got %.4f, want %.4f",
+				c.votes, c.threshold, c.sigma, got, want)
+		}
+	}
+}
+
+// Report Noisy Maximum with two candidates must pick the larger one with
+// probability Phi(gap / (sigma * sqrt(2))).
+func TestReportNoisyMaxTwoCandidateDistribution(t *testing.T) {
+	rng := testRNG(101)
+	const trials = 60000
+	votes := []float64{10, 13} // gap 3
+	sigma := 3.0
+	wins := 0
+	for i := 0; i < trials; i++ {
+		if ReportNoisyMax(rng, votes, sigma) == 1 {
+			wins++
+		}
+	}
+	got := float64(wins) / trials
+	want := normCDF(3 / (sigma * math.Sqrt2))
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("argmax win rate: got %.4f, want %.4f", got, want)
+	}
+}
+
+// Distributed noise shares must be exchangeable with a single central draw:
+// the recombined 2*sum of user shares has the same distribution as
+// N(0, sigma^2). Kolmogorov–Smirnov-style check on a few quantiles.
+func TestDistributedNoiseMatchesCentral(t *testing.T) {
+	rng := testRNG(102)
+	const users = 30
+	const trials = 40000
+	sigma := 5.0
+	perUser, err := UserNoiseSigma1(sigma, users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := make([]float64, trials)
+	for i := range samples {
+		var sum float64
+		for u := 0; u < users; u++ {
+			sum += Gaussian(rng, perUser)
+		}
+		samples[i] = 2 * sum
+	}
+	// Empirical fraction below sigma*z vs Phi(z) at several z.
+	for _, z := range []float64{-1.5, -0.5, 0, 0.5, 1.5} {
+		cut := sigma * z
+		count := 0
+		for _, s := range samples {
+			if s <= cut {
+				count++
+			}
+		}
+		got := float64(count) / trials
+		want := normCDF(z)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("CDF at z=%g: got %.4f, want %.4f", z, got, want)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/privconsensus/privconsensus/internal/dataset"
+	"github.com/privconsensus/privconsensus/internal/dp"
+)
+
+// Fig3 ablation: epsilon-matched baseline.
+//
+// The paper compares consensus and baseline "under the same differential
+// privacy scheme and the same privacy level", which its figures realize as
+// identical noise deviations. Because the consensus mechanism additionally
+// pays the Sparse Vector Technique cost (9/2σ₁² per query versus the
+// baseline's 1/σ₂²), equal sigmas give the two methods *different* total
+// epsilons. This ablation instead recalibrates the baseline's noise so its
+// total (ε, δ=1e-6) spend equals the consensus run's, the strictest
+// reading of "same privacy level".
+
+// EpsMatchedCell compares consensus and the epsilon-matched baseline at
+// one (users, privacy level) point.
+type EpsMatchedCell struct {
+	Users int
+	Level string
+	// Epsilon is the consensus run's total spend that the baseline was
+	// matched to.
+	Epsilon float64
+	// BaselineSigma is the recalibrated RNM deviation.
+	BaselineSigma float64
+	// Label and student accuracy of each method at that common epsilon.
+	ConsensusLabelAcc   float64
+	BaselineLabelAcc    float64
+	ConsensusStudentAcc float64
+	BaselineStudentAcc  float64
+}
+
+// Fig3EpsilonMatched runs the epsilon-matched comparison over the
+// configured user counts and privacy levels on SVHN-like data.
+func Fig3EpsilonMatched(opts Options) ([]EpsMatchedCell, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	spec := dataset.SVHNLike()
+	var out []EpsMatchedCell
+	for _, level := range PrivacyLevels() {
+		for _, users := range opts.Users {
+			cons := opts.baseConfig(spec, users, dataset.DivisionEven)
+			cons.Sigma1, cons.Sigma2 = level.Sigma1, level.Sigma2
+			consRes, err := runAveraged(cons, opts.Reps)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: epsmatch consensus users=%d: %w", users, err)
+			}
+			if consRes.Epsilon <= 0 {
+				return nil, fmt.Errorf("experiments: consensus run reported no epsilon")
+			}
+
+			// Match the baseline's total spend: Q queries, each an RNM
+			// invocation with coefficient 1/sigma^2.
+			coef, err := dp.CoefficientForEpsilon(consRes.Epsilon, 1e-6)
+			if err != nil {
+				return nil, err
+			}
+			baseSigma := math.Sqrt(float64(opts.Queries) / coef)
+
+			base := opts.baseConfig(spec, users, dataset.DivisionEven)
+			base.UseConsensus = false
+			base.Sigma1 = 0
+			base.Sigma2 = baseSigma
+			baseRes, err := runAveraged(base, opts.Reps)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: epsmatch baseline users=%d: %w", users, err)
+			}
+
+			out = append(out, EpsMatchedCell{
+				Users: users, Level: level.Name,
+				Epsilon:             consRes.Epsilon,
+				BaselineSigma:       baseSigma,
+				ConsensusLabelAcc:   consRes.LabelAccuracy,
+				BaselineLabelAcc:    baseRes.LabelAccuracy,
+				ConsensusStudentAcc: consRes.StudentAccuracy,
+				BaselineStudentAcc:  baseRes.StudentAccuracy,
+			})
+		}
+	}
+	return out, nil
+}

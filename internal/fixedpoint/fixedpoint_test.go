@@ -1,0 +1,208 @@
+package fixedpoint
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeExact(t *testing.T) {
+	// Values with at most 16 fractional bits round-trip exactly.
+	cases := []float64{0, 1, -1, 0.5, -0.5, 123.25, -4096.0625, 32767.99998474121, -32768}
+	for _, c := range cases {
+		enc, err := Encode(c)
+		if err != nil {
+			t.Fatalf("Encode(%g): %v", c, err)
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(%d): %v", enc, err)
+		}
+		if dec != c {
+			t.Errorf("round trip %g -> %d -> %g", c, enc, dec)
+		}
+	}
+}
+
+func TestEncodeRange(t *testing.T) {
+	if _, err := Encode(32768); err == nil {
+		t.Error("expected error at upper bound")
+	}
+	if _, err := Encode(-32769); err == nil {
+		t.Error("expected error below lower bound")
+	}
+	if _, err := Encode(math.NaN()); err == nil {
+		t.Error("expected error for NaN")
+	}
+	if _, err := Encode(math.Inf(1)); err == nil {
+		t.Error("expected error for +Inf")
+	}
+	if _, err := Encode(-32768); err != nil {
+		t.Errorf("lower bound should be encodable: %v", err)
+	}
+}
+
+func TestEncodeZeroIsOffset(t *testing.T) {
+	enc, err := Encode(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc != Offset {
+		t.Fatalf("Encode(0) = %d, want %d", enc, uint64(Offset))
+	}
+}
+
+func TestEncodeClamped(t *testing.T) {
+	if got := EncodeClamped(1e9); got != EncodeClamped(MaxFloat-1e-9) {
+		t.Errorf("clamp high: got %d", got)
+	}
+	low := EncodeClamped(-1e9)
+	wantLow, _ := Encode(MinFloat)
+	if low != wantLow {
+		t.Errorf("clamp low: got %d want %d", low, wantLow)
+	}
+	if got := EncodeClamped(math.NaN()); got != Offset {
+		t.Errorf("NaN should clamp to zero encoding, got %d", got)
+	}
+}
+
+func TestDecodeRejectsOversize(t *testing.T) {
+	if _, err := Decode(1 << 33); err == nil {
+		t.Error("expected error for > 32-bit encoded value")
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(raw int32) bool {
+		// Map raw int32 into the representable range with 16 fractional bits.
+		r := float64(raw) / Scale / 2 // within (-2^15, 2^15)
+		enc, err := Encode(r)
+		if err != nil {
+			return false
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			return false
+		}
+		return math.Abs(dec-r) < 1.0/Scale
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonotoneQuick(t *testing.T) {
+	f := func(a, b int16) bool {
+		fa, fb := float64(a)/4, float64(b)/4
+		ea, err1 := Encode(fa)
+		eb, err2 := Encode(fb)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if fa < fb {
+			return ea < eb
+		}
+		if fa > fb {
+			return ea > eb
+		}
+		return ea == eb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeVector(t *testing.T) {
+	vs, err := EncodeVector([]float64{0, 1.5, -2.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 3 {
+		t.Fatalf("expected 3 elements, got %d", len(vs))
+	}
+	got, err := DecodeBig(vs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1.5 {
+		t.Errorf("DecodeBig = %g, want 1.5", got)
+	}
+	if _, err := EncodeVector([]float64{1e9}); err == nil {
+		t.Error("expected error for out-of-range element")
+	}
+}
+
+func TestDecodeSum(t *testing.T) {
+	vals := []float64{1.5, -0.25, 3}
+	sum := new(big.Int)
+	for _, v := range vals {
+		e, err := EncodeBig(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum.Add(sum, e)
+	}
+	got, err := DecodeSum(sum, len(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-4.25) > 1e-9 {
+		t.Errorf("DecodeSum = %g, want 4.25", got)
+	}
+	if _, err := DecodeSum(sum, -1); err == nil {
+		t.Error("expected error for negative count")
+	}
+}
+
+func TestEncodeUnits(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want int64
+	}{
+		{0, 0},
+		{1, Scale},
+		{0.5, Scale / 2},
+		{-1, -Scale},
+		{-0.25, -Scale / 4},
+	}
+	for _, c := range cases {
+		got, err := EncodeUnits(c.in)
+		if err != nil {
+			t.Fatalf("EncodeUnits(%g): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("EncodeUnits(%g) = %d, want %d", c.in, got, c.want)
+		}
+		if back := DecodeUnits(got); back != c.in {
+			t.Errorf("DecodeUnits(%d) = %g, want %g", got, back, c.in)
+		}
+	}
+	if _, err := EncodeUnits(1e9); err == nil {
+		t.Error("expected range error")
+	}
+}
+
+func TestEncodeUnitsMatchesPaperEncoding(t *testing.T) {
+	// EncodeUnits must be exactly the paper's Eq. (8) minus the 2^31
+	// offset for every representable value.
+	for _, r := range []float64{0, 0.125, -3.5, 100.0625, -32768} {
+		paper, err := Encode(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		units, err := EncodeUnits(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if units != int64(paper)-Offset {
+			t.Errorf("EncodeUnits(%g) = %d, paper form gives %d", r, units, int64(paper)-Offset)
+		}
+	}
+}
+
+func TestDecodeBigRejectsNegative(t *testing.T) {
+	if _, err := DecodeBig(big.NewInt(-1)); err == nil {
+		t.Error("expected error for negative big value")
+	}
+}

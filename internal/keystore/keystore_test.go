@@ -1,0 +1,187 @@
+package keystore
+
+import (
+	"context"
+	"math/big"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/privconsensus/privconsensus/internal/dgk"
+	"github.com/privconsensus/privconsensus/internal/protocol"
+	"github.com/privconsensus/privconsensus/internal/transport"
+)
+
+func testRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// testConfig returns a small protocol configuration.
+func testConfig(users int) protocol.Config {
+	cfg := protocol.DefaultConfig(users)
+	cfg.Classes = 3
+	cfg.Kappa = 24
+	cfg.Sigma1, cfg.Sigma2 = 0, 0
+	cfg.DGK = dgk.Params{NBits: 160, TBits: 32, U: 1009, L: 50}
+	return cfg
+}
+
+func TestSplitAndViews(t *testing.T) {
+	cfg := testConfig(2)
+	keys, err := protocol.GenerateKeys(testRNG(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s2, pub, err := Split(cfg, keys)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	if _, err := s1.KeysS1(); err != nil {
+		t.Errorf("KeysS1: %v", err)
+	}
+	if _, err := s2.KeysS2(); err != nil {
+		t.Errorf("KeysS2: %v", err)
+	}
+	if err := pub.Validate(); err != nil {
+		t.Errorf("public validate: %v", err)
+	}
+	if _, _, _, err := Split(cfg, nil); err == nil {
+		t.Error("expected error for nil keys")
+	}
+	bad := cfg
+	bad.Classes = 0
+	if _, _, _, err := Split(bad, keys); err == nil {
+		t.Error("expected error for invalid config")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	cfg := testConfig(2)
+	keys, err := protocol.GenerateKeys(testRNG(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s2, pub, err := Split(cfg, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	s1Path := filepath.Join(dir, "s1.json")
+	s2Path := filepath.Join(dir, "s2.json")
+	pubPath := filepath.Join(dir, "public.json")
+	if err := Save(s1Path, s1, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(s2Path, s2, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(pubPath, pub, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var s1Back S1File
+	var s2Back S2File
+	var pubBack PublicFile
+	if err := Load(s1Path, &s1Back); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(s2Path, &s2Back); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(pubPath, &pubBack); err != nil {
+		t.Fatal(err)
+	}
+	if s1Back.Config.Classes != cfg.Classes || s2Back.Config.Users != cfg.Users {
+		t.Error("config not preserved")
+	}
+	if pubBack.PK1.N.Cmp(keys.S1Paillier.N) != 0 {
+		t.Error("pk1 modulus not preserved")
+	}
+	if pubBack.PK2.N.Cmp(keys.S2Paillier.N) != 0 {
+		t.Error("pk2 modulus not preserved")
+	}
+
+	// The reloaded keys must actually run the protocol: full Alg. 5 with
+	// loaded S1/S2 key material.
+	runWithLoadedKeys(t, cfg, &s1Back, &s2Back, &pubBack)
+}
+
+// runWithLoadedKeys executes one protocol instance using only reloaded key
+// material, proving serialization preserved every derived constant.
+func runWithLoadedKeys(t *testing.T, cfg protocol.Config, s1 *S1File, s2 *S2File, pub *PublicFile) {
+	t.Helper()
+	keys1, err := s1.KeysS1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys2, err := s2.KeysS2()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	votes := make([]*big.Int, cfg.Classes)
+	for i := range votes {
+		votes[i] = big.NewInt(0)
+	}
+	votes[1] = big.NewInt(protocol.VoteScale)
+	subs := make([]protocol.SubmissionHalf, cfg.Users)
+	subs2 := make([]protocol.SubmissionHalf, cfg.Users)
+	for u := 0; u < cfg.Users; u++ {
+		sub, _, err := protocol.BuildSubmission(testRNG(int64(10+u)), testRNG(int64(20+u)), cfg, u, votes, pub.PK1, pub.PK2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs[u] = sub.ToS1
+		subs2[u] = sub.ToS2
+	}
+	connA, connB := transport.Pair()
+	defer connA.Close()
+	defer connB.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	type res struct {
+		out *protocol.Outcome
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		out, err := protocol.RunS1(ctx, testRNG(30), cfg, keys1, connA, subs, nil)
+		ch <- res{out, err}
+	}()
+	out2, err := protocol.RunS2(ctx, testRNG(31), cfg, keys2, connB, subs2, nil)
+	if err != nil {
+		t.Fatalf("RunS2 with loaded keys: %v", err)
+	}
+	r1 := <-ch
+	if r1.err != nil {
+		t.Fatalf("RunS1 with loaded keys: %v", r1.err)
+	}
+	if !out2.Consensus || out2.Label != 1 {
+		t.Fatalf("loaded-key outcome %+v, want consensus on 1", out2)
+	}
+	_ = r1
+}
+
+func TestValidateRejectsBadFiles(t *testing.T) {
+	if err := (&S1File{Version: 99}).validate(); err == nil {
+		t.Error("expected version error")
+	}
+	if err := (&S2File{Version: Version}).validate(); err == nil {
+		t.Error("expected incomplete-file error")
+	}
+	if err := (&PublicFile{Version: Version}).Validate(); err == nil {
+		t.Error("expected incomplete-bundle error")
+	}
+	if _, err := (&S1File{Version: Version}).KeysS1(); err == nil {
+		t.Error("expected error from incomplete S1 file")
+	}
+	if _, err := (&S2File{Version: Version}).KeysS2(); err == nil {
+		t.Error("expected error from incomplete S2 file")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	var f S1File
+	if err := Load(filepath.Join(t.TempDir(), "missing.json"), &f); err == nil {
+		t.Error("expected error for missing file")
+	}
+}

@@ -1,0 +1,341 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Dataset is a labeled collection of feature vectors. For multiclass tasks
+// Labels holds the class index per row; for multi-label (attribute) tasks
+// Attrs holds a binary vector per row and Labels is unused.
+type Dataset struct {
+	X       [][]float64
+	Labels  []int
+	Attrs   [][]bool
+	Classes int // number of classes (multiclass) or attributes (multi-label)
+}
+
+// Len returns the number of rows.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Validate checks internal shape consistency.
+func (d *Dataset) Validate() error {
+	if d.Classes < 1 {
+		return fmt.Errorf("ml: dataset has %d classes", d.Classes)
+	}
+	if d.Labels != nil && len(d.Labels) != len(d.X) {
+		return fmt.Errorf("ml: %d rows but %d labels", len(d.X), len(d.Labels))
+	}
+	if d.Attrs != nil && len(d.Attrs) != len(d.X) {
+		return fmt.Errorf("ml: %d rows but %d attribute vectors", len(d.X), len(d.Attrs))
+	}
+	for i, y := range d.Labels {
+		if y < 0 || y >= d.Classes {
+			return fmt.Errorf("ml: row %d label %d outside [0, %d)", i, y, d.Classes)
+		}
+	}
+	return nil
+}
+
+// Subset returns a view of the rows at the given indices.
+func (d *Dataset) Subset(idx []int) *Dataset {
+	out := &Dataset{Classes: d.Classes}
+	out.X = make([][]float64, len(idx))
+	if d.Labels != nil {
+		out.Labels = make([]int, len(idx))
+	}
+	if d.Attrs != nil {
+		out.Attrs = make([][]bool, len(idx))
+	}
+	for j, i := range idx {
+		out.X[j] = d.X[i]
+		if d.Labels != nil {
+			out.Labels[j] = d.Labels[i]
+		}
+		if d.Attrs != nil {
+			out.Attrs[j] = d.Attrs[i]
+		}
+	}
+	return out
+}
+
+// TrainConfig controls SGD training.
+type TrainConfig struct {
+	Epochs    int
+	LearnRate float64
+	L2        float64
+	BatchSize int
+}
+
+// DefaultTrainConfig returns settings that converge quickly on the
+// synthetic generators.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 30, LearnRate: 0.3, L2: 1e-4, BatchSize: 16}
+}
+
+// Validate checks the training configuration.
+func (c TrainConfig) Validate() error {
+	if c.Epochs <= 0 || c.LearnRate <= 0 || c.BatchSize <= 0 || c.L2 < 0 {
+		return fmt.Errorf("ml: invalid train config %+v", c)
+	}
+	return nil
+}
+
+// SoftmaxClassifier is a multinomial logistic-regression model with a bias
+// term folded into the weight matrix.
+type SoftmaxClassifier struct {
+	// W[c] is the weight vector for class c; W[c][dim] is the bias.
+	W       [][]float64
+	Classes int
+	Dim     int
+}
+
+// NewSoftmaxClassifier creates a zero-initialized model.
+func NewSoftmaxClassifier(classes, dim int) (*SoftmaxClassifier, error) {
+	if classes < 2 || dim < 1 {
+		return nil, fmt.Errorf("ml: invalid model shape classes=%d dim=%d", classes, dim)
+	}
+	w := make([][]float64, classes)
+	for c := range w {
+		w[c] = make([]float64, dim+1)
+	}
+	return &SoftmaxClassifier{W: w, Classes: classes, Dim: dim}, nil
+}
+
+// logits computes the pre-softmax scores for x.
+func (m *SoftmaxClassifier) logits(x []float64) []float64 {
+	out := make([]float64, m.Classes)
+	for c := 0; c < m.Classes; c++ {
+		w := m.W[c]
+		var s float64
+		for i, xi := range x {
+			s += w[i] * xi
+		}
+		out[c] = s + w[m.Dim]
+	}
+	return out
+}
+
+// PredictProba returns the class-probability vector for x.
+func (m *SoftmaxClassifier) PredictProba(x []float64) ([]float64, error) {
+	if len(x) != m.Dim {
+		return nil, fmt.Errorf("%w: input %d, model %d", ErrDimensionMismatch, len(x), m.Dim)
+	}
+	return Softmax(m.logits(x)), nil
+}
+
+// Predict returns the most likely class for x.
+func (m *SoftmaxClassifier) Predict(x []float64) (int, error) {
+	if len(x) != m.Dim {
+		return 0, fmt.Errorf("%w: input %d, model %d", ErrDimensionMismatch, len(x), m.Dim)
+	}
+	return Argmax(m.logits(x)), nil
+}
+
+// TrainSoftmax fits a softmax classifier to ds with minibatch SGD.
+func TrainSoftmax(rng *rand.Rand, ds *Dataset, cfg TrainConfig) (*SoftmaxClassifier, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ds.Len() == 0 {
+		return nil, fmt.Errorf("ml: cannot train on empty dataset")
+	}
+	if ds.Labels == nil {
+		return nil, fmt.Errorf("ml: softmax training requires class labels")
+	}
+	dim := len(ds.X[0])
+	m, err := NewSoftmaxClassifier(ds.Classes, dim)
+	if err != nil {
+		return nil, err
+	}
+	n := ds.Len()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		lr := cfg.LearnRate / (1 + 0.05*float64(epoch))
+		for start := 0; start < n; start += cfg.BatchSize {
+			end := min(start+cfg.BatchSize, n)
+			m.sgdStep(ds, order[start:end], lr, cfg.L2)
+		}
+	}
+	return m, nil
+}
+
+// sgdStep applies one minibatch gradient step.
+func (m *SoftmaxClassifier) sgdStep(ds *Dataset, batch []int, lr, l2 float64) {
+	scale := lr / float64(len(batch))
+	for _, i := range batch {
+		x := ds.X[i]
+		p := Softmax(m.logits(x))
+		for c := 0; c < m.Classes; c++ {
+			grad := p[c]
+			if c == ds.Labels[i] {
+				grad -= 1
+			}
+			if grad == 0 {
+				continue
+			}
+			w := m.W[c]
+			g := scale * grad
+			for j, xj := range x {
+				w[j] -= g * xj
+			}
+			w[m.Dim] -= g
+		}
+	}
+	if l2 > 0 {
+		decay := 1 - lr*l2
+		for c := range m.W {
+			for j := 0; j < m.Dim; j++ { // do not decay the bias
+				m.W[c][j] *= decay
+			}
+		}
+	}
+}
+
+// Accuracy returns the fraction of rows in ds classified correctly.
+func (m *SoftmaxClassifier) Accuracy(ds *Dataset) (float64, error) {
+	if ds.Len() == 0 {
+		return 0, fmt.Errorf("ml: empty evaluation set")
+	}
+	correct := 0
+	for i, x := range ds.X {
+		pred, err := m.Predict(x)
+		if err != nil {
+			return 0, err
+		}
+		if pred == ds.Labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len()), nil
+}
+
+// BinaryClassifier is a logistic-regression model for one binary attribute.
+type BinaryClassifier struct {
+	W   []float64 // W[dim] is the bias
+	Dim int
+}
+
+// PredictProba returns P(attr = 1 | x).
+func (m *BinaryClassifier) PredictProba(x []float64) (float64, error) {
+	if len(x) != m.Dim {
+		return 0, fmt.Errorf("%w: input %d, model %d", ErrDimensionMismatch, len(x), m.Dim)
+	}
+	var s float64
+	for i, xi := range x {
+		s += m.W[i] * xi
+	}
+	return Sigmoid(s + m.W[m.Dim]), nil
+}
+
+// Predict returns the thresholded attribute prediction.
+func (m *BinaryClassifier) Predict(x []float64) (bool, error) {
+	p, err := m.PredictProba(x)
+	return p >= 0.5, err
+}
+
+// AttributeModel is a bank of independent binary classifiers, one per
+// attribute (the CelebA substitute).
+type AttributeModel struct {
+	Heads []*BinaryClassifier
+	Dim   int
+}
+
+// TrainAttributes fits one binary logistic head per attribute.
+func TrainAttributes(rng *rand.Rand, ds *Dataset, cfg TrainConfig) (*AttributeModel, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ds.Len() == 0 {
+		return nil, fmt.Errorf("ml: cannot train on empty dataset")
+	}
+	if ds.Attrs == nil {
+		return nil, fmt.Errorf("ml: attribute training requires attribute vectors")
+	}
+	dim := len(ds.X[0])
+	model := &AttributeModel{Heads: make([]*BinaryClassifier, ds.Classes), Dim: dim}
+	n := ds.Len()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for a := 0; a < ds.Classes; a++ {
+		head := &BinaryClassifier{W: make([]float64, dim+1), Dim: dim}
+		for epoch := 0; epoch < cfg.Epochs; epoch++ {
+			rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+			lr := cfg.LearnRate / (1 + 0.05*float64(epoch))
+			for start := 0; start < n; start += cfg.BatchSize {
+				end := min(start+cfg.BatchSize, n)
+				for _, i := range order[start:end] {
+					x := ds.X[i]
+					var s float64
+					for j, xj := range x {
+						s += head.W[j] * xj
+					}
+					p := Sigmoid(s + head.W[dim])
+					y := 0.0
+					if ds.Attrs[i][a] {
+						y = 1
+					}
+					g := lr * (p - y) / float64(end-start)
+					for j, xj := range x {
+						head.W[j] -= g * xj
+					}
+					head.W[dim] -= g
+				}
+				if cfg.L2 > 0 {
+					decay := 1 - lr*cfg.L2
+					for j := 0; j < dim; j++ {
+						head.W[j] *= decay
+					}
+				}
+			}
+		}
+		model.Heads[a] = head
+	}
+	return model, nil
+}
+
+// PredictAttrs returns the thresholded attribute vector for x.
+func (m *AttributeModel) PredictAttrs(x []float64) ([]bool, error) {
+	out := make([]bool, len(m.Heads))
+	for a, head := range m.Heads {
+		v, err := head.Predict(x)
+		if err != nil {
+			return nil, err
+		}
+		out[a] = v
+	}
+	return out, nil
+}
+
+// AttrAccuracy returns the mean per-attribute accuracy over ds.
+func (m *AttributeModel) AttrAccuracy(ds *Dataset) (float64, error) {
+	if ds.Len() == 0 || ds.Attrs == nil {
+		return 0, fmt.Errorf("ml: empty or non-attribute evaluation set")
+	}
+	var correct, total int
+	for i, x := range ds.X {
+		pred, err := m.PredictAttrs(x)
+		if err != nil {
+			return 0, err
+		}
+		for a := range pred {
+			if pred[a] == ds.Attrs[i][a] {
+				correct++
+			}
+			total++
+		}
+	}
+	return float64(correct) / float64(total), nil
+}

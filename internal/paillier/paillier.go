@@ -1,0 +1,377 @@
+// Package paillier implements the Paillier additively homomorphic
+// cryptosystem used to aggregate secret-shared votes (§III-B of the paper).
+//
+// Supported operations mirror Eqs. (1)-(2):
+//
+//	E[m1 + m2] = E[m1] * E[m2] mod n^2
+//	E[a * m1]  = E[m1]^a mod n^2
+//
+// Decryption uses the CRT acceleration, and encryption can draw its
+// random blinding factors from a pre-generated pool (the paper's "table of
+// random numbers" optimization, §VI-A) to parallelize encryption.
+package paillier
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"github.com/privconsensus/privconsensus/internal/mathutil"
+)
+
+// Errors returned by the package.
+var (
+	ErrKeyTooSmall    = errors.New("paillier: key size must be at least 16 bits")
+	ErrMessageRange   = errors.New("paillier: message outside plaintext space")
+	ErrCiphertextNil  = errors.New("paillier: nil ciphertext")
+	ErrWrongKey       = errors.New("paillier: ciphertext does not match key modulus")
+	ErrNoPrivateKey   = errors.New("paillier: operation requires the private key")
+	ErrInvalidKeyPair = errors.New("paillier: invalid key material")
+)
+
+// PublicKey is the Paillier public key pk = (n, g) with g = n + 1.
+type PublicKey struct {
+	N  *big.Int // modulus n = p*q
+	N2 *big.Int // n^2, cached
+	G  *big.Int // generator g = n + 1
+}
+
+// PrivateKey holds the factorization-based secret key with CRT constants.
+type PrivateKey struct {
+	PublicKey
+	p, q *big.Int
+	// CRT decryption constants.
+	pSquared, qSquared *big.Int
+	pMinus1, qMinus1   *big.Int
+	hp, hq             *big.Int // L_p(g^{p-1} mod p^2)^{-1} mod p, likewise for q
+	crt                *mathutil.CRTParams
+}
+
+// Ciphertext is a Paillier ciphertext: a value in Z_{n^2}^*.
+type Ciphertext struct {
+	C *big.Int
+}
+
+// Clone returns an independent copy of the ciphertext.
+func (c *Ciphertext) Clone() *Ciphertext {
+	if c == nil || c.C == nil {
+		return nil
+	}
+	return &Ciphertext{C: new(big.Int).Set(c.C)}
+}
+
+// GenerateKey creates a Paillier key pair whose modulus n has the given bit
+// length. The paper's prototype uses 64-bit keys; production deployments
+// should use >= 2048. rng defaults to crypto/rand.Reader.
+func GenerateKey(rng io.Reader, bits int) (*PrivateKey, error) {
+	if bits < 16 {
+		return nil, ErrKeyTooSmall
+	}
+	if rng == nil {
+		rng = rand.Reader
+	}
+	half := bits / 2
+	for attempts := 0; attempts < 200; attempts++ {
+		p, err := mathutil.RandPrime(rng, half)
+		if err != nil {
+			return nil, err
+		}
+		q, err := mathutil.RandPrime(rng, bits-half)
+		if err != nil {
+			return nil, err
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		key, err := newPrivateKey(p, q)
+		if err != nil {
+			continue // rare degenerate pair; resample
+		}
+		return key, nil
+	}
+	return nil, errors.New("paillier: failed to generate key pair after 200 attempts")
+}
+
+// newPrivateKey assembles a key pair from primes p, q.
+func newPrivateKey(p, q *big.Int) (*PrivateKey, error) {
+	n := new(big.Int).Mul(p, q)
+	n2 := new(big.Int).Mul(n, n)
+	g := new(big.Int).Add(n, mathutil.One)
+
+	pSq := new(big.Int).Mul(p, p)
+	qSq := new(big.Int).Mul(q, q)
+	pm1 := new(big.Int).Sub(p, mathutil.One)
+	qm1 := new(big.Int).Sub(q, mathutil.One)
+
+	// hp = L_p(g^{p-1} mod p^2)^{-1} mod p where L_p(x) = (x-1)/p.
+	hp, err := hConstant(g, pm1, p, pSq)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidKeyPair, err)
+	}
+	hq, err := hConstant(g, qm1, q, qSq)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidKeyPair, err)
+	}
+	crt, err := mathutil.NewCRTParams(p, q)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidKeyPair, err)
+	}
+	return &PrivateKey{
+		PublicKey: PublicKey{N: n, N2: n2, G: g},
+		p:         p, q: q,
+		pSquared: pSq, qSquared: qSq,
+		pMinus1: pm1, qMinus1: qm1,
+		hp: hp, hq: hq,
+		crt: crt,
+	}, nil
+}
+
+// hConstant computes L_s(g^{s-1} mod s^2)^{-1} mod s with L_s(x) = (x-1)/s.
+func hConstant(g, sm1, s, sSq *big.Int) (*big.Int, error) {
+	x := new(big.Int).Exp(g, sm1, sSq)
+	l := lFunction(x, s)
+	return mathutil.ModInverse(l, s)
+}
+
+// lFunction computes L(x) = (x - 1) / s.
+func lFunction(x, s *big.Int) *big.Int {
+	out := new(big.Int).Sub(x, mathutil.One)
+	return out.Div(out, s)
+}
+
+// Public returns the public part of the key.
+func (k *PrivateKey) Public() *PublicKey {
+	pub := k.PublicKey
+	return &pub
+}
+
+// validateMessage checks m is in [0, n).
+func (pk *PublicKey) validateMessage(m *big.Int) error {
+	if m == nil || m.Sign() < 0 || m.Cmp(pk.N) >= 0 {
+		return fmt.Errorf("%w: m=%v n=%v", ErrMessageRange, m, pk.N)
+	}
+	return nil
+}
+
+// Encrypt encrypts m in [0, n) with fresh randomness from rng.
+func (pk *PublicKey) Encrypt(rng io.Reader, m *big.Int) (*Ciphertext, error) {
+	if err := pk.validateMessage(m); err != nil {
+		return nil, err
+	}
+	r, err := mathutil.RandUnit(rng, pk.N)
+	if err != nil {
+		return nil, fmt.Errorf("paillier: sample blinding factor: %w", err)
+	}
+	return pk.encryptWithNonce(m, r), nil
+}
+
+// encryptWithNonce computes g^m * r^n mod n^2. With g = n+1,
+// g^m = 1 + m*n mod n^2, which avoids one full exponentiation.
+func (pk *PublicKey) encryptWithNonce(m, r *big.Int) *Ciphertext {
+	gm := new(big.Int).Mul(m, pk.N)
+	gm.Add(gm, mathutil.One)
+	gm.Mod(gm, pk.N2)
+	rn := new(big.Int).Exp(r, pk.N, pk.N2)
+	c := gm.Mul(gm, rn)
+	c.Mod(c, pk.N2)
+	return &Ciphertext{C: c}
+}
+
+// EncryptSigned encrypts a possibly negative message by reducing it into
+// [0, n); Decrypt-Signed recovers the signed value.
+func (pk *PublicKey) EncryptSigned(rng io.Reader, m *big.Int) (*Ciphertext, error) {
+	return pk.Encrypt(rng, mathutil.FromSigned(m, pk.N))
+}
+
+// EncryptVector encrypts each element of ms.
+func (pk *PublicKey) EncryptVector(rng io.Reader, ms []*big.Int) ([]*Ciphertext, error) {
+	out := make([]*Ciphertext, len(ms))
+	for i, m := range ms {
+		c, err := pk.Encrypt(rng, m)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: encrypt element %d: %w", i, err)
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// EncryptSignedVector encrypts each (possibly negative) element of ms.
+func (pk *PublicKey) EncryptSignedVector(rng io.Reader, ms []*big.Int) ([]*Ciphertext, error) {
+	out := make([]*Ciphertext, len(ms))
+	for i, m := range ms {
+		c, err := pk.EncryptSigned(rng, m)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: encrypt element %d: %w", i, err)
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// validateCiphertext checks c is usable under this key.
+func (pk *PublicKey) validateCiphertext(c *Ciphertext) error {
+	if c == nil || c.C == nil {
+		return ErrCiphertextNil
+	}
+	if c.C.Sign() < 0 || c.C.Cmp(pk.N2) >= 0 {
+		return ErrWrongKey
+	}
+	return nil
+}
+
+// Add returns the ciphertext of m1 + m2 given ciphertexts of m1 and m2
+// (Eq. 1: homomorphic addition is ciphertext multiplication).
+func (pk *PublicKey) Add(c1, c2 *Ciphertext) (*Ciphertext, error) {
+	if err := pk.validateCiphertext(c1); err != nil {
+		return nil, err
+	}
+	if err := pk.validateCiphertext(c2); err != nil {
+		return nil, err
+	}
+	out := new(big.Int).Mul(c1.C, c2.C)
+	out.Mod(out, pk.N2)
+	return &Ciphertext{C: out}, nil
+}
+
+// AddPlain returns the ciphertext of m + k for plaintext k (possibly
+// negative; it is reduced into Z_n).
+func (pk *PublicKey) AddPlain(c *Ciphertext, k *big.Int) (*Ciphertext, error) {
+	if err := pk.validateCiphertext(c); err != nil {
+		return nil, err
+	}
+	kMod := mathutil.FromSigned(k, pk.N)
+	// E[k] with unit randomness r=1: g^k = 1 + k*n mod n^2.
+	gk := new(big.Int).Mul(kMod, pk.N)
+	gk.Add(gk, mathutil.One)
+	gk.Mod(gk, pk.N2)
+	out := gk.Mul(gk, c.C)
+	out.Mod(out, pk.N2)
+	return &Ciphertext{C: out}, nil
+}
+
+// ScalarMul returns the ciphertext of a*m (Eq. 2). Negative a is reduced
+// into Z_n, yielding the signed-residue semantics of mathutil.ToSigned.
+func (pk *PublicKey) ScalarMul(c *Ciphertext, a *big.Int) (*Ciphertext, error) {
+	if err := pk.validateCiphertext(c); err != nil {
+		return nil, err
+	}
+	aMod := mathutil.FromSigned(a, pk.N)
+	out := new(big.Int).Exp(c.C, aMod, pk.N2)
+	return &Ciphertext{C: out}, nil
+}
+
+// Neg returns the ciphertext of -m.
+func (pk *PublicKey) Neg(c *Ciphertext) (*Ciphertext, error) {
+	return pk.ScalarMul(c, big.NewInt(-1))
+}
+
+// Sub returns the ciphertext of m1 - m2.
+func (pk *PublicKey) Sub(c1, c2 *Ciphertext) (*Ciphertext, error) {
+	n2, err := pk.Neg(c2)
+	if err != nil {
+		return nil, err
+	}
+	return pk.Add(c1, n2)
+}
+
+// Rerandomize multiplies c by a fresh encryption of zero, producing an
+// unlinkable ciphertext of the same plaintext.
+func (pk *PublicKey) Rerandomize(rng io.Reader, c *Ciphertext) (*Ciphertext, error) {
+	if err := pk.validateCiphertext(c); err != nil {
+		return nil, err
+	}
+	zero, err := pk.Encrypt(rng, mathutil.Zero)
+	if err != nil {
+		return nil, err
+	}
+	return pk.Add(c, zero)
+}
+
+// Decrypt recovers the plaintext in [0, n) using CRT acceleration.
+func (k *PrivateKey) Decrypt(c *Ciphertext) (*big.Int, error) {
+	if err := k.validateCiphertext(c); err != nil {
+		return nil, err
+	}
+	// mp = L_p(c^{p-1} mod p^2) * hp mod p
+	cp := new(big.Int).Exp(c.C, k.pMinus1, k.pSquared)
+	mp := lFunction(cp, k.p)
+	mp.Mul(mp, k.hp)
+	mp.Mod(mp, k.p)
+
+	cq := new(big.Int).Exp(c.C, k.qMinus1, k.qSquared)
+	mq := lFunction(cq, k.q)
+	mq.Mul(mq, k.hq)
+	mq.Mod(mq, k.q)
+
+	return k.crt.Combine(mp, mq), nil
+}
+
+// DecryptSlow recovers the plaintext without CRT, used to cross-check the
+// fast path and as the baseline in the CRT ablation benchmark.
+func (k *PrivateKey) DecryptSlow(c *Ciphertext) (*big.Int, error) {
+	if err := k.validateCiphertext(c); err != nil {
+		return nil, err
+	}
+	lambda := new(big.Int).Mul(k.pMinus1, k.qMinus1) // lcm works too; (p-1)(q-1) is a multiple
+	x := new(big.Int).Exp(c.C, lambda, k.N2)
+	l := lFunction(x, k.N)
+	// mu = L(g^lambda mod n^2)^{-1} mod n
+	gl := new(big.Int).Exp(k.G, lambda, k.N2)
+	mu, err := mathutil.ModInverse(lFunction(gl, k.N), k.N)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidKeyPair, err)
+	}
+	l.Mul(l, mu)
+	return l.Mod(l, k.N), nil
+}
+
+// DecryptSigned recovers a signed plaintext in [-n/2, n/2).
+func (k *PrivateKey) DecryptSigned(c *Ciphertext) (*big.Int, error) {
+	m, err := k.Decrypt(c)
+	if err != nil {
+		return nil, err
+	}
+	return mathutil.ToSigned(m, k.N), nil
+}
+
+// DecryptVector decrypts each element.
+func (k *PrivateKey) DecryptVector(cs []*Ciphertext) ([]*big.Int, error) {
+	out := make([]*big.Int, len(cs))
+	for i, c := range cs {
+		m, err := k.Decrypt(c)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: decrypt element %d: %w", i, err)
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+// DecryptSignedVector decrypts each element as a signed residue.
+func (k *PrivateKey) DecryptSignedVector(cs []*Ciphertext) ([]*big.Int, error) {
+	out := make([]*big.Int, len(cs))
+	for i, c := range cs {
+		m, err := k.DecryptSigned(c)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: decrypt element %d: %w", i, err)
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+// Bytes returns a canonical encoding of the ciphertext value.
+func (c *Ciphertext) Bytes() []byte {
+	if c == nil || c.C == nil {
+		return nil
+	}
+	return c.C.Bytes()
+}
+
+// CiphertextFromBytes reconstructs a ciphertext from Bytes output.
+func CiphertextFromBytes(b []byte) *Ciphertext {
+	return &Ciphertext{C: new(big.Int).SetBytes(b)}
+}

@@ -1,0 +1,441 @@
+package paillier
+
+import (
+	"context"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// testKey generates a small key for fast tests.
+func testKey(t testing.TB, bits int) *PrivateKey {
+	t.Helper()
+	key, err := GenerateKey(testRNG(42), bits)
+	if err != nil {
+		t.Fatalf("GenerateKey(%d): %v", bits, err)
+	}
+	return key
+}
+
+func TestGenerateKeyRejectsTinyKeys(t *testing.T) {
+	if _, err := GenerateKey(testRNG(1), 8); err == nil {
+		t.Fatal("expected error for 8-bit key")
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	key := testKey(t, 64)
+	rng := testRNG(1)
+	for _, m := range []int64{0, 1, 2, 1000, 123456789} {
+		msg := big.NewInt(m)
+		c, err := key.Encrypt(rng, msg)
+		if err != nil {
+			t.Fatalf("Encrypt(%d): %v", m, err)
+		}
+		got, err := key.Decrypt(c)
+		if err != nil {
+			t.Fatalf("Decrypt: %v", err)
+		}
+		if got.Cmp(msg) != 0 {
+			t.Errorf("round trip %d -> %v", m, got)
+		}
+	}
+}
+
+func TestDecryptMatchesSlowPath(t *testing.T) {
+	key := testKey(t, 64)
+	rng := testRNG(2)
+	for i := 0; i < 20; i++ {
+		m := big.NewInt(int64(i * 9973))
+		c, err := key.Encrypt(rng, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := key.Decrypt(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := key.DecryptSlow(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fast.Cmp(slow) != 0 {
+			t.Fatalf("CRT decrypt %v != slow decrypt %v", fast, slow)
+		}
+	}
+}
+
+func TestEncryptRejectsOutOfRange(t *testing.T) {
+	key := testKey(t, 64)
+	rng := testRNG(3)
+	if _, err := key.Encrypt(rng, new(big.Int).Set(key.N)); err == nil {
+		t.Error("expected error for m = n")
+	}
+	if _, err := key.Encrypt(rng, big.NewInt(-1)); err == nil {
+		t.Error("expected error for negative m")
+	}
+	if _, err := key.Encrypt(rng, nil); err == nil {
+		t.Error("expected error for nil m")
+	}
+}
+
+func TestHomomorphicAdd(t *testing.T) {
+	key := testKey(t, 64)
+	rng := testRNG(4)
+	a, b := big.NewInt(1234), big.NewInt(8765)
+	ca, _ := key.Encrypt(rng, a)
+	cb, _ := key.Encrypt(rng, b)
+	sum, err := key.Add(ca, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := key.Decrypt(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(big.NewInt(9999)) != 0 {
+		t.Errorf("E[a]+E[b] decrypts to %v, want 9999", got)
+	}
+}
+
+func TestHomomorphicAddQuick(t *testing.T) {
+	key := testKey(t, 72)
+	rng := testRNG(5)
+	f := func(x, y uint16) bool {
+		a, b := big.NewInt(int64(x)), big.NewInt(int64(y))
+		ca, err := key.Encrypt(rng, a)
+		if err != nil {
+			return false
+		}
+		cb, err := key.Encrypt(rng, b)
+		if err != nil {
+			return false
+		}
+		sum, err := key.Add(ca, cb)
+		if err != nil {
+			return false
+		}
+		got, err := key.Decrypt(sum)
+		if err != nil {
+			return false
+		}
+		return got.Cmp(new(big.Int).Add(a, b)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScalarMulQuick(t *testing.T) {
+	key := testKey(t, 72)
+	rng := testRNG(6)
+	f := func(x uint16, k uint8) bool {
+		m := big.NewInt(int64(x))
+		c, err := key.Encrypt(rng, m)
+		if err != nil {
+			return false
+		}
+		scaled, err := key.ScalarMul(c, big.NewInt(int64(k)))
+		if err != nil {
+			return false
+		}
+		got, err := key.Decrypt(scaled)
+		if err != nil {
+			return false
+		}
+		want := new(big.Int).Mul(m, big.NewInt(int64(k)))
+		return got.Cmp(want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddPlainAndSub(t *testing.T) {
+	key := testKey(t, 64)
+	rng := testRNG(7)
+	c, _ := key.Encrypt(rng, big.NewInt(500))
+	shifted, err := key.AddPlain(c, big.NewInt(-200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := key.DecryptSigned(shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(big.NewInt(300)) != 0 {
+		t.Errorf("AddPlain(-200) on E[500] = %v, want 300", got)
+	}
+
+	c2, _ := key.Encrypt(rng, big.NewInt(900))
+	diff, err := key.Sub(c2, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = key.DecryptSigned(diff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(big.NewInt(400)) != 0 {
+		t.Errorf("E[900]-E[500] = %v, want 400", got)
+	}
+}
+
+func TestSignedEncryption(t *testing.T) {
+	key := testKey(t, 64)
+	rng := testRNG(8)
+	for _, m := range []int64{-1, -1000, -123456, 0, 77} {
+		c, err := key.EncryptSigned(rng, big.NewInt(m))
+		if err != nil {
+			t.Fatalf("EncryptSigned(%d): %v", m, err)
+		}
+		got, err := key.DecryptSigned(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(big.NewInt(m)) != 0 {
+			t.Errorf("signed round trip %d -> %v", m, got)
+		}
+	}
+}
+
+func TestNegativeArithmetic(t *testing.T) {
+	key := testKey(t, 64)
+	rng := testRNG(9)
+	ca, _ := key.EncryptSigned(rng, big.NewInt(-30))
+	cb, _ := key.EncryptSigned(rng, big.NewInt(10))
+	sum, err := key.Add(ca, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := key.DecryptSigned(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(big.NewInt(-20)) != 0 {
+		t.Errorf("E[-30]+E[10] = %v, want -20", got)
+	}
+	neg, err := key.Neg(ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = key.DecryptSigned(neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(big.NewInt(30)) != 0 {
+		t.Errorf("Neg(E[-30]) = %v, want 30", got)
+	}
+}
+
+func TestRerandomizePreservesPlaintextChangesCiphertext(t *testing.T) {
+	key := testKey(t, 64)
+	rng := testRNG(10)
+	c, _ := key.Encrypt(rng, big.NewInt(321))
+	r, err := key.Rerandomize(rng, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.C.Cmp(c.C) == 0 {
+		t.Error("rerandomized ciphertext should differ")
+	}
+	got, err := key.Decrypt(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(big.NewInt(321)) != 0 {
+		t.Errorf("rerandomized plaintext = %v, want 321", got)
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	key := testKey(t, 64)
+	rng := testRNG(11)
+	ms := []*big.Int{big.NewInt(1), big.NewInt(2), big.NewInt(3)}
+	cs, err := key.EncryptVector(rng, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := key.DecryptVector(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ms {
+		if got[i].Cmp(ms[i]) != 0 {
+			t.Errorf("element %d: %v != %v", i, got[i], ms[i])
+		}
+	}
+
+	signed := []*big.Int{big.NewInt(-5), big.NewInt(5)}
+	cs2, err := key.EncryptSignedVector(rng, signed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := key.DecryptSignedVector(cs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range signed {
+		if got2[i].Cmp(signed[i]) != 0 {
+			t.Errorf("signed element %d: %v != %v", i, got2[i], signed[i])
+		}
+	}
+}
+
+func TestCiphertextValidation(t *testing.T) {
+	key := testKey(t, 64)
+	if _, err := key.Decrypt(nil); err == nil {
+		t.Error("expected error decrypting nil")
+	}
+	if _, err := key.Decrypt(&Ciphertext{}); err == nil {
+		t.Error("expected error decrypting empty ciphertext")
+	}
+	huge := &Ciphertext{C: new(big.Int).Add(key.N2, big.NewInt(1))}
+	if _, err := key.Decrypt(huge); err == nil {
+		t.Error("expected error decrypting out-of-range ciphertext")
+	}
+}
+
+func TestCiphertextBytesRoundTrip(t *testing.T) {
+	key := testKey(t, 64)
+	rng := testRNG(12)
+	c, _ := key.Encrypt(rng, big.NewInt(424242))
+	back := CiphertextFromBytes(c.Bytes())
+	got, err := key.Decrypt(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(big.NewInt(424242)) != 0 {
+		t.Errorf("bytes round trip = %v, want 424242", got)
+	}
+	var nilC *Ciphertext
+	if nilC.Bytes() != nil {
+		t.Error("nil ciphertext should serialize to nil")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	key := testKey(t, 64)
+	rng := testRNG(13)
+	c, _ := key.Encrypt(rng, big.NewInt(7))
+	clone := c.Clone()
+	clone.C.Add(clone.C, big.NewInt(1))
+	if c.C.Cmp(clone.C) == 0 {
+		t.Error("clone should be independent of original")
+	}
+}
+
+// Property: the full signed-arithmetic algebra holds: for random signed
+// a, b and scalar k, Dec(E(a) + E(b)*k) == a + b*k.
+func TestSignedAlgebraQuick(t *testing.T) {
+	key := testKey(t, 72)
+	rng := testRNG(77)
+	f := func(a, b int16, k int8) bool {
+		ca, err := key.EncryptSigned(rng, big.NewInt(int64(a)))
+		if err != nil {
+			return false
+		}
+		cb, err := key.EncryptSigned(rng, big.NewInt(int64(b)))
+		if err != nil {
+			return false
+		}
+		scaled, err := key.ScalarMul(cb, big.NewInt(int64(k)))
+		if err != nil {
+			return false
+		}
+		sum, err := key.Add(ca, scaled)
+		if err != nil {
+			return false
+		}
+		got, err := key.DecryptSigned(sum)
+		if err != nil {
+			return false
+		}
+		want := int64(a) + int64(b)*int64(k)
+		return got.Int64() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Ciphertexts must be probabilistic: encrypting the same message twice
+// yields different ciphertexts (IND-CPA smoke check).
+func TestEncryptionIsProbabilistic(t *testing.T) {
+	key := testKey(t, 64)
+	rng := testRNG(78)
+	m := big.NewInt(7)
+	c1, err := key.Encrypt(rng, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := key.Encrypt(rng, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.C.Cmp(c2.C) == 0 {
+		t.Error("two encryptions of the same message are identical")
+	}
+}
+
+func TestNoncePoolEncrypt(t *testing.T) {
+	key := testKey(t, 64)
+	pool, err := NewNoncePool(testRNG(14), key.Public(), 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	ctx := context.Background()
+	for _, m := range []int64{0, 1, 999} {
+		c, err := pool.Encrypt(ctx, big.NewInt(m))
+		if err != nil {
+			t.Fatalf("pool encrypt %d: %v", m, err)
+		}
+		got, err := key.Decrypt(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(big.NewInt(m)) != 0 {
+			t.Errorf("pooled round trip %d -> %v", m, got)
+		}
+	}
+	ms := []*big.Int{big.NewInt(4), big.NewInt(5)}
+	cs, err := pool.EncryptVector(ctx, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 {
+		t.Fatalf("expected 2 ciphertexts, got %d", len(cs))
+	}
+}
+
+func TestNoncePoolValidation(t *testing.T) {
+	key := testKey(t, 64)
+	if _, err := NewNoncePool(testRNG(1), key.Public(), 0, 1); err == nil {
+		t.Error("expected error for zero capacity")
+	}
+	if _, err := NewNoncePool(testRNG(1), key.Public(), 4, 0); err == nil {
+		t.Error("expected error for zero workers")
+	}
+}
+
+func TestNoncePoolContextCancel(t *testing.T) {
+	key := testKey(t, 64)
+	pool, err := NewNoncePool(testRNG(15), key.Public(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Drain whatever was buffered, then a cancelled context must surface.
+	for i := 0; i < 10; i++ {
+		if _, err := pool.Encrypt(ctx, big.NewInt(1)); err != nil {
+			return // got the expected cancellation
+		}
+	}
+	t.Error("expected context cancellation error")
+}

@@ -1,0 +1,130 @@
+package paillier
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"sync"
+
+	"github.com/privconsensus/privconsensus/internal/mathutil"
+)
+
+// NoncePool pre-generates the expensive r^n mod n^2 blinding factors so that
+// bulk encryption becomes a cheap multiply. This mirrors the paper's fix for
+// the serialized random-number-generation bottleneck (§VI-A "Encrypt numbers
+// efficiently"): a table of random values is produced ahead of time and
+// consumed by encrypting workers.
+//
+// A NoncePool owns background worker goroutines; call Close to stop them.
+type NoncePool struct {
+	pk      *PublicKey
+	nonces  chan *big.Int
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	fillErr error
+	errOnce sync.Once
+}
+
+// ErrPoolClosed is returned when drawing from a closed pool.
+var ErrPoolClosed = errors.New("paillier: nonce pool closed")
+
+// NewNoncePool starts workers goroutines that keep up to capacity
+// precomputed blinding factors available. rng must be safe for concurrent
+// use when workers > 1 (crypto/rand.Reader is; pass workers=1 for
+// deterministic test readers).
+func NewNoncePool(rng io.Reader, pk *PublicKey, capacity, workers int) (*NoncePool, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("paillier: pool capacity must be positive, got %d", capacity)
+	}
+	if workers <= 0 {
+		return nil, fmt.Errorf("paillier: pool workers must be positive, got %d", workers)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &NoncePool{
+		pk:     pk,
+		nonces: make(chan *big.Int, capacity),
+		cancel: cancel,
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.fill(ctx, rng)
+	}
+	return p, nil
+}
+
+// fill keeps the pool topped up until the context is cancelled.
+func (p *NoncePool) fill(ctx context.Context, rng io.Reader) {
+	defer p.wg.Done()
+	for {
+		r, err := mathutil.RandUnit(rng, p.pk.N)
+		if err != nil {
+			p.errOnce.Do(func() { p.fillErr = err })
+			return
+		}
+		rn := new(big.Int).Exp(r, p.pk.N, p.pk.N2)
+		select {
+		case p.nonces <- rn:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// Next returns a precomputed blinding factor r^n mod n^2, blocking until one
+// is available.
+func (p *NoncePool) Next(ctx context.Context) (*big.Int, error) {
+	select {
+	case rn, ok := <-p.nonces:
+		if !ok {
+			return nil, ErrPoolClosed
+		}
+		return rn, nil
+	case <-ctx.Done():
+		if p.fillErr != nil {
+			return nil, p.fillErr
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// Encrypt encrypts m using a pooled blinding factor.
+func (p *NoncePool) Encrypt(ctx context.Context, m *big.Int) (*Ciphertext, error) {
+	if err := p.pk.validateMessage(m); err != nil {
+		return nil, err
+	}
+	rn, err := p.Next(ctx)
+	if err != nil {
+		return nil, err
+	}
+	gm := new(big.Int).Mul(m, p.pk.N)
+	gm.Add(gm, mathutil.One)
+	gm.Mod(gm, p.pk.N2)
+	c := gm.Mul(gm, rn)
+	c.Mod(c, p.pk.N2)
+	return &Ciphertext{C: c}, nil
+}
+
+// EncryptVector encrypts each element of ms with pooled nonces.
+func (p *NoncePool) EncryptVector(ctx context.Context, ms []*big.Int) ([]*Ciphertext, error) {
+	out := make([]*Ciphertext, len(ms))
+	for i, m := range ms {
+		c, err := p.Encrypt(ctx, m)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: pooled encrypt element %d: %w", i, err)
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// Close stops the background workers and drains the pool.
+func (p *NoncePool) Close() {
+	p.cancel()
+	p.wg.Wait()
+	close(p.nonces)
+	for range p.nonces {
+		// Drain remaining nonces so their memory is reclaimable promptly.
+	}
+}

@@ -1,0 +1,261 @@
+package pate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/privconsensus/privconsensus/internal/dataset"
+	"github.com/privconsensus/privconsensus/internal/dp"
+	"github.com/privconsensus/privconsensus/internal/ml"
+)
+
+// PipelineConfig drives one end-to-end multiclass experiment run.
+type PipelineConfig struct {
+	// Spec describes the dataset; Scale shrinks its sample counts for
+	// fast runs (1.0 = paper-sized).
+	Spec  dataset.Spec
+	Scale float64
+	// Users is the number of teachers.
+	Users int
+	// Division selects the data distribution across users.
+	Division dataset.Division
+	// VoteType selects one-hot or softmax teacher votes.
+	VoteType VoteType
+	// Queries is the size of the aggregator's unlabeled pool (the paper
+	// sets aside 9000 training samples).
+	Queries int
+	// UseConsensus selects the paper's mechanism; false runs the
+	// noisy-argmax baseline.
+	UseConsensus bool
+	// ThresholdFrac is T as a fraction of users (default 0.6).
+	ThresholdFrac float64
+	// Sigma1, Sigma2 are the DP noise deviations in votes.
+	Sigma1, Sigma2 float64
+	// Train configures teacher and student SGD.
+	Train ml.TrainConfig
+	// Seed makes the run reproducible.
+	Seed int64
+	// SelfTrain enables the semi-supervised self-training extension: the
+	// student pseudo-labels the discarded (unlabeled) queries it is
+	// confident about and refits. Spends no extra privacy budget.
+	SelfTrain bool
+	// SelfTrainCfg tunes the loop (zero value = DefaultSelfTrainConfig).
+	SelfTrainCfg SelfTrainConfig
+}
+
+// Validate checks the configuration.
+func (c PipelineConfig) Validate() error {
+	if err := c.Spec.Validate(); err != nil {
+		return err
+	}
+	if c.Scale <= 0 || c.Scale > 1 {
+		return fmt.Errorf("pate: scale %g outside (0, 1]", c.Scale)
+	}
+	if c.Users < 1 {
+		return fmt.Errorf("pate: need at least 1 user, got %d", c.Users)
+	}
+	if c.Queries < 1 {
+		return fmt.Errorf("pate: need at least 1 query, got %d", c.Queries)
+	}
+	if c.ThresholdFrac < 0 || c.ThresholdFrac > 1 {
+		return fmt.Errorf("pate: threshold fraction %g outside [0, 1]", c.ThresholdFrac)
+	}
+	if c.Sigma1 < 0 || c.Sigma2 < 0 {
+		return fmt.Errorf("pate: negative sigma")
+	}
+	if c.VoteType != OneHot && c.VoteType != Softmax {
+		return fmt.Errorf("pate: unknown vote type %d", int(c.VoteType))
+	}
+	return c.Train.Validate()
+}
+
+// Result summarizes one pipeline run.
+type Result struct {
+	// UserAccMean is the mean teacher accuracy on the test set (Fig. 2a).
+	UserAccMean float64
+	// MajorityAcc and MinorityAcc are group means for uneven divisions
+	// (Fig. 2b-d); zero for even distributions.
+	MajorityAcc float64
+	MinorityAcc float64
+	// LabelAccuracy is the fraction of retained queries labeled
+	// correctly (Fig. 3a/3c).
+	LabelAccuracy float64
+	// Retention is the fraction of queries that reached consensus
+	// (Table III).
+	Retention float64
+	// StudentAccuracy is the aggregator model's test accuracy after
+	// training on the retained pairs (Fig. 3b/3d).
+	StudentAccuracy float64
+	// Epsilon is the (ε, δ=1e-6)-DP spend of the label release.
+	Epsilon float64
+	// Retained is the number of labeled training pairs.
+	Retained int
+}
+
+// RunPipeline executes the full semi-supervised knowledge transfer flow.
+func RunPipeline(cfg PipelineConfig) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	spec := cfg.Spec.Scaled(cfg.Scale)
+	train, test, err := dataset.Generate(rng, spec)
+	if err != nil {
+		return nil, err
+	}
+	queries := min(cfg.Queries, train.Len()-cfg.Users)
+	pool, userData, err := dataset.QuerySplit(rng, train, queries)
+	if err != nil {
+		return nil, err
+	}
+	part, err := dataset.PartitionUneven(rng, userData, cfg.Users, cfg.Division)
+	if err != nil {
+		return nil, err
+	}
+	teachers, err := TrainTeachers(rng, part, spec.Classes, cfg.Train)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	accs, err := teachers.Accuracies(test)
+	if err != nil {
+		return nil, err
+	}
+	res.UserAccMean = mean(accs)
+	if len(part.MajorityIdx) > 0 {
+		res.MajorityAcc = meanAt(accs, part.MajorityIdx)
+		res.MinorityAcc = meanAt(accs, part.MinorityIdx)
+	}
+
+	labeler := cfg.labeler()
+	labeled, unlabeled, correct, err := labelPool(rng, teachers, pool, cfg.VoteType, labeler)
+	if err != nil {
+		return nil, err
+	}
+	res.Retained = labeled.Len()
+	res.Retention = float64(labeled.Len()) / float64(pool.Len())
+	if labeled.Len() > 0 {
+		res.LabelAccuracy = float64(correct) / float64(labeled.Len())
+		var student *ml.SoftmaxClassifier
+		if cfg.SelfTrain {
+			stCfg := cfg.SelfTrainCfg
+			if stCfg == (SelfTrainConfig{}) {
+				stCfg = DefaultSelfTrainConfig()
+			}
+			student, _, err = SelfTrain(rng, labeled, unlabeled, cfg.Train, stCfg)
+		} else {
+			student, err = ml.TrainSoftmax(rng, labeled, cfg.Train)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("pate: train student: %w", err)
+		}
+		if res.StudentAccuracy, err = student.Accuracy(test); err != nil {
+			return nil, err
+		}
+	}
+
+	res.Epsilon, err = cfg.epsilonSpend(pool.Len(), labeled.Len())
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// labeler constructs the configured aggregation policy.
+func (c PipelineConfig) labeler() Labeler {
+	if c.UseConsensus {
+		return ConsensusLabeler{
+			Threshold: c.ThresholdFrac * float64(c.Users),
+			Sigma1:    c.Sigma1,
+			Sigma2:    c.Sigma2,
+		}
+	}
+	return BaselineLabeler{Sigma2: c.Sigma2}
+}
+
+// labelPool queries the teachers on every pool instance and collects the
+// retained (instance, label) pairs, the rejected (unlabeled) instances, and
+// the count labeled correctly.
+func labelPool(rng *rand.Rand, teachers *Teachers, pool *ml.Dataset, vt VoteType, labeler Labeler) (labeled, unlabeled *ml.Dataset, correct int, err error) {
+	labeled = &ml.Dataset{Classes: pool.Classes}
+	unlabeled = &ml.Dataset{Classes: pool.Classes}
+	for i, x := range pool.X {
+		votes, err := teachers.Votes(x, vt)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		total, err := SumVotes(votes)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		label, ok := labeler.Label(rng, total)
+		if !ok {
+			unlabeled.X = append(unlabeled.X, x)
+			continue
+		}
+		labeled.X = append(labeled.X, x)
+		labeled.Labels = append(labeled.Labels, label)
+		if label == pool.Labels[i] {
+			correct++
+		}
+	}
+	return labeled, unlabeled, correct, nil
+}
+
+// epsilonSpend computes the (ε, δ=1e-6) privacy cost: every query pays the
+// SVT budget; released labels additionally pay RNM. The baseline (no
+// threshold) pays RNM on every query.
+func (c PipelineConfig) epsilonSpend(queries, released int) (float64, error) {
+	// Zero sigma marks a non-private ablation run; the baseline never
+	// uses sigma1.
+	if c.Sigma2 == 0 || (c.UseConsensus && c.Sigma1 == 0) {
+		return 0, nil
+	}
+	acc := dp.NewAccountant()
+	if c.UseConsensus {
+		for i := 0; i < queries; i++ {
+			if err := acc.AddSVT(c.Sigma1); err != nil {
+				return 0, err
+			}
+		}
+		for i := 0; i < released; i++ {
+			if err := acc.AddRNM(c.Sigma2); err != nil {
+				return 0, err
+			}
+		}
+	} else {
+		for i := 0; i < queries; i++ {
+			if err := acc.AddRNM(c.Sigma2); err != nil {
+				return 0, err
+			}
+		}
+	}
+	eps, _, err := acc.Epsilon(1e-6)
+	return eps, err
+}
+
+// mean returns the arithmetic mean of xs (0 for empty input).
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// meanAt returns the mean of xs at the given indices.
+func meanAt(xs []float64, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	var s float64
+	for _, i := range idx {
+		s += xs[i]
+	}
+	return s / float64(len(idx))
+}

@@ -1,0 +1,94 @@
+package pate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/privconsensus/privconsensus/internal/ml"
+)
+
+// Semi-supervised student training. The paper's aggregator "conducts
+// semi-supervised learning on the collection of data-label pairs": beyond
+// supervised training on consensus-labeled pairs, the unlabeled remainder
+// of the query pool (instances that failed the threshold check) still
+// carries information. SelfTrain implements the classic self-training
+// loop: fit a student on the labeled pairs, pseudo-label unlabeled
+// instances the student is confident about, and refit on the union.
+//
+// Privacy note: pseudo-labels are produced by the student alone from
+// already-released information, so self-training spends no additional
+// privacy budget — a free utility lever the paper leaves implicit.
+
+// SelfTrainConfig controls the self-training loop.
+type SelfTrainConfig struct {
+	// Rounds is the number of pseudo-label/refit iterations.
+	Rounds int
+	// Confidence is the minimum predicted probability required to adopt
+	// a pseudo-label.
+	Confidence float64
+}
+
+// DefaultSelfTrainConfig mirrors common practice: two rounds at 0.9.
+func DefaultSelfTrainConfig() SelfTrainConfig {
+	return SelfTrainConfig{Rounds: 2, Confidence: 0.9}
+}
+
+// Validate checks the configuration.
+func (c SelfTrainConfig) Validate() error {
+	if c.Rounds < 1 {
+		return fmt.Errorf("pate: self-train rounds must be >= 1, got %d", c.Rounds)
+	}
+	if c.Confidence <= 0 || c.Confidence >= 1 {
+		return fmt.Errorf("pate: self-train confidence %g outside (0, 1)", c.Confidence)
+	}
+	return nil
+}
+
+// SelfTrain fits a student on labeled, then iteratively pseudo-labels
+// unlabeled and refits. It returns the final student and the number of
+// pseudo-labels adopted in the last round.
+func SelfTrain(rng *rand.Rand, labeled, unlabeled *ml.Dataset, train ml.TrainConfig, cfg SelfTrainConfig) (*ml.SoftmaxClassifier, int, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if labeled.Len() == 0 {
+		return nil, 0, fmt.Errorf("pate: self-training needs at least one labeled instance")
+	}
+	student, err := ml.TrainSoftmax(rng, labeled, train)
+	if err != nil {
+		return nil, 0, fmt.Errorf("pate: initial student: %w", err)
+	}
+	if unlabeled == nil || unlabeled.Len() == 0 {
+		return student, 0, nil
+	}
+
+	adopted := 0
+	for round := 0; round < cfg.Rounds; round++ {
+		// Pseudo-label the unlabeled pool with the current student.
+		aug := &ml.Dataset{Classes: labeled.Classes}
+		aug.X = append(aug.X, labeled.X...)
+		aug.Labels = append(aug.Labels, labeled.Labels...)
+		adopted = 0
+		for _, x := range unlabeled.X {
+			proba, err := student.PredictProba(x)
+			if err != nil {
+				return nil, 0, err
+			}
+			best := ml.Argmax(proba)
+			if proba[best] < cfg.Confidence {
+				continue
+			}
+			aug.X = append(aug.X, x)
+			aug.Labels = append(aug.Labels, best)
+			adopted++
+		}
+		if adopted == 0 {
+			break // nothing confident to learn from
+		}
+		student, err = ml.TrainSoftmax(rng, aug, train)
+		if err != nil {
+			return nil, 0, fmt.Errorf("pate: self-train round %d: %w", round, err)
+		}
+	}
+	return student, adopted, nil
+}

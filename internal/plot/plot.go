@@ -1,0 +1,163 @@
+// Package plot renders the experiment harness's figures as self-contained
+// SVG line charts (no dependencies), so `cmd/experiments -svg` can emit
+// visual artifacts next to the CSV series.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one polyline.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart describes a figure to render.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Width and Height in pixels (0 selects 640x420).
+	Width, Height int
+}
+
+// palette holds distinguishable line colors.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+	"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+}
+
+// layout constants (pixels).
+const (
+	marginLeft   = 64
+	marginRight  = 16
+	marginTop    = 40
+	marginBottom = 48
+	legendRowH   = 16
+)
+
+// RenderSVG draws the chart. Every series must have matching X/Y lengths
+// and at least one point.
+func RenderSVG(c Chart) ([]byte, error) {
+	if len(c.Series) == 0 {
+		return nil, fmt.Errorf("plot: chart %q has no series", c.Title)
+	}
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 640
+	}
+	if height <= 0 {
+		height = 420
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.X) == 0 || len(s.X) != len(s.Y) {
+			return nil, fmt.Errorf("plot: series %q has %d x / %d y points", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) || math.IsInf(s.X[i], 0) || math.IsInf(s.Y[i], 0) {
+				return nil, fmt.Errorf("plot: series %q has non-finite point %d", s.Name, i)
+			}
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	// Pad degenerate ranges so single points render.
+	if maxX == minX {
+		maxX, minX = maxX+1, minX-1
+	}
+	if maxY == minY {
+		maxY, minY = maxY+0.5, minY-0.5
+	}
+	// Add 5% headroom on Y.
+	pad := (maxY - minY) * 0.05
+	minY, maxY = minY-pad, maxY+pad
+
+	plotW := float64(width - marginLeft - marginRight)
+	plotH := float64(height - marginTop - marginBottom)
+	toX := func(x float64) float64 { return marginLeft + (x-minX)/(maxX-minX)*plotW }
+	toY := func(y float64) float64 { return marginTop + plotH - (y-minY)/(maxY-minY)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-size="14" font-weight="bold">%s</text>`+"\n", marginLeft, escape(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginLeft, marginTop, marginLeft, height-marginBottom)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginLeft, height-marginBottom, width-marginRight, height-marginBottom)
+
+	// Ticks and gridlines: 5 on each axis.
+	for i := 0; i <= 4; i++ {
+		fx := minX + (maxX-minX)*float64(i)/4
+		px := toX(fx)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ddd"/>`+"\n",
+			px, marginTop, px, height-marginBottom)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			px, height-marginBottom+14, formatTick(fx))
+
+		fy := minY + (maxY-minY)*float64(i)/4
+		py := toY(fy)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginLeft, py, width-marginRight, py)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="10" text-anchor="end">%s</text>`+"\n",
+			marginLeft-6, py+3, formatTick(fy))
+	}
+
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle">%s</text>`+"\n",
+		float64(marginLeft)+plotW/2, height-10, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%.1f" font-size="11" text-anchor="middle" transform="rotate(-90 14 %.1f)">%s</text>`+"\n",
+		float64(marginTop)+plotH/2, float64(marginTop)+plotH/2, escape(c.YLabel))
+
+	// Series polylines, markers and legend.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var points []string
+		for i := range s.X {
+			points = append(points, fmt.Sprintf("%.1f,%.1f", toX(s.X[i]), toY(s.Y[i])))
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.5" points="%s"/>`+"\n",
+			color, strings.Join(points, " "))
+		for i := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s"/>`+"\n",
+				toX(s.X[i]), toY(s.Y[i]), color)
+		}
+		ly := marginTop + 4 + si*legendRowH
+		lx := width - marginRight - 170
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			lx, ly, lx+18, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10">%s</text>`+"\n",
+			lx+24, ly+3, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return []byte(b.String()), nil
+}
+
+// formatTick renders an axis value compactly.
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// escape sanitizes text for SVG embedding.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

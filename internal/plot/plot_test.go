@@ -1,0 +1,122 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleChart() Chart {
+	return Chart{
+		Title:  "Accuracy vs users",
+		XLabel: "users",
+		YLabel: "accuracy",
+		Series: []Series{
+			{Name: "consensus", X: []float64{10, 25, 50}, Y: []float64{0.8, 0.9, 0.95}},
+			{Name: "baseline", X: []float64{10, 25, 50}, Y: []float64{0.75, 0.85, 0.88}},
+		},
+	}
+}
+
+func TestRenderSVGBasics(t *testing.T) {
+	out, err := RenderSVG(sampleChart())
+	if err != nil {
+		t.Fatalf("RenderSVG: %v", err)
+	}
+	svg := string(out)
+	for _, want := range []string{
+		"<svg", "</svg>", "Accuracy vs users", "consensus", "baseline",
+		"polyline", "circle", "users", "accuracy",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Errorf("expected 2 polylines, got %d", strings.Count(svg, "<polyline"))
+	}
+	// 6 data points total.
+	if strings.Count(svg, "<circle") != 6 {
+		t.Errorf("expected 6 markers, got %d", strings.Count(svg, "<circle"))
+	}
+}
+
+func TestRenderSVGValidation(t *testing.T) {
+	if _, err := RenderSVG(Chart{Title: "empty"}); err == nil {
+		t.Error("expected error for no series")
+	}
+	bad := sampleChart()
+	bad.Series[0].Y = bad.Series[0].Y[:2]
+	if _, err := RenderSVG(bad); err == nil {
+		t.Error("expected error for mismatched lengths")
+	}
+	nan := sampleChart()
+	nan.Series[0].Y[1] = math.NaN()
+	if _, err := RenderSVG(nan); err == nil {
+		t.Error("expected error for NaN point")
+	}
+	inf := sampleChart()
+	inf.Series[1].X[0] = math.Inf(1)
+	if _, err := RenderSVG(inf); err == nil {
+		t.Error("expected error for infinite point")
+	}
+}
+
+func TestRenderSVGDegenerateRanges(t *testing.T) {
+	// Single point and constant series must still render.
+	c := Chart{
+		Title: "degenerate",
+		Series: []Series{
+			{Name: "point", X: []float64{5}, Y: []float64{0.5}},
+			{Name: "flat", X: []float64{1, 2, 3}, Y: []float64{0.5, 0.5, 0.5}},
+		},
+	}
+	out, err := RenderSVG(c)
+	if err != nil {
+		t.Fatalf("RenderSVG degenerate: %v", err)
+	}
+	if !strings.Contains(string(out), "<svg") {
+		t.Error("not an SVG")
+	}
+}
+
+func TestRenderSVGEscapesMarkup(t *testing.T) {
+	c := sampleChart()
+	c.Title = `<script>alert("x")</script>`
+	c.Series[0].Name = "a & b < c"
+	out, err := RenderSVG(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := string(out)
+	if strings.Contains(svg, "<script>") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "a &amp; b &lt; c") {
+		t.Error("series name not escaped")
+	}
+}
+
+func TestRenderSVGCustomSize(t *testing.T) {
+	c := sampleChart()
+	c.Width, c.Height = 800, 600
+	out, err := RenderSVG(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), `width="800" height="600"`) {
+		t.Error("custom size not applied")
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	if formatTick(12345) != "12345" {
+		t.Errorf("large tick: %s", formatTick(12345))
+	}
+	if formatTick(12.34) != "12.3" {
+		t.Errorf("medium tick: %s", formatTick(12.34))
+	}
+	if formatTick(0.567) != "0.57" {
+		t.Errorf("small tick: %s", formatTick(0.567))
+	}
+}

@@ -1,0 +1,292 @@
+package protocol
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/big"
+
+	"github.com/privconsensus/privconsensus/internal/mathutil"
+	"github.com/privconsensus/privconsensus/internal/paillier"
+	"github.com/privconsensus/privconsensus/internal/perm"
+	"github.com/privconsensus/privconsensus/internal/transport"
+)
+
+// Blind-and-Permute (Alg. 2). S1 enters holding sequences encrypted under
+// pk2, S2 enters holding the matching sequences encrypted under pk1. Both
+// leave holding plaintext sequences permuted by the shared-but-unknown
+// permutation pi = pi1 ∘ pi2 and biased by a common scalar r = r1 + r2 per
+// sequence pair:
+//
+//	S1: pi(a + r)    S2: pi(b + r)
+//
+// The masks r1, r2 are scalars (one per sequence pair) because pairwise
+// comparisons must cancel them (the paper's "common bias"); the re-encryption
+// blind r3 is a full vector since it cancels exactly (DESIGN.md note 1).
+//
+// Multiple sequence pairs run under the same (pi1, pi2) in one invocation,
+// as Alg. 5 step 3 requires for the vote and threshold sequences.
+
+// bpResultS1 is S1's output of one Blind-and-Permute invocation.
+type bpResultS1 struct {
+	// Plain[s] = pi(seq_s + r_s) as signed integers.
+	Plain [][]*big.Int
+	// Pi1 is S1's private permutation share, needed for Restoration.
+	Pi1 perm.Permutation
+}
+
+// bpResultS2 is S2's output.
+type bpResultS2 struct {
+	Plain [][]*big.Int
+	Pi2   perm.Permutation
+}
+
+// blindPermuteS1 runs S1's side of Alg. 2 over conn for the given encrypted
+// sequences (all under pk2).
+func blindPermuteS1(ctx context.Context, rng io.Reader, cfg Config, keys KeysS1,
+	conn transport.Conn, seqs [][]*paillier.Ciphertext) (*bpResultS1, error) {
+	k := cfg.Classes
+	nSeq := len(seqs)
+	for s, seq := range seqs {
+		if len(seq) != k {
+			return nil, fmt.Errorf("protocol: sequence %d has length %d, want %d", s, len(seq), k)
+		}
+	}
+	pk2 := keys.PeerPub
+
+	// Step 1: add scalar mask r1_s to each sequence and ship to S2.
+	r1 := make([]*big.Int, nSeq)
+	masked := make([]*big.Int, 0, nSeq*k)
+	for s, seq := range seqs {
+		r, err := mathutil.RandBits(rng, cfg.Kappa)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: sample r1: %w", err)
+		}
+		r1[s] = r
+		for _, c := range seq {
+			mc, err := pk2.AddPlain(c, r)
+			if err != nil {
+				return nil, fmt.Errorf("protocol: mask sequence %d: %w", s, err)
+			}
+			masked = append(masked, mc.C)
+		}
+	}
+	if err := conn.Send(ctx, &transport.Message{Kind: transport.KindCipherSeq, Values: masked, Flags: []int64{int64(nSeq)}}); err != nil {
+		return nil, fmt.Errorf("protocol: B&P step 1 send: %w", err)
+	}
+
+	// Step 2 happens at S2; receive pi2-permuted plaintext sequences.
+	msg, err := transport.ExpectKind(ctx, conn, transport.KindPlainSeq)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: B&P step 2 recv: %w", err)
+	}
+	if len(msg.Values) != nSeq*k {
+		return nil, fmt.Errorf("%w: B&P step 2 expected %d values, got %d", ErrPeerMismatch, nSeq*k, len(msg.Values))
+	}
+
+	// Step 3: apply pi1 to each sequence; these are S1's outputs.
+	pi1, err := perm.New(rng, k)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: sample pi1: %w", err)
+	}
+	out := make([][]*big.Int, nSeq)
+	for s := 0; s < nSeq; s++ {
+		seq := msg.Values[s*k : (s+1)*k]
+		permuted, err := pi1.Apply(seq)
+		if err != nil {
+			return nil, err
+		}
+		out[s] = permuted
+	}
+
+	// Step 3 (cont.): send E_pk1[r1_s] so S2 can build its own sequences.
+	pk1 := keys.Own.Public()
+	encR1 := make([]*big.Int, nSeq)
+	for s, r := range r1 {
+		c, err := pk1.Encrypt(rng, r)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: encrypt r1: %w", err)
+		}
+		encR1[s] = c.C
+	}
+	if err := conn.Send(ctx, &transport.Message{Kind: transport.KindCipherSeq, Values: encR1}); err != nil {
+		return nil, fmt.Errorf("protocol: B&P step 3 send: %w", err)
+	}
+
+	// Step 4 happens at S2; receive E_pk1[pi2(b + r1 + r2) + r3] and
+	// E_pk2[-r3].
+	msg, err = transport.ExpectKind(ctx, conn, transport.KindCipherSeq)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: B&P step 4 recv: %w", err)
+	}
+	if len(msg.Values) != 2*nSeq*k {
+		return nil, fmt.Errorf("%w: B&P step 4 expected %d values, got %d", ErrPeerMismatch, 2*nSeq*k, len(msg.Values))
+	}
+
+	// Step 5: decrypt with sk1, re-encrypt under pk2, cancel r3, permute
+	// by pi1, return to S2.
+	reencrypted := make([]*big.Int, 0, nSeq*k)
+	for s := 0; s < nSeq; s++ {
+		blinded := msg.Values[s*k : (s+1)*k]
+		negR3 := msg.Values[(nSeq+s)*k : (nSeq+s+1)*k]
+		seq := make([]*big.Int, k)
+		for i := 0; i < k; i++ {
+			plain, err := keys.Own.DecryptSigned(&paillier.Ciphertext{C: blinded[i]})
+			if err != nil {
+				return nil, fmt.Errorf("protocol: B&P step 5 decrypt: %w", err)
+			}
+			re, err := pk2.EncryptSigned(rng, plain)
+			if err != nil {
+				return nil, fmt.Errorf("protocol: B&P step 5 re-encrypt: %w", err)
+			}
+			cancelled, err := pk2.Add(re, &paillier.Ciphertext{C: negR3[i]})
+			if err != nil {
+				return nil, fmt.Errorf("protocol: B&P step 5 cancel r3: %w", err)
+			}
+			seq[i] = cancelled.C
+		}
+		permuted, err := pi1.Apply(seq)
+		if err != nil {
+			return nil, err
+		}
+		reencrypted = append(reencrypted, permuted...)
+	}
+	if err := conn.Send(ctx, &transport.Message{Kind: transport.KindCipherSeq, Values: reencrypted}); err != nil {
+		return nil, fmt.Errorf("protocol: B&P step 5 send: %w", err)
+	}
+
+	return &bpResultS1{Plain: out, Pi1: pi1}, nil
+}
+
+// blindPermuteS2 runs S2's side of Alg. 2 for the matching sequences (all
+// under pk1).
+func blindPermuteS2(ctx context.Context, rng io.Reader, cfg Config, keys KeysS2,
+	conn transport.Conn, seqs [][]*paillier.Ciphertext) (*bpResultS2, error) {
+	k := cfg.Classes
+	nSeq := len(seqs)
+	for s, seq := range seqs {
+		if len(seq) != k {
+			return nil, fmt.Errorf("protocol: sequence %d has length %d, want %d", s, len(seq), k)
+		}
+	}
+	pk1 := keys.PeerPub
+
+	// Step 2: receive E_pk2[a + r1], decrypt, add r2, permute by pi2.
+	msg, err := transport.ExpectKind(ctx, conn, transport.KindCipherSeq)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: B&P step 2 recv: %w", err)
+	}
+	if len(msg.Flags) != 1 || msg.Flags[0] != int64(nSeq) || len(msg.Values) != nSeq*k {
+		return nil, fmt.Errorf("%w: B&P step 2 malformed batch", ErrPeerMismatch)
+	}
+	pi2, err := perm.New(rng, k)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: sample pi2: %w", err)
+	}
+	r2 := make([]*big.Int, nSeq)
+	plainOut := make([]*big.Int, 0, nSeq*k)
+	for s := 0; s < nSeq; s++ {
+		r, err := mathutil.RandBits(rng, cfg.Kappa)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: sample r2: %w", err)
+		}
+		r2[s] = r
+		seq := make([]*big.Int, k)
+		for i := 0; i < k; i++ {
+			plain, err := keys.Own.DecryptSigned(&paillier.Ciphertext{C: msg.Values[s*k+i]})
+			if err != nil {
+				return nil, fmt.Errorf("protocol: B&P step 2 decrypt: %w", err)
+			}
+			seq[i] = plain.Add(plain, r)
+		}
+		permuted, err := pi2.Apply(seq)
+		if err != nil {
+			return nil, err
+		}
+		plainOut = append(plainOut, permuted...)
+	}
+	if err := conn.Send(ctx, &transport.Message{Kind: transport.KindPlainSeq, Values: plainOut}); err != nil {
+		return nil, fmt.Errorf("protocol: B&P step 2 send: %w", err)
+	}
+
+	// Step 3 (cont.): receive E_pk1[r1_s].
+	msg, err = transport.ExpectKind(ctx, conn, transport.KindCipherSeq)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: B&P step 3 recv: %w", err)
+	}
+	if len(msg.Values) != nSeq {
+		return nil, fmt.Errorf("%w: B&P step 3 expected %d masks, got %d", ErrPeerMismatch, nSeq, len(msg.Values))
+	}
+	encR1 := msg.Values
+
+	// Step 4: build E_pk1[pi2(b + r1 + r2) + r3], plus E_pk2[-r3].
+	r3 := make([][]*big.Int, nSeq)
+	payload := make([]*big.Int, 0, 2*nSeq*k)
+	for s := 0; s < nSeq; s++ {
+		seq := make([]*big.Int, k)
+		for i := 0; i < k; i++ {
+			c, err := pk1.Add(seqs[s][i], &paillier.Ciphertext{C: encR1[s]})
+			if err != nil {
+				return nil, fmt.Errorf("protocol: B&P step 4 add r1: %w", err)
+			}
+			c, err = pk1.AddPlain(c, r2[s])
+			if err != nil {
+				return nil, fmt.Errorf("protocol: B&P step 4 add r2: %w", err)
+			}
+			seq[i] = c.C
+		}
+		permuted, err := pi2.Apply(seq)
+		if err != nil {
+			return nil, err
+		}
+		r3[s] = make([]*big.Int, k)
+		for i := 0; i < k; i++ {
+			mask, err := mathutil.RandBits(rng, cfg.Kappa)
+			if err != nil {
+				return nil, fmt.Errorf("protocol: sample r3: %w", err)
+			}
+			r3[s][i] = mask
+			c, err := pk1.AddPlain(&paillier.Ciphertext{C: permuted[i]}, mask)
+			if err != nil {
+				return nil, fmt.Errorf("protocol: B&P step 4 add r3: %w", err)
+			}
+			permuted[i] = c.C
+		}
+		payload = append(payload, permuted...)
+	}
+	pk2own := keys.Own.Public()
+	for s := 0; s < nSeq; s++ {
+		for i := 0; i < k; i++ {
+			c, err := pk2own.EncryptSigned(rng, new(big.Int).Neg(r3[s][i]))
+			if err != nil {
+				return nil, fmt.Errorf("protocol: B&P step 4 encrypt -r3: %w", err)
+			}
+			payload = append(payload, c.C)
+		}
+	}
+	if err := conn.Send(ctx, &transport.Message{Kind: transport.KindCipherSeq, Values: payload}); err != nil {
+		return nil, fmt.Errorf("protocol: B&P step 4 send: %w", err)
+	}
+
+	// Step 6: receive E_pk2[pi(b + r1 + r2)] and decrypt.
+	msg, err = transport.ExpectKind(ctx, conn, transport.KindCipherSeq)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: B&P step 6 recv: %w", err)
+	}
+	if len(msg.Values) != nSeq*k {
+		return nil, fmt.Errorf("%w: B&P step 6 expected %d values, got %d", ErrPeerMismatch, nSeq*k, len(msg.Values))
+	}
+	out := make([][]*big.Int, nSeq)
+	for s := 0; s < nSeq; s++ {
+		seq := make([]*big.Int, k)
+		for i := 0; i < k; i++ {
+			plain, err := keys.Own.DecryptSigned(&paillier.Ciphertext{C: msg.Values[s*k+i]})
+			if err != nil {
+				return nil, fmt.Errorf("protocol: B&P step 6 decrypt: %w", err)
+			}
+			seq[i] = plain
+		}
+		out[s] = seq
+	}
+	return &bpResultS2{Plain: out, Pi2: pi2}, nil
+}

@@ -1,0 +1,460 @@
+package protocol
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/big"
+	"time"
+
+	"github.com/privconsensus/privconsensus/internal/dgk"
+
+	"github.com/privconsensus/privconsensus/internal/paillier"
+	"github.com/privconsensus/privconsensus/internal/transport"
+)
+
+// Outcome is the result of one Alg. 5 execution, identical at both servers.
+type Outcome struct {
+	// Consensus reports whether the noisy highest vote passed the
+	// threshold check (Alg. 5 step 5).
+	Consensus bool
+	// Label is the released label i~* (the argmax of the noisy votes),
+	// or -1 when no consensus was reached.
+	Label int
+}
+
+// comparerS1 abstracts S1's side of a signed secure comparison (satisfied
+// by *dgk.PublicKey).
+type comparerS1 interface {
+	CompareSignedA(context.Context, io.Reader, transport.Conn, *big.Int) (bool, error)
+}
+
+// comparerS2 abstracts S2's side (satisfied by *dgk.PrivateKey and the
+// pooled variant below).
+type comparerS2 interface {
+	CompareSignedB(context.Context, io.Reader, transport.Conn, *big.Int) (bool, error)
+}
+
+// pooledComparerS2 draws DGK bit-encryption nonces from a pre-generated
+// pool.
+type pooledComparerS2 struct {
+	key  *dgk.PrivateKey
+	pool *dgk.NoncePool
+}
+
+// CompareSignedB implements comparerS2.
+func (p pooledComparerS2) CompareSignedB(ctx context.Context, _ io.Reader, conn transport.Conn, v *big.Int) (bool, error) {
+	return p.key.CompareSignedBPooled(ctx, p.pool, conn, v)
+}
+
+// stepSetter lets the engine advance the metering label on metered conns.
+type stepSetter interface{ SetStep(string) }
+
+// setStep updates the traffic-attribution label if conn supports it.
+func setStep(conn transport.Conn, step string) {
+	if s, ok := conn.(stepSetter); ok {
+		s.SetStep(step)
+	}
+}
+
+// timeStep attributes fn's wall time to step in meter (nil meter OK).
+func timeStep(meter *transport.Meter, step string, fn func() error) error {
+	if meter == nil {
+		return fn()
+	}
+	start := time.Now()
+	err := fn()
+	meter.RecordElapsed(step, time.Since(start))
+	return err
+}
+
+// RunS1 executes S1's role in the Private Consensus Protocol (Alg. 5) for
+// one query instance. subs holds every user's ToS1 half (encrypted under
+// pk2). meter may be nil.
+func RunS1(ctx context.Context, rng io.Reader, cfg Config, keys KeysS1,
+	conn transport.Conn, subs []SubmissionHalf, meter *transport.Meter) (*Outcome, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(subs) != cfg.Users {
+		return nil, fmt.Errorf("protocol: got %d submissions, want %d", len(subs), cfg.Users)
+	}
+
+	// Step 2: Secure Sum — aggregate user shares homomorphically.
+	var aggVotes, aggThresh, aggNoisy []*paillier.Ciphertext
+	err := timeStep(meter, StepSecureSum1, func() error {
+		var err error
+		aggVotes, err = aggregate(keys.PeerPub, subs, func(h SubmissionHalf) []*paillier.Ciphertext { return h.Votes })
+		if err != nil {
+			return err
+		}
+		aggThresh, err = aggregate(keys.PeerPub, subs, func(h SubmissionHalf) []*paillier.Ciphertext { return h.Thresh })
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("protocol: S1 secure sum: %w", err)
+	}
+
+	// Step 3: Blind-and-Permute the vote and threshold sequences together.
+	setStep(conn, StepBlindPerm1)
+	var bp *bpResultS1
+	err = timeStep(meter, StepBlindPerm1, func() error {
+		var err error
+		bp, err = blindPermuteS1(ctx, rng, cfg, keys, conn, [][]*paillier.Ciphertext{aggVotes, aggThresh})
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	votesSeq, threshSeq := bp.Plain[0], bp.Plain[1]
+
+	// Step 4: Secure Comparison — all-pairs DGK to find pi(i*).
+	setStep(conn, StepCompare1)
+	var pStar int
+	err = timeStep(meter, StepCompare1, func() error {
+		var err error
+		pStar, err = argmaxPermutedS1(ctx, rng, cfg, keys.DGKPub, conn, votesSeq)
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("protocol: S1 comparison phase 1: %w", err)
+	}
+
+	// Step 5: Threshold Checking at pi(i*) (optionally at all positions).
+	setStep(conn, StepThreshold)
+	var pass bool
+	err = timeStep(meter, StepThreshold, func() error {
+		var err error
+		pass, err = thresholdCheckS1(ctx, rng, cfg, keys.DGKPub, conn, threshSeq, pStar)
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("protocol: S1 threshold check: %w", err)
+	}
+	if !pass {
+		return &Outcome{Consensus: false, Label: -1}, nil
+	}
+
+	// Step 6: second Secure Sum (noisy shares).
+	err = timeStep(meter, StepSecureSum2, func() error {
+		var err error
+		aggNoisy, err = aggregate(keys.PeerPub, subs, func(h SubmissionHalf) []*paillier.Ciphertext { return h.Noisy })
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("protocol: S1 secure sum 2: %w", err)
+	}
+
+	// Step 7: fresh Blind-and-Permute on the noisy votes.
+	setStep(conn, StepBlindPerm2)
+	var bp2 *bpResultS1
+	err = timeStep(meter, StepBlindPerm2, func() error {
+		var err error
+		bp2, err = blindPermuteS1(ctx, rng, cfg, keys, conn, [][]*paillier.Ciphertext{aggNoisy})
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 8: Secure Comparison to find pi'(i~*).
+	setStep(conn, StepCompare2)
+	var pTilde int
+	err = timeStep(meter, StepCompare2, func() error {
+		var err error
+		pTilde, err = argmaxPermutedS1(ctx, rng, cfg, keys.DGKPub, conn, bp2.Plain[0])
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("protocol: S1 comparison phase 2: %w", err)
+	}
+	_ = pTilde // S1's share of the knowledge is pi1'; restoration reveals the label.
+
+	// Step 9: Restoration.
+	setStep(conn, StepRestoration)
+	var label int
+	err = timeStep(meter, StepRestoration, func() error {
+		var err error
+		label, err = restoreS1(ctx, rng, cfg, keys, conn, bp2.Pi1)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{Consensus: true, Label: label}, nil
+}
+
+// RunS2 executes S2's role in Alg. 5. subs holds every user's ToS2 half
+// (encrypted under pk1).
+func RunS2(ctx context.Context, rng io.Reader, cfg Config, keys KeysS2,
+	conn transport.Conn, subs []SubmissionHalf, meter *transport.Meter) (*Outcome, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(subs) != cfg.Users {
+		return nil, fmt.Errorf("protocol: got %d submissions, want %d", len(subs), cfg.Users)
+	}
+
+	// Optional randomness-table optimization for the DGK comparisons.
+	var cmpB comparerS2 = keys.DGK
+	if cfg.UseDGKPool {
+		capacity := cfg.DGKPoolCapacity
+		if capacity <= 0 {
+			capacity = 4 * cfg.Classes * cfg.DGK.L
+		}
+		pool, err := dgk.NewNoncePool(nil, keys.DGK.Public(), capacity, 2)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: DGK pool: %w", err)
+		}
+		defer pool.Close()
+		cmpB = pooledComparerS2{key: keys.DGK, pool: pool}
+	}
+
+	var aggVotes, aggThresh, aggNoisy []*paillier.Ciphertext
+	err := timeStep(meter, StepSecureSum1, func() error {
+		var err error
+		aggVotes, err = aggregate(keys.PeerPub, subs, func(h SubmissionHalf) []*paillier.Ciphertext { return h.Votes })
+		if err != nil {
+			return err
+		}
+		aggThresh, err = aggregate(keys.PeerPub, subs, func(h SubmissionHalf) []*paillier.Ciphertext { return h.Thresh })
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("protocol: S2 secure sum: %w", err)
+	}
+
+	setStep(conn, StepBlindPerm1)
+	var bp *bpResultS2
+	err = timeStep(meter, StepBlindPerm1, func() error {
+		var err error
+		bp, err = blindPermuteS2(ctx, rng, cfg, keys, conn, [][]*paillier.Ciphertext{aggVotes, aggThresh})
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	votesSeq, threshSeq := bp.Plain[0], bp.Plain[1]
+
+	setStep(conn, StepCompare1)
+	var pStar int
+	err = timeStep(meter, StepCompare1, func() error {
+		var err error
+		pStar, err = argmaxPermutedS2(ctx, rng, cfg, cmpB, conn, votesSeq)
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("protocol: S2 comparison phase 1: %w", err)
+	}
+
+	setStep(conn, StepThreshold)
+	var pass bool
+	err = timeStep(meter, StepThreshold, func() error {
+		var err error
+		pass, err = thresholdCheckS2(ctx, rng, cfg, cmpB, conn, threshSeq, pStar)
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("protocol: S2 threshold check: %w", err)
+	}
+	if !pass {
+		return &Outcome{Consensus: false, Label: -1}, nil
+	}
+
+	err = timeStep(meter, StepSecureSum2, func() error {
+		var err error
+		aggNoisy, err = aggregate(keys.PeerPub, subs, func(h SubmissionHalf) []*paillier.Ciphertext { return h.Noisy })
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("protocol: S2 secure sum 2: %w", err)
+	}
+
+	setStep(conn, StepBlindPerm2)
+	var bp2 *bpResultS2
+	err = timeStep(meter, StepBlindPerm2, func() error {
+		var err error
+		bp2, err = blindPermuteS2(ctx, rng, cfg, keys, conn, [][]*paillier.Ciphertext{aggNoisy})
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	setStep(conn, StepCompare2)
+	var pTilde int
+	err = timeStep(meter, StepCompare2, func() error {
+		var err error
+		pTilde, err = argmaxPermutedS2(ctx, rng, cfg, cmpB, conn, bp2.Plain[0])
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("protocol: S2 comparison phase 2: %w", err)
+	}
+
+	setStep(conn, StepRestoration)
+	var label int
+	err = timeStep(meter, StepRestoration, func() error {
+		var err error
+		label, err = restoreS2(ctx, rng, cfg, keys, conn, bp2.Pi2, pTilde)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{Consensus: true, Label: label}, nil
+}
+
+// aggregate homomorphically sums one field of every user's submission half.
+func aggregate(pk *paillier.PublicKey, subs []SubmissionHalf, field func(SubmissionHalf) []*paillier.Ciphertext) ([]*paillier.Ciphertext, error) {
+	first := field(subs[0])
+	out := make([]*paillier.Ciphertext, len(first))
+	for i, c := range first {
+		out[i] = c.Clone()
+	}
+	for u := 1; u < len(subs); u++ {
+		vec := field(subs[u])
+		if len(vec) != len(out) {
+			return nil, fmt.Errorf("protocol: user %d vector length %d != %d", u, len(vec), len(out))
+		}
+		for i, c := range vec {
+			sum, err := pk.Add(out[i], c)
+			if err != nil {
+				return nil, fmt.Errorf("protocol: aggregate user %d class %d: %w", u, i, err)
+			}
+			out[i] = sum
+		}
+	}
+	return out, nil
+}
+
+// argmaxPermutedS1 finds the permuted position of the maximum via all-pairs
+// DGK comparisons (Eq. 7), S1 side. Both parties derive the same result.
+//
+// For the pair (p, q), p < q, S1 supplies seq[p] - seq[q] and S2 supplies
+// its seq[q] - seq[p]; the comparison bit is (c_p' >= c_q') because the
+// common scalar bias cancels in each party's difference.
+func argmaxPermutedS1(ctx context.Context, rng io.Reader, cfg Config, pub comparerS1,
+	conn transport.Conn, seq []*big.Int) (int, error) {
+	k := cfg.Classes
+	wins := newWinsMatrix(k)
+	for p := 0; p < k; p++ {
+		for q := p + 1; q < k; q++ {
+			d := new(big.Int).Sub(seq[p], seq[q])
+			geq, err := pub.CompareSignedA(ctx, rng, conn, d)
+			if err != nil {
+				return -1, fmt.Errorf("compare pair (%d,%d): %w", p, q, err)
+			}
+			wins.set(p, q, geq)
+		}
+	}
+	return wins.winner()
+}
+
+// argmaxPermutedS2 is the S2 (DGK key owner) side of argmaxPermutedS1.
+func argmaxPermutedS2(ctx context.Context, rng io.Reader, cfg Config, key comparerS2,
+	conn transport.Conn, seq []*big.Int) (int, error) {
+	k := cfg.Classes
+	wins := newWinsMatrix(k)
+	for p := 0; p < k; p++ {
+		for q := p + 1; q < k; q++ {
+			d := new(big.Int).Sub(seq[q], seq[p])
+			geq, err := key.CompareSignedB(ctx, rng, conn, d)
+			if err != nil {
+				return -1, fmt.Errorf("compare pair (%d,%d): %w", p, q, err)
+			}
+			wins.set(p, q, geq)
+		}
+	}
+	return wins.winner()
+}
+
+// winsMatrix records pairwise >= outcomes; ties are awarded to the lower
+// permuted position so both servers resolve them identically.
+type winsMatrix struct {
+	k    int
+	beat [][]bool
+}
+
+func newWinsMatrix(k int) *winsMatrix {
+	m := &winsMatrix{k: k, beat: make([][]bool, k)}
+	for i := range m.beat {
+		m.beat[i] = make([]bool, k)
+	}
+	return m
+}
+
+// set records the outcome of the (p, q) comparison (p < q): geq means
+// value_p >= value_q.
+func (m *winsMatrix) set(p, q int, geq bool) {
+	m.beat[p][q] = geq
+	m.beat[q][p] = !geq
+}
+
+// winner returns the position that beats every other position.
+func (m *winsMatrix) winner() (int, error) {
+	for p := 0; p < m.k; p++ {
+		all := true
+		for q := 0; q < m.k; q++ {
+			if q != p && !m.beat[p][q] {
+				all = false
+				break
+			}
+		}
+		if all {
+			return p, nil
+		}
+	}
+	// Unreachable for outcomes derived from a total preorder.
+	return -1, fmt.Errorf("protocol: comparison outcomes are inconsistent (no total winner)")
+}
+
+// thresholdCheckS1 runs the Alg. 5 step 5 DGK check, S1 side: at each
+// checked position p the parties compare S1's threshSeq[p] against S2's,
+// which decides c_p + 2*z1_p >= T since the shared bias r' cancels. Only
+// the bit at pStar matters; with ThresholdAllPositions every position is
+// checked so traffic does not depend on pStar.
+func thresholdCheckS1(ctx context.Context, rng io.Reader, cfg Config, pub comparerS1,
+	conn transport.Conn, threshSeq []*big.Int, pStar int) (bool, error) {
+	positions := checkPositions(cfg, pStar)
+	pass := false
+	for _, p := range positions {
+		geq, err := pub.CompareSignedA(ctx, rng, conn, threshSeq[p])
+		if err != nil {
+			return false, fmt.Errorf("threshold position %d: %w", p, err)
+		}
+		if p == pStar {
+			pass = geq
+		}
+	}
+	return pass, nil
+}
+
+// thresholdCheckS2 is the S2 side of thresholdCheckS1.
+func thresholdCheckS2(ctx context.Context, rng io.Reader, cfg Config, key comparerS2,
+	conn transport.Conn, threshSeq []*big.Int, pStar int) (bool, error) {
+	positions := checkPositions(cfg, pStar)
+	pass := false
+	for _, p := range positions {
+		geq, err := key.CompareSignedB(ctx, rng, conn, threshSeq[p])
+		if err != nil {
+			return false, fmt.Errorf("threshold position %d: %w", p, err)
+		}
+		if p == pStar {
+			pass = geq
+		}
+	}
+	return pass, nil
+}
+
+// checkPositions returns the permuted positions to threshold-check.
+func checkPositions(cfg Config, pStar int) []int {
+	if !cfg.ThresholdAllPositions {
+		return []int{pStar}
+	}
+	out := make([]int, cfg.Classes)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,432 @@
+// Package protocol implements the paper's primary contribution: the Private
+// Consensus Protocol (Alg. 5) together with its Blind-and-Permute (Alg. 2)
+// and Restoration (Alg. 3) sub-protocols, run between two non-colluding
+// servers S1 and S2 over a transport.Conn.
+//
+// Value representation: every vote, mask and noise term is an integer in
+// fixed-point "vote units" with VoteScale units per vote, so one-hot and
+// softmax (probabilistic) predictions flow through the same pipeline and the
+// homomorphic arithmetic is exact.
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/big"
+	"math/rand"
+
+	"github.com/privconsensus/privconsensus/internal/dgk"
+	"github.com/privconsensus/privconsensus/internal/dp"
+	"github.com/privconsensus/privconsensus/internal/paillier"
+	"github.com/privconsensus/privconsensus/internal/secshare"
+)
+
+// VoteScale is the number of integer units per vote (2^16 fractional bits,
+// matching the paper's fixed-point precision, Eq. 8).
+const VoteScale = 1 << 16
+
+// Step labels used for metering, matching Alg. 5's step numbers and the
+// rows of Tables I and II.
+const (
+	StepSecureSum1  = "secure-sum(2)"
+	StepBlindPerm1  = "blind-and-permute(3)"
+	StepCompare1    = "secure-comparison(4)"
+	StepThreshold   = "threshold-checking(5)"
+	StepSecureSum2  = "secure-sum(6)"
+	StepBlindPerm2  = "blind-and-permute(7)"
+	StepCompare2    = "secure-comparison(8)"
+	StepRestoration = "restoration(9)"
+)
+
+// Errors returned by the package.
+var (
+	ErrBadConfig    = errors.New("protocol: invalid configuration")
+	ErrVoteRange    = errors.New("protocol: vote outside [0, VoteScale]")
+	ErrNoConsensus  = errors.New("protocol: threshold not met")
+	ErrPeerMismatch = errors.New("protocol: peers disagree on protocol state")
+)
+
+// Config parameterizes one run of the private consensus protocol.
+type Config struct {
+	// Classes is K, the number of labels.
+	Classes int
+	// Users is |U|.
+	Users int
+	// ThresholdFrac is the consensus threshold T as a fraction of the
+	// total users (the paper defaults to 0.6).
+	ThresholdFrac float64
+	// Sigma1 is the SVT noise deviation in votes.
+	Sigma1 float64
+	// Sigma2 is the Report Noisy Maximum deviation in votes.
+	Sigma2 float64
+	// Kappa is the statistical share-masking bit length.
+	Kappa int
+	// PaillierBits is the Paillier modulus size (the paper uses 64).
+	PaillierBits int
+	// DGK parameterizes the comparison cryptosystem.
+	DGK dgk.Params
+	// ThresholdAllPositions runs the DGK threshold check at every
+	// permuted position rather than only at pi(i*). This matches the
+	// traffic ratios of the paper's Table II and avoids revealing
+	// timing-wise which position was checked.
+	ThresholdAllPositions bool
+	// UseDGKPool lets S2 draw its DGK bit-encryption blinding factors
+	// from a concurrently pre-generated pool (the paper's randomness
+	// table optimization, §VI-A, applied to the dominant comparison
+	// cost). The pool uses crypto/rand; protocol decisions are
+	// unaffected.
+	UseDGKPool bool
+	// DGKPoolCapacity sizes the pool (0 selects 4 * Classes * DGK.L).
+	DGKPoolCapacity int
+}
+
+// DefaultConfig mirrors the paper's experimental setup: 10 classes,
+// threshold 60%, 64-bit Paillier keys.
+func DefaultConfig(users int) Config {
+	return Config{
+		Classes:               10,
+		Users:                 users,
+		ThresholdFrac:         0.6,
+		Sigma1:                4,
+		Sigma2:                2,
+		Kappa:                 40,
+		PaillierBits:          64,
+		DGK:                   dgk.Params{NBits: 192, TBits: 40, U: 1009, L: 56},
+		ThresholdAllPositions: true,
+	}
+}
+
+// Validate checks the configuration, including that all protocol
+// intermediate values fit within the DGK comparison bit length.
+func (c Config) Validate() error {
+	if c.Classes < 2 {
+		return fmt.Errorf("%w: need at least 2 classes, got %d", ErrBadConfig, c.Classes)
+	}
+	if c.Users < 1 {
+		return fmt.Errorf("%w: need at least 1 user, got %d", ErrBadConfig, c.Users)
+	}
+	if c.ThresholdFrac < 0 || c.ThresholdFrac > 1 {
+		return fmt.Errorf("%w: threshold fraction %g outside [0, 1]", ErrBadConfig, c.ThresholdFrac)
+	}
+	if c.Sigma1 < 0 || c.Sigma2 < 0 {
+		return fmt.Errorf("%w: negative sigma", ErrBadConfig)
+	}
+	if c.Kappa < 8 {
+		return fmt.Errorf("%w: kappa %d too small (min 8)", ErrBadConfig, c.Kappa)
+	}
+	if c.PaillierBits < 16 {
+		return fmt.Errorf("%w: Paillier key %d bits too small", ErrBadConfig, c.PaillierBits)
+	}
+	if err := c.DGK.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	// Bound the largest signed value the DGK comparison ever sees:
+	// differences of two masked aggregated sequences plus noise.
+	bound := c.valueBound()
+	if bound.BitLen() >= c.DGK.L-1 {
+		return fmt.Errorf("%w: values up to %d bits exceed DGK bit length %d",
+			ErrBadConfig, bound.BitLen(), c.DGK.L)
+	}
+	// The Paillier plaintext ring must hold the same signed values.
+	if bound.BitLen() >= c.PaillierBits-2 {
+		return fmt.Errorf("%w: values up to %d bits exceed Paillier plaintext space (%d-bit modulus)",
+			ErrBadConfig, bound.BitLen(), c.PaillierBits)
+	}
+	return nil
+}
+
+// valueBound returns an upper bound on |v| for any value v entering a DGK
+// comparison: masked aggregated share differences plus aggregate noise.
+func (c Config) valueBound() *big.Int {
+	users := big.NewInt(int64(c.Users))
+	// Per-user share magnitude: vote (<= VoteScale) + masking 2^kappa.
+	perUser := new(big.Int).Lsh(big.NewInt(1), uint(c.Kappa))
+	perUser.Add(perUser, big.NewInt(VoteScale))
+	agg := new(big.Int).Mul(users, perUser)
+	// Scalar blind masks r1 + r2 (2 * 2^kappa).
+	agg.Add(agg, new(big.Int).Lsh(big.NewInt(1), uint(c.Kappa+1)))
+	// Noise: clamped to +-noiseClamp() per position, doubled in recombination.
+	agg.Add(agg, new(big.Int).Lsh(c.noiseClamp(), 1))
+	// Threshold offset <= T/2 <= users*VoteScale/2.
+	agg.Add(agg, new(big.Int).Mul(users, big.NewInt(VoteScale/2)))
+	// Differences double the magnitude.
+	return agg.Lsh(agg, 1)
+}
+
+// noiseClamp bounds the magnitude of any integer noise share: 2^kappa
+// units. Exceeding it has probability < exp(-2^20) for realistic sigmas;
+// clamping keeps the bit-length analysis airtight.
+func (c Config) noiseClamp() *big.Int {
+	return new(big.Int).Lsh(big.NewInt(1), uint(c.Kappa))
+}
+
+// ThresholdUnits returns T in vote units, rounded to the nearest even
+// integer so T/2 is exact.
+func (c Config) ThresholdUnits() *big.Int {
+	t := int64(math.Round(c.ThresholdFrac * float64(c.Users) * VoteScale / 2))
+	return big.NewInt(2 * t)
+}
+
+// PerUserOffset returns user u's share of T/2 such that the offsets of all
+// users sum exactly to T/2: floor division with the remainder spread over
+// the first users.
+func (c Config) PerUserOffset(user int) (*big.Int, error) {
+	if user < 0 || user >= c.Users {
+		return nil, fmt.Errorf("protocol: user index %d outside [0, %d)", user, c.Users)
+	}
+	half := new(big.Int).Rsh(c.ThresholdUnits(), 1)
+	q, r := new(big.Int).DivMod(half, big.NewInt(int64(c.Users)), new(big.Int))
+	if int64(user) < r.Int64() {
+		q.Add(q, big.NewInt(1))
+	}
+	return q, nil
+}
+
+// Keys bundles all key material for a protocol deployment. S1 owns the
+// (pk1, sk1) Paillier pair, S2 owns (pk2, sk2) and the DGK key.
+type Keys struct {
+	S1Paillier *paillier.PrivateKey
+	S2Paillier *paillier.PrivateKey
+	S2DGK      *dgk.PrivateKey
+}
+
+// GenerateKeys creates all key material for cfg.
+func GenerateKeys(rng io.Reader, cfg Config) (*Keys, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	k1, err := paillier.GenerateKey(rng, cfg.PaillierBits)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: S1 Paillier key: %w", err)
+	}
+	k2, err := paillier.GenerateKey(rng, cfg.PaillierBits)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: S2 Paillier key: %w", err)
+	}
+	dk, err := dgk.GenerateKey(rng, cfg.DGK)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: S2 DGK key: %w", err)
+	}
+	return &Keys{S1Paillier: k1, S2Paillier: k2, S2DGK: dk}, nil
+}
+
+// KeysS1 is the key material visible to S1.
+type KeysS1 struct {
+	Own     *paillier.PrivateKey // (pk1, sk1)
+	PeerPub *paillier.PublicKey  // pk2
+	DGKPub  *dgk.PublicKey
+}
+
+// KeysS2 is the key material visible to S2.
+type KeysS2 struct {
+	Own     *paillier.PrivateKey // (pk2, sk2)
+	PeerPub *paillier.PublicKey  // pk1
+	DGK     *dgk.PrivateKey
+}
+
+// ForS1 extracts S1's view of the keys.
+func (k *Keys) ForS1() KeysS1 {
+	return KeysS1{Own: k.S1Paillier, PeerPub: k.S2Paillier.Public(), DGKPub: k.S2DGK.Public()}
+}
+
+// ForS2 extracts S2's view of the keys.
+func (k *Keys) ForS2() KeysS2 {
+	return KeysS2{Own: k.S2Paillier, PeerPub: k.S1Paillier.Public(), DGK: k.S2DGK}
+}
+
+// SubmissionHalf is the encrypted material one user sends to one server for
+// one query instance (Alg. 5 setup + both Secure Sum steps).
+type SubmissionHalf struct {
+	// Votes is E[share] of the user's prediction vector.
+	Votes []*paillier.Ciphertext
+	// Thresh is E[share -/+ T/(2|U|) +/- z1] (sign depends on server).
+	Thresh []*paillier.Ciphertext
+	// Noisy is E[share + z2] for the Report Noisy Maximum phase.
+	Noisy []*paillier.Ciphertext
+}
+
+// Submission is one user's full encrypted contribution: ToS1 is encrypted
+// under pk2 (so S1 cannot read it), ToS2 under pk1.
+type Submission struct {
+	ToS1 SubmissionHalf
+	ToS2 SubmissionHalf
+}
+
+// Disclosure carries the plaintext values underlying a Submission, used
+// only by tests and by the plaintext reference path.
+type Disclosure struct {
+	Votes []*big.Int // vote units
+	Z1    []*big.Int // per-class SVT noise shares (units)
+	Z2    []*big.Int // per-class RNM noise shares (units)
+}
+
+// BuildSubmission constructs user `user`'s encrypted submission for one
+// instance. votes must be a Classes-length vector in vote units, each
+// element in [0, VoteScale]. cryptoRNG supplies encryption randomness;
+// noiseRNG supplies the user's local Gaussian noise (§IV-D). pk1 and pk2
+// are the servers' Paillier public keys: material destined for S1 is
+// encrypted under pk2 and vice versa, so neither server can read what it
+// stores.
+func BuildSubmission(cryptoRNG io.Reader, noiseRNG *rand.Rand, cfg Config, user int,
+	votes []*big.Int, pk1, pk2 *paillier.PublicKey) (*Submission, *Disclosure, error) {
+	if len(votes) != cfg.Classes {
+		return nil, nil, fmt.Errorf("protocol: votes length %d != classes %d", len(votes), cfg.Classes)
+	}
+	for i, v := range votes {
+		if v == nil || v.Sign() < 0 || v.Cmp(big.NewInt(VoteScale)) > 0 {
+			return nil, nil, fmt.Errorf("%w: class %d value %v", ErrVoteRange, i, v)
+		}
+	}
+	offset, err := cfg.PerUserOffset(user)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	a, b, err := secshare.Split(cryptoRNG, votes, cfg.Kappa)
+	if err != nil {
+		return nil, nil, fmt.Errorf("protocol: split votes: %w", err)
+	}
+
+	z1, err := cfg.sampleNoiseShares(noiseRNG, cfg.Sigma1)
+	if err != nil {
+		return nil, nil, err
+	}
+	z2, err := cfg.sampleNoiseShares(noiseRNG, cfg.Sigma2)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	threshS1, threshS2, err := secshare.ThresholdShares(a, b, z1, offset)
+	if err != nil {
+		return nil, nil, err
+	}
+	noisyS1, noisyS2, err := secshare.NoisyShares(a, b, z2)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	sub := &Submission{}
+	if sub.ToS1.Votes, err = pk2.EncryptSignedVector(cryptoRNG, a); err != nil {
+		return nil, nil, fmt.Errorf("protocol: encrypt a shares: %w", err)
+	}
+	if sub.ToS1.Thresh, err = pk2.EncryptSignedVector(cryptoRNG, threshS1); err != nil {
+		return nil, nil, fmt.Errorf("protocol: encrypt threshold shares for S1: %w", err)
+	}
+	if sub.ToS1.Noisy, err = pk2.EncryptSignedVector(cryptoRNG, noisyS1); err != nil {
+		return nil, nil, fmt.Errorf("protocol: encrypt noisy shares for S1: %w", err)
+	}
+	if sub.ToS2.Votes, err = pk1.EncryptSignedVector(cryptoRNG, b); err != nil {
+		return nil, nil, fmt.Errorf("protocol: encrypt b shares: %w", err)
+	}
+	if sub.ToS2.Thresh, err = pk1.EncryptSignedVector(cryptoRNG, threshS2); err != nil {
+		return nil, nil, fmt.Errorf("protocol: encrypt threshold shares for S2: %w", err)
+	}
+	if sub.ToS2.Noisy, err = pk1.EncryptSignedVector(cryptoRNG, noisyS2); err != nil {
+		return nil, nil, fmt.Errorf("protocol: encrypt noisy shares for S2: %w", err)
+	}
+	return sub, &Disclosure{Votes: votes, Z1: z1, Z2: z2}, nil
+}
+
+// SubmissionBytes returns the encoded wire size of one submission half as
+// it would cross the user-to-server link, for Table II accounting.
+func SubmissionBytes(h SubmissionHalf) int {
+	size := 0
+	for _, group := range [][]*paillier.Ciphertext{h.Votes, h.Thresh, h.Noisy} {
+		for _, c := range group {
+			// sign byte + 4-byte length + payload, as in the codec.
+			size += 5 + len(c.Bytes())
+		}
+	}
+	return size
+}
+
+// PlainOutcome is the plaintext reference implementation of Alg. 4 / Alg. 5
+// given the aggregated votes and aggregated noise share vectors (all in
+// vote units). The crypto path must produce the identical decision for the
+// same noise draws; tests assert this.
+//
+// Tie-breaking: the lowest index among maximal elements wins. The crypto
+// path breaks ties by permuted position, i.e. uniformly at random among the
+// tied classes, so exact-match tests use tie-free inputs.
+func PlainOutcome(votes, z1, z2 []*big.Int, thresholdUnits *big.Int) (consensus bool, label int, err error) {
+	if len(votes) == 0 || len(votes) != len(z1) || len(votes) != len(z2) {
+		return false, -1, fmt.Errorf("protocol: length mismatch votes=%d z1=%d z2=%d", len(votes), len(z1), len(z2))
+	}
+	iStar := argmaxBig(votes)
+	// SVT check: c_{i*} + 2*Σz1_{i*} >= T (the factor 2 comes from the
+	// +z1/-z1 share construction; dp calibrates variances accordingly).
+	check := new(big.Int).Add(votes[iStar], new(big.Int).Lsh(z1[iStar], 1))
+	if check.Cmp(thresholdUnits) < 0 {
+		return false, -1, nil
+	}
+	noisy := make([]*big.Int, len(votes))
+	for i := range votes {
+		noisy[i] = new(big.Int).Add(votes[i], new(big.Int).Lsh(z2[i], 1))
+	}
+	return true, argmaxBig(noisy), nil
+}
+
+// argmaxBig returns the lowest index attaining the maximum.
+func argmaxBig(vs []*big.Int) int {
+	best := 0
+	for i := 1; i < len(vs); i++ {
+		if vs[i].Cmp(vs[best]) > 0 {
+			best = i
+		}
+	}
+	return best
+}
+
+// AggregateDisclosures sums per-user plaintext disclosures for the
+// reference path.
+func AggregateDisclosures(ds []*Disclosure) (votes, z1, z2 []*big.Int, err error) {
+	if len(ds) == 0 {
+		return nil, nil, nil, fmt.Errorf("protocol: no disclosures")
+	}
+	vv := make([][]*big.Int, len(ds))
+	zz1 := make([][]*big.Int, len(ds))
+	zz2 := make([][]*big.Int, len(ds))
+	for i, d := range ds {
+		vv[i], zz1[i], zz2[i] = d.Votes, d.Z1, d.Z2
+	}
+	if votes, err = secshare.SumShares(vv); err != nil {
+		return nil, nil, nil, err
+	}
+	if z1, err = secshare.SumShares(zz1); err != nil {
+		return nil, nil, nil, err
+	}
+	if z2, err = secshare.SumShares(zz2); err != nil {
+		return nil, nil, nil, err
+	}
+	return votes, z1, z2, nil
+}
+
+// sampleNoiseShares draws the per-user, per-class Gaussian noise shares in
+// integer units, clamped to the configured bound.
+func (c Config) sampleNoiseShares(noiseRNG *rand.Rand, sigmaVotes float64) ([]*big.Int, error) {
+	out := make([]*big.Int, c.Classes)
+	if sigmaVotes == 0 {
+		for i := range out {
+			out[i] = big.NewInt(0)
+		}
+		return out, nil
+	}
+	perUser, err := dp.UserNoiseSigma1(sigmaVotes*VoteScale, c.Users)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: noise calibration: %w", err)
+	}
+	clamp := c.noiseClamp()
+	negClamp := new(big.Int).Neg(clamp)
+	for i := range out {
+		z := big.NewInt(int64(math.Round(dp.Gaussian(noiseRNG, perUser))))
+		if z.Cmp(clamp) > 0 {
+			z.Set(clamp)
+		} else if z.Cmp(negClamp) < 0 {
+			z.Set(negClamp)
+		}
+		out[i] = z
+	}
+	return out, nil
+}

@@ -1,0 +1,96 @@
+package transport
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Segmentation codec mirroring the paper's workaround for passing Paillier
+// ciphertexts through fixed-capacity tensor objects (§VI-A "Encrypted
+// numbers converted to tensors"): a ciphertext too large for one unit is
+// split into 18-decimal-digit segments before transmission and recomposed
+// on receipt. In Go this is not needed for correctness (the codec handles
+// arbitrary precision), but it is implemented faithfully so the message
+// inflation it causes can be measured (BenchmarkTransportSegmentation).
+
+// SegmentDigits is the decimal capacity of one transported unit, matching
+// the paper's 18-digit segments (the largest power of ten below 2^63).
+const SegmentDigits = 18
+
+var segmentModulus = func() *big.Int {
+	m := big.NewInt(10)
+	m.Exp(m, big.NewInt(SegmentDigits), nil)
+	return m
+}()
+
+// Segment splits a non-negative integer into little-endian base-10^18
+// segments, each fitting in an int64 "tensor element". Zero encodes as a
+// single zero segment.
+func Segment(v *big.Int) ([]int64, error) {
+	if v == nil || v.Sign() < 0 {
+		return nil, fmt.Errorf("transport: cannot segment %v (must be non-negative)", v)
+	}
+	if v.Sign() == 0 {
+		return []int64{0}, nil
+	}
+	var segs []int64
+	rest := new(big.Int).Set(v)
+	digit := new(big.Int)
+	for rest.Sign() > 0 {
+		rest.DivMod(rest, segmentModulus, digit)
+		segs = append(segs, digit.Int64())
+	}
+	return segs, nil
+}
+
+// Recompose reverses Segment.
+func Recompose(segs []int64) (*big.Int, error) {
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("transport: cannot recompose empty segment list")
+	}
+	out := new(big.Int)
+	for i := len(segs) - 1; i >= 0; i-- {
+		if segs[i] < 0 || segs[i] >= segmentModulus.Int64() {
+			return nil, fmt.Errorf("transport: segment %d value %d out of range", i, segs[i])
+		}
+		out.Mul(out, segmentModulus)
+		out.Add(out, big.NewInt(segs[i]))
+	}
+	return out, nil
+}
+
+// SegmentVector segments each element, returning the flattened segments and
+// per-element segment counts needed to recompose.
+func SegmentVector(vs []*big.Int) (segs []int64, counts []int, err error) {
+	counts = make([]int, len(vs))
+	for i, v := range vs {
+		s, err := Segment(v)
+		if err != nil {
+			return nil, nil, fmt.Errorf("transport: segment element %d: %w", i, err)
+		}
+		counts[i] = len(s)
+		segs = append(segs, s...)
+	}
+	return segs, counts, nil
+}
+
+// RecomposeVector reverses SegmentVector.
+func RecomposeVector(segs []int64, counts []int) ([]*big.Int, error) {
+	out := make([]*big.Int, len(counts))
+	pos := 0
+	for i, n := range counts {
+		if n <= 0 || pos+n > len(segs) {
+			return nil, fmt.Errorf("transport: invalid segment count %d at element %d", n, i)
+		}
+		v, err := Recompose(segs[pos : pos+n])
+		if err != nil {
+			return nil, fmt.Errorf("transport: recompose element %d: %w", i, err)
+		}
+		out[i] = v
+		pos += n
+	}
+	if pos != len(segs) {
+		return nil, fmt.Errorf("transport: %d trailing segments", len(segs)-pos)
+	}
+	return out, nil
+}

@@ -1,0 +1,167 @@
+// Package transport moves protocol messages between parties (users, S1, S2).
+//
+// It provides an in-process implementation for simulations and tests, a TCP
+// implementation (stdlib net) for real deployments, a length-prefixed binary
+// codec for sequences of big integers, and per-step byte/time accounting used
+// to regenerate the paper's Tables I and II.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Message is the unit exchanged between parties. Values carries big-integer
+// payloads (ciphertexts, masked plaintexts, bits); Flags carries small
+// scalar side-channel-free metadata such as protocol round markers.
+type Message struct {
+	// Kind tags the protocol message type (for sanity checking).
+	Kind MessageKind
+	// Values is the big-integer payload.
+	Values []*big.Int
+	// Flags carries small integers (e.g. comparison outcome bits).
+	Flags []int64
+}
+
+// MessageKind enumerates protocol message types.
+type MessageKind uint8
+
+// Message kinds, one per distinct protocol hop.
+const (
+	KindShares MessageKind = iota + 1
+	KindCipherSeq
+	KindPlainSeq
+	KindBits
+	KindResult
+	KindControl
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (k MessageKind) String() string {
+	switch k {
+	case KindShares:
+		return "shares"
+	case KindCipherSeq:
+		return "cipher-seq"
+	case KindPlainSeq:
+		return "plain-seq"
+	case KindBits:
+		return "bits"
+	case KindResult:
+		return "result"
+	case KindControl:
+		return "control"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Conn is a bidirectional, ordered, reliable message channel between two
+// parties. Implementations must be safe for one concurrent sender and one
+// concurrent receiver.
+type Conn interface {
+	// Send transmits msg, blocking until accepted or ctx is done.
+	Send(ctx context.Context, msg *Message) error
+	// Recv blocks for the next message or until ctx is done.
+	Recv(ctx context.Context) (*Message, error)
+	// Close releases the connection; pending Recv calls fail.
+	Close() error
+}
+
+// ErrClosed is returned for operations on a closed connection.
+var ErrClosed = errors.New("transport: connection closed")
+
+// ExpectKind receives a message and verifies its kind, a common pattern in
+// the lock-step protocol implementations.
+func ExpectKind(ctx context.Context, c Conn, want MessageKind) (*Message, error) {
+	msg, err := c.Recv(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if msg.Kind != want {
+		return nil, fmt.Errorf("transport: expected %v message, got %v", want, msg.Kind)
+	}
+	return msg, nil
+}
+
+// memConn is one end of an in-process connection pair.
+type memConn struct {
+	send chan<- *Message
+	recv <-chan *Message
+	done chan struct{}
+	peer *memConn
+}
+
+// Pair returns two connected in-process endpoints. Messages sent on one are
+// received on the other, in order. Buffering of one message per direction
+// keeps strictly alternating protocols from deadlocking on a single
+// goroutine boundary while still applying backpressure.
+func Pair() (Conn, Conn) {
+	ab := make(chan *Message, 1)
+	ba := make(chan *Message, 1)
+	a := &memConn{send: ab, recv: ba, done: make(chan struct{})}
+	b := &memConn{send: ba, recv: ab, done: make(chan struct{})}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+func (c *memConn) Send(ctx context.Context, msg *Message) error {
+	if msg == nil {
+		return errors.New("transport: nil message")
+	}
+	select {
+	case <-c.done:
+		return ErrClosed
+	case <-c.peer.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case c.send <- msg:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-c.done:
+		return ErrClosed
+	case <-c.peer.done:
+		return ErrClosed
+	}
+}
+
+func (c *memConn) Recv(ctx context.Context) (*Message, error) {
+	// Drain any buffered message even if the peer has closed.
+	select {
+	case msg := <-c.recv:
+		return msg, nil
+	default:
+	}
+	select {
+	case msg := <-c.recv:
+		return msg, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-c.done:
+		return nil, ErrClosed
+	case <-c.peer.done:
+		// Peer closed; one final drain attempt to avoid losing a
+		// message raced with the close.
+		select {
+		case msg := <-c.recv:
+			return msg, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+func (c *memConn) Close() error {
+	select {
+	case <-c.done:
+		return nil
+	default:
+		close(c.done)
+		return nil
+	}
+}
