@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build vet test race bench ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short benchmark pass: the parallelism sweep plus the protocol step bench,
+# one iteration each, so CI catches bench-harness rot without long runs.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkArgmaxParallelism|BenchmarkTable1ProtocolSteps' -benchtime=1x .
+
+ci: build vet race bench

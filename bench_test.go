@@ -12,14 +12,18 @@ package privconsensus
 
 import (
 	"context"
+	"fmt"
 	"math/big"
 	"math/rand"
+	"runtime"
 	"testing"
+	"time"
 
 	"github.com/privconsensus/privconsensus/internal/dgk"
 	"github.com/privconsensus/privconsensus/internal/experiments"
 	"github.com/privconsensus/privconsensus/internal/ml"
 	"github.com/privconsensus/privconsensus/internal/paillier"
+	"github.com/privconsensus/privconsensus/internal/protocol"
 	"github.com/privconsensus/privconsensus/internal/transport"
 )
 
@@ -225,6 +229,44 @@ func BenchmarkSelfTraining(b *testing.B) {
 				acc = res.StudentAccuracy
 			}
 			b.ReportMetric(acc, "student-acc")
+		})
+	}
+}
+
+// BenchmarkArgmaxParallelism sweeps the protocol worker bound over the
+// paper's K=10 workload and isolates the comparison phases — the all-pairs
+// DGK argmax rounds that the multiplexed transport parallelizes. Each
+// sub-benchmark reports the summed secure-comparison time and the overall
+// per-instance runtime; compare "par=1" (the original sequential protocol)
+// against the higher settings.
+func BenchmarkArgmaxParallelism(b *testing.B) {
+	levels := []int{1, 2, 4, runtime.NumCPU()}
+	seen := make(map[int]bool)
+	for _, par := range levels {
+		if seen[par] {
+			continue
+		}
+		seen[par] = true
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			var compare, overall time.Duration
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.ProtocolBench(experiments.ProtocolBenchConfig{
+					Instances: 1, Users: 10, Classes: 10,
+					Seed: int64(i + 1), ForceConsensus: true,
+					Parallelism: par,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				overall += res.Overall
+				for _, s := range res.Steps {
+					if s.Step == protocol.StepCompare1 || s.Step == protocol.StepCompare2 {
+						compare += s.AvgTime
+					}
+				}
+			}
+			b.ReportMetric(float64(compare.Milliseconds())/float64(b.N), "compare-ms/inst")
+			b.ReportMetric(float64(overall.Milliseconds())/float64(b.N), "overall-ms/inst")
 		})
 	}
 }

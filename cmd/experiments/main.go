@@ -43,6 +43,7 @@ func run(args []string) error {
 		benchU    = fs.Int("bench-users", 10, "user count for table1/table2")
 		svgDir    = fs.String("svg", "", "also write each figure as an SVG into this directory")
 		dgkPool   = fs.Bool("dgkpool", false, "enable the DGK nonce pool for table1/table2")
+		par       = fs.Int("parallelism", 0, "protocol worker bound for table1/table2 (0 = NumCPU, 1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,6 +84,7 @@ func run(args []string) error {
 	pb.Users = *benchU
 	pb.Seed = *seed
 	pb.UseDGKPool = *dgkPool
+	pb.Parallelism = *par
 	if *instances > 0 {
 		pb.Instances = *instances
 	}

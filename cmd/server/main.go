@@ -41,6 +41,7 @@ func run(args []string) error {
 		instances = fs.Int("instances", 1, "number of query instances to run")
 		timeout   = fs.Duration("timeout", 10*time.Minute, "overall deadline")
 		seed      = fs.Int64("seed", 0, "deterministic seed (0 = crypto/rand)")
+		par       = fs.Int("parallelism", 0, "protocol worker bound (0 = key file / NumCPU, 1 = sequential wire format; both servers must agree)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,11 +56,12 @@ func run(args []string) error {
 	defer stop()
 
 	opts := deploy.ServerOptions{
-		ListenAddr: *listen,
-		PeerAddr:   *peer,
-		Instances:  *instances,
-		Seed:       *seed,
-		Logf:       deploy.DefaultLogger("[" + *role + "] "),
+		ListenAddr:  *listen,
+		PeerAddr:    *peer,
+		Instances:   *instances,
+		Seed:        *seed,
+		Parallelism: *par,
+		Logf:        deploy.DefaultLogger("[" + *role + "] "),
 	}
 
 	var outcomes []protocol.Outcome

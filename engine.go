@@ -37,6 +37,13 @@ type Config struct {
 	// DGKBits sizes the DGK comparison modulus. Zero selects a fast
 	// simulation default (192); production should use >= 1024.
 	DGKBits int
+	// Parallelism bounds the workers used for homomorphic aggregation,
+	// Paillier re-randomization, and concurrent DGK comparisons over
+	// multiplexed transport streams. Zero uses runtime.NumCPU; 1 runs the
+	// original sequential single-stream protocol byte for byte. The value
+	// changes the wire format (multiplexed vs plain), so in a two-process
+	// deployment both servers must agree on whether it is 1.
+	Parallelism int
 	// Seed, when non-zero, makes the engine fully deterministic (for
 	// tests and reproducible simulations). Zero uses crypto/rand.
 	Seed int64
@@ -143,6 +150,7 @@ func toProtocolConfig(cfg Config) (protocol.Config, error) {
 	if cfg.DGKBits > 0 {
 		pcfg.DGK = dgk.Params{NBits: cfg.DGKBits, TBits: 40, U: 1009, L: 56}
 	}
+	pcfg.Parallelism = cfg.Parallelism
 	if err := pcfg.Validate(); err != nil {
 		return protocol.Config{}, err
 	}
@@ -237,7 +245,11 @@ func (e *Engine) LabelInstanceMetered(ctx context.Context, votes [][]float64) (*
 func (e *Engine) labelInstance(ctx context.Context, votes [][]float64, subs []*Submission, meter *transport.Meter) (*Outcome, []StepStats, error) {
 	connA, connB := transport.Pair()
 	var c1, c2 transport.Conn = connA, connB
-	if meter != nil {
+	if meter != nil && e.pcfg.Parallelism == 1 {
+		// Sequential mode: a step-labelled wrapper attributes traffic as it
+		// crosses the wire. With multiplexing the protocol meters each
+		// stream itself (attributing receives when the owning comparison
+		// consumes them), so the conns stay raw to avoid double counting.
 		c1 = transport.Metered(connA, meter, "secure-sum(2)")
 		c2 = transport.Metered(connB, nil, "secure-sum(2)")
 	}

@@ -21,6 +21,12 @@ type ServerOptions struct {
 	Instances int
 	// Seed, when non-zero, makes protocol randomness deterministic.
 	Seed int64
+	// Parallelism, when non-zero, overrides the key file's protocol
+	// parallelism: 1 runs the original sequential single-stream protocol,
+	// anything else multiplexes the peer link and runs DGK comparisons
+	// concurrently. The setting changes the wire format, so both server
+	// processes must resolve to the same mode.
+	Parallelism int
 	// Logf receives progress lines; nil silences logging.
 	Logf func(format string, args ...any)
 	// Ready, when non-nil, receives the bound listen address once the
@@ -62,6 +68,9 @@ func RunS1(ctx context.Context, file *keystore.S1File, opts ServerOptions) ([]pr
 		return nil, err
 	}
 	cfg := file.Config
+	if opts.Parallelism != 0 {
+		cfg.Parallelism = opts.Parallelism
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -126,6 +135,9 @@ func RunS2(ctx context.Context, file *keystore.S2File, opts ServerOptions) ([]pr
 		return nil, err
 	}
 	cfg := file.Config
+	if opts.Parallelism != 0 {
+		cfg.Parallelism = opts.Parallelism
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}

@@ -25,6 +25,11 @@ type ProtocolBenchConfig struct {
 	ForceConsensus bool
 	// UseDGKPool enables S2's pre-generated DGK nonce pool.
 	UseDGKPool bool
+	// Parallelism is forwarded to protocol.Config.Parallelism: 0 uses
+	// runtime.NumCPU, 1 reproduces the original sequential single-stream
+	// protocol, anything else multiplexes the transport and runs the DGK
+	// comparison phases concurrently.
+	Parallelism int
 }
 
 // DefaultProtocolBenchConfig mirrors the paper's measurement workload shape
@@ -84,6 +89,7 @@ func ProtocolBench(cfg ProtocolBenchConfig) (*ProtocolBenchResult, error) {
 	pcfg := protocol.DefaultConfig(cfg.Users)
 	pcfg.Classes = cfg.Classes
 	pcfg.UseDGKPool = cfg.UseDGKPool
+	pcfg.Parallelism = cfg.Parallelism
 	if err := pcfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -185,8 +191,14 @@ func halfBytes(cs []*paillier.Ciphertext) int {
 func runCryptoInstance(pcfg protocol.Config, keys *protocol.Keys,
 	subs []*protocol.Submission, meter *transport.Meter, seed int64) (*protocol.Outcome, error) {
 	connA, connB := transport.Pair()
-	c1 := transport.Metered(connA, meter, protocol.StepSecureSum1)
-	c2 := transport.Metered(connB, nil, protocol.StepSecureSum1)
+	var c1, c2 transport.Conn = connA, connB
+	if pcfg.Parallelism == 1 {
+		// Sequential mode meters at the wire; with multiplexing the
+		// protocol meters each stream itself at consume time, so the conns
+		// stay raw to avoid double counting.
+		c1 = transport.Metered(connA, meter, protocol.StepSecureSum1)
+		c2 = transport.Metered(connB, nil, protocol.StepSecureSum1)
+	}
 	defer c1.Close()
 	defer c2.Close()
 

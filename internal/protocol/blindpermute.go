@@ -124,28 +124,33 @@ func blindPermuteS1(ctx context.Context, rng io.Reader, cfg Config, keys KeysS1,
 	}
 
 	// Step 5: decrypt with sk1, re-encrypt under pk2, cancel r3, permute
-	// by pi1, return to S2.
+	// by pi1, return to S2. The per-element decrypt/re-encrypt is the
+	// CPU-heavy re-randomization loop; it fans out across workers.
+	processed := make([]*big.Int, nSeq*k)
+	if err := parallelFor(cfg.parallelism(), nSeq*k, func(idx int) error {
+		s, i := idx/k, idx%k
+		blinded := msg.Values[s*k+i]
+		negR3 := msg.Values[(nSeq+s)*k+i]
+		plain, err := keys.Own.DecryptSigned(&paillier.Ciphertext{C: blinded})
+		if err != nil {
+			return fmt.Errorf("protocol: B&P step 5 decrypt: %w", err)
+		}
+		re, err := pk2.EncryptSigned(rng, plain)
+		if err != nil {
+			return fmt.Errorf("protocol: B&P step 5 re-encrypt: %w", err)
+		}
+		cancelled, err := pk2.Add(re, &paillier.Ciphertext{C: negR3})
+		if err != nil {
+			return fmt.Errorf("protocol: B&P step 5 cancel r3: %w", err)
+		}
+		processed[idx] = cancelled.C
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	reencrypted := make([]*big.Int, 0, nSeq*k)
 	for s := 0; s < nSeq; s++ {
-		blinded := msg.Values[s*k : (s+1)*k]
-		negR3 := msg.Values[(nSeq+s)*k : (nSeq+s+1)*k]
-		seq := make([]*big.Int, k)
-		for i := 0; i < k; i++ {
-			plain, err := keys.Own.DecryptSigned(&paillier.Ciphertext{C: blinded[i]})
-			if err != nil {
-				return nil, fmt.Errorf("protocol: B&P step 5 decrypt: %w", err)
-			}
-			re, err := pk2.EncryptSigned(rng, plain)
-			if err != nil {
-				return nil, fmt.Errorf("protocol: B&P step 5 re-encrypt: %w", err)
-			}
-			cancelled, err := pk2.Add(re, &paillier.Ciphertext{C: negR3[i]})
-			if err != nil {
-				return nil, fmt.Errorf("protocol: B&P step 5 cancel r3: %w", err)
-			}
-			seq[i] = cancelled.C
-		}
-		permuted, err := pi1.Apply(seq)
+		permuted, err := pi1.Apply(processed[s*k : (s+1)*k])
 		if err != nil {
 			return nil, err
 		}
@@ -183,23 +188,30 @@ func blindPermuteS2(ctx context.Context, rng io.Reader, cfg Config, keys KeysS2,
 	if err != nil {
 		return nil, fmt.Errorf("protocol: sample pi2: %w", err)
 	}
+	// The masks draw from rng up front (fixed order), then the Paillier
+	// decryptions — randomness-free — fan out across workers.
 	r2 := make([]*big.Int, nSeq)
-	plainOut := make([]*big.Int, 0, nSeq*k)
 	for s := 0; s < nSeq; s++ {
 		r, err := mathutil.RandBits(rng, cfg.Kappa)
 		if err != nil {
 			return nil, fmt.Errorf("protocol: sample r2: %w", err)
 		}
 		r2[s] = r
-		seq := make([]*big.Int, k)
-		for i := 0; i < k; i++ {
-			plain, err := keys.Own.DecryptSigned(&paillier.Ciphertext{C: msg.Values[s*k+i]})
-			if err != nil {
-				return nil, fmt.Errorf("protocol: B&P step 2 decrypt: %w", err)
-			}
-			seq[i] = plain.Add(plain, r)
+	}
+	decrypted := make([]*big.Int, nSeq*k)
+	if err := parallelFor(cfg.parallelism(), nSeq*k, func(idx int) error {
+		plain, err := keys.Own.DecryptSigned(&paillier.Ciphertext{C: msg.Values[idx]})
+		if err != nil {
+			return fmt.Errorf("protocol: B&P step 2 decrypt: %w", err)
 		}
-		permuted, err := pi2.Apply(seq)
+		decrypted[idx] = plain.Add(plain, r2[idx/k])
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	plainOut := make([]*big.Int, 0, nSeq*k)
+	for s := 0; s < nSeq; s++ {
+		permuted, err := pi2.Apply(decrypted[s*k : (s+1)*k])
 		if err != nil {
 			return nil, err
 		}
@@ -254,16 +266,21 @@ func blindPermuteS2(ctx context.Context, rng io.Reader, cfg Config, keys KeysS2,
 		}
 		payload = append(payload, permuted...)
 	}
+	// Fresh encryptions of -r3 dominate step 4's CPU cost; fan out.
 	pk2own := keys.Own.Public()
-	for s := 0; s < nSeq; s++ {
-		for i := 0; i < k; i++ {
-			c, err := pk2own.EncryptSigned(rng, new(big.Int).Neg(r3[s][i]))
-			if err != nil {
-				return nil, fmt.Errorf("protocol: B&P step 4 encrypt -r3: %w", err)
-			}
-			payload = append(payload, c.C)
+	encNegR3 := make([]*big.Int, nSeq*k)
+	if err := parallelFor(cfg.parallelism(), nSeq*k, func(idx int) error {
+		s, i := idx/k, idx%k
+		c, err := pk2own.EncryptSigned(rng, new(big.Int).Neg(r3[s][i]))
+		if err != nil {
+			return fmt.Errorf("protocol: B&P step 4 encrypt -r3: %w", err)
 		}
+		encNegR3[idx] = c.C
+		return nil
+	}); err != nil {
+		return nil, err
 	}
+	payload = append(payload, encNegR3...)
 	if err := conn.Send(ctx, &transport.Message{Kind: transport.KindCipherSeq, Values: payload}); err != nil {
 		return nil, fmt.Errorf("protocol: B&P step 4 send: %w", err)
 	}
@@ -276,17 +293,20 @@ func blindPermuteS2(ctx context.Context, rng io.Reader, cfg Config, keys KeysS2,
 	if len(msg.Values) != nSeq*k {
 		return nil, fmt.Errorf("%w: B&P step 6 expected %d values, got %d", ErrPeerMismatch, nSeq*k, len(msg.Values))
 	}
+	final := make([]*big.Int, nSeq*k)
+	if err := parallelFor(cfg.parallelism(), nSeq*k, func(idx int) error {
+		plain, err := keys.Own.DecryptSigned(&paillier.Ciphertext{C: msg.Values[idx]})
+		if err != nil {
+			return fmt.Errorf("protocol: B&P step 6 decrypt: %w", err)
+		}
+		final[idx] = plain
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	out := make([][]*big.Int, nSeq)
 	for s := 0; s < nSeq; s++ {
-		seq := make([]*big.Int, k)
-		for i := 0; i < k; i++ {
-			plain, err := keys.Own.DecryptSigned(&paillier.Ciphertext{C: msg.Values[s*k+i]})
-			if err != nil {
-				return nil, fmt.Errorf("protocol: B&P step 6 decrypt: %w", err)
-			}
-			seq[i] = plain
-		}
-		out[s] = seq
+		out[s] = final[s*k : (s+1)*k]
 	}
 	return &bpResultS2{Plain: out, Pi2: pi2}, nil
 }

@@ -79,16 +79,23 @@ func RunS1(ctx context.Context, rng io.Reader, cfg Config, keys KeysS1,
 	if len(subs) != cfg.Users {
 		return nil, fmt.Errorf("protocol: got %d submissions, want %d", len(subs), cfg.Users)
 	}
+	sess := newMuxSession(cfg, conn, meter)
+	if sess.mux != nil {
+		// math/rand sources are not safe for concurrent draws.
+		rng = &lockedReader{r: rng}
+	}
+	conn = sess.seq
+	par := cfg.parallelism()
 
 	// Step 2: Secure Sum — aggregate user shares homomorphically.
 	var aggVotes, aggThresh, aggNoisy []*paillier.Ciphertext
 	err := timeStep(meter, StepSecureSum1, func() error {
 		var err error
-		aggVotes, err = aggregate(keys.PeerPub, subs, func(h SubmissionHalf) []*paillier.Ciphertext { return h.Votes })
+		aggVotes, err = aggregate(keys.PeerPub, subs, par, func(h SubmissionHalf) []*paillier.Ciphertext { return h.Votes })
 		if err != nil {
 			return err
 		}
-		aggThresh, err = aggregate(keys.PeerPub, subs, func(h SubmissionHalf) []*paillier.Ciphertext { return h.Thresh })
+		aggThresh, err = aggregate(keys.PeerPub, subs, par, func(h SubmissionHalf) []*paillier.Ciphertext { return h.Thresh })
 		return err
 	})
 	if err != nil {
@@ -113,7 +120,7 @@ func RunS1(ctx context.Context, rng io.Reader, cfg Config, keys KeysS1,
 	var pStar int
 	err = timeStep(meter, StepCompare1, func() error {
 		var err error
-		pStar, err = argmaxPermutedS1(ctx, rng, cfg, keys.DGKPub, conn, votesSeq)
+		pStar, err = argmaxPermutedS1(ctx, rng, cfg, keys.DGKPub, sess, StepCompare1, votesSeq)
 		return err
 	})
 	if err != nil {
@@ -125,7 +132,7 @@ func RunS1(ctx context.Context, rng io.Reader, cfg Config, keys KeysS1,
 	var pass bool
 	err = timeStep(meter, StepThreshold, func() error {
 		var err error
-		pass, err = thresholdCheckS1(ctx, rng, cfg, keys.DGKPub, conn, threshSeq, pStar)
+		pass, err = thresholdCheckS1(ctx, rng, cfg, keys.DGKPub, sess, threshSeq, pStar)
 		return err
 	})
 	if err != nil {
@@ -138,7 +145,7 @@ func RunS1(ctx context.Context, rng io.Reader, cfg Config, keys KeysS1,
 	// Step 6: second Secure Sum (noisy shares).
 	err = timeStep(meter, StepSecureSum2, func() error {
 		var err error
-		aggNoisy, err = aggregate(keys.PeerPub, subs, func(h SubmissionHalf) []*paillier.Ciphertext { return h.Noisy })
+		aggNoisy, err = aggregate(keys.PeerPub, subs, par, func(h SubmissionHalf) []*paillier.Ciphertext { return h.Noisy })
 		return err
 	})
 	if err != nil {
@@ -162,7 +169,7 @@ func RunS1(ctx context.Context, rng io.Reader, cfg Config, keys KeysS1,
 	var pTilde int
 	err = timeStep(meter, StepCompare2, func() error {
 		var err error
-		pTilde, err = argmaxPermutedS1(ctx, rng, cfg, keys.DGKPub, conn, bp2.Plain[0])
+		pTilde, err = argmaxPermutedS1(ctx, rng, cfg, keys.DGKPub, sess, StepCompare2, bp2.Plain[0])
 		return err
 	})
 	if err != nil {
@@ -194,15 +201,29 @@ func RunS2(ctx context.Context, rng io.Reader, cfg Config, keys KeysS2,
 	if len(subs) != cfg.Users {
 		return nil, fmt.Errorf("protocol: got %d submissions, want %d", len(subs), cfg.Users)
 	}
+	sess := newMuxSession(cfg, conn, meter)
+	if sess.mux != nil {
+		// math/rand sources are not safe for concurrent draws.
+		rng = &lockedReader{r: rng}
+	}
+	conn = sess.seq
+	par := cfg.parallelism()
 
 	// Optional randomness-table optimization for the DGK comparisons.
 	var cmpB comparerS2 = keys.DGK
 	if cfg.UseDGKPool {
 		capacity := cfg.DGKPoolCapacity
 		if capacity <= 0 {
-			capacity = 4 * cfg.Classes * cfg.DGK.L
+			// Every comparison consumes L nonces; cover the full
+			// instance (two all-pairs phases plus threshold checks) so
+			// the pool never drains into on-demand generation.
+			capacity = cfg.comparisonBudget() * cfg.DGK.L
 		}
-		pool, err := dgk.NewNoncePool(nil, keys.DGK.Public(), capacity, 2)
+		workers := 2
+		if par > workers {
+			workers = par
+		}
+		pool, err := dgk.NewNoncePool(nil, keys.DGK.Public(), capacity, workers)
 		if err != nil {
 			return nil, fmt.Errorf("protocol: DGK pool: %w", err)
 		}
@@ -213,11 +234,11 @@ func RunS2(ctx context.Context, rng io.Reader, cfg Config, keys KeysS2,
 	var aggVotes, aggThresh, aggNoisy []*paillier.Ciphertext
 	err := timeStep(meter, StepSecureSum1, func() error {
 		var err error
-		aggVotes, err = aggregate(keys.PeerPub, subs, func(h SubmissionHalf) []*paillier.Ciphertext { return h.Votes })
+		aggVotes, err = aggregate(keys.PeerPub, subs, par, func(h SubmissionHalf) []*paillier.Ciphertext { return h.Votes })
 		if err != nil {
 			return err
 		}
-		aggThresh, err = aggregate(keys.PeerPub, subs, func(h SubmissionHalf) []*paillier.Ciphertext { return h.Thresh })
+		aggThresh, err = aggregate(keys.PeerPub, subs, par, func(h SubmissionHalf) []*paillier.Ciphertext { return h.Thresh })
 		return err
 	})
 	if err != nil {
@@ -240,7 +261,7 @@ func RunS2(ctx context.Context, rng io.Reader, cfg Config, keys KeysS2,
 	var pStar int
 	err = timeStep(meter, StepCompare1, func() error {
 		var err error
-		pStar, err = argmaxPermutedS2(ctx, rng, cfg, cmpB, conn, votesSeq)
+		pStar, err = argmaxPermutedS2(ctx, rng, cfg, cmpB, sess, StepCompare1, votesSeq)
 		return err
 	})
 	if err != nil {
@@ -251,7 +272,7 @@ func RunS2(ctx context.Context, rng io.Reader, cfg Config, keys KeysS2,
 	var pass bool
 	err = timeStep(meter, StepThreshold, func() error {
 		var err error
-		pass, err = thresholdCheckS2(ctx, rng, cfg, cmpB, conn, threshSeq, pStar)
+		pass, err = thresholdCheckS2(ctx, rng, cfg, cmpB, sess, threshSeq, pStar)
 		return err
 	})
 	if err != nil {
@@ -263,7 +284,7 @@ func RunS2(ctx context.Context, rng io.Reader, cfg Config, keys KeysS2,
 
 	err = timeStep(meter, StepSecureSum2, func() error {
 		var err error
-		aggNoisy, err = aggregate(keys.PeerPub, subs, func(h SubmissionHalf) []*paillier.Ciphertext { return h.Noisy })
+		aggNoisy, err = aggregate(keys.PeerPub, subs, par, func(h SubmissionHalf) []*paillier.Ciphertext { return h.Noisy })
 		return err
 	})
 	if err != nil {
@@ -285,7 +306,7 @@ func RunS2(ctx context.Context, rng io.Reader, cfg Config, keys KeysS2,
 	var pTilde int
 	err = timeStep(meter, StepCompare2, func() error {
 		var err error
-		pTilde, err = argmaxPermutedS2(ctx, rng, cfg, cmpB, conn, bp2.Plain[0])
+		pTilde, err = argmaxPermutedS2(ctx, rng, cfg, cmpB, sess, StepCompare2, bp2.Plain[0])
 		return err
 	})
 	if err != nil {
@@ -305,27 +326,83 @@ func RunS2(ctx context.Context, rng io.Reader, cfg Config, keys KeysS2,
 	return &Outcome{Consensus: true, Label: label}, nil
 }
 
-// aggregate homomorphically sums one field of every user's submission half.
-func aggregate(pk *paillier.PublicKey, subs []SubmissionHalf, field func(SubmissionHalf) []*paillier.Ciphertext) ([]*paillier.Ciphertext, error) {
-	first := field(subs[0])
-	out := make([]*paillier.Ciphertext, len(first))
-	for i, c := range first {
-		out[i] = c.Clone()
-	}
+// aggregate homomorphically sums one field of every user's submission
+// half. With par > 1 the users are split into chunks summed concurrently
+// and the chunk partials combined in a tree; Paillier addition is
+// ciphertext multiplication mod N^2 — associative and commutative — so
+// every grouping yields the identical ciphertext vector.
+func aggregate(pk *paillier.PublicKey, subs []SubmissionHalf, par int, field func(SubmissionHalf) []*paillier.Ciphertext) ([]*paillier.Ciphertext, error) {
+	k := len(field(subs[0]))
 	for u := 1; u < len(subs); u++ {
-		vec := field(subs[u])
-		if len(vec) != len(out) {
-			return nil, fmt.Errorf("protocol: user %d vector length %d != %d", u, len(vec), len(out))
-		}
-		for i, c := range vec {
-			sum, err := pk.Add(out[i], c)
-			if err != nil {
-				return nil, fmt.Errorf("protocol: aggregate user %d class %d: %w", u, i, err)
-			}
-			out[i] = sum
+		if n := len(field(subs[u])); n != k {
+			return nil, fmt.Errorf("protocol: user %d vector length %d != %d", u, n, k)
 		}
 	}
-	return out, nil
+	// sumRange folds users [lo, hi) into a fresh ciphertext vector.
+	sumRange := func(lo, hi int) ([]*paillier.Ciphertext, error) {
+		acc := make([]*paillier.Ciphertext, k)
+		for i, c := range field(subs[lo]) {
+			acc[i] = c.Clone()
+		}
+		for u := lo + 1; u < hi; u++ {
+			for i, c := range field(subs[u]) {
+				sum, err := pk.Add(acc[i], c)
+				if err != nil {
+					return nil, fmt.Errorf("protocol: aggregate user %d class %d: %w", u, i, err)
+				}
+				acc[i] = sum
+			}
+		}
+		return acc, nil
+	}
+	if par <= 1 || len(subs) < 4 {
+		return sumRange(0, len(subs))
+	}
+
+	chunkSize := (len(subs) + par - 1) / par
+	bounds := make([][2]int, 0, par)
+	for lo := 0; lo < len(subs); lo += chunkSize {
+		bounds = append(bounds, [2]int{lo, min(lo+chunkSize, len(subs))})
+	}
+	partials := make([][]*paillier.Ciphertext, len(bounds))
+	err := parallelFor(par, len(bounds), func(ci int) error {
+		acc, err := sumRange(bounds[ci][0], bounds[ci][1])
+		if err != nil {
+			return err
+		}
+		partials[ci] = acc
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Tree-combine the chunk partials pairwise.
+	for len(partials) > 1 {
+		half := (len(partials) + 1) / 2
+		next := make([][]*paillier.Ciphertext, half)
+		err := parallelFor(par, half, func(j int) error {
+			a := partials[2*j]
+			if 2*j+1 == len(partials) {
+				next[j] = a
+				return nil
+			}
+			b := partials[2*j+1]
+			for i := range a {
+				sum, err := pk.Add(a[i], b[i])
+				if err != nil {
+					return fmt.Errorf("protocol: aggregate combine class %d: %w", i, err)
+				}
+				a[i] = sum
+			}
+			next[j] = a
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		partials = next
+	}
+	return partials[0], nil
 }
 
 // argmaxPermutedS1 finds the permuted position of the maximum via all-pairs
@@ -335,35 +412,60 @@ func aggregate(pk *paillier.PublicKey, subs []SubmissionHalf, field func(Submiss
 // its seq[q] - seq[p]; the comparison bit is (c_p' >= c_q') because the
 // common scalar bias cancels in each party's difference.
 func argmaxPermutedS1(ctx context.Context, rng io.Reader, cfg Config, pub comparerS1,
-	conn transport.Conn, seq []*big.Int) (int, error) {
-	k := cfg.Classes
-	wins := newWinsMatrix(k)
-	for p := 0; p < k; p++ {
-		for q := p + 1; q < k; q++ {
-			d := new(big.Int).Sub(seq[p], seq[q])
-			geq, err := pub.CompareSignedA(ctx, rng, conn, d)
-			if err != nil {
-				return -1, fmt.Errorf("compare pair (%d,%d): %w", p, q, err)
-			}
-			wins.set(p, q, geq)
-		}
+	sess *muxSession, step string, seq []*big.Int) (int, error) {
+	jobs := argmaxJobs(cfg, seq, false)
+	geqs, err := sess.runComparisons(ctx, step, jobs, func(ctx context.Context, conn transport.Conn, d *big.Int) (bool, error) {
+		return pub.CompareSignedA(ctx, rng, conn, d)
+	})
+	if err != nil {
+		return -1, err
 	}
-	return wins.winner()
+	return argmaxWinner(cfg, geqs)
 }
 
 // argmaxPermutedS2 is the S2 (DGK key owner) side of argmaxPermutedS1.
 func argmaxPermutedS2(ctx context.Context, rng io.Reader, cfg Config, key comparerS2,
-	conn transport.Conn, seq []*big.Int) (int, error) {
+	sess *muxSession, step string, seq []*big.Int) (int, error) {
+	jobs := argmaxJobs(cfg, seq, true)
+	geqs, err := sess.runComparisons(ctx, step, jobs, func(ctx context.Context, conn transport.Conn, d *big.Int) (bool, error) {
+		return key.CompareSignedB(ctx, rng, conn, d)
+	})
+	if err != nil {
+		return -1, err
+	}
+	return argmaxWinner(cfg, geqs)
+}
+
+// argmaxJobs builds the all-pairs comparison jobs in the (p, q), p < q,
+// row-major order both servers share. S2 (the DGK "B" party) negates the
+// differences so one >= bit answers both parties.
+func argmaxJobs(cfg Config, seq []*big.Int, negate bool) []cmpJob {
 	k := cfg.Classes
-	wins := newWinsMatrix(k)
+	jobs := make([]cmpJob, 0, k*(k-1)/2)
 	for p := 0; p < k; p++ {
 		for q := p + 1; q < k; q++ {
-			d := new(big.Int).Sub(seq[q], seq[p])
-			geq, err := key.CompareSignedB(ctx, rng, conn, d)
-			if err != nil {
-				return -1, fmt.Errorf("compare pair (%d,%d): %w", p, q, err)
+			d := new(big.Int)
+			if negate {
+				d.Sub(seq[q], seq[p])
+			} else {
+				d.Sub(seq[p], seq[q])
 			}
-			wins.set(p, q, geq)
+			jobs = append(jobs, cmpJob{tag: fmt.Sprintf("compare pair (%d,%d)", p, q), diff: d})
+		}
+	}
+	return jobs
+}
+
+// argmaxWinner folds the per-pair >= bits (in argmaxJobs order) into the
+// winning permuted position.
+func argmaxWinner(cfg Config, geqs []bool) (int, error) {
+	k := cfg.Classes
+	wins := newWinsMatrix(k)
+	i := 0
+	for p := 0; p < k; p++ {
+		for q := p + 1; q < k; q++ {
+			wins.set(p, q, geqs[i])
+			i++
 		}
 	}
 	return wins.winner()
@@ -415,36 +517,50 @@ func (m *winsMatrix) winner() (int, error) {
 // the bit at pStar matters; with ThresholdAllPositions every position is
 // checked so traffic does not depend on pStar.
 func thresholdCheckS1(ctx context.Context, rng io.Reader, cfg Config, pub comparerS1,
-	conn transport.Conn, threshSeq []*big.Int, pStar int) (bool, error) {
+	sess *muxSession, threshSeq []*big.Int, pStar int) (bool, error) {
 	positions := checkPositions(cfg, pStar)
-	pass := false
-	for _, p := range positions {
-		geq, err := pub.CompareSignedA(ctx, rng, conn, threshSeq[p])
-		if err != nil {
-			return false, fmt.Errorf("threshold position %d: %w", p, err)
-		}
-		if p == pStar {
-			pass = geq
-		}
+	geqs, err := sess.runComparisons(ctx, StepThreshold, thresholdJobs(positions, threshSeq),
+		func(ctx context.Context, conn transport.Conn, d *big.Int) (bool, error) {
+			return pub.CompareSignedA(ctx, rng, conn, d)
+		})
+	if err != nil {
+		return false, err
 	}
-	return pass, nil
+	return thresholdPass(positions, geqs, pStar), nil
 }
 
 // thresholdCheckS2 is the S2 side of thresholdCheckS1.
 func thresholdCheckS2(ctx context.Context, rng io.Reader, cfg Config, key comparerS2,
-	conn transport.Conn, threshSeq []*big.Int, pStar int) (bool, error) {
+	sess *muxSession, threshSeq []*big.Int, pStar int) (bool, error) {
 	positions := checkPositions(cfg, pStar)
-	pass := false
-	for _, p := range positions {
-		geq, err := key.CompareSignedB(ctx, rng, conn, threshSeq[p])
-		if err != nil {
-			return false, fmt.Errorf("threshold position %d: %w", p, err)
-		}
+	geqs, err := sess.runComparisons(ctx, StepThreshold, thresholdJobs(positions, threshSeq),
+		func(ctx context.Context, conn transport.Conn, d *big.Int) (bool, error) {
+			return key.CompareSignedB(ctx, rng, conn, d)
+		})
+	if err != nil {
+		return false, err
+	}
+	return thresholdPass(positions, geqs, pStar), nil
+}
+
+// thresholdJobs builds one comparison job per checked permuted position.
+func thresholdJobs(positions []int, threshSeq []*big.Int) []cmpJob {
+	jobs := make([]cmpJob, len(positions))
+	for i, p := range positions {
+		jobs[i] = cmpJob{tag: fmt.Sprintf("threshold position %d", p), diff: threshSeq[p]}
+	}
+	return jobs
+}
+
+// thresholdPass extracts the deciding bit: only the comparison at pStar
+// matters, the rest exist to keep traffic independent of pStar.
+func thresholdPass(positions []int, geqs []bool, pStar int) bool {
+	for i, p := range positions {
 		if p == pStar {
-			pass = geq
+			return geqs[i]
 		}
 	}
-	return pass, nil
+	return false
 }
 
 // checkPositions returns the permuted positions to threshold-check.

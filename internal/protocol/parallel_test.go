@@ -1,0 +1,204 @@
+package protocol
+
+import (
+	"errors"
+	"math/big"
+	"sync"
+	"testing"
+
+	"github.com/privconsensus/privconsensus/internal/paillier"
+	"github.com/privconsensus/privconsensus/internal/transport"
+)
+
+func TestParallelForSequentialOrder(t *testing.T) {
+	var order []int
+	if err := parallelFor(1, 5, func(i int) error {
+		order = append(order, i)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential order = %v, want 0..4 in order", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("visited %d indices, want 5", len(order))
+	}
+}
+
+func TestParallelForError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, par := range []int{1, 4} {
+		err := parallelFor(par, 100, func(i int) error {
+			if i == 7 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Errorf("par=%d: err = %v, want boom", par, err)
+		}
+	}
+}
+
+func TestParallelForConcurrent(t *testing.T) {
+	const n = 1000
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	if err := parallelFor(8, n, func(i int) error {
+		mu.Lock()
+		seen[i]++
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != n {
+		t.Fatalf("visited %d distinct indices, want %d", len(seen), n)
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestParallelForEmpty(t *testing.T) {
+	called := false
+	if err := parallelFor(4, 0, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("fn called for n=0")
+	}
+}
+
+// Aggregation must yield bit-identical ciphertexts at every parallelism:
+// Paillier addition is ciphertext multiplication mod N^2, which is
+// associative and commutative, so the chunked tree reduction is exact.
+func TestAggregateParallelMatchesSequential(t *testing.T) {
+	cfg := testConfig(9)
+	keys, err := GenerateKeys(testRNG(41), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	votes := make([][]*big.Int, cfg.Users)
+	for u := range votes {
+		votes[u] = oneHotVotes(cfg.Classes, u%cfg.Classes)
+	}
+	subs, _ := buildAll(t, cfg, keys, votes, 42)
+	halves := make([]SubmissionHalf, len(subs))
+	for i, s := range subs {
+		halves[i] = s.ToS1
+	}
+	pk := keys.S2Paillier.Public()
+	field := func(h SubmissionHalf) []*paillier.Ciphertext { return h.Votes }
+
+	seq, err := aggregate(pk, halves, 1, field)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 4, 16} {
+		got, err := aggregate(pk, halves, par, field)
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		if len(got) != len(seq) {
+			t.Fatalf("par=%d: %d classes, want %d", par, len(got), len(seq))
+		}
+		for i := range got {
+			if got[i].C.Cmp(seq[i].C) != 0 {
+				t.Errorf("par=%d class %d: parallel aggregate differs from sequential", par, i)
+			}
+		}
+	}
+}
+
+func TestMuxSessionSequentialPassThrough(t *testing.T) {
+	cfg := testConfig(3)
+	cfg.Parallelism = 1
+	connA, connB := transport.Pair()
+	defer connA.Close()
+	defer connB.Close()
+	sess := newMuxSession(cfg, connA, nil)
+	if sess.mux != nil {
+		t.Error("Parallelism=1 must not multiplex")
+	}
+	if sess.seq != connA {
+		t.Error("Parallelism=1 must hand back the raw conn")
+	}
+
+	cfg.Parallelism = 4
+	sess = newMuxSession(cfg, connA, nil)
+	if sess.mux == nil {
+		t.Fatal("Parallelism=4 must multiplex")
+	}
+	if ms, ok := sess.seq.(*transport.MuxStream); !ok || ms.ID() != 0 {
+		t.Error("sequential steps must ride stream 0")
+	}
+	if sess.next != 1 {
+		t.Errorf("first reserved stream = %d, want 1", sess.next)
+	}
+}
+
+func TestComparisonBudget(t *testing.T) {
+	cfg := testConfig(5)
+	cfg.Classes = 4
+	cfg.ThresholdAllPositions = false
+	// Two argmax phases of K(K-1)/2 pairwise comparisons each, run by one
+	// instance as K(K-1) total, plus a single threshold check.
+	if got, want := cfg.comparisonBudget(), 4*3+1; got != want {
+		t.Errorf("budget = %d, want %d", got, want)
+	}
+	cfg.ThresholdAllPositions = true
+	if got, want := cfg.comparisonBudget(), 4*3+4; got != want {
+		t.Errorf("all-positions budget = %d, want %d", got, want)
+	}
+}
+
+// The full protocol must reach identical outcomes at any parallelism: the
+// same comparisons run, only their interleaving changes.
+func TestFullProtocolParallelMatchesSequential(t *testing.T) {
+	cfg := testConfig(6)
+	keys, err := GenerateKeys(testRNG(12), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	votes := [][]*big.Int{
+		oneHotVotes(cfg.Classes, 3),
+		oneHotVotes(cfg.Classes, 3),
+		oneHotVotes(cfg.Classes, 3),
+		oneHotVotes(cfg.Classes, 3),
+		oneHotVotes(cfg.Classes, 1),
+		oneHotVotes(cfg.Classes, 0),
+	}
+
+	outcomes := make(map[int][2]*Outcome)
+	for _, par := range []int{1, 4} {
+		pcfg := cfg
+		pcfg.Parallelism = par
+		subs, _ := buildAll(t, pcfg, keys, votes, 77)
+		out1, out2 := runInstance(t, pcfg, keys, subs, nil)
+		outcomes[par] = [2]*Outcome{out1, out2}
+	}
+	seq, con := outcomes[1], outcomes[4]
+	for side := 0; side < 2; side++ {
+		if seq[side].Consensus != con[side].Consensus || seq[side].Label != con[side].Label {
+			t.Errorf("server %d: parallel outcome (%v, %d) != sequential (%v, %d)",
+				side+1, con[side].Consensus, con[side].Label, seq[side].Consensus, seq[side].Label)
+		}
+	}
+	if !seq[0].Consensus || seq[0].Label != 3 {
+		t.Errorf("expected consensus on label 3, got (%v, %d)", seq[0].Consensus, seq[0].Label)
+	}
+}
+
+func TestConfigValidateNegativeParallelism(t *testing.T) {
+	cfg := testConfig(4)
+	cfg.Parallelism = -2
+	if err := cfg.Validate(); err == nil {
+		t.Error("expected validation error for negative parallelism")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"math"
 	"math/big"
 	"math/rand"
+	"runtime"
 
 	"github.com/privconsensus/privconsensus/internal/dgk"
 	"github.com/privconsensus/privconsensus/internal/dp"
@@ -78,8 +79,17 @@ type Config struct {
 	// cost). The pool uses crypto/rand; protocol decisions are
 	// unaffected.
 	UseDGKPool bool
-	// DGKPoolCapacity sizes the pool (0 selects 4 * Classes * DGK.L).
+	// DGKPoolCapacity sizes the pool (0 sizes it from the number of
+	// comparisons one instance performs: comparisonBudget() * DGK.L).
 	DGKPoolCapacity int
+	// Parallelism bounds the number of concurrent DGK comparisons and
+	// CPU-bound crypto workers (homomorphic aggregation, Paillier
+	// re-randomization). 0 selects runtime.NumCPU(). The value 1
+	// reproduces the original single-stream sequential protocol byte for
+	// byte; any other value (including 0) multiplexes the peer link, so
+	// both servers must agree on whether Parallelism is 1. Comparison
+	// outcomes and the released label are identical at every setting.
+	Parallelism int
 }
 
 // DefaultConfig mirrors the paper's experimental setup: 10 classes,
@@ -134,7 +144,37 @@ func (c Config) Validate() error {
 		return fmt.Errorf("%w: values up to %d bits exceed Paillier plaintext space (%d-bit modulus)",
 			ErrBadConfig, bound.BitLen(), c.PaillierBits)
 	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("%w: negative parallelism %d", ErrBadConfig, c.Parallelism)
+	}
 	return nil
+}
+
+// parallelism resolves the configured worker bound (0 = NumCPU).
+func (c Config) parallelism() int {
+	if c.Parallelism == 0 {
+		if n := runtime.NumCPU(); n > 1 {
+			return n
+		}
+		return 1
+	}
+	return c.Parallelism
+}
+
+// muxEnabled reports whether the peer link is multiplexed. It depends only
+// on the configured value — never on the local core count — so both
+// servers always make the same choice.
+func (c Config) muxEnabled() bool { return c.Parallelism != 1 }
+
+// comparisonBudget counts the DGK comparisons one Alg. 5 instance performs:
+// two all-pairs argmax phases of K(K-1)/2 comparisons each, plus the
+// threshold checks (all K positions, or just one).
+func (c Config) comparisonBudget() int {
+	n := c.Classes * (c.Classes - 1)
+	if c.ThresholdAllPositions {
+		return n + c.Classes
+	}
+	return n + 1
 }
 
 // valueBound returns an upper bound on |v| for any value v entering a DGK

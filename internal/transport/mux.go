@@ -1,0 +1,328 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Stream multiplexing: a Mux carries many independent ordered message
+// streams over one underlying Conn by wrapping every message in a KindMux
+// frame that prefixes the stream ID and the inner kind to the flags:
+//
+//	mux frame := Kind=KindMux  Flags=[stream, inner-kind, inner-flags...]
+//	             Values=inner-values
+//
+// Each stream is itself a Conn, so existing lock-step sub-protocol code
+// runs unchanged on a virtual stream while other streams make progress
+// concurrently over the same socket.
+//
+// Reception is demand-driven: there is no background reader goroutine.
+// A stream that wants a message first checks its own inbound queue, then
+// competes for the single "pump" token; the token holder reads one frame
+// from the underlying Conn and routes it to its target stream. Nothing is
+// read from the Conn while no stream is waiting, so a Mux never steals
+// frames that a later (non-multiplexed) phase of a connection expects.
+
+// streamBacklog bounds how many frames may queue on one virtual stream
+// before its owner consumes them. Lock-step protocols keep at most one
+// frame in flight per stream; the allowance covers phase-boundary skew.
+const streamBacklog = 64
+
+// WrapMux encapsulates msg into a mux frame addressed to stream.
+func WrapMux(stream int64, msg *Message) (*Message, error) {
+	if msg == nil {
+		return nil, errors.New("transport: cannot wrap nil message")
+	}
+	if stream < 0 {
+		return nil, fmt.Errorf("transport: negative stream id %d", stream)
+	}
+	if msg.Kind == 0 || msg.Kind == KindMux {
+		return nil, fmt.Errorf("transport: cannot wrap %v message in a mux frame", msg.Kind)
+	}
+	flags := make([]int64, 0, 2+len(msg.Flags))
+	flags = append(flags, stream, int64(msg.Kind))
+	flags = append(flags, msg.Flags...)
+	return &Message{Kind: KindMux, Flags: flags, Values: msg.Values}, nil
+}
+
+// UnwrapMux splits a mux frame into its stream ID and inner message.
+func UnwrapMux(msg *Message) (int64, *Message, error) {
+	if msg == nil || msg.Kind != KindMux {
+		got := MessageKind(0)
+		if msg != nil {
+			got = msg.Kind
+		}
+		return 0, nil, fmt.Errorf("transport: expected mux frame, got %v", got)
+	}
+	if len(msg.Flags) < 2 {
+		return 0, nil, fmt.Errorf("transport: mux frame with %d flags (need >= 2)", len(msg.Flags))
+	}
+	stream, kind := msg.Flags[0], msg.Flags[1]
+	if stream < 0 {
+		return 0, nil, fmt.Errorf("transport: negative stream id %d", stream)
+	}
+	if kind < 1 || kind > 255 || MessageKind(kind) == KindMux {
+		return 0, nil, fmt.Errorf("transport: invalid inner kind %d in mux frame", kind)
+	}
+	inner := &Message{Kind: MessageKind(kind), Values: msg.Values}
+	if len(msg.Flags) > 2 {
+		inner.Flags = msg.Flags[2:]
+	}
+	return stream, inner, nil
+}
+
+// muxFrame is a routed inbound message plus its wire size, so traffic is
+// metered under the consuming stream's step label even when the frame was
+// pumped while another stream was active.
+type muxFrame struct {
+	msg  *Message
+	wire int
+}
+
+// Mux multiplexes independent ordered streams over one Conn. The zero
+// value is not usable; create one with NewMux. A Mux and its streams are
+// safe for concurrent use by any number of goroutines.
+type Mux struct {
+	conn  Conn
+	meter *Meter
+
+	sendMu sync.Mutex    // serializes Send on the underlying conn
+	pump   chan struct{} // capacity-1 token electing the receiving stream
+
+	mu      sync.Mutex
+	streams map[int64]*MuxStream
+	err     error
+	done    chan struct{}
+}
+
+// NewMux wraps conn. When meter is non-nil, per-stream traffic is recorded
+// under each stream's step label (see MuxStream.SetStep); received bytes
+// are attributed when the owning stream consumes the frame, not when it
+// happens to be read off the wire, so interleaved steps stay accurate.
+// When meter is nil and conn has a SetStep method (e.g. a MeteredConn),
+// stream labels are forwarded to it instead. The Mux does not own conn:
+// closing the Mux closes conn, but callers may also keep using conn after
+// all streams are drained and the Mux is abandoned.
+func NewMux(conn Conn, meter *Meter) *Mux {
+	return &Mux{
+		conn:    conn,
+		meter:   meter,
+		pump:    make(chan struct{}, 1),
+		streams: make(map[int64]*MuxStream),
+		done:    make(chan struct{}),
+	}
+}
+
+// Stream returns the virtual Conn for the given stream ID, creating it on
+// first use. Both endpoints must agree on IDs; the protocol layer derives
+// them deterministically.
+func (m *Mux) Stream(id int64) *MuxStream {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.streams[id]
+	if !ok {
+		s = &MuxStream{
+			mux:    m,
+			id:     id,
+			in:     make(chan muxFrame, streamBacklog),
+			closed: make(chan struct{}),
+		}
+		m.streams[id] = s
+	}
+	return s
+}
+
+// Close fails all streams and closes the underlying connection.
+func (m *Mux) Close() error {
+	m.fail(ErrClosed)
+	return m.conn.Close()
+}
+
+// Err returns the sticky failure, or nil while the mux is healthy.
+func (m *Mux) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.err
+}
+
+// fail poisons the mux: every blocked and future stream operation returns
+// err. The first failure wins.
+func (m *Mux) fail(err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err == nil {
+		m.err = err
+		close(m.done)
+	}
+}
+
+// MuxStream is one ordered virtual connection of a Mux. It implements
+// Conn; messages within a stream are delivered in send order.
+type MuxStream struct {
+	mux *Mux
+	id  int64
+	in  chan muxFrame
+
+	closeOnce sync.Once
+	closed    chan struct{}
+
+	mu   sync.Mutex
+	step string
+}
+
+var _ Conn = (*MuxStream)(nil)
+
+// ID returns the stream identifier.
+func (s *MuxStream) ID() int64 { return s.id }
+
+// SetStep labels this stream's subsequent traffic for metering. Without a
+// mux-level meter the label is forwarded to the underlying connection when
+// it supports one.
+func (s *MuxStream) SetStep(step string) {
+	s.mu.Lock()
+	s.step = step
+	s.mu.Unlock()
+	if s.mux.meter == nil {
+		if ss, ok := s.mux.conn.(interface{ SetStep(string) }); ok {
+			ss.SetStep(step)
+		}
+	}
+}
+
+// Step returns the stream's current metering label.
+func (s *MuxStream) Step() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.step
+}
+
+// Send wraps msg with this stream's ID and transmits it. Concurrent sends
+// from different streams are serialized on the underlying connection.
+func (s *MuxStream) Send(ctx context.Context, msg *Message) error {
+	select {
+	case <-s.closed:
+		return ErrClosed
+	default:
+	}
+	m := s.mux
+	select {
+	case <-m.done:
+		return m.Err()
+	default:
+	}
+	wrapped, err := WrapMux(s.id, msg)
+	if err != nil {
+		return err
+	}
+	m.sendMu.Lock()
+	err = m.conn.Send(ctx, wrapped)
+	m.sendMu.Unlock()
+	if err != nil {
+		return err
+	}
+	if m.meter != nil {
+		m.meter.RecordSend(s.Step(), EncodedSize(wrapped))
+	}
+	return nil
+}
+
+// Recv returns the next message addressed to this stream. While waiting it
+// may act as the mux's receiver, routing frames to other streams.
+func (s *MuxStream) Recv(ctx context.Context) (*Message, error) {
+	m := s.mux
+	for {
+		// Queued frames are delivered even after a failure, so a stream
+		// never loses messages that already arrived in order.
+		select {
+		case fr := <-s.in:
+			return s.consume(fr), nil
+		default:
+		}
+		// Fail fast before competing for the pump token: a ready closed /
+		// done case must win over pumping a dead connection.
+		select {
+		case <-s.closed:
+			return nil, ErrClosed
+		case <-m.done:
+			return nil, m.Err()
+		default:
+		}
+		select {
+		case fr := <-s.in:
+			return s.consume(fr), nil
+		case <-s.closed:
+			return nil, ErrClosed
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-m.done:
+			return nil, m.Err()
+		case m.pump <- struct{}{}:
+			fr, err := s.pumpLocked(ctx)
+			<-m.pump
+			if err != nil {
+				return nil, err
+			}
+			if fr != nil {
+				return s.consume(*fr), nil
+			}
+		}
+	}
+}
+
+// pumpLocked runs with the pump token held: it re-checks this stream's
+// queue (a frame may have been routed between the select and acquiring the
+// token), then reads one frame from the underlying connection and routes
+// it. A frame for this stream is returned directly; context errors abort
+// only this call, while transport and protocol errors poison the mux.
+func (s *MuxStream) pumpLocked(ctx context.Context) (*muxFrame, error) {
+	select {
+	case fr := <-s.in:
+		return &fr, nil
+	default:
+	}
+	m := s.mux
+	raw, err := m.conn.Recv(ctx)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		m.fail(err)
+		return nil, err
+	}
+	id, inner, err := UnwrapMux(raw)
+	if err != nil {
+		m.fail(err)
+		return nil, err
+	}
+	fr := muxFrame{msg: inner, wire: EncodedSize(raw)}
+	if id == s.id {
+		return &fr, nil
+	}
+	target := m.Stream(id)
+	select {
+	case target.in <- fr:
+		return nil, nil
+	default:
+		err := fmt.Errorf("transport: mux stream %d backlog exceeds %d frames", id, streamBacklog)
+		m.fail(err)
+		return nil, err
+	}
+}
+
+// consume records the frame's wire size under this stream's label and
+// hands back the inner message.
+func (s *MuxStream) consume(fr muxFrame) *Message {
+	if s.mux.meter != nil {
+		s.mux.meter.RecordRecv(s.Step(), fr.wire)
+	}
+	return fr.msg
+}
+
+// Close marks the stream closed; the mux and its other streams are
+// unaffected.
+func (s *MuxStream) Close() error {
+	s.closeOnce.Do(func() { close(s.closed) })
+	return nil
+}

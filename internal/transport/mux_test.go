@@ -1,0 +1,402 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func muxTestCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestMuxWrapUnwrapRoundTrip(t *testing.T) {
+	msg := msgOf(KindBits, []int64{7, -3}, 10, -20, 0)
+	wrapped, err := WrapMux(42, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrapped.Kind != KindMux {
+		t.Fatalf("wrapped kind = %v", wrapped.Kind)
+	}
+	id, inner, err := UnwrapMux(wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 42 {
+		t.Fatalf("stream id = %d, want 42", id)
+	}
+	if !sameMessage(inner, msg) {
+		t.Fatalf("inner %+v != original %+v", inner, msg)
+	}
+	// The mux overhead is exactly the two prefix flags.
+	if got, want := EncodedSize(wrapped), EncodedSize(msg)+16; got != want {
+		t.Fatalf("wrapped size %d, want %d", got, want)
+	}
+}
+
+func TestMuxWrapRejects(t *testing.T) {
+	if _, err := WrapMux(0, nil); err == nil {
+		t.Error("nil message accepted")
+	}
+	if _, err := WrapMux(-1, msgOf(KindControl, nil)); err == nil {
+		t.Error("negative stream accepted")
+	}
+	wrapped, err := WrapMux(1, msgOf(KindControl, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WrapMux(2, wrapped); err == nil {
+		t.Error("nested mux frame accepted")
+	}
+}
+
+func TestMuxUnwrapRejects(t *testing.T) {
+	cases := []*Message{
+		nil,
+		msgOf(KindControl, []int64{1, 2}),            // not a mux frame
+		{Kind: KindMux, Flags: []int64{5}},           // too few flags
+		{Kind: KindMux, Flags: []int64{-1, 6}},       // negative stream
+		{Kind: KindMux, Flags: []int64{0, 0}},        // zero inner kind
+		{Kind: KindMux, Flags: []int64{0, 300}},      // inner kind out of range
+		{Kind: KindMux, Flags: []int64{0, int64(KindMux)}}, // nested
+	}
+	for i, msg := range cases {
+		if _, _, err := UnwrapMux(msg); err == nil {
+			t.Errorf("case %d: accepted %+v", i, msg)
+		}
+	}
+}
+
+// Interleaved sends across streams must never reorder messages within one
+// stream. The raw peer writes round-robin across three streams; each
+// stream reader must see its own strictly increasing sequence.
+func TestMuxInterleavedStreamsKeepOrder(t *testing.T) {
+	connA, connB := Pair()
+	defer connA.Close()
+	defer connB.Close()
+	ctx := muxTestCtx(t)
+	m := NewMux(connA, nil)
+
+	const streams, rounds = 3, 10
+	errCh := make(chan error, streams+1)
+	go func() {
+		for r := 0; r < rounds; r++ {
+			for st := 0; st < streams; st++ {
+				wrapped, err := WrapMux(int64(st), msgOf(KindControl, []int64{int64(r)}))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if err := connB.Send(ctx, wrapped); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}
+		errCh <- nil
+	}()
+
+	var wg sync.WaitGroup
+	for st := 0; st < streams; st++ {
+		wg.Add(1)
+		go func(st int) {
+			defer wg.Done()
+			s := m.Stream(int64(st))
+			for r := 0; r < rounds; r++ {
+				msg, err := s.Recv(ctx)
+				if err != nil {
+					errCh <- fmt.Errorf("stream %d round %d: %w", st, r, err)
+					return
+				}
+				if len(msg.Flags) != 1 || msg.Flags[0] != int64(r) {
+					errCh <- fmt.Errorf("stream %d: got seq %v, want %d", st, msg.Flags, r)
+					return
+				}
+			}
+			errCh <- nil
+		}(st)
+	}
+	wg.Wait()
+	for i := 0; i < streams+1; i++ {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// muxPingPong drives `streams` concurrent request/response streams over a
+// muxed connection pair from both ends, the pattern the DGK comparison
+// worker pool uses.
+func muxPingPong(t *testing.T, a, b Conn, streams, rounds int) {
+	t.Helper()
+	ctx := muxTestCtx(t)
+	ma, mb := NewMux(a, nil), NewMux(b, nil)
+	errCh := make(chan error, 2*streams)
+	var wg sync.WaitGroup
+	for st := 0; st < streams; st++ {
+		wg.Add(2)
+		go func(st int) { // requester on a
+			defer wg.Done()
+			s := ma.Stream(int64(st))
+			for r := 0; r < rounds; r++ {
+				want := int64(st*1_000_000 + r)
+				if err := s.Send(ctx, msgOf(KindControl, []int64{want})); err != nil {
+					errCh <- fmt.Errorf("stream %d send: %w", st, err)
+					return
+				}
+				msg, err := s.Recv(ctx)
+				if err != nil {
+					errCh <- fmt.Errorf("stream %d recv: %w", st, err)
+					return
+				}
+				if len(msg.Flags) != 1 || msg.Flags[0] != want+1 {
+					errCh <- fmt.Errorf("stream %d: echo %v, want %d", st, msg.Flags, want+1)
+					return
+				}
+			}
+			errCh <- nil
+		}(st)
+		go func(st int) { // echoer on b
+			defer wg.Done()
+			s := mb.Stream(int64(st))
+			for r := 0; r < rounds; r++ {
+				msg, err := s.Recv(ctx)
+				if err != nil {
+					errCh <- fmt.Errorf("echo %d recv: %w", st, err)
+					return
+				}
+				if err := s.Send(ctx, msgOf(KindResult, []int64{msg.Flags[0] + 1})); err != nil {
+					errCh <- fmt.Errorf("echo %d send: %w", st, err)
+					return
+				}
+			}
+			errCh <- nil
+		}(st)
+	}
+	wg.Wait()
+	for i := 0; i < 2*streams; i++ {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMuxConcurrentStreamsInMemory(t *testing.T) {
+	connA, connB := Pair()
+	defer connA.Close()
+	defer connB.Close()
+	muxPingPong(t, connA, connB, 8, 25)
+}
+
+func TestMuxConcurrentStreamsOverTCP(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	ctx := muxTestCtx(t)
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			close(accepted)
+			return
+		}
+		accepted <- c
+	}()
+	connB, err := Dial(ctx, l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer connB.Close()
+	connA, ok := <-accepted
+	if !ok {
+		t.Fatal("accept failed")
+	}
+	defer connA.Close()
+	muxPingPong(t, connA, connB, 4, 10)
+}
+
+// Per-stream metering: sends record under the sending stream's label, and
+// received bytes are attributed to the consuming stream even though a
+// different stream may have pumped the frame off the wire.
+func TestMuxMeterPerStream(t *testing.T) {
+	connA, connB := Pair()
+	defer connA.Close()
+	defer connB.Close()
+	ctx := muxTestCtx(t)
+	meter := NewMeter()
+	m := NewMux(connA, meter)
+	peer := NewMux(connB, nil)
+
+	s1, s2 := m.Stream(1), m.Stream(2)
+	s1.SetStep("alpha")
+	s2.SetStep("beta")
+
+	done := make(chan error, 1)
+	go func() { // peer echoes one message on each stream, beta first
+		for _, id := range []int64{2, 1} {
+			s := peer.Stream(id)
+			msg, err := s.Recv(ctx)
+			if err != nil {
+				done <- err
+				return
+			}
+			if err := s.Send(ctx, msg); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+
+	payload := msgOf(KindControl, nil, 123456789)
+	wrapped, err := WrapMux(1, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireSize := EncodedSize(wrapped)
+
+	if err := s2.Send(ctx, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Send(ctx, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Recv(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Recv(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	for _, step := range []string{"alpha", "beta"} {
+		s, ok := meter.Step(step)
+		if !ok {
+			t.Fatalf("no stats for step %q", step)
+		}
+		if s.BytesSent != int64(wireSize) || s.BytesReceived != int64(wireSize) {
+			t.Errorf("step %q: sent %d recv %d, want %d each", step, s.BytesSent, s.BytesReceived, wireSize)
+		}
+		if s.MsgsSent != 1 || s.MsgsReceived != 1 {
+			t.Errorf("step %q: msgs %d/%d, want 1/1", step, s.MsgsSent, s.MsgsReceived)
+		}
+	}
+}
+
+// A frame that is not mux-framed poisons the mux for every stream.
+func TestMuxRejectsPlainFrame(t *testing.T) {
+	connA, connB := Pair()
+	defer connA.Close()
+	defer connB.Close()
+	ctx := muxTestCtx(t)
+	m := NewMux(connA, nil)
+	if err := connB.Send(ctx, msgOf(KindControl, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Stream(0).Recv(ctx); err == nil {
+		t.Fatal("plain frame accepted by mux")
+	}
+	// The failure is sticky across streams.
+	if _, err := m.Stream(7).Recv(ctx); err == nil {
+		t.Fatal("expected sticky mux failure")
+	}
+	if err := m.Stream(7).Send(ctx, msgOf(KindControl, nil)); err == nil {
+		t.Fatal("send on failed mux accepted")
+	}
+}
+
+// Closing the underlying connection fails blocked stream receives.
+func TestMuxUnderlyingClose(t *testing.T) {
+	connA, connB := Pair()
+	defer connA.Close()
+	ctx := muxTestCtx(t)
+	m := NewMux(connA, nil)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := m.Stream(3).Recv(ctx)
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	connB.Close()
+	if err := <-errCh; err == nil {
+		t.Fatal("Recv succeeded after peer close")
+	}
+}
+
+// A queued frame survives a mux failure: in-order frames that already
+// arrived are still delivered before the error surfaces.
+func TestMuxDrainsQueuedFramesAfterFailure(t *testing.T) {
+	connA, connB := Pair()
+	defer connA.Close()
+	defer connB.Close()
+	ctx := muxTestCtx(t)
+	m := NewMux(connA, nil)
+
+	// Stream 0 pumps: it first routes a good frame to stream 5, then hits
+	// a poison (unwrapped) frame that fails the mux.
+	recvErr := make(chan error, 1)
+	go func() {
+		_, err := m.Stream(0).Recv(ctx)
+		recvErr <- err
+	}()
+	good, err := WrapMux(5, msgOf(KindControl, []int64{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := connB.Send(ctx, good); err != nil {
+		t.Fatal(err)
+	}
+	if err := connB.Send(ctx, msgOf(KindControl, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-recvErr; err == nil {
+		t.Fatal("expected mux failure from poison frame")
+	}
+	msg, err := m.Stream(5).Recv(ctx)
+	if err != nil {
+		t.Fatalf("queued frame lost after failure: %v", err)
+	}
+	if len(msg.Flags) != 1 || msg.Flags[0] != 1 {
+		t.Fatalf("unexpected queued frame %+v", msg)
+	}
+	if _, err := m.Stream(5).Recv(ctx); err == nil {
+		t.Fatal("expected failure once queue drained")
+	}
+}
+
+func TestMuxStreamClose(t *testing.T) {
+	connA, connB := Pair()
+	defer connA.Close()
+	defer connB.Close()
+	ctx := muxTestCtx(t)
+	m := NewMux(connA, nil)
+	s := m.Stream(1)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Send(ctx, msgOf(KindControl, nil)); err != ErrClosed {
+		t.Fatalf("Send after close: %v", err)
+	}
+	if _, err := s.Recv(ctx); err != ErrClosed {
+		t.Fatalf("Recv after close: %v", err)
+	}
+	// Other streams keep working.
+	other := m.Stream(2)
+	go func() {
+		wrapped, _ := WrapMux(2, msgOf(KindControl, []int64{9}))
+		connB.Send(ctx, wrapped)
+	}()
+	if _, err := other.Recv(ctx); err != nil {
+		t.Fatalf("sibling stream broken by close: %v", err)
+	}
+}

@@ -36,6 +36,9 @@ const (
 	KindBits
 	KindResult
 	KindControl
+	// KindMux wraps another message with a stream ID for multiplexed
+	// links (see mux.go). Mux frames never nest.
+	KindMux
 )
 
 // String implements fmt.Stringer for diagnostics.
@@ -53,6 +56,8 @@ func (k MessageKind) String() string {
 		return "result"
 	case KindControl:
 		return "control"
+	case KindMux:
+		return "mux"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
