@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench ci
+.PHONY: build vet test race bench obs-smoke ci
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,15 @@ race:
 
 # Short benchmark pass: the parallelism sweep plus the protocol step bench,
 # one iteration each, so CI catches bench-harness rot without long runs.
+# BenchmarkProtocolJSON also refreshes the machine-readable record in
+# results/BENCH_protocol.json.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkArgmaxParallelism|BenchmarkTable1ProtocolSteps' -benchtime=1x .
+	BENCH_JSON=$(CURDIR)/results/BENCH_protocol.json \
+		$(GO) test -run '^$$' -bench 'BenchmarkArgmaxParallelism|BenchmarkTable1ProtocolSteps|BenchmarkProtocolJSON' -benchtime=1x .
 
-ci: build vet race bench
+# End-to-end observability smoke test: two real server processes with the
+# admin endpoint enabled, one full query, then scrape /metrics and /healthz.
+obs-smoke:
+	./scripts/obs_smoke.sh
+
+ci: build vet race bench obs-smoke

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/big"
 	"math/rand"
+	"os"
 	"runtime"
 	"testing"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"github.com/privconsensus/privconsensus/internal/dgk"
 	"github.com/privconsensus/privconsensus/internal/experiments"
 	"github.com/privconsensus/privconsensus/internal/ml"
+	"github.com/privconsensus/privconsensus/internal/obs"
 	"github.com/privconsensus/privconsensus/internal/paillier"
 	"github.com/privconsensus/privconsensus/internal/protocol"
 	"github.com/privconsensus/privconsensus/internal/transport"
@@ -267,6 +269,70 @@ func BenchmarkArgmaxParallelism(b *testing.B) {
 			}
 			b.ReportMetric(float64(compare.Milliseconds())/float64(b.N), "compare-ms/inst")
 			b.ReportMetric(float64(overall.Milliseconds())/float64(b.N), "overall-ms/inst")
+		})
+	}
+}
+
+// BenchmarkProtocolJSON runs the full protocol benchmark and, when the
+// BENCH_JSON environment variable names a path, writes the machine-readable
+// record there (`make bench` points it at results/BENCH_protocol.json). The
+// record carries ns/op, bytes/op, the per-phase breakdown, the parallelism
+// setting and the CPU count.
+func BenchmarkProtocolJSON(b *testing.B) {
+	var last *experiments.ProtocolBenchResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ProtocolBench(experiments.ProtocolBenchConfig{
+			Instances: 1, Users: 10, Classes: 10,
+			Seed: int64(i + 1), ForceConsensus: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if last == nil {
+		return
+	}
+	b.ReportMetric(float64(last.Overall.Nanoseconds()), "protocol-ns/inst")
+	if path := os.Getenv("BENCH_JSON"); path != "" {
+		if err := experiments.WriteBenchJSON(path, last); err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("wrote %s", path)
+	}
+}
+
+// BenchmarkObsOverhead measures the cost of the observability layer on the
+// protocol hot path: a full query instance with metric collection on vs
+// off. The acceptance bound is <= 5% (see results/obs_overhead.txt).
+func BenchmarkObsOverhead(b *testing.B) {
+	for _, enabled := range []bool{true, false} {
+		name := "metrics-on"
+		if !enabled {
+			name = "metrics-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			prev := obs.Default.Enabled()
+			obs.Default.SetEnabled(enabled)
+			defer obs.Default.SetEnabled(prev)
+			cfg := DefaultConfig(4)
+			cfg.Classes = 4
+			cfg.Sigma1, cfg.Sigma2 = 0, 0
+			cfg.Seed = 42
+			engine, err := NewEngine(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			votes := [][]float64{
+				{0, 0, 1, 0}, {0, 0, 1, 0}, {0, 0, 1, 0}, {1, 0, 0, 0},
+			}
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.LabelInstance(ctx, votes); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -44,6 +44,7 @@ func run(args []string) error {
 		svgDir    = fs.String("svg", "", "also write each figure as an SVG into this directory")
 		dgkPool   = fs.Bool("dgkpool", false, "enable the DGK nonce pool for table1/table2")
 		par       = fs.Int("parallelism", 0, "protocol worker bound for table1/table2 (0 = NumCPU, 1 = sequential)")
+		benchJSON = fs.String("json", "", "write the machine-readable protocol benchmark to this path (table1/table2)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,7 +95,7 @@ func run(args []string) error {
 		ids = []string{"table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig3eps"}
 	}
 	for _, exp := range ids {
-		if err := runOne(exp, opts, pb, *svgDir); err != nil {
+		if err := runOne(exp, opts, pb, *svgDir, *benchJSON); err != nil {
 			return fmt.Errorf("%s: %w", exp, err)
 		}
 	}
@@ -116,7 +117,7 @@ func parseUsers(s string) ([]int, error) {
 }
 
 // runOne dispatches a single experiment id.
-func runOne(id string, opts experiments.Options, pb experiments.ProtocolBenchConfig, svgDir string) error {
+func runOne(id string, opts experiments.Options, pb experiments.ProtocolBenchConfig, svgDir, benchJSON string) error {
 	switch id {
 	case "table1", "table2":
 		res, err := experiments.ProtocolBench(pb)
@@ -127,6 +128,12 @@ func runOne(id string, opts experiments.Options, pb experiments.ProtocolBenchCon
 			printTable1(res)
 		} else {
 			printTable2(res)
+		}
+		if benchJSON != "" {
+			if err := experiments.WriteBenchJSON(benchJSON, res); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", benchJSON)
 		}
 	case "table3":
 		cells, err := experiments.Table3(opts)

@@ -42,6 +42,8 @@ func run(args []string) error {
 		timeout   = fs.Duration("timeout", 10*time.Minute, "overall deadline")
 		seed      = fs.Int64("seed", 0, "deterministic seed (0 = crypto/rand)")
 		par       = fs.Int("parallelism", 0, "protocol worker bound (0 = key file / NumCPU, 1 = sequential wire format; both servers must agree)")
+		metrics   = fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (empty = disabled)")
+		linger    = fs.Duration("metrics-linger", 0, "keep the metrics endpoint up this long after the last instance")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,12 +58,14 @@ func run(args []string) error {
 	defer stop()
 
 	opts := deploy.ServerOptions{
-		ListenAddr:  *listen,
-		PeerAddr:    *peer,
-		Instances:   *instances,
-		Seed:        *seed,
-		Parallelism: *par,
-		Logf:        deploy.DefaultLogger("[" + *role + "] "),
+		ListenAddr:    *listen,
+		PeerAddr:      *peer,
+		Instances:     *instances,
+		Seed:          *seed,
+		Parallelism:   *par,
+		MetricsAddr:   *metrics,
+		MetricsLinger: *linger,
+		Logf:          deploy.DefaultLogger("[" + *role + "] "),
 	}
 
 	var outcomes []protocol.Outcome

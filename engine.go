@@ -10,10 +10,13 @@ import (
 	mrand "math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/privconsensus/privconsensus/internal/dgk"
 	"github.com/privconsensus/privconsensus/internal/fixedpoint"
+	"github.com/privconsensus/privconsensus/internal/obs"
+	"github.com/privconsensus/privconsensus/internal/paillier"
 	"github.com/privconsensus/privconsensus/internal/protocol"
 	"github.com/privconsensus/privconsensus/internal/transport"
 )
@@ -96,6 +99,10 @@ type Engine struct {
 	rngMu sync.Mutex
 	rng   io.Reader
 	noise *mrand.Rand
+
+	queries   atomic.Int64
+	traceMu   sync.Mutex
+	lastTrace *obs.QueryTrace
 }
 
 // NewEngine validates cfg and generates all server key material.
@@ -241,11 +248,23 @@ func (e *Engine) LabelInstanceMetered(ctx context.Context, votes [][]float64) (*
 	return out, stats, err
 }
 
-// labelInstance runs both servers over an in-memory transport.
+// labelInstance runs both servers over an in-memory transport. statsWanted
+// distinguishes the metered entry point; a meter is created regardless so
+// every query yields a full trace (see LastTrace).
 func (e *Engine) labelInstance(ctx context.Context, votes [][]float64, subs []*Submission, meter *transport.Meter) (*Outcome, []StepStats, error) {
+	statsWanted := meter != nil
+	if meter == nil {
+		meter = transport.NewMeter()
+	}
+	tracer := obs.NewTracer(fmt.Sprintf("q%d", e.queries.Add(1)))
+	// Op counters are process-wide; in this in-process simulation the
+	// watched deltas cover both servers' work combined.
+	paillier.WatchOps(tracer)
+	dgk.WatchOps(tracer)
+
 	connA, connB := transport.Pair()
 	var c1, c2 transport.Conn = connA, connB
-	if meter != nil && e.pcfg.Parallelism == 1 {
+	if e.pcfg.Parallelism == 1 {
 		// Sequential mode: a step-labelled wrapper attributes traffic as it
 		// crosses the wire. With multiplexing the protocol meters each
 		// stream itself (attributing receives when the owning comparison
@@ -262,22 +281,47 @@ func (e *Engine) labelInstance(ctx context.Context, votes [][]float64, subs []*S
 	}
 	ch := make(chan result, 1)
 	go func() {
-		out, err := e.runServerMetered(ctx, RoleS1, c1, subs, meter)
+		// Only S1's run carries the tracer: the spans of one query must
+		// come from a single sequential protocol execution.
+		out, err := e.runServerMetered(obs.WithTracer(ctx, tracer), RoleS1, c1, subs, meter)
 		ch <- result{out, err}
 	}()
 	out2, err := e.runServer(ctx, RoleS2, c2, subs)
 	r1 := <-ch
+
+	finishTrace := func(runErr error) {
+		meter.FillTrace(tracer)
+		switch {
+		case runErr != nil:
+			tracer.Finish("error", runErr)
+		case out2 != nil && out2.Consensus:
+			tracer.Finish(fmt.Sprintf("consensus label=%d", out2.Label), nil)
+		default:
+			tracer.Finish("no-consensus", nil)
+		}
+		e.traceMu.Lock()
+		e.lastTrace = tracer.Trace()
+		e.traceMu.Unlock()
+	}
+
 	if err != nil {
-		return nil, nil, fmt.Errorf("privconsensus: S2: %w", err)
+		err = fmt.Errorf("privconsensus: S2: %w", err)
+		finishTrace(err)
+		return nil, nil, err
 	}
 	if r1.err != nil {
-		return nil, nil, fmt.Errorf("privconsensus: S1: %w", r1.err)
+		err = fmt.Errorf("privconsensus: S1: %w", r1.err)
+		finishTrace(err)
+		return nil, nil, err
 	}
 	if *r1.out != *out2 {
-		return nil, nil, fmt.Errorf("privconsensus: servers disagree: %+v vs %+v", r1.out, out2)
+		err = fmt.Errorf("privconsensus: servers disagree: %+v vs %+v", r1.out, out2)
+		finishTrace(err)
+		return nil, nil, err
 	}
+	finishTrace(nil)
 	var stats []StepStats
-	if meter != nil {
+	if statsWanted {
 		for _, s := range meter.Snapshot() {
 			stats = append(stats, StepStats{
 				Step:          s.Step,
@@ -289,6 +333,23 @@ func (e *Engine) labelInstance(ctx context.Context, votes [][]float64, subs []*S
 		}
 	}
 	return out2, stats, nil
+}
+
+// LastTrace returns the QueryTrace of the most recent in-process query run
+// by this engine (LabelInstance, LabelInstanceMetered or LabelBatch), or
+// nil before the first query. The returned trace is a private copy.
+func (e *Engine) LastTrace() *obs.QueryTrace {
+	e.traceMu.Lock()
+	defer e.traceMu.Unlock()
+	return e.lastTrace
+}
+
+// Stats returns a sorted snapshot of every process-wide metric series
+// (Paillier/DGK operation counts, pool hit rates, transport traffic,
+// per-phase timings) — the same numbers the /metrics endpoint exposes,
+// without HTTP.
+func (e *Engine) Stats() []obs.Point {
+	return obs.Default.Snapshot()
 }
 
 // BatchResult pairs each query's outcome with the cumulative privacy spend

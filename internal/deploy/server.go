@@ -4,11 +4,23 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"os"
+	"time"
 
+	"github.com/privconsensus/privconsensus/internal/dgk"
 	"github.com/privconsensus/privconsensus/internal/keystore"
+	"github.com/privconsensus/privconsensus/internal/obs"
+	"github.com/privconsensus/privconsensus/internal/paillier"
 	"github.com/privconsensus/privconsensus/internal/protocol"
 	"github.com/privconsensus/privconsensus/internal/transport"
 )
+
+// queriesTotal counts completed deploy-mode queries by role and outcome.
+func queriesTotal(role, outcome string) *obs.Counter {
+	return obs.Default.Counter("deploy_queries_total",
+		"Completed deploy-mode protocol queries.",
+		obs.L("role", role), obs.L("outcome", outcome))
+}
 
 // ServerOptions configures one protocol server process.
 type ServerOptions struct {
@@ -27,7 +39,18 @@ type ServerOptions struct {
 	// concurrently. The setting changes the wire format, so both server
 	// processes must resolve to the same mode.
 	Parallelism int
-	// Logf receives progress lines; nil silences logging.
+	// MetricsAddr, when non-empty, serves the observability admin endpoint
+	// (/metrics, /healthz, /debug/pprof/*, /debug/vars) on that address.
+	MetricsAddr string
+	// MetricsReady, when non-nil, receives the bound admin address once it
+	// is serving (lets tests and scripts use port 0).
+	MetricsReady chan<- string
+	// MetricsLinger keeps the admin endpoint up for this long after the
+	// last instance finishes (bounded by ctx), so scrapers can read final
+	// counters from a short-lived run.
+	MetricsLinger time.Duration
+	// Logf receives progress lines; nil silences logging with no
+	// formatting cost.
 	Logf func(format string, args ...any)
 	// Ready, when non-nil, receives the bound listen address once the
 	// server is accepting (lets tests use port 0).
@@ -41,11 +64,25 @@ func (o ServerOptions) announceReady(addr string) {
 	}
 }
 
-// logf logs through the configured sink.
-func (o ServerOptions) logf(format string, args ...any) {
-	if o.Logf != nil {
-		o.Logf(format, args...)
+// logLevel tags deploy log lines.
+type logLevel int
+
+const (
+	levelInfo logLevel = iota
+	levelWarn
+)
+
+// log is the single leveled logging helper every deploy log site goes
+// through. A nil Logf returns before any formatting work happens; warnings
+// are prefixed so a plain sink still distinguishes them.
+func (o ServerOptions) log(lv logLevel, format string, args ...any) {
+	if o.Logf == nil {
+		return
 	}
+	if lv == levelWarn {
+		format = "WARN " + format
+	}
+	o.Logf(format, args...)
 }
 
 // validate checks the options.
@@ -54,6 +91,86 @@ func (o ServerOptions) validate() error {
 		return fmt.Errorf("deploy: need at least 1 instance, got %d", o.Instances)
 	}
 	return nil
+}
+
+// adminHandle is a running admin endpoint tied to one server run.
+type adminHandle struct {
+	srv    *obs.AdminServer
+	linger time.Duration
+}
+
+// startAdmin serves the observability endpoint if MetricsAddr is set.
+func (o ServerOptions) startAdmin() (*adminHandle, error) {
+	if o.MetricsAddr == "" {
+		return nil, nil
+	}
+	srv, err := obs.StartAdmin(o.MetricsAddr, nil)
+	if err != nil {
+		return nil, err
+	}
+	o.log(levelInfo, "metrics endpoint on http://%s/metrics", srv.Addr)
+	if o.MetricsReady != nil {
+		o.MetricsReady <- srv.Addr
+	}
+	return &adminHandle{srv: srv, linger: o.linger()}, nil
+}
+
+// linger returns the configured post-run admin lifetime.
+func (o ServerOptions) linger() time.Duration { return o.MetricsLinger }
+
+// close keeps the endpoint up for the linger window (cut short when ctx
+// ends), then shuts it down. Safe on a nil handle.
+func (h *adminHandle) close(ctx context.Context) {
+	if h == nil {
+		return
+	}
+	if h.linger > 0 {
+		select {
+		case <-time.After(h.linger):
+		case <-ctx.Done():
+		}
+	}
+	h.srv.Close()
+}
+
+// runInstance executes one query instance with full observability: a fresh
+// meter and tracer, phase spans from the protocol engine, traffic bridged
+// into the trace, a one-line summary log, and errors that name the failing
+// phase. The summary logs quantities only — never votes, shares or keys.
+func runInstance(ctx context.Context, role string, i int, opts ServerOptions,
+	run func(ctx context.Context, meter *transport.Meter) (*protocol.Outcome, error)) (*protocol.Outcome, error) {
+	meter := transport.NewMeter()
+	tracer := obs.NewTracer(fmt.Sprintf("%s-q%d", role, i))
+	paillier.WatchOps(tracer)
+	dgk.WatchOps(tracer)
+	out, err := run(obs.WithTracer(ctx, tracer), meter)
+	meter.FillTrace(tracer)
+	if err != nil {
+		phase := tracer.OpenPhase()
+		tracer.Finish("error", err)
+		queriesTotal(role, "error").Inc()
+		opts.log(levelWarn, "%s", tracer.Trace().Summary())
+		if phase != "" {
+			return nil, fmt.Errorf("deploy: %s instance %d (phase %q): %w", role, i, phase, err)
+		}
+		return nil, fmt.Errorf("deploy: %s instance %d: %w", role, i, err)
+	}
+	result := "no-consensus"
+	if out.Consensus {
+		result = fmt.Sprintf("consensus label=%d", out.Label)
+	}
+	tracer.Finish(result, nil)
+	queriesTotal(role, result0(out)).Inc()
+	opts.log(levelInfo, "%s", tracer.Trace().Summary())
+	return out, nil
+}
+
+// result0 maps an outcome to its metric label.
+func result0(out *protocol.Outcome) string {
+	if out.Consensus {
+		return "consensus"
+	}
+	return "no-consensus"
 }
 
 // RunS1 runs server S1: it listens for all users and for S2, collects the
@@ -74,13 +191,18 @@ func RunS1(ctx context.Context, file *keystore.S1File, opts ServerOptions) ([]pr
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	admin, err := opts.startAdmin()
+	if err != nil {
+		return nil, err
+	}
+	defer admin.close(ctx)
 
 	l, err := transport.Listen(opts.ListenAddr)
 	if err != nil {
 		return nil, err
 	}
 	defer l.Close()
-	opts.logf("S1 listening on %s", l.Addr())
+	opts.log(levelInfo, "S1 listening on %s", l.Addr())
 	opts.announceReady(l.Addr())
 
 	col := newCollector(cfg.Users, opts.Instances, cfg.Classes)
@@ -101,22 +223,23 @@ func RunS1(ctx context.Context, file *keystore.S1File, opts ServerOptions) ([]pr
 		return nil, fmt.Errorf("deploy: waiting for S2: %w", ctx.Err())
 	}
 	defer peer.Close()
-	opts.logf("S1 connected to peer S2")
+	opts.log(levelInfo, "S1 connected to peer S2")
 	if err := col.wait(ctx); err != nil {
 		return nil, err
 	}
 	stopAccept()
-	opts.logf("S1 received all %d×%d submissions", cfg.Users, opts.Instances)
+	opts.log(levelInfo, "S1 received all %d×%d submissions", cfg.Users, opts.Instances)
 
 	rng := newRNG(opts.Seed)
 	outcomes := make([]protocol.Outcome, opts.Instances)
 	for i := 0; i < opts.Instances; i++ {
-		out, err := protocol.RunS1(ctx, rng, cfg, keys, peer, col.instance(i), nil)
+		out, err := runInstance(ctx, "s1", i, opts, func(qctx context.Context, meter *transport.Meter) (*protocol.Outcome, error) {
+			return protocol.RunS1(qctx, rng, cfg, keys, peer, col.instance(i), meter)
+		})
 		if err != nil {
-			return nil, fmt.Errorf("deploy: S1 instance %d: %w", i, err)
+			return nil, err
 		}
 		outcomes[i] = *out
-		opts.logf("S1 instance %d: consensus=%v label=%d", i, out.Consensus, out.Label)
 	}
 	return outcomes, nil
 }
@@ -141,13 +264,18 @@ func RunS2(ctx context.Context, file *keystore.S2File, opts ServerOptions) ([]pr
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	admin, err := opts.startAdmin()
+	if err != nil {
+		return nil, err
+	}
+	defer admin.close(ctx)
 
 	l, err := transport.Listen(opts.ListenAddr)
 	if err != nil {
 		return nil, err
 	}
 	defer l.Close()
-	opts.logf("S2 listening on %s", l.Addr())
+	opts.log(levelInfo, "S2 listening on %s", l.Addr())
 	opts.announceReady(l.Addr())
 
 	col := newCollector(cfg.Users, opts.Instances, cfg.Classes)
@@ -164,13 +292,13 @@ func RunS2(ctx context.Context, file *keystore.S2File, opts ServerOptions) ([]pr
 	if err := sendHello(ctx, peer, partyPeer); err != nil {
 		return nil, err
 	}
-	opts.logf("S2 connected to peer S1 at %s", opts.PeerAddr)
+	opts.log(levelInfo, "S2 connected to peer S1 at %s", opts.PeerAddr)
 
 	if err := col.wait(ctx); err != nil {
 		return nil, err
 	}
 	stopAccept()
-	opts.logf("S2 received all %d×%d submissions", cfg.Users, opts.Instances)
+	opts.log(levelInfo, "S2 received all %d×%d submissions", cfg.Users, opts.Instances)
 
 	// Derive a distinct deterministic stream from S1's only when seeded;
 	// seed 0 must stay crypto/rand.
@@ -181,12 +309,13 @@ func RunS2(ctx context.Context, file *keystore.S2File, opts ServerOptions) ([]pr
 	rng := newRNG(seed)
 	outcomes := make([]protocol.Outcome, opts.Instances)
 	for i := 0; i < opts.Instances; i++ {
-		out, err := protocol.RunS2(ctx, rng, cfg, keys, peer, col.instance(i), nil)
+		out, err := runInstance(ctx, "s2", i, opts, func(qctx context.Context, meter *transport.Meter) (*protocol.Outcome, error) {
+			return protocol.RunS2(qctx, rng, cfg, keys, peer, col.instance(i), meter)
+		})
 		if err != nil {
-			return nil, fmt.Errorf("deploy: S2 instance %d: %w", i, err)
+			return nil, err
 		}
 		outcomes[i] = *out
-		opts.logf("S2 instance %d: consensus=%v label=%d", i, out.Consensus, out.Label)
 	}
 	return outcomes, nil
 }
@@ -213,26 +342,26 @@ func acceptLoop(ctx context.Context, l *transport.Listener, col *collector,
 		go func(conn transport.Conn) {
 			party, err := recvHello(ctx, conn)
 			if err != nil {
-				opts.logf("dropping connection with bad hello: %v", err)
+				opts.log(levelWarn, "dropping connection with bad hello: %v", err)
 				conn.Close()
 				return
 			}
 			switch party {
 			case partyPeer:
 				if peerCh == nil {
-					opts.logf("unexpected peer hello on this server; dropping")
+					opts.log(levelWarn, "unexpected peer hello on this server; dropping")
 					conn.Close()
 					return
 				}
 				select {
 				case peerCh <- conn:
 				default:
-					opts.logf("duplicate peer connection; dropping")
+					opts.log(levelWarn, "duplicate peer connection; dropping")
 					conn.Close()
 				}
 			case partyUser:
 				if err := serveUserConn(ctx, conn, col); err != nil {
-					opts.logf("user connection error: %v", err)
+					opts.log(levelWarn, "user connection error: %v", err)
 				}
 				conn.Close()
 			}
@@ -240,9 +369,13 @@ func acceptLoop(ctx context.Context, l *transport.Listener, col *collector,
 	}
 }
 
-// DefaultLogger returns a stdlib-backed log sink for the CLIs.
+// DefaultLogger returns a stdlib-backed log sink for the CLIs with
+// microsecond timestamps. prefix typically identifies the role ("s1: ");
+// per-query lines already carry the query ID (query=s1-q3) from the trace
+// summary.
 func DefaultLogger(prefix string) func(string, ...any) {
+	l := log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
 	return func(format string, args ...any) {
-		log.Printf(prefix+format, args...)
+		l.Printf(prefix+format, args...)
 	}
 }

@@ -1,0 +1,295 @@
+package deploy
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/privconsensus/privconsensus/internal/obs"
+	"github.com/privconsensus/privconsensus/internal/protocol"
+	"github.com/privconsensus/privconsensus/internal/transport"
+)
+
+// TestAcceptLoopCtxCancellation covers the failure path where the run
+// context is cancelled while the accept loop is still collecting parties:
+// the server must return promptly with the context error rather than hang.
+func TestAcceptLoopCtxCancellation(t *testing.T) {
+	s1File, _, _, _ := testSetup(t, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunS1(ctx, s1File, ServerOptions{
+			ListenAddr: "127.0.0.1:0", Instances: 1, Ready: ready,
+		})
+		done <- err
+	}()
+	<-ready
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected error after cancellation")
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("error does not wrap context.Canceled: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not return after ctx cancellation")
+	}
+}
+
+// TestUserDropsMidUpload covers a user connection that vanishes after
+// uploading only part of its shares: the server keeps serving, then fails
+// collection with an error naming how many submissions are missing.
+func TestUserDropsMidUpload(t *testing.T) {
+	s1File, _, pubFile, cfg := testSetup(t, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	const instances = 2
+	go func() {
+		_, err := RunS1(ctx, s1File, ServerOptions{
+			ListenAddr: "127.0.0.1:0", Instances: instances, Ready: ready,
+		})
+		done <- err
+	}()
+	addr := <-ready
+
+	// Peer connects so S1 advances to submission collection.
+	peer, err := transport.Dial(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	if err := sendHello(ctx, peer, partyPeer); err != nil {
+		t.Fatal(err)
+	}
+
+	// User connects and uploads the half for instance 0 only, then drops.
+	units, err := votesToUnits(oneHot(cfg.Classes, 1), cfg.Classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, _, err := protocol.BuildSubmission(testRNG(600), testRNG(601), cfg, 0, units, pubFile.PK1, pubFile.PK2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, err := transport.Dial(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sendHello(ctx, user, partyUser); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := EncodeHalf(0, 0, sub.ToS1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := user.Send(ctx, msg); err != nil {
+		t.Fatal(err)
+	}
+	user.Close() // drop mid-upload: instance 1's half never arrives
+
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected collection failure after user drop")
+		}
+		if !strings.Contains(err.Error(), "missing") {
+			t.Fatalf("error does not report missing submissions: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not fail after user drop")
+	}
+}
+
+// TestMismatchedParallelism runs S1 sequentially and S2 multiplexed. The
+// wire formats are incompatible, so both servers must fail — and the
+// surfaced errors must name the protocol phase that broke, via the trace.
+func TestMismatchedParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deployment test is slow in -short mode")
+	}
+	const users = 2
+	s1File, s2File, pubFile, cfg := testSetup(t, users)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	s1Ready := make(chan string, 1)
+	s2Ready := make(chan string, 1)
+	s1Done := make(chan error, 1)
+	go func() {
+		_, err := RunS1(ctx, s1File, ServerOptions{
+			ListenAddr: "127.0.0.1:0", Instances: 1, Seed: 700,
+			Parallelism: 1, Ready: s1Ready,
+		})
+		s1Done <- err
+	}()
+	s1Addr := <-s1Ready
+	s2Done := make(chan error, 1)
+	go func() {
+		_, err := RunS2(ctx, s2File, ServerOptions{
+			ListenAddr: "127.0.0.1:0", PeerAddr: s1Addr, Instances: 1, Seed: 701,
+			Parallelism: 4, Ready: s2Ready,
+		})
+		s2Done <- err
+	}()
+	s2Addr := <-s2Ready
+
+	for u := 0; u < users; u++ {
+		if err := SubmitVotes(ctx, pubFile, UserOptions{
+			User: u, S1Addr: s1Addr, S2Addr: s2Addr, Seed: int64(710 + u),
+		}, [][]float64{oneHot(cfg.Classes, 2)}); err != nil {
+			t.Fatalf("user %d: %v", u, err)
+		}
+	}
+
+	err1 := <-s1Done
+	err2 := <-s2Done
+	if err1 == nil && err2 == nil {
+		t.Fatal("expected at least one server to fail with mismatched parallelism")
+	}
+	// The error that surfaces must name the failing phase from the trace.
+	phases := []string{
+		protocol.StepSecureSum1, protocol.StepBlindPerm1, protocol.StepCompare1,
+		protocol.StepThreshold, protocol.StepSecureSum2, protocol.StepBlindPerm2,
+		protocol.StepCompare2, protocol.StepRestoration,
+	}
+	named := false
+	for _, err := range []error{err1, err2} {
+		if err == nil {
+			continue
+		}
+		if !strings.Contains(err.Error(), `(phase "`) {
+			t.Errorf("server error does not name a phase: %v", err)
+			continue
+		}
+		for _, ph := range phases {
+			if strings.Contains(err.Error(), ph) {
+				named = true
+			}
+		}
+	}
+	if !named {
+		t.Errorf("no surfaced error names a protocol phase: s1=%v s2=%v", err1, err2)
+	}
+}
+
+// TestMetricsEndpointEndToEnd runs a full deployment with the admin
+// endpoint enabled on S1 and scrapes it over real HTTP: /healthz must be
+// 200, /metrics must expose the protocol's counter families.
+func TestMetricsEndpointEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deployment test is slow in -short mode")
+	}
+	const users = 2
+	s1File, s2File, pubFile, cfg := testSetup(t, users)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		// Backstop so a wedged deployment cannot hang the test forever.
+		time.Sleep(2 * time.Minute)
+		cancel()
+	}()
+
+	before := obs.Default.CounterValue("deploy_queries_total",
+		obs.L("role", "s1"), obs.L("outcome", "consensus"))
+
+	s1Ready := make(chan string, 1)
+	s2Ready := make(chan string, 1)
+	metricsReady := make(chan string, 1)
+	type serverResult struct {
+		outcomes []protocol.Outcome
+		err      error
+	}
+	s1Done := make(chan serverResult, 1)
+	go func() {
+		out, err := RunS1(ctx, s1File, ServerOptions{
+			ListenAddr: "127.0.0.1:0", Instances: 1, Seed: 800, Ready: s1Ready,
+			MetricsAddr: "127.0.0.1:0", MetricsReady: metricsReady,
+			MetricsLinger: time.Minute,
+		})
+		s1Done <- serverResult{out, err}
+	}()
+	s1Addr := <-s1Ready
+	metricsAddr := <-metricsReady
+
+	s2Done := make(chan serverResult, 1)
+	go func() {
+		out, err := RunS2(ctx, s2File, ServerOptions{
+			ListenAddr: "127.0.0.1:0", PeerAddr: s1Addr, Instances: 1, Seed: 801, Ready: s2Ready,
+		})
+		s2Done <- serverResult{out, err}
+	}()
+	s2Addr := <-s2Ready
+
+	for u := 0; u < users; u++ {
+		if err := SubmitVotes(ctx, pubFile, UserOptions{
+			User: u, S1Addr: s1Addr, S2Addr: s2Addr, Seed: int64(810 + u),
+		}, [][]float64{oneHot(cfg.Classes, 3)}); err != nil {
+			t.Fatalf("user %d: %v", u, err)
+		}
+	}
+
+	// Wait for S1's query to complete (counter moves past its pre-test
+	// value), then scrape the admin endpoint while it lingers.
+	deadline := time.Now().Add(90 * time.Second)
+	for obs.Default.CounterValue("deploy_queries_total",
+		obs.L("role", "s1"), obs.L("outcome", "consensus")) <= before {
+		if time.Now().After(deadline) {
+			t.Fatal("query never completed")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", metricsAddr))
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz returned %d %q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(fmt.Sprintf("http://%s/metrics", metricsAddr))
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics returned %d", resp.StatusCode)
+	}
+	for _, family := range []string{
+		"paillier_encrypt_total", "paillier_decrypt_total", "paillier_add_total",
+		"paillier_pool_hits_total", "dgk_comparisons_total", "dgk_encrypt_total",
+		"transport_step_bytes_total", "transport_wire_bytes_total",
+		"protocol_phase_seconds_bucket", "deploy_queries_total",
+	} {
+		if !strings.Contains(string(text), family) {
+			t.Errorf("/metrics missing family %q", family)
+		}
+	}
+
+	// Unblock the lingering admin endpoint and collect both servers.
+	r2 := <-s2Done
+	if r2.err != nil {
+		t.Fatalf("S2: %v", r2.err)
+	}
+	cancel()
+	r1 := <-s1Done
+	if r1.err != nil {
+		t.Fatalf("S1: %v", r1.err)
+	}
+	if !r1.outcomes[0].Consensus || r1.outcomes[0].Label != 3 {
+		t.Errorf("outcome %+v, want consensus on 3", r1.outcomes[0])
+	}
+}

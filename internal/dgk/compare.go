@@ -142,6 +142,7 @@ func (pk *PublicKey) CompareA(ctx context.Context, rng io.Reader, conn transport
 	if len(res.Flags) != 1 {
 		return false, fmt.Errorf("dgk: malformed result message")
 	}
+	comparisons.Inc()
 	return res.Flags[0] == 1, nil
 }
 
@@ -203,6 +204,7 @@ func (k *PrivateKey) finishCompareB(ctx context.Context, conn transport.Conn) (b
 	if err := conn.Send(ctx, &transport.Message{Kind: transport.KindResult, Flags: []int64{flag}}); err != nil {
 		return false, fmt.Errorf("dgk: send result: %w", err)
 	}
+	comparisonsB.Inc()
 	return aGEb, nil
 }
 

@@ -288,6 +288,7 @@ func (pk *PublicKey) Encrypt(rng io.Reader, m *big.Int) (*Ciphertext, error) {
 	hr := new(big.Int).Exp(pk.H, r, pk.N)
 	c := gm.Mul(gm, hr)
 	c.Mod(c, pk.N)
+	encOps.Inc()
 	return &Ciphertext{C: c}, nil
 }
 
@@ -347,6 +348,7 @@ func (k *PrivateKey) IsZero(c *Ciphertext) (bool, error) {
 		return false, err
 	}
 	t := new(big.Int).Exp(c.C, k.vp, k.p)
+	zeroTests.Inc()
 	return t.Cmp(mathutil.One) == 0, nil
 }
 
@@ -360,5 +362,6 @@ func (k *PrivateKey) Decrypt(c *Ciphertext) (*big.Int, error) {
 	if !ok {
 		return nil, ErrNotInTable
 	}
+	decOps.Inc()
 	return new(big.Int).SetUint64(m), nil
 }

@@ -61,14 +61,27 @@ func (p *NoncePool) fill(ctx context.Context, rng io.Reader) {
 		hr := new(big.Int).Exp(p.pk.H, r, p.pk.N)
 		select {
 		case p.nonces <- hr:
+			poolRefills.Inc()
 		case <-ctx.Done():
 			return
 		}
 	}
 }
 
-// Next returns a precomputed h^r value.
+// Next returns a precomputed h^r value. A draw satisfied without waiting
+// counts as a pool hit; one that has to block for a refill worker counts as
+// a miss.
 func (p *NoncePool) Next(ctx context.Context) (*big.Int, error) {
+	select {
+	case hr, ok := <-p.nonces:
+		if !ok {
+			return nil, ErrPoolClosed
+		}
+		poolHits.Inc()
+		return hr, nil
+	default:
+	}
+	poolMisses.Inc()
 	select {
 	case hr, ok := <-p.nonces:
 		if !ok {
@@ -95,6 +108,7 @@ func (p *NoncePool) Encrypt(ctx context.Context, m *big.Int) (*Ciphertext, error
 	gm := new(big.Int).Exp(p.pk.G, m, p.pk.N)
 	c := gm.Mul(gm, hr)
 	c.Mod(c, p.pk.N)
+	encOps.Inc()
 	return &Ciphertext{C: c}, nil
 }
 

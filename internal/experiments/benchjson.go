@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// BenchPhase is the machine-readable form of one protocol step's cost.
+type BenchPhase struct {
+	Step             string  `json:"step"`
+	AvgNs            int64   `json:"avg_ns"`
+	AvgBytesPerParty int64   `json:"avg_bytes_per_party"`
+	AvgMsgs          float64 `json:"avg_msgs"`
+}
+
+// BenchJSON is the machine-readable protocol benchmark record written as
+// BENCH_protocol.json. The schema field versions the layout so downstream
+// tooling can detect changes.
+type BenchJSON struct {
+	Schema      string `json:"schema"`
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	NumCPU      int    `json:"num_cpu"`
+
+	Instances int `json:"instances"`
+	Users     int `json:"users"`
+	Classes   int `json:"classes"`
+	// Parallelism is the configured worker bound (0 = NumCPU).
+	Parallelism int   `json:"parallelism"`
+	UseDGKPool  bool  `json:"use_dgk_pool"`
+	Seed        int64 `json:"seed"`
+
+	// NsPerOp is the mean end-to-end time of one query instance.
+	NsPerOp int64 `json:"ns_per_op"`
+	// BytesPerOp is the mean server-to-server bytes one party sends per
+	// instance (sum of the per-step averages).
+	BytesPerOp int64 `json:"bytes_per_op"`
+	// UserToServerBytes are the per-user uploads for the two secure sums.
+	UserToServerBytes  int64 `json:"user_to_server_bytes"`
+	UserToServerBytes2 int64 `json:"user_to_server_bytes2"`
+	ConsensusInstances int   `json:"consensus_instances"`
+
+	Phases []BenchPhase `json:"phases"`
+}
+
+// BenchJSONFrom converts a benchmark result into its JSON record.
+func BenchJSONFrom(res *ProtocolBenchResult) BenchJSON {
+	out := BenchJSON{
+		Schema:             "privconsensus/protocol-bench/v1",
+		GeneratedAt:        time.Now().UTC().Format(time.RFC3339),
+		GoVersion:          runtime.Version(),
+		GOOS:               runtime.GOOS,
+		GOARCH:             runtime.GOARCH,
+		NumCPU:             runtime.NumCPU(),
+		Instances:          res.Config.Instances,
+		Users:              res.Config.Users,
+		Classes:            res.Config.Classes,
+		Parallelism:        res.Config.Parallelism,
+		UseDGKPool:         res.Config.UseDGKPool,
+		Seed:               res.Config.Seed,
+		NsPerOp:            res.Overall.Nanoseconds(),
+		UserToServerBytes:  res.UserToServerBytes,
+		UserToServerBytes2: res.UserToServerBytes2,
+		ConsensusInstances: res.Consensus,
+	}
+	for _, s := range res.Steps {
+		out.BytesPerOp += s.AvgBytesPerParty
+		out.Phases = append(out.Phases, BenchPhase{
+			Step:             s.Step,
+			AvgNs:            s.AvgTime.Nanoseconds(),
+			AvgBytesPerParty: s.AvgBytesPerParty,
+			AvgMsgs:          s.Msgs,
+		})
+	}
+	return out
+}
+
+// WriteBenchJSON writes the benchmark record to path, indented for diffing.
+func WriteBenchJSON(path string, res *ProtocolBenchResult) error {
+	data, err := json.MarshalIndent(BenchJSONFrom(res), "", "  ")
+	if err != nil {
+		return fmt.Errorf("experiments: marshal bench json: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// NewAdminMux builds the admin HTTP mux for a registry:
+//
+//	/metrics       Prometheus text exposition of reg
+//	/healthz       200 "ok" liveness probe
+//	/debug/pprof/  stdlib profiling handlers
+//	/debug/vars    expvar JSON
+//
+// The handlers expose only aggregate quantities and runtime profiles —
+// never plaintext votes, shares or key material.
+func NewAdminMux(reg *Registry) *http.ServeMux {
+	if reg == nil {
+		reg = Default
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// AdminServer is a running admin endpoint.
+type AdminServer struct {
+	// Addr is the bound listen address (useful with ":0").
+	Addr string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// StartAdmin binds addr and serves the admin mux for reg in a background
+// goroutine. Pass reg == nil for the Default registry.
+func StartAdmin(addr string, reg *Registry) (*AdminServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: admin listen %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:           NewAdminMux(reg),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	a := &AdminServer{Addr: ln.Addr().String(), srv: srv, ln: ln}
+	go srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return a, nil
+}
+
+// Close shuts the admin endpoint down immediately.
+func (a *AdminServer) Close() error {
+	if a == nil || a.srv == nil {
+		return nil
+	}
+	return a.srv.Close()
+}

@@ -1,0 +1,32 @@
+package paillier
+
+import "github.com/privconsensus/privconsensus/internal/obs"
+
+// Process-wide operation counters on the obs default registry. They count
+// only operations — never plaintexts, nonces or key material.
+var (
+	encOps = obs.Default.Counter("paillier_encrypt_total",
+		"Paillier encryptions, fresh-nonce and pooled.")
+	decOps = obs.Default.Counter("paillier_decrypt_total",
+		"Paillier decryptions, CRT and slow path.")
+	addOps = obs.Default.Counter("paillier_add_total",
+		"Homomorphic additions (ciphertext multiplications), including AddPlain.")
+	mulOps = obs.Default.Counter("paillier_scalarmul_total",
+		"Homomorphic scalar multiplications (ciphertext exponentiations).")
+	poolHits = obs.Default.Counter("paillier_pool_hits_total",
+		"Nonce pool draws satisfied without blocking.")
+	poolMisses = obs.Default.Counter("paillier_pool_misses_total",
+		"Nonce pool draws that had to wait for a refill worker.")
+	poolRefills = obs.Default.Counter("paillier_pool_refills_total",
+		"Blinding factors precomputed by nonce pool workers.")
+)
+
+// WatchOps registers this package's operation counters on a tracer so each
+// QueryTrace span records the Paillier work done during its phase.
+func WatchOps(t *obs.Tracer) {
+	t.Watch("paillier_enc", encOps)
+	t.Watch("paillier_dec", decOps)
+	t.Watch("paillier_add", addOps)
+	t.Watch("paillier_scalarmul", mulOps)
+	t.Watch("paillier_pool_miss", poolMisses)
+}

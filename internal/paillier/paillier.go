@@ -176,6 +176,7 @@ func (pk *PublicKey) encryptWithNonce(m, r *big.Int) *Ciphertext {
 	rn := new(big.Int).Exp(r, pk.N, pk.N2)
 	c := gm.Mul(gm, rn)
 	c.Mod(c, pk.N2)
+	encOps.Inc()
 	return &Ciphertext{C: c}
 }
 
@@ -233,6 +234,7 @@ func (pk *PublicKey) Add(c1, c2 *Ciphertext) (*Ciphertext, error) {
 	}
 	out := new(big.Int).Mul(c1.C, c2.C)
 	out.Mod(out, pk.N2)
+	addOps.Inc()
 	return &Ciphertext{C: out}, nil
 }
 
@@ -249,6 +251,7 @@ func (pk *PublicKey) AddPlain(c *Ciphertext, k *big.Int) (*Ciphertext, error) {
 	gk.Mod(gk, pk.N2)
 	out := gk.Mul(gk, c.C)
 	out.Mod(out, pk.N2)
+	addOps.Inc()
 	return &Ciphertext{C: out}, nil
 }
 
@@ -260,6 +263,7 @@ func (pk *PublicKey) ScalarMul(c *Ciphertext, a *big.Int) (*Ciphertext, error) {
 	}
 	aMod := mathutil.FromSigned(a, pk.N)
 	out := new(big.Int).Exp(c.C, aMod, pk.N2)
+	mulOps.Inc()
 	return &Ciphertext{C: out}, nil
 }
 
@@ -306,6 +310,7 @@ func (k *PrivateKey) Decrypt(c *Ciphertext) (*big.Int, error) {
 	mq.Mul(mq, k.hq)
 	mq.Mod(mq, k.q)
 
+	decOps.Inc()
 	return k.crt.Combine(mp, mq), nil
 }
 
@@ -325,6 +330,7 @@ func (k *PrivateKey) DecryptSlow(c *Ciphertext) (*big.Int, error) {
 		return nil, fmt.Errorf("%w: %v", ErrInvalidKeyPair, err)
 	}
 	l.Mul(l, mu)
+	decOps.Inc()
 	return l.Mod(l, k.N), nil
 }
 

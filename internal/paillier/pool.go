@@ -66,6 +66,7 @@ func (p *NoncePool) fill(ctx context.Context, rng io.Reader) {
 		rn := new(big.Int).Exp(r, p.pk.N, p.pk.N2)
 		select {
 		case p.nonces <- rn:
+			poolRefills.Inc()
 		case <-ctx.Done():
 			return
 		}
@@ -73,8 +74,19 @@ func (p *NoncePool) fill(ctx context.Context, rng io.Reader) {
 }
 
 // Next returns a precomputed blinding factor r^n mod n^2, blocking until one
-// is available.
+// is available. A draw satisfied without waiting counts as a pool hit; one
+// that has to block for a refill worker counts as a miss.
 func (p *NoncePool) Next(ctx context.Context) (*big.Int, error) {
+	select {
+	case rn, ok := <-p.nonces:
+		if !ok {
+			return nil, ErrPoolClosed
+		}
+		poolHits.Inc()
+		return rn, nil
+	default:
+	}
+	poolMisses.Inc()
 	select {
 	case rn, ok := <-p.nonces:
 		if !ok {
@@ -103,6 +115,7 @@ func (p *NoncePool) Encrypt(ctx context.Context, m *big.Int) (*Ciphertext, error
 	gm.Mod(gm, p.pk.N2)
 	c := gm.Mul(gm, rn)
 	c.Mod(c, p.pk.N2)
+	encOps.Inc()
 	return &Ciphertext{C: c}, nil
 }
 

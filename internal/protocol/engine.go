@@ -9,6 +9,7 @@ import (
 
 	"github.com/privconsensus/privconsensus/internal/dgk"
 
+	"github.com/privconsensus/privconsensus/internal/obs"
 	"github.com/privconsensus/privconsensus/internal/paillier"
 	"github.com/privconsensus/privconsensus/internal/transport"
 )
@@ -57,14 +58,25 @@ func setStep(conn transport.Conn, step string) {
 	}
 }
 
-// timeStep attributes fn's wall time to step in meter (nil meter OK).
-func timeStep(meter *transport.Meter, step string, fn func() error) error {
-	if meter == nil {
-		return fn()
+// timeStep attributes fn's wall time to step in meter (nil meter OK), opens
+// a matching phase span on the ambient tracer (see obs.WithTracer), and
+// feeds the per-phase duration histogram. Step labels double as trace phase
+// names, so meter and trace report the same per-phase quantities.
+func timeStep(ctx context.Context, meter *transport.Meter, step string, fn func() error) error {
+	tr := obs.TracerFrom(ctx)
+	if tr != nil {
+		tr.StartPhase(step)
 	}
 	start := time.Now()
 	err := fn()
-	meter.RecordElapsed(step, time.Since(start))
+	elapsed := time.Since(start)
+	if meter != nil {
+		meter.RecordElapsed(step, elapsed)
+	}
+	if tr != nil {
+		tr.EndPhase(step, err)
+	}
+	phaseSeconds(step).Observe(elapsed.Seconds())
 	return err
 }
 
@@ -89,7 +101,7 @@ func RunS1(ctx context.Context, rng io.Reader, cfg Config, keys KeysS1,
 
 	// Step 2: Secure Sum — aggregate user shares homomorphically.
 	var aggVotes, aggThresh, aggNoisy []*paillier.Ciphertext
-	err := timeStep(meter, StepSecureSum1, func() error {
+	err := timeStep(ctx, meter, StepSecureSum1, func() error {
 		var err error
 		aggVotes, err = aggregate(keys.PeerPub, subs, par, func(h SubmissionHalf) []*paillier.Ciphertext { return h.Votes })
 		if err != nil {
@@ -105,7 +117,7 @@ func RunS1(ctx context.Context, rng io.Reader, cfg Config, keys KeysS1,
 	// Step 3: Blind-and-Permute the vote and threshold sequences together.
 	setStep(conn, StepBlindPerm1)
 	var bp *bpResultS1
-	err = timeStep(meter, StepBlindPerm1, func() error {
+	err = timeStep(ctx, meter, StepBlindPerm1, func() error {
 		var err error
 		bp, err = blindPermuteS1(ctx, rng, cfg, keys, conn, [][]*paillier.Ciphertext{aggVotes, aggThresh})
 		return err
@@ -118,7 +130,7 @@ func RunS1(ctx context.Context, rng io.Reader, cfg Config, keys KeysS1,
 	// Step 4: Secure Comparison — all-pairs DGK to find pi(i*).
 	setStep(conn, StepCompare1)
 	var pStar int
-	err = timeStep(meter, StepCompare1, func() error {
+	err = timeStep(ctx, meter, StepCompare1, func() error {
 		var err error
 		pStar, err = argmaxPermutedS1(ctx, rng, cfg, keys.DGKPub, sess, StepCompare1, votesSeq)
 		return err
@@ -130,7 +142,7 @@ func RunS1(ctx context.Context, rng io.Reader, cfg Config, keys KeysS1,
 	// Step 5: Threshold Checking at pi(i*) (optionally at all positions).
 	setStep(conn, StepThreshold)
 	var pass bool
-	err = timeStep(meter, StepThreshold, func() error {
+	err = timeStep(ctx, meter, StepThreshold, func() error {
 		var err error
 		pass, err = thresholdCheckS1(ctx, rng, cfg, keys.DGKPub, sess, threshSeq, pStar)
 		return err
@@ -143,7 +155,7 @@ func RunS1(ctx context.Context, rng io.Reader, cfg Config, keys KeysS1,
 	}
 
 	// Step 6: second Secure Sum (noisy shares).
-	err = timeStep(meter, StepSecureSum2, func() error {
+	err = timeStep(ctx, meter, StepSecureSum2, func() error {
 		var err error
 		aggNoisy, err = aggregate(keys.PeerPub, subs, par, func(h SubmissionHalf) []*paillier.Ciphertext { return h.Noisy })
 		return err
@@ -155,7 +167,7 @@ func RunS1(ctx context.Context, rng io.Reader, cfg Config, keys KeysS1,
 	// Step 7: fresh Blind-and-Permute on the noisy votes.
 	setStep(conn, StepBlindPerm2)
 	var bp2 *bpResultS1
-	err = timeStep(meter, StepBlindPerm2, func() error {
+	err = timeStep(ctx, meter, StepBlindPerm2, func() error {
 		var err error
 		bp2, err = blindPermuteS1(ctx, rng, cfg, keys, conn, [][]*paillier.Ciphertext{aggNoisy})
 		return err
@@ -167,7 +179,7 @@ func RunS1(ctx context.Context, rng io.Reader, cfg Config, keys KeysS1,
 	// Step 8: Secure Comparison to find pi'(i~*).
 	setStep(conn, StepCompare2)
 	var pTilde int
-	err = timeStep(meter, StepCompare2, func() error {
+	err = timeStep(ctx, meter, StepCompare2, func() error {
 		var err error
 		pTilde, err = argmaxPermutedS1(ctx, rng, cfg, keys.DGKPub, sess, StepCompare2, bp2.Plain[0])
 		return err
@@ -180,7 +192,7 @@ func RunS1(ctx context.Context, rng io.Reader, cfg Config, keys KeysS1,
 	// Step 9: Restoration.
 	setStep(conn, StepRestoration)
 	var label int
-	err = timeStep(meter, StepRestoration, func() error {
+	err = timeStep(ctx, meter, StepRestoration, func() error {
 		var err error
 		label, err = restoreS1(ctx, rng, cfg, keys, conn, bp2.Pi1)
 		return err
@@ -232,7 +244,7 @@ func RunS2(ctx context.Context, rng io.Reader, cfg Config, keys KeysS2,
 	}
 
 	var aggVotes, aggThresh, aggNoisy []*paillier.Ciphertext
-	err := timeStep(meter, StepSecureSum1, func() error {
+	err := timeStep(ctx, meter, StepSecureSum1, func() error {
 		var err error
 		aggVotes, err = aggregate(keys.PeerPub, subs, par, func(h SubmissionHalf) []*paillier.Ciphertext { return h.Votes })
 		if err != nil {
@@ -247,7 +259,7 @@ func RunS2(ctx context.Context, rng io.Reader, cfg Config, keys KeysS2,
 
 	setStep(conn, StepBlindPerm1)
 	var bp *bpResultS2
-	err = timeStep(meter, StepBlindPerm1, func() error {
+	err = timeStep(ctx, meter, StepBlindPerm1, func() error {
 		var err error
 		bp, err = blindPermuteS2(ctx, rng, cfg, keys, conn, [][]*paillier.Ciphertext{aggVotes, aggThresh})
 		return err
@@ -259,7 +271,7 @@ func RunS2(ctx context.Context, rng io.Reader, cfg Config, keys KeysS2,
 
 	setStep(conn, StepCompare1)
 	var pStar int
-	err = timeStep(meter, StepCompare1, func() error {
+	err = timeStep(ctx, meter, StepCompare1, func() error {
 		var err error
 		pStar, err = argmaxPermutedS2(ctx, rng, cfg, cmpB, sess, StepCompare1, votesSeq)
 		return err
@@ -270,7 +282,7 @@ func RunS2(ctx context.Context, rng io.Reader, cfg Config, keys KeysS2,
 
 	setStep(conn, StepThreshold)
 	var pass bool
-	err = timeStep(meter, StepThreshold, func() error {
+	err = timeStep(ctx, meter, StepThreshold, func() error {
 		var err error
 		pass, err = thresholdCheckS2(ctx, rng, cfg, cmpB, sess, threshSeq, pStar)
 		return err
@@ -282,7 +294,7 @@ func RunS2(ctx context.Context, rng io.Reader, cfg Config, keys KeysS2,
 		return &Outcome{Consensus: false, Label: -1}, nil
 	}
 
-	err = timeStep(meter, StepSecureSum2, func() error {
+	err = timeStep(ctx, meter, StepSecureSum2, func() error {
 		var err error
 		aggNoisy, err = aggregate(keys.PeerPub, subs, par, func(h SubmissionHalf) []*paillier.Ciphertext { return h.Noisy })
 		return err
@@ -293,7 +305,7 @@ func RunS2(ctx context.Context, rng io.Reader, cfg Config, keys KeysS2,
 
 	setStep(conn, StepBlindPerm2)
 	var bp2 *bpResultS2
-	err = timeStep(meter, StepBlindPerm2, func() error {
+	err = timeStep(ctx, meter, StepBlindPerm2, func() error {
 		var err error
 		bp2, err = blindPermuteS2(ctx, rng, cfg, keys, conn, [][]*paillier.Ciphertext{aggNoisy})
 		return err
@@ -304,7 +316,7 @@ func RunS2(ctx context.Context, rng io.Reader, cfg Config, keys KeysS2,
 
 	setStep(conn, StepCompare2)
 	var pTilde int
-	err = timeStep(meter, StepCompare2, func() error {
+	err = timeStep(ctx, meter, StepCompare2, func() error {
 		var err error
 		pTilde, err = argmaxPermutedS2(ctx, rng, cfg, cmpB, sess, StepCompare2, bp2.Plain[0])
 		return err
@@ -315,7 +327,7 @@ func RunS2(ctx context.Context, rng io.Reader, cfg Config, keys KeysS2,
 
 	setStep(conn, StepRestoration)
 	var label int
-	err = timeStep(meter, StepRestoration, func() error {
+	err = timeStep(ctx, meter, StepRestoration, func() error {
 		var err error
 		label, err = restoreS2(ctx, rng, cfg, keys, conn, bp2.Pi2, pTilde)
 		return err

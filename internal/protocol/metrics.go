@@ -1,0 +1,21 @@
+package protocol
+
+import "github.com/privconsensus/privconsensus/internal/obs"
+
+// Protocol-level metrics on the obs default registry.
+var (
+	cmpWorkersHist = obs.Default.Histogram("protocol_comparison_workers",
+		"Worker-pool size used for each concurrent comparison phase.",
+		obs.DepthBuckets())
+	cmpJobsTotal = obs.Default.Counter("protocol_comparison_jobs_total",
+		"DGK comparison jobs executed across all phases.")
+	cmpInflight = obs.Default.Gauge("protocol_comparisons_inflight",
+		"Comparisons currently executing on mux streams.")
+)
+
+// phaseSeconds returns the wall-time histogram for one protocol step.
+func phaseSeconds(step string) *obs.Histogram {
+	return obs.Default.Histogram("protocol_phase_seconds",
+		"Wall time of each protocol phase.",
+		obs.DurationBuckets(), obs.L("step", step))
+}

@@ -140,6 +140,7 @@ func (s *muxSession) runComparisons(ctx context.Context, step string, jobs []cmp
 	if s.mux == nil {
 		for i, job := range jobs {
 			geq, err := compare(ctx, s.seq, job.diff)
+			cmpJobsTotal.Inc()
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", job.tag, err)
 			}
@@ -157,6 +158,7 @@ func (s *muxSession) runComparisons(ctx context.Context, step string, jobs []cmp
 	if workers < 1 {
 		workers = 1
 	}
+	cmpWorkersHist.Observe(float64(workers))
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var (
@@ -177,7 +179,10 @@ func (s *muxSession) runComparisons(ctx context.Context, step string, jobs []cmp
 				}
 				stream := s.mux.Stream(base + int64(i))
 				stream.SetStep(step)
+				cmpInflight.Add(1)
 				geq, err := compare(wctx, stream, jobs[i].diff)
+				cmpInflight.Add(-1)
+				cmpJobsTotal.Inc()
 				if err != nil {
 					errOnce.Do(func() {
 						firstErr = fmt.Errorf("%s: %w", jobs[i].tag, err)

@@ -2,7 +2,9 @@ package transport
 
 import (
 	"context"
+	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -10,10 +12,12 @@ import (
 // Meter accumulates per-step traffic statistics: bytes and message counts in
 // each direction plus wall-clock time attributed to each step. It drives the
 // reproduction of Tables I (per-step running time) and II (per-step message
-// size). Meter is safe for concurrent use.
+// size). Meter is safe for concurrent use. Traffic is also fed into the
+// process-wide obs registry (see metrics.go).
 type Meter struct {
 	mu    sync.Mutex
 	steps map[string]*StepStats
+	obs   map[string]*stepCounters
 }
 
 // StepStats aggregates traffic and timing for one protocol step.
@@ -23,7 +27,14 @@ type StepStats struct {
 	BytesReceived int64
 	MsgsSent      int64
 	MsgsReceived  int64
-	Elapsed       time.Duration
+	// Rounds counts completed send-then-receive volleys: a receive that
+	// follows at least one send closes a round. Under concurrent mux
+	// streams sharing a step label this is an approximation of the
+	// lock-step round count.
+	Rounds  int64
+	Elapsed time.Duration
+
+	lastWasSend bool
 }
 
 // NewMeter returns an empty meter.
@@ -49,6 +60,10 @@ func (m *Meter) RecordSend(step string, bytes int) {
 	s := m.get(step)
 	s.BytesSent += int64(bytes)
 	s.MsgsSent++
+	s.lastWasSend = true
+	c := m.countersFor(step)
+	c.bytesSent.Add(int64(bytes))
+	c.msgsSent.Inc()
 }
 
 // RecordRecv attributes a received message of size bytes to step.
@@ -58,6 +73,14 @@ func (m *Meter) RecordRecv(step string, bytes int) {
 	s := m.get(step)
 	s.BytesReceived += int64(bytes)
 	s.MsgsReceived++
+	c := m.countersFor(step)
+	c.bytesReceived.Add(int64(bytes))
+	c.msgsReceived.Inc()
+	if s.lastWasSend {
+		s.Rounds++
+		s.lastWasSend = false
+		c.rounds.Inc()
+	}
 }
 
 // RecordElapsed adds wall time to step.
@@ -96,6 +119,35 @@ func (m *Meter) Step(step string) (StepStats, bool) {
 		return StepStats{}, false
 	}
 	return *s, true
+}
+
+// Totals sums every step's traffic into one StepStats with Step == "total".
+func (m *Meter) Totals() StepStats {
+	t := StepStats{Step: "total"}
+	for _, s := range m.Snapshot() {
+		t.BytesSent += s.BytesSent
+		t.BytesReceived += s.BytesReceived
+		t.MsgsSent += s.MsgsSent
+		t.MsgsReceived += s.MsgsReceived
+		t.Rounds += s.Rounds
+		t.Elapsed += s.Elapsed
+	}
+	return t
+}
+
+// String renders one line per step, sorted by step name — deterministic
+// across runs, so it is usable in golden tests and log output.
+func (m *Meter) String() string {
+	var b strings.Builder
+	for i, s := range m.Snapshot() {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "%s: sent=%dB/%d recvd=%dB/%d rounds=%d elapsed=%v",
+			s.Step, s.BytesSent, s.MsgsSent, s.BytesReceived, s.MsgsReceived,
+			s.Rounds, s.Elapsed.Round(time.Microsecond))
+	}
+	return b.String()
 }
 
 // Reset clears all accumulated stats.

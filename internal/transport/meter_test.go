@@ -1,0 +1,92 @@
+package transport
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/privconsensus/privconsensus/internal/obs"
+)
+
+func TestMeterRounds(t *testing.T) {
+	m := NewMeter()
+	// send, send, recv => 1 round; recv with no preceding send => none.
+	m.RecordSend("a", 10)
+	m.RecordSend("a", 10)
+	m.RecordRecv("a", 5)
+	m.RecordRecv("a", 5)
+	m.RecordSend("a", 10)
+	m.RecordRecv("a", 5)
+	m.RecordRecv("b", 1)
+	sa, _ := m.Step("a")
+	if sa.Rounds != 2 {
+		t.Fatalf("step a rounds = %d, want 2", sa.Rounds)
+	}
+	sb, _ := m.Step("b")
+	if sb.Rounds != 0 {
+		t.Fatalf("step b rounds = %d, want 0", sb.Rounds)
+	}
+}
+
+func TestMeterTotalsAndString(t *testing.T) {
+	m := NewMeter()
+	m.RecordSend("z-step", 100)
+	m.RecordRecv("z-step", 50)
+	m.RecordSend("a-step", 7)
+	tot := m.Totals()
+	if tot.BytesSent != 107 || tot.BytesReceived != 50 || tot.MsgsSent != 2 || tot.Rounds != 1 {
+		t.Fatalf("totals wrong: %+v", tot)
+	}
+	s := m.String()
+	ai, zi := strings.Index(s, "a-step:"), strings.Index(s, "z-step:")
+	if ai < 0 || zi < 0 || ai > zi {
+		t.Fatalf("String not sorted by step:\n%s", s)
+	}
+	if s != m.String() {
+		t.Fatal("String not deterministic")
+	}
+	if !strings.Contains(s, "sent=100B/1") || !strings.Contains(s, "rounds=1") {
+		t.Fatalf("String missing fields:\n%s", s)
+	}
+}
+
+func TestMeterFillTrace(t *testing.T) {
+	m := NewMeter()
+	m.RecordSend("phase-x", 64)
+	m.RecordRecv("phase-x", 32)
+	m.RecordSend("phase-y", 8)
+	tr := obs.NewTracer("q")
+	tr.StartPhase("phase-x")
+	tr.EndPhase("phase-x", nil)
+	m.FillTrace(tr)
+	q := tr.Trace()
+	sent, recvd := q.TotalBytes()
+	tot := m.Totals()
+	if sent != tot.BytesSent || recvd != tot.BytesReceived {
+		t.Fatalf("trace totals %d/%d != meter totals %d/%d", sent, recvd, tot.BytesSent, tot.BytesReceived)
+	}
+	sx, ok := q.Span("phase-x")
+	if !ok || sx.BytesSent != 64 || sx.Rounds != 1 {
+		t.Fatalf("phase-x span wrong: %+v ok=%v", sx, ok)
+	}
+	// phase-y never opened as a span but its traffic still lands in the trace.
+	if _, ok := q.Span("phase-y"); !ok {
+		t.Fatal("unopened phase missing from trace")
+	}
+}
+
+func TestMeterFeedsObsRegistry(t *testing.T) {
+	before := obs.Default.CounterValue("transport_step_bytes_total",
+		obs.L("step", "obs-feed-test"), obs.L("dir", "sent"))
+	m := NewMeter()
+	m.RecordSend("obs-feed-test", 40)
+	m.RecordRecv("obs-feed-test", 9)
+	after := obs.Default.CounterValue("transport_step_bytes_total",
+		obs.L("step", "obs-feed-test"), obs.L("dir", "sent"))
+	if after-before != 40 {
+		t.Fatalf("obs bridge delta = %d, want 40", after-before)
+	}
+	if r := obs.Default.CounterValue("transport_step_rounds_total",
+		obs.L("step", "obs-feed-test")); r < 1 {
+		t.Fatalf("rounds counter = %d, want >= 1", r)
+	}
+}

@@ -303,6 +303,7 @@ func (s *MuxStream) pumpLocked(ctx context.Context) (*muxFrame, error) {
 	target := m.Stream(id)
 	select {
 	case target.in <- fr:
+		muxBacklog.Observe(float64(len(target.in)))
 		return nil, nil
 	default:
 		err := fmt.Errorf("transport: mux stream %d backlog exceeds %d frames", id, streamBacklog)

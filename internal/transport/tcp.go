@@ -79,11 +79,17 @@ func (c *tcpConn) Send(ctx context.Context, msg *Message) error {
 		return err
 	}
 	var lenBuf [4]byte
-	binary.BigEndian.PutUint32(lenBuf[:], uint32(EncodedSize(msg)))
+	size := EncodedSize(msg)
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(size))
 	if _, err := c.nc.Write(lenBuf[:]); err != nil {
 		return fmt.Errorf("transport: write frame length: %w", err)
 	}
-	return WriteMessage(c.nc, msg)
+	if err := WriteMessage(c.nc, msg); err != nil {
+		return err
+	}
+	wireBytesSent.Add(int64(size) + 4)
+	wireMsgsSent.Inc()
+	return nil
 }
 
 func (c *tcpConn) Recv(ctx context.Context) (*Message, error) {
@@ -100,7 +106,13 @@ func (c *tcpConn) Recv(ctx context.Context) (*Message, error) {
 	if payloadLen > maxValueBytes+1024 {
 		return nil, fmt.Errorf("transport: frame size %d exceeds limit", payloadLen)
 	}
-	return ReadMessage(io.LimitReader(c.br, int64(payloadLen)))
+	msg, err := ReadMessage(io.LimitReader(c.br, int64(payloadLen)))
+	if err != nil {
+		return nil, err
+	}
+	wireBytesReceived.Add(int64(payloadLen) + 4)
+	wireMsgsReceived.Inc()
+	return msg, nil
 }
 
 // applyDeadline maps a context deadline onto the socket.

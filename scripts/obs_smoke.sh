@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# obs_smoke.sh — end-to-end observability smoke test.
+#
+# Spins up both protocol servers as real processes with the admin endpoint
+# enabled on S1, submits one full query through real users, then scrapes
+# /healthz and /metrics and asserts the protocol's counter families are
+# exposed with live values.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+s1_pid=""
+s2_pid=""
+cleanup() {
+    [ -n "$s1_pid" ] && kill "$s1_pid" 2>/dev/null || true
+    [ -n "$s2_pid" ] && kill "$s2_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== building binaries"
+go build -o "$workdir" ./cmd/keygen ./cmd/server ./cmd/user
+
+echo "== generating keys"
+"$workdir/keygen" -out "$workdir/keys" -users 2 -classes 4 \
+    -threshold 0.5 -sigma1 0 -sigma2 0 >/dev/null
+
+S1_ADDR=127.0.0.1:19701
+S2_ADDR=127.0.0.1:19702
+METRICS_ADDR=127.0.0.1:19790
+
+echo "== starting servers"
+"$workdir/server" -role s1 -keys "$workdir/keys/s1.json" -listen "$S1_ADDR" \
+    -instances 1 -seed 11 -metrics-addr "$METRICS_ADDR" -metrics-linger 60s \
+    >"$workdir/s1.log" 2>&1 &
+s1_pid=$!
+sleep 1
+"$workdir/server" -role s2 -keys "$workdir/keys/s2.json" -listen "$S2_ADDR" \
+    -peer "$S1_ADDR" -instances 1 -seed 12 >"$workdir/s2.log" 2>&1 &
+s2_pid=$!
+sleep 1
+
+echo "== submitting votes"
+for u in 0 1; do
+    "$workdir/user" -keys "$workdir/keys/public.json" -user "$u" \
+        -s1 "$S1_ADDR" -s2 "$S2_ADDR" -votes 2 -seed $((20 + u)) >/dev/null
+done
+
+# S2 exits when its instance completes; S1's metrics endpoint lingers.
+wait "$s2_pid"
+s2_pid=""
+
+echo "== scraping /healthz"
+ok=""
+for _ in $(seq 1 50); do
+    if body=$(curl -fsS "http://$METRICS_ADDR/healthz" 2>/dev/null); then
+        ok="$body"
+        break
+    fi
+    sleep 0.2
+done
+if [ "$ok" != "ok" ]; then
+    echo "FAIL: /healthz did not return ok (got: '$ok')"
+    echo "--- s1.log"; cat "$workdir/s1.log"
+    exit 1
+fi
+
+echo "== scraping /metrics"
+metrics=$(curl -fsS "http://$METRICS_ADDR/metrics")
+fail=0
+for family in paillier_encrypt_total paillier_decrypt_total paillier_add_total \
+    dgk_comparisons_total dgk_encrypt_total transport_step_bytes_total \
+    transport_wire_bytes_total protocol_phase_seconds_bucket deploy_queries_total; do
+    if ! grep -q "$family" <<<"$metrics"; then
+        echo "FAIL: /metrics missing family $family"
+        fail=1
+    fi
+done
+enc=$(awk '/^paillier_encrypt_total/ {print $2; exit}' <<<"$metrics")
+if [ -z "$enc" ] || [ "$enc" -le 0 ] 2>/dev/null; then
+    echo "FAIL: paillier_encrypt_total not positive (got: '$enc')"
+    fail=1
+fi
+if ! grep -q 'deploy_queries_total{outcome="consensus",role="s1"} 1' <<<"$metrics"; then
+    echo "FAIL: deploy_queries_total does not record the consensus query"
+    fail=1
+fi
+if [ "$fail" -ne 0 ]; then
+    echo "--- s1.log"; cat "$workdir/s1.log"
+    exit 1
+fi
+
+kill "$s1_pid" 2>/dev/null || true
+wait "$s1_pid" 2>/dev/null || true
+s1_pid=""
+
+echo "obs-smoke: PASS"

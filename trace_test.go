@@ -1,0 +1,129 @@
+package privconsensus
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/privconsensus/privconsensus/internal/obs"
+)
+
+// TestTraceBytesMatchMeterExactly is the observability acceptance check:
+// the QueryTrace's per-phase byte totals must equal the transport meter's
+// totals exactly, because step labels and trace phases are the same strings
+// and FillTrace copies the meter's numbers verbatim.
+func TestTraceBytesMatchMeterExactly(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		e := testEngine(t, 5, 4)
+		e.cfg.Parallelism = par
+		e.pcfg.Parallelism = par
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		votes := [][]float64{
+			oneHot(4, 2), oneHot(4, 2), oneHot(4, 2), oneHot(4, 2), oneHot(4, 1),
+		}
+		out, stats, err := e.LabelInstanceMetered(ctx, votes)
+		cancel()
+		if err != nil {
+			t.Fatalf("par=%d: LabelInstanceMetered: %v", par, err)
+		}
+		if !out.Consensus {
+			t.Fatalf("par=%d: expected consensus", par)
+		}
+		tr := e.LastTrace()
+		if tr == nil {
+			t.Fatalf("par=%d: LastTrace is nil after a query", par)
+		}
+
+		var meterSent, meterRecvd int64
+		byStep := map[string]StepStats{}
+		for _, s := range stats {
+			meterSent += s.BytesSent
+			meterRecvd += s.BytesReceived
+			byStep[s.Step] = s
+		}
+		traceSent, traceRecvd := tr.TotalBytes()
+		if traceSent != meterSent || traceRecvd != meterRecvd {
+			t.Fatalf("par=%d: trace bytes %d/%d != meter bytes %d/%d",
+				par, traceSent, traceRecvd, meterSent, meterRecvd)
+		}
+		// Per-phase equality, not just totals.
+		for step, ms := range byStep {
+			span, ok := tr.Span(step)
+			if !ok {
+				t.Fatalf("par=%d: metered step %q has no trace span", par, step)
+			}
+			if span.BytesSent != ms.BytesSent || span.BytesReceived != ms.BytesReceived {
+				t.Fatalf("par=%d: step %q trace %d/%d != meter %d/%d",
+					par, step, span.BytesSent, span.BytesReceived, ms.BytesSent, ms.BytesReceived)
+			}
+		}
+
+		if tr.Result == "" || tr.Duration <= 0 {
+			t.Fatalf("par=%d: trace not sealed: %+v", par, tr)
+		}
+		if len(tr.Spans) < 5 {
+			t.Fatalf("par=%d: expected >= 5 phase spans, got %d", par, len(tr.Spans))
+		}
+		if _, ok := tr.Span("secure-comparison(4)"); !ok {
+			t.Fatalf("par=%d: comparison phase missing from trace", par)
+		}
+	}
+}
+
+// TestTraceRecordsOpsAndUnmeteredQueries covers the plain LabelInstance
+// path: even without the metered entry point every query produces a trace
+// with op counts and traffic.
+func TestTraceRecordsOpsAndUnmeteredQueries(t *testing.T) {
+	e := testEngine(t, 4, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	votes := [][]float64{oneHot(3, 1), oneHot(3, 1), oneHot(3, 1), oneHot(3, 0)}
+	if _, err := e.LabelInstance(ctx, votes); err != nil {
+		t.Fatal(err)
+	}
+	tr := e.LastTrace()
+	if tr == nil {
+		t.Fatal("LastTrace nil after unmetered query")
+	}
+	if sent, recvd := tr.TotalBytes(); sent == 0 || recvd == 0 {
+		t.Fatalf("unmetered query trace has no traffic: %d/%d", sent, recvd)
+	}
+	cmp, ok := tr.Span("secure-comparison(4)")
+	if !ok {
+		t.Fatal("comparison span missing")
+	}
+	if cmp.Ops["dgk_enc"] == 0 {
+		t.Fatalf("comparison span recorded no DGK encryptions: %+v", cmp.Ops)
+	}
+	if tr.Summary() == "" {
+		t.Fatal("empty trace summary")
+	}
+}
+
+// TestEngineStats checks the library-level metrics snapshot carries the
+// counter families the admin endpoint exposes.
+func TestEngineStats(t *testing.T) {
+	e := testEngine(t, 3, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	votes := [][]float64{oneHot(3, 0), oneHot(3, 0), oneHot(3, 0)}
+	if _, err := e.LabelInstance(ctx, votes); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, p := range e.Stats() {
+		seen[p.Name] = true
+	}
+	for _, want := range []string{
+		"paillier_encrypt_total", "paillier_decrypt_total", "paillier_add_total",
+		"dgk_encrypt_total", "dgk_comparisons_total", "dgk_zerotest_total",
+		"transport_step_bytes_total", "protocol_phase_seconds",
+	} {
+		if !seen[want] {
+			t.Errorf("Stats missing metric family %q", want)
+		}
+	}
+	if obs.Default.CounterValue("paillier_encrypt_total") == 0 {
+		t.Error("paillier encrypt counter is zero after a query")
+	}
+}
