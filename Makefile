@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 60s
 
-.PHONY: build vet test race bench obs-smoke ci
+.PHONY: build vet fmt-check test race chaos fuzz cover bench bench-guard obs-smoke ci
 
 build:
 	$(GO) build ./...
@@ -8,11 +9,36 @@ build:
 vet:
 	$(GO) vet ./...
 
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# Chaos suite: full two-server deployments driven through seeded fault
+# schedules (resets, stalls, partial writes) with the retry/backoff session
+# protocol enabled. Run under the race detector; every instance must either
+# produce the correct label or fail cleanly.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos' -v ./internal/deploy/
+
+# Fuzz the transport attack surface: the frame decoder, the mux unwrapper,
+# the partial-write recomposition and the fault-spec parser. One target per
+# invocation (go fuzz requires it); FUZZTIME bounds each.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzReadMessage$$' -fuzztime $(FUZZTIME) ./internal/transport/
+	$(GO) test -run '^$$' -fuzz '^FuzzMuxUnwrap$$' -fuzztime $(FUZZTIME) ./internal/transport/
+	$(GO) test -run '^$$' -fuzz '^FuzzSegmentRecompose$$' -fuzztime $(FUZZTIME) ./internal/transport/
+	$(GO) test -run '^$$' -fuzz '^FuzzFaultSpec$$' -fuzztime $(FUZZTIME) ./internal/transport/
+
+# Coverage with a regression floor (scripts/coverage_baseline.txt); leaves
+# the profile at results/coverage.out.
+cover:
+	./scripts/coverage_guard.sh
 
 # Short benchmark pass: the parallelism sweep plus the protocol step bench,
 # one iteration each, so CI catches bench-harness rot without long runs.
@@ -22,9 +48,14 @@ bench:
 	BENCH_JSON=$(CURDIR)/results/BENCH_protocol.json \
 		$(GO) test -run '^$$' -bench 'BenchmarkArgmaxParallelism|BenchmarkTable1ProtocolSteps|BenchmarkProtocolJSON' -benchtime=1x .
 
+# Regenerate the bench record, then fail if the secure-comparison phase
+# regressed more than 25% against the committed baseline.
+bench-guard: bench
+	./scripts/bench_guard.sh
+
 # End-to-end observability smoke test: two real server processes with the
 # admin endpoint enabled, one full query, then scrape /metrics and /healthz.
 obs-smoke:
 	./scripts/obs_smoke.sh
 
-ci: build vet race bench obs-smoke
+ci: build vet fmt-check race bench obs-smoke

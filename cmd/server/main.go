@@ -21,7 +21,6 @@ import (
 
 	"github.com/privconsensus/privconsensus/internal/deploy"
 	"github.com/privconsensus/privconsensus/internal/keystore"
-	"github.com/privconsensus/privconsensus/internal/protocol"
 )
 
 func main() {
@@ -44,6 +43,10 @@ func run(args []string) error {
 		par       = fs.Int("parallelism", 0, "protocol worker bound (0 = key file / NumCPU, 1 = sequential wire format; both servers must agree)")
 		metrics   = fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (empty = disabled)")
 		linger    = fs.Duration("metrics-linger", 0, "keep the metrics endpoint up this long after the last instance")
+		retries   = fs.Int("max-retries", 0, "per-instance retry budget on transient I/O failures (0 = legacy wire protocol; both servers must agree)")
+		backoff   = fs.Duration("backoff", 50*time.Millisecond, "initial retry backoff (doubles per retry)")
+		attemptTO = fs.Duration("attempt-timeout", 2*time.Minute, "deadline for each instance attempt and reconnect wait")
+		faultSpec = fs.String("fault-spec", "", "inject deterministic connection faults, e.g. seed=7,reset=0.02,stall=0.01,max=20 (testing only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,17 +61,21 @@ func run(args []string) error {
 	defer stop()
 
 	opts := deploy.ServerOptions{
-		ListenAddr:    *listen,
-		PeerAddr:      *peer,
-		Instances:     *instances,
-		Seed:          *seed,
-		Parallelism:   *par,
-		MetricsAddr:   *metrics,
-		MetricsLinger: *linger,
-		Logf:          deploy.DefaultLogger("[" + *role + "] "),
+		ListenAddr:     *listen,
+		PeerAddr:       *peer,
+		Instances:      *instances,
+		Seed:           *seed,
+		Parallelism:    *par,
+		MetricsAddr:    *metrics,
+		MetricsLinger:  *linger,
+		MaxRetries:     *retries,
+		Backoff:        *backoff,
+		AttemptTimeout: *attemptTO,
+		FaultSpec:      *faultSpec,
+		Logf:           deploy.DefaultLogger("[" + *role + "] "),
 	}
 
-	var outcomes []protocol.Outcome
+	var rep *deploy.Report
 	switch *role {
 	case "s1":
 		var file keystore.S1File
@@ -76,7 +83,7 @@ func run(args []string) error {
 			return err
 		}
 		var err error
-		outcomes, err = deploy.RunS1(ctx, &file, opts)
+		rep, err = deploy.RunS1Report(ctx, &file, opts)
 		if err != nil {
 			return err
 		}
@@ -86,7 +93,7 @@ func run(args []string) error {
 			return err
 		}
 		var err error
-		outcomes, err = deploy.RunS2(ctx, &file, opts)
+		rep, err = deploy.RunS2Report(ctx, &file, opts)
 		if err != nil {
 			return err
 		}
@@ -94,13 +101,19 @@ func run(args []string) error {
 		return fmt.Errorf("-role must be s1 or s2, got %q", *role)
 	}
 
-	fmt.Printf("%s finished %d instances:\n", *role, len(outcomes))
-	for i, out := range outcomes {
-		if out.Consensus {
-			fmt.Printf("  instance %d: label %d\n", i, out.Label)
-		} else {
-			fmt.Printf("  instance %d: no consensus\n", i)
+	fmt.Printf("%s finished %d instances:\n", *role, len(rep.Results))
+	for _, res := range rep.Results {
+		switch {
+		case res.Err != nil:
+			fmt.Printf("  instance %d: FAILED after %d attempts: %v\n", res.Instance, res.Attempts, res.Err)
+		case res.Outcome.Consensus:
+			fmt.Printf("  instance %d: label %d\n", res.Instance, res.Outcome.Label)
+		default:
+			fmt.Printf("  instance %d: no consensus\n", res.Instance)
 		}
+	}
+	if failed := rep.Failed(); len(failed) > 0 {
+		return fmt.Errorf("%d of %d instances failed", len(failed), len(rep.Results))
 	}
 	return nil
 }

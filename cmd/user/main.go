@@ -36,6 +36,9 @@ func run(args []string) error {
 		probsArg = fs.String("probs", "", "softmax votes: semicolon-separated probability vectors, e.g. 0.7:0.2:0.1;0.1:0.8:0.1")
 		timeout  = fs.Duration("timeout", time.Minute, "submission deadline")
 		seed     = fs.Int64("seed", 0, "deterministic seed (0 = crypto/rand)")
+		retries  = fs.Int("max-retries", 0, "upload retry budget on transient I/O failures (0 = legacy fire-and-forget upload)")
+		backoff  = fs.Duration("backoff", 50*time.Millisecond, "initial retry backoff (doubles per retry)")
+		faults   = fs.String("fault-spec", "", "inject deterministic connection faults (testing only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,6 +73,7 @@ func run(args []string) error {
 	defer cancel()
 	if err := deploy.SubmitVotes(ctx, &pub, deploy.UserOptions{
 		User: *userIdx, S1Addr: *s1Addr, S2Addr: *s2Addr, Seed: *seed,
+		MaxRetries: *retries, Backoff: *backoff, FaultSpec: *faults,
 	}, votes); err != nil {
 		return err
 	}

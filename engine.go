@@ -50,6 +50,11 @@ type Config struct {
 	// Seed, when non-zero, makes the engine fully deterministic (for
 	// tests and reproducible simulations). Zero uses crypto/rand.
 	Seed int64
+	// MaxQueryRetries bounds how many times LabelBatch re-runs a query
+	// instance that failed with a transient error before recording it as
+	// failed and moving on to the rest of the batch. 0 disables retries
+	// (a failed query is still recorded and the batch continues).
+	MaxQueryRetries int
 }
 
 // DefaultConfig mirrors the paper's experimental setup.
@@ -352,9 +357,21 @@ func (e *Engine) Stats() []obs.Point {
 	return obs.Default.Snapshot()
 }
 
+// QueryFailure records one batch query that could not be completed.
+type QueryFailure struct {
+	// Query is the index into the batch.
+	Query int
+	// Attempts is how many times the query was tried (1 = no retries).
+	Attempts int
+	// Err is the last attempt's error.
+	Err error
+}
+
 // BatchResult pairs each query's outcome with the cumulative privacy spend
 // of the batch.
 type BatchResult struct {
+	// Outcomes has one entry per batch query, in order. A failed query
+	// (see Failed) carries the placeholder {Consensus: false, Label: -1}.
 	Outcomes []Outcome
 	// Epsilon is the batch's total (ε, δ=1e-6)-DP spend per the paper's
 	// accounting: every query pays SVT, released labels additionally pay
@@ -362,17 +379,41 @@ type BatchResult struct {
 	Epsilon float64
 	// Released counts the queries that reached consensus.
 	Released int
+	// Failed lists the queries that exhausted the retry budget
+	// (Config.MaxQueryRetries). The rest of the batch still completes.
+	Failed []QueryFailure
 }
 
+var (
+	engineRetries = obs.Default.Counter("retries_total",
+		"Retry attempts, by role and scope.",
+		obs.L("role", "engine"), obs.L("scope", "instance"))
+	engineQueriesFailed = obs.Default.Counter("queries_failed_total",
+		"Query instances that failed after exhausting the retry budget.",
+		obs.L("role", "engine"))
+)
+
 // LabelBatch runs LabelInstance for every query in votes (votes[q][user]
-// [class]) and tracks the privacy spend with the built-in accountant.
+// [class]) and tracks the privacy spend with the built-in accountant. A
+// query that fails with a transient error is retried up to
+// Config.MaxQueryRetries times; one that exhausts the budget (or fails
+// fatally) is recorded in BatchResult.Failed with a placeholder outcome
+// while the rest of the batch completes. Failed queries conservatively
+// still pay their SVT privacy cost — the protocol may have consumed the
+// noisy threshold comparison before the failure. LabelBatch itself errors
+// only on structural problems: a cancelled context or accountant failure.
 func (e *Engine) LabelBatch(ctx context.Context, votes [][][]float64) (*BatchResult, error) {
 	res := &BatchResult{Outcomes: make([]Outcome, 0, len(votes))}
 	acc := NewAccountant()
 	for q, instance := range votes {
-		out, err := e.LabelInstance(ctx, instance)
+		out, attempts, err := e.labelWithRetry(ctx, instance)
 		if err != nil {
-			return nil, fmt.Errorf("privconsensus: query %d: %w", q, err)
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("privconsensus: query %d: %w", q, err)
+			}
+			engineQueriesFailed.Inc()
+			res.Failed = append(res.Failed, QueryFailure{Query: q, Attempts: attempts, Err: err})
+			out = &Outcome{Consensus: false, Label: -1}
 		}
 		res.Outcomes = append(res.Outcomes, *out)
 		if e.cfg.Sigma1 > 0 {
@@ -395,6 +436,35 @@ func (e *Engine) LabelBatch(ctx context.Context, votes [][][]float64) (*BatchRes
 	}
 	res.Epsilon = eps
 	return res, nil
+}
+
+// labelWithRetry runs one query instance, retrying transient failures
+// within the configured budget. It returns the attempts used alongside the
+// outcome or final error.
+func (e *Engine) labelWithRetry(ctx context.Context, instance [][]float64) (*Outcome, int, error) {
+	var lastErr error
+	attempts := 0
+	for attempt := 0; attempt <= e.cfg.MaxQueryRetries; attempt++ {
+		if attempt > 0 {
+			engineRetries.Inc()
+		}
+		if err := ctx.Err(); err != nil {
+			if lastErr == nil {
+				lastErr = err
+			}
+			break
+		}
+		attempts = attempt + 1
+		out, err := e.LabelInstance(ctx, instance)
+		if err == nil {
+			return out, attempts, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil || !transport.IsRetryable(err) {
+			break
+		}
+	}
+	return nil, attempts, lastErr
 }
 
 // RunServer executes one server's role over an established network

@@ -12,11 +12,19 @@
 //	submit := Message{Kind: KindShares,
 //	                  Flags: [user, instance, classes],
 //	                  Values: votes || thresh || noisy}   (3K ciphertexts)
+//
+// With ServerOptions.MaxRetries > 0 the hello may carry a second
+// capability flag, the peer link is wrapped in a begin/end session
+// protocol, and users end uploads with a done/ack exchange so replays
+// after a reconnect stay idempotent — see session.go and
+// docs/PROTOCOL.md § Failure semantics. With MaxRetries == 0 the wire
+// format above is exact, byte for byte.
 package deploy
 
 import (
 	"context"
 	"crypto/rand"
+	"errors"
 	"fmt"
 	"io"
 	"math/big"
@@ -82,19 +90,35 @@ func DecodeHalf(msg *transport.Message) (user, instance int, half protocol.Submi
 
 // sendHello identifies this connection's party to the acceptor.
 func sendHello(ctx context.Context, conn transport.Conn, party int64) error {
-	return conn.Send(ctx, &transport.Message{Kind: transport.KindControl, Flags: []int64{party}})
+	return sendHelloCaps(ctx, conn, party, 0)
 }
 
-// recvHello reads and validates a hello frame.
-func recvHello(ctx context.Context, conn transport.Conn) (int64, error) {
+// sendHelloCaps identifies the party and, when caps is non-zero, advertises
+// capability flags (currently only capResilient). A zero caps produces the
+// original one-flag hello, byte for byte.
+func sendHelloCaps(ctx context.Context, conn transport.Conn, party, caps int64) error {
+	flags := []int64{party}
+	if caps != 0 {
+		flags = append(flags, caps)
+	}
+	return conn.Send(ctx, &transport.Message{Kind: transport.KindControl, Flags: flags})
+}
+
+// recvHello reads and validates a hello frame, returning the party and any
+// advertised capability flags (0 for legacy one-flag hellos).
+func recvHello(ctx context.Context, conn transport.Conn) (party, caps int64, err error) {
 	msg, err := transport.ExpectKind(ctx, conn, transport.KindControl)
 	if err != nil {
-		return 0, fmt.Errorf("deploy: hello: %w", err)
+		return 0, 0, fmt.Errorf("deploy: hello: %w", err)
 	}
-	if len(msg.Flags) != 1 || (msg.Flags[0] != partyUser && msg.Flags[0] != partyPeer) {
-		return 0, fmt.Errorf("deploy: invalid hello frame")
+	if len(msg.Flags) < 1 || len(msg.Flags) > 2 ||
+		(msg.Flags[0] != partyUser && msg.Flags[0] != partyPeer) {
+		return 0, 0, fmt.Errorf("deploy: invalid hello frame")
 	}
-	return msg.Flags[0], nil
+	if len(msg.Flags) == 2 {
+		caps = msg.Flags[1]
+	}
+	return msg.Flags[0], caps, nil
 }
 
 // collector gathers user submissions until every (user, instance) cell is
@@ -140,7 +164,7 @@ func (c *collector) add(user, instance int, half protocol.SubmissionHalf) error 
 		return fmt.Errorf("deploy: submission has %d classes, want %d", len(half.Votes), c.classes)
 	}
 	if c.halves[instance][user] != nil {
-		return fmt.Errorf("deploy: duplicate submission from user %d for instance %d", user, instance)
+		return fmt.Errorf("%w from user %d for instance %d", errDuplicateSubmission, user, instance)
 	}
 	h := half
 	c.halves[instance][user] = &h
@@ -175,8 +199,16 @@ func (c *collector) instance(i int) []protocol.SubmissionHalf {
 	return out
 }
 
+// errDuplicateSubmission marks a submission for an already-filled cell.
+// The collector reports it so tests can assert exact-once semantics;
+// serveUserConn tolerates it, which is what makes upload replays after a
+// reconnect idempotent.
+var errDuplicateSubmission = errors.New("deploy: duplicate submission")
+
 // serveUserConn drains submission frames from one user connection into the
-// collector until the user closes or sends all frames.
+// collector until the user closes or sends all frames. A resilient user
+// ends its upload with a done frame and waits for the ack; replayed
+// submissions (after a reconnect) are deduplicated against the collector.
 func serveUserConn(ctx context.Context, conn transport.Conn, col *collector) error {
 	for {
 		msg, err := conn.Recv(ctx)
@@ -185,11 +217,25 @@ func serveUserConn(ctx context.Context, conn transport.Conn, col *collector) err
 			// is the normal end of stream.
 			return nil //nolint:nilerr // EOF-equivalent by protocol design
 		}
+		if msg.Kind == transport.KindControl && len(msg.Flags) >= 1 && msg.Flags[0] == ctrlUploadDone {
+			user := int64(-1)
+			if len(msg.Flags) >= 2 {
+				user = msg.Flags[1]
+			}
+			ack := &transport.Message{Kind: transport.KindControl, Flags: []int64{ctrlUploadAck, user}}
+			if err := conn.Send(ctx, ack); err != nil {
+				return nil //nolint:nilerr // user gone; it will retry
+			}
+			continue
+		}
 		user, instance, half, err := DecodeHalf(msg)
 		if err != nil {
 			return err
 		}
 		if err := col.add(user, instance, half); err != nil {
+			if errors.Is(err, errDuplicateSubmission) {
+				continue // idempotent replay after a reconnect
+			}
 			return err
 		}
 	}

@@ -2,7 +2,9 @@ package deploy
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"time"
@@ -55,6 +57,50 @@ type ServerOptions struct {
 	// Ready, when non-nil, receives the bound listen address once the
 	// server is accepting (lets tests use port 0).
 	Ready chan<- string
+	// MaxRetries enables session resilience: each query instance may be
+	// retried up to this many times on transient I/O failures, with the
+	// peer link re-established between attempts. 0 (the default) disables
+	// the session protocol entirely and keeps the wire format identical
+	// to the pre-resilience protocol. Both servers must agree on whether
+	// resilience is on, like Parallelism.
+	MaxRetries int
+	// Backoff is the delay before the first retry (default 50ms); it
+	// doubles per retry, capped at 16×.
+	Backoff time.Duration
+	// AttemptTimeout bounds every attempt and every reconnect wait
+	// (default 2m), so a stalled attempt is recycled instead of hanging.
+	AttemptTimeout time.Duration
+	// FaultSpec, when non-empty, injects deterministic faults into every
+	// connection this server accepts or dials (see
+	// transport.ParseFaultSpec). Testing only.
+	FaultSpec string
+}
+
+// resilient reports whether the session-resilience protocol is enabled.
+func (o ServerOptions) resilient() bool { return o.MaxRetries > 0 }
+
+// attemptTimeout returns the per-attempt deadline with its default.
+func (o ServerOptions) attemptTimeout() time.Duration {
+	if o.AttemptTimeout > 0 {
+		return o.AttemptTimeout
+	}
+	return 2 * time.Minute
+}
+
+// faults builds the server's fault injector from FaultSpec (nil when
+// unset).
+func (o ServerOptions) faults() (*transport.FaultInjector, error) {
+	if o.FaultSpec == "" {
+		return nil, nil
+	}
+	spec, err := transport.ParseFaultSpec(o.FaultSpec)
+	if err != nil {
+		return nil, err
+	}
+	if !spec.Enabled() {
+		return nil, nil
+	}
+	return transport.NewFaultInjector(spec), nil
 }
 
 // announceReady reports the bound address to the Ready channel, if any.
@@ -137,10 +183,11 @@ func (h *adminHandle) close(ctx context.Context) {
 // meter and tracer, phase spans from the protocol engine, traffic bridged
 // into the trace, a one-line summary log, and errors that name the failing
 // phase. The summary logs quantities only — never votes, shares or keys.
-func runInstance(ctx context.Context, role string, i int, opts ServerOptions,
+func runInstance(ctx context.Context, role string, i, attempt int, opts ServerOptions,
 	run func(ctx context.Context, meter *transport.Meter) (*protocol.Outcome, error)) (*protocol.Outcome, error) {
 	meter := transport.NewMeter()
 	tracer := obs.NewTracer(fmt.Sprintf("%s-q%d", role, i))
+	tracer.SetAttempt(attempt + 1)
 	paillier.WatchOps(tracer)
 	dgk.WatchOps(tracer)
 	out, err := run(obs.WithTracer(ctx, tracer), meter)
@@ -173,10 +220,71 @@ func result0(out *protocol.Outcome) string {
 	return "no-consensus"
 }
 
+// serverSetup bundles the state shared by both servers' run paths.
+type serverSetup struct {
+	cfg    protocol.Config
+	admin  *adminHandle
+	l      *transport.Listener
+	col    *collector
+	faults *transport.FaultInjector
+}
+
+// setupServer performs the option validation, admin endpoint, listener and
+// collector setup common to S1 and S2.
+func setupServer(ctx context.Context, role string, cfg protocol.Config, opts ServerOptions) (*serverSetup, error) {
+	if opts.Parallelism != 0 {
+		cfg.Parallelism = opts.Parallelism
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	inj, err := opts.faults()
+	if err != nil {
+		return nil, err
+	}
+	admin, err := opts.startAdmin()
+	if err != nil {
+		return nil, err
+	}
+	l, err := transport.Listen(opts.ListenAddr)
+	if err != nil {
+		admin.close(ctx)
+		return nil, err
+	}
+	l.SetFaults(inj)
+	opts.log(levelInfo, "%s listening on %s", role, l.Addr())
+	opts.announceReady(l.Addr())
+	return &serverSetup{
+		cfg:    cfg,
+		admin:  admin,
+		l:      l,
+		col:    newCollector(cfg.Users, opts.Instances, cfg.Classes),
+		faults: inj,
+	}, nil
+}
+
 // RunS1 runs server S1: it listens for all users and for S2, collects the
 // submissions, executes Alg. 5 once per instance over the peer connection,
-// and returns the outcomes.
+// and returns the outcomes. Any failed instance is returned as an error;
+// use RunS1Report to get per-instance results with graceful degradation.
 func RunS1(ctx context.Context, file *keystore.S1File, opts ServerOptions) ([]protocol.Outcome, error) {
+	rep, err := RunS1Report(ctx, file, opts)
+	if err != nil {
+		return nil, err
+	}
+	if ferr := rep.FirstErr(); ferr != nil {
+		return nil, ferr
+	}
+	return rep.Outcomes(), nil
+}
+
+// RunS1Report runs server S1 and returns a per-instance Report. With
+// MaxRetries == 0 it speaks the original wire protocol and aborts on the
+// first instance error; with MaxRetries > 0 it leads the resilient session
+// protocol — transient I/O failures are retried on a fresh peer connection
+// up to the budget, and an instance that exhausts its budget is recorded
+// as failed while the rest of the batch completes.
+func RunS1Report(ctx context.Context, file *keystore.S1File, opts ServerOptions) (*Report, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
@@ -184,36 +292,64 @@ func RunS1(ctx context.Context, file *keystore.S1File, opts ServerOptions) ([]pr
 	if err != nil {
 		return nil, err
 	}
-	cfg := file.Config
-	if opts.Parallelism != 0 {
-		cfg.Parallelism = opts.Parallelism
-	}
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	admin, err := opts.startAdmin()
+	s, err := setupServer(ctx, "S1", file.Config, opts)
 	if err != nil {
 		return nil, err
 	}
-	defer admin.close(ctx)
+	defer s.admin.close(ctx)
+	defer s.l.Close()
 
-	l, err := transport.Listen(opts.ListenAddr)
-	if err != nil {
-		return nil, err
+	var (
+		peerCh chan transport.Conn
+		ps     *peerSource
+	)
+	if opts.resilient() {
+		ps = newPeerSource()
+		defer ps.close()
+	} else {
+		peerCh = make(chan transport.Conn, 1)
 	}
-	defer l.Close()
-	opts.log(levelInfo, "S1 listening on %s", l.Addr())
-	opts.announceReady(l.Addr())
-
-	col := newCollector(cfg.Users, opts.Instances, cfg.Classes)
-	peerCh := make(chan transport.Conn, 1)
 	acceptErr := make(chan error, 1)
 	acceptCtx, stopAccept := context.WithCancel(ctx)
 	defer stopAccept()
+	go acceptLoop(acceptCtx, s.l, s.col, peerCh, ps, acceptErr, opts)
 
-	go acceptLoop(acceptCtx, l, col, peerCh, acceptErr, opts)
+	if !opts.resilient() {
+		return runS1Legacy(ctx, keys, s, opts, peerCh, acceptErr, stopAccept)
+	}
 
-	// Wait for the peer and all submissions.
+	// Resilient path: claim the initial peer link, verify it speaks the
+	// session protocol, then lead the per-instance session. The accept
+	// loop keeps running so S2 reconnections land in the peerSource.
+	awaitCtx, cancel := context.WithTimeout(ctx, opts.attemptTimeout())
+	peer, caps, err := ps.await(awaitCtx)
+	cancel()
+	if err != nil {
+		select {
+		case aerr := <-acceptErr:
+			return nil, aerr
+		default:
+		}
+		return nil, err
+	}
+	if caps&capResilient == 0 {
+		peer.Close()
+		return nil, fmt.Errorf("deploy: peer S2 did not advertise session resilience; run both servers with the same -max-retries")
+	}
+	opts.log(levelInfo, "S1 connected to peer S2 (resilient session, budget %d retries)", opts.MaxRetries)
+	if err := s.col.wait(ctx); err != nil {
+		peer.Close()
+		return nil, err
+	}
+	opts.log(levelInfo, "S1 received all %d×%d submissions", s.cfg.Users, opts.Instances)
+	return runS1Session(ctx, keys, s, opts, ps, peer)
+}
+
+// runS1Legacy is the pre-resilience S1 flow: single peer connection,
+// sequential instances, abort on first error. Its wire format is
+// byte-for-byte the original protocol.
+func runS1Legacy(ctx context.Context, keys protocol.KeysS1, s *serverSetup, opts ServerOptions,
+	peerCh chan transport.Conn, acceptErr chan error, stopAccept func()) (*Report, error) {
 	var peer transport.Conn
 	select {
 	case peer = <-peerCh:
@@ -224,29 +360,168 @@ func RunS1(ctx context.Context, file *keystore.S1File, opts ServerOptions) ([]pr
 	}
 	defer peer.Close()
 	opts.log(levelInfo, "S1 connected to peer S2")
-	if err := col.wait(ctx); err != nil {
+	if err := s.col.wait(ctx); err != nil {
 		return nil, err
 	}
 	stopAccept()
-	opts.log(levelInfo, "S1 received all %d×%d submissions", cfg.Users, opts.Instances)
+	opts.log(levelInfo, "S1 received all %d×%d submissions", s.cfg.Users, opts.Instances)
 
 	rng := newRNG(opts.Seed)
-	outcomes := make([]protocol.Outcome, opts.Instances)
+	results := make([]InstanceResult, 0, opts.Instances)
 	for i := 0; i < opts.Instances; i++ {
-		out, err := runInstance(ctx, "s1", i, opts, func(qctx context.Context, meter *transport.Meter) (*protocol.Outcome, error) {
-			return protocol.RunS1(qctx, rng, cfg, keys, peer, col.instance(i), meter)
+		out, err := runInstance(ctx, "s1", i, 0, opts, func(qctx context.Context, meter *transport.Meter) (*protocol.Outcome, error) {
+			return protocol.RunS1(qctx, rng, s.cfg, keys, peer, s.col.instance(i), meter)
 		})
 		if err != nil {
 			return nil, err
 		}
-		outcomes[i] = *out
+		results = append(results, InstanceResult{Instance: i, Outcome: *out, Attempts: 1})
 	}
-	return outcomes, nil
+	return &Report{Results: results}, nil
+}
+
+// runS1Session leads the resilient session: for each instance it announces
+// a begin frame carrying the previous instance's authoritative status,
+// runs the protocol under the attempt deadline, and on a transient failure
+// discards the connection and retries on a fresh one. Every wait is
+// bounded, so the loop terminates even if the peer vanishes.
+func runS1Session(ctx context.Context, keys protocol.KeysS1, s *serverSetup, opts ServerOptions,
+	ps *peerSource, peer transport.Conn) (*Report, error) {
+	rng := newRNG(opts.Seed)
+	results := make([]InstanceResult, opts.Instances)
+	prev := statusNone
+	for i := 0; i < opts.Instances; i++ {
+		res := InstanceResult{Instance: i, Outcome: protocol.Outcome{Consensus: false, Label: -1}}
+		var lastErr error
+		for attempt := 0; attempt <= opts.MaxRetries; attempt++ {
+			res.Attempts = attempt + 1
+			if attempt > 0 {
+				retriesTotal("s1", "instance").Inc()
+				sleepCtx(ctx, backoffDelay(opts.Backoff, attempt))
+			}
+			if err := ctx.Err(); err != nil {
+				lastErr = err
+				break
+			}
+			if peer == nil {
+				awaitCtx, cancel := context.WithTimeout(ctx, opts.attemptTimeout())
+				var err error
+				peer, _, err = ps.await(awaitCtx)
+				cancel()
+				if err != nil {
+					lastErr = err
+					retriesTotal("s1", "reconnect").Inc()
+					continue
+				}
+			} else {
+				peer = ps.takeNewer(peer)
+			}
+			actx, cancel := context.WithTimeout(ctx, opts.attemptTimeout())
+			out, err := func() (*protocol.Outcome, error) {
+				if err := sendBegin(actx, peer, i, attempt, prev); err != nil {
+					return nil, fmt.Errorf("deploy: begin instance %d: %w", i, err)
+				}
+				return runInstance(actx, "s1", i, attempt, opts, func(qctx context.Context, meter *transport.Meter) (*protocol.Outcome, error) {
+					return protocol.RunS1(qctx, rng, s.cfg, keys, peer, s.col.instance(i), meter)
+				})
+			}()
+			cancel()
+			if err == nil {
+				res.Outcome = *out
+				lastErr = nil
+				break
+			}
+			lastErr = err
+			// An attempt that failed mid-protocol leaves unknown bytes in
+			// flight; always start the next attempt on a fresh connection.
+			peer.Close()
+			peer = nil
+			if !attemptRetryable(ctx, err) {
+				break
+			}
+			opts.log(levelWarn, "S1 instance %d attempt %d failed, will retry: %v", i, attempt+1, err)
+		}
+		if lastErr != nil {
+			res.Err = lastErr
+			queriesFailed("s1").Inc()
+			opts.log(levelWarn, "S1 instance %d failed after %d attempts: %v", i, res.Attempts, lastErr)
+			prev = statusFailed
+		} else {
+			prev = statusOK
+		}
+		results[i] = res
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("deploy: run cancelled after instance %d: %w", i, err)
+		}
+	}
+	peer = s1SendEnd(ctx, opts, ps, peer, prev)
+	if peer != nil {
+		peer.Close()
+	}
+	return &Report{Results: results}, nil
+}
+
+// s1SendEnd delivers the end-of-session frame best-effort, reconnecting
+// within the retry budget. S2 has a local fallback when the frame is lost,
+// so failure here is logged, not fatal.
+func s1SendEnd(ctx context.Context, opts ServerOptions, ps *peerSource, peer transport.Conn, lastStatus int64) transport.Conn {
+	var lastErr error
+	for try := 0; try <= opts.MaxRetries; try++ {
+		if err := ctx.Err(); err != nil {
+			lastErr = err
+			break
+		}
+		if peer == nil {
+			awaitCtx, cancel := context.WithTimeout(ctx, opts.attemptTimeout())
+			var err error
+			peer, _, err = ps.await(awaitCtx)
+			cancel()
+			if err != nil {
+				lastErr = err
+				break
+			}
+		} else {
+			peer = ps.takeNewer(peer)
+		}
+		ectx, cancel := context.WithTimeout(ctx, opts.attemptTimeout())
+		err := sendEnd(ectx, peer, lastStatus)
+		cancel()
+		if err == nil {
+			return peer
+		}
+		lastErr = err
+		peer.Close()
+		peer = nil
+		if !attemptRetryable(ctx, err) {
+			break
+		}
+		retriesTotal("s1", "reconnect").Inc()
+	}
+	opts.log(levelWarn, "S1 could not deliver end-of-session to S2: %v", lastErr)
+	return peer
 }
 
 // RunS2 runs server S2: it listens for users on its own address, dials S1
-// for the protocol channel, and mirrors S1's per-instance execution.
+// for the protocol channel, and mirrors S1's per-instance execution. Any
+// failed instance is returned as an error; use RunS2Report for
+// per-instance results.
 func RunS2(ctx context.Context, file *keystore.S2File, opts ServerOptions) ([]protocol.Outcome, error) {
+	rep, err := RunS2Report(ctx, file, opts)
+	if err != nil {
+		return nil, err
+	}
+	if ferr := rep.FirstErr(); ferr != nil {
+		return nil, ferr
+	}
+	return rep.Outcomes(), nil
+}
+
+// RunS2Report runs server S2 and returns a per-instance Report. With
+// MaxRetries > 0 it follows S1's resilient session: it re-runs any
+// instance S1 re-announces (replays are idempotent — the outcome is a
+// deterministic function of the submissions) and re-establishes the peer
+// link, within the retry budget, whenever it drops.
+func RunS2Report(ctx context.Context, file *keystore.S2File, opts ServerOptions) (*Report, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
@@ -257,48 +532,17 @@ func RunS2(ctx context.Context, file *keystore.S2File, opts ServerOptions) ([]pr
 	if err != nil {
 		return nil, err
 	}
-	cfg := file.Config
-	if opts.Parallelism != 0 {
-		cfg.Parallelism = opts.Parallelism
-	}
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	admin, err := opts.startAdmin()
+	s, err := setupServer(ctx, "S2", file.Config, opts)
 	if err != nil {
 		return nil, err
 	}
-	defer admin.close(ctx)
+	defer s.admin.close(ctx)
+	defer s.l.Close()
 
-	l, err := transport.Listen(opts.ListenAddr)
-	if err != nil {
-		return nil, err
-	}
-	defer l.Close()
-	opts.log(levelInfo, "S2 listening on %s", l.Addr())
-	opts.announceReady(l.Addr())
-
-	col := newCollector(cfg.Users, opts.Instances, cfg.Classes)
 	acceptErr := make(chan error, 1)
 	acceptCtx, stopAccept := context.WithCancel(ctx)
 	defer stopAccept()
-	go acceptLoop(acceptCtx, l, col, nil, acceptErr, opts)
-
-	peer, err := transport.Dial(ctx, opts.PeerAddr)
-	if err != nil {
-		return nil, fmt.Errorf("deploy: dial S1: %w", err)
-	}
-	defer peer.Close()
-	if err := sendHello(ctx, peer, partyPeer); err != nil {
-		return nil, err
-	}
-	opts.log(levelInfo, "S2 connected to peer S1 at %s", opts.PeerAddr)
-
-	if err := col.wait(ctx); err != nil {
-		return nil, err
-	}
-	stopAccept()
-	opts.log(levelInfo, "S2 received all %d×%d submissions", cfg.Users, opts.Instances)
+	go acceptLoop(acceptCtx, s.l, s.col, nil, nil, acceptErr, opts)
 
 	// Derive a distinct deterministic stream from S1's only when seeded;
 	// seed 0 must stay crypto/rand.
@@ -307,25 +551,210 @@ func RunS2(ctx context.Context, file *keystore.S2File, opts ServerOptions) ([]pr
 		seed++
 	}
 	rng := newRNG(seed)
-	outcomes := make([]protocol.Outcome, opts.Instances)
-	for i := 0; i < opts.Instances; i++ {
-		out, err := runInstance(ctx, "s2", i, opts, func(qctx context.Context, meter *transport.Meter) (*protocol.Outcome, error) {
-			return protocol.RunS2(qctx, rng, cfg, keys, peer, col.instance(i), meter)
-		})
+
+	if !opts.resilient() {
+		peer, err := transport.Dial(ctx, opts.PeerAddr)
 		if err != nil {
+			return nil, fmt.Errorf("deploy: dial S1: %w", err)
+		}
+		defer peer.Close()
+		if err := sendHello(ctx, peer, partyPeer); err != nil {
 			return nil, err
 		}
-		outcomes[i] = *out
+		opts.log(levelInfo, "S2 connected to peer S1 at %s", opts.PeerAddr)
+		if err := s.col.wait(ctx); err != nil {
+			return nil, err
+		}
+		stopAccept()
+		opts.log(levelInfo, "S2 received all %d×%d submissions", s.cfg.Users, opts.Instances)
+
+		results := make([]InstanceResult, 0, opts.Instances)
+		for i := 0; i < opts.Instances; i++ {
+			out, err := runInstance(ctx, "s2", i, 0, opts, func(qctx context.Context, meter *transport.Meter) (*protocol.Outcome, error) {
+				return protocol.RunS2(qctx, rng, s.cfg, keys, peer, s.col.instance(i), meter)
+			})
+			if err != nil {
+				return nil, err
+			}
+			results = append(results, InstanceResult{Instance: i, Outcome: *out, Attempts: 1})
+		}
+		return &Report{Results: results}, nil
 	}
-	return outcomes, nil
+
+	connect := func() (transport.Conn, error) {
+		d := transport.Dialer{
+			Attempts:       opts.MaxRetries + 1,
+			Backoff:        opts.Backoff,
+			AttemptTimeout: opts.attemptTimeout(),
+			Seed:           opts.Seed + 17,
+			Faults:         s.faults,
+		}
+		conn, err := d.Dial(ctx, opts.PeerAddr)
+		if err != nil {
+			return nil, fmt.Errorf("deploy: dial S1: %w", err)
+		}
+		if err := sendHelloCaps(ctx, conn, partyPeer, capResilient); err != nil {
+			conn.Close()
+			return nil, err
+		}
+		return conn, nil
+	}
+	peer, err := connect()
+	if err != nil {
+		return nil, err
+	}
+	opts.log(levelInfo, "S2 connected to peer S1 at %s (resilient session)", opts.PeerAddr)
+	if err := s.col.wait(ctx); err != nil {
+		peer.Close()
+		return nil, err
+	}
+	stopAccept()
+	opts.log(levelInfo, "S2 received all %d×%d submissions", s.cfg.Users, opts.Instances)
+	return runS2Session(ctx, keys, rng, s, opts, peer, connect)
+}
+
+// runS2Session follows S1's session frames: every begin frame (re)runs the
+// named instance, every frame carries the authoritative status of the
+// previous instance, and the end frame closes the session. Connection
+// failures reconnect within a consecutive-failure budget; if the budget
+// exhausts (S1 is gone and the end frame was lost), the report is
+// assembled from local results.
+func runS2Session(ctx context.Context, keys protocol.KeysS2, rng io.Reader, s *serverSetup, opts ServerOptions,
+	peer transport.Conn, connect func() (transport.Conn, error)) (*Report, error) {
+	n := opts.Instances
+	statuses := make([]int64, n)
+	outcomes := make([]*protocol.Outcome, n)
+	attempts := make([]int, n)
+	localErrs := make([]error, n)
+	consecFail := 0
+	sawEnd := false
+
+	for !sawEnd {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("deploy: run cancelled: %w", err)
+		}
+		if peer == nil {
+			if consecFail > opts.MaxRetries {
+				opts.log(levelWarn, "S2 reconnect budget exhausted; assembling report from local results")
+				break
+			}
+			retriesTotal("s2", "reconnect").Inc()
+			sleepCtx(ctx, backoffDelay(opts.Backoff, consecFail))
+			var err error
+			peer, err = connect()
+			if err != nil {
+				consecFail++
+				opts.log(levelWarn, "S2 reconnect to S1 failed: %v", err)
+				if !attemptRetryable(ctx, err) && ctx.Err() != nil {
+					return nil, err
+				}
+				continue
+			}
+		}
+		fctx, cancel := context.WithTimeout(ctx, opts.attemptTimeout())
+		frame, err := recvSessionFrame(fctx, peer)
+		cancel()
+		if err != nil {
+			peer.Close()
+			peer = nil
+			if !attemptRetryable(ctx, err) {
+				return nil, fmt.Errorf("deploy: s2 session: %w", err)
+			}
+			consecFail++
+			continue
+		}
+		consecFail = 0
+		switch frame.code {
+		case ctrlEndSession:
+			statuses[n-1] = frame.status
+			sawEnd = true
+		case ctrlBeginInstance:
+			i := frame.instance
+			if i < 0 || i >= n {
+				peer.Close()
+				return nil, fmt.Errorf("deploy: s2 session: begin for instance %d outside [0, %d)", i, n)
+			}
+			if i > 0 {
+				statuses[i-1] = frame.status
+			}
+			if frame.attempt > 0 {
+				retriesTotal("s2", "instance").Inc()
+			}
+			attempts[i]++
+			actx, cancel := context.WithTimeout(ctx, opts.attemptTimeout())
+			out, err := runInstance(actx, "s2", i, frame.attempt, opts, func(qctx context.Context, meter *transport.Meter) (*protocol.Outcome, error) {
+				return protocol.RunS2(qctx, rng, s.cfg, keys, peer, s.col.instance(i), meter)
+			})
+			cancel()
+			if err != nil {
+				localErrs[i] = err
+				peer.Close()
+				peer = nil
+				if !attemptRetryable(ctx, err) {
+					return nil, err
+				}
+				consecFail++
+				opts.log(levelWarn, "S2 instance %d attempt failed, awaiting replay: %v", i, err)
+				continue
+			}
+			outcomes[i] = out
+			localErrs[i] = nil
+		}
+	}
+	if peer != nil {
+		peer.Close()
+	}
+
+	results := make([]InstanceResult, n)
+	for i := 0; i < n; i++ {
+		res := InstanceResult{
+			Instance: i,
+			Outcome:  protocol.Outcome{Consensus: false, Label: -1},
+			Attempts: attempts[i],
+		}
+		switch {
+		case statuses[i] == statusOK && outcomes[i] != nil:
+			res.Outcome = *outcomes[i]
+		case statuses[i] == statusOK:
+			// S1 committed the instance but our local run never finished
+			// (e.g. the final volley was lost). The label exists at S1.
+			res.Err = fmt.Errorf("deploy: s2 instance %d: peer reported success but the local run did not complete: %w",
+				i, firstNonNil(localErrs[i], errPeerGone))
+		case statuses[i] == statusFailed:
+			res.Err = fmt.Errorf("deploy: s2 instance %d: %w", i, firstNonNil(localErrs[i], errors.New("peer reported failure")))
+		case outcomes[i] != nil && localErrs[i] == nil:
+			// No authoritative status (end frame lost) but the local run
+			// completed; the outcome is deterministic, so trust it.
+			res.Outcome = *outcomes[i]
+		default:
+			res.Err = fmt.Errorf("deploy: s2 instance %d never completed: %w", i, firstNonNil(localErrs[i], errPeerGone))
+		}
+		if res.Err != nil {
+			queriesFailed("s2").Inc()
+		}
+		results[i] = res
+	}
+	return &Report{Results: results}, nil
+}
+
+// firstNonNil returns the first non-nil error.
+func firstNonNil(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // acceptLoop classifies inbound connections by their hello frame: user
-// connections feed the collector, the (single) peer connection is handed
-// to peerCh. Errors on individual user connections are logged and the
-// connection dropped; structural errors abort via errCh.
+// connections feed the collector, peer connections go to the peerSource
+// (resilient mode, where reconnections replace the previous link) or to
+// peerCh (legacy mode, where a duplicate peer is dropped). Errors on
+// individual user connections are logged and the connection dropped;
+// structural errors abort via errCh.
 func acceptLoop(ctx context.Context, l *transport.Listener, col *collector,
-	peerCh chan<- transport.Conn, errCh chan<- error, opts ServerOptions) {
+	peerCh chan<- transport.Conn, ps *peerSource, errCh chan<- error, opts ServerOptions) {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -340,7 +769,7 @@ func acceptLoop(ctx context.Context, l *transport.Listener, col *collector,
 			return
 		}
 		go func(conn transport.Conn) {
-			party, err := recvHello(ctx, conn)
+			party, caps, err := recvHello(ctx, conn)
 			if err != nil {
 				opts.log(levelWarn, "dropping connection with bad hello: %v", err)
 				conn.Close()
@@ -348,6 +777,10 @@ func acceptLoop(ctx context.Context, l *transport.Listener, col *collector,
 			}
 			switch party {
 			case partyPeer:
+				if ps != nil {
+					ps.offer(conn, caps)
+					return
+				}
 				if peerCh == nil {
 					opts.log(levelWarn, "unexpected peer hello on this server; dropping")
 					conn.Close()

@@ -1,0 +1,277 @@
+package deploy
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/privconsensus/privconsensus/internal/obs"
+	"github.com/privconsensus/privconsensus/internal/protocol"
+	"github.com/privconsensus/privconsensus/internal/transport"
+)
+
+// Session resilience for the two-server deployment.
+//
+// When ServerOptions.MaxRetries > 0 the peer link runs a thin session
+// protocol on top of the Alg. 5 messages: S1 leads, announcing each query
+// instance with a begin frame before running it, and closing the session
+// with an end frame. Both frames are idempotent — an instance announced
+// twice (because an attempt died mid-run) is simply re-executed by S2, and
+// the consensus outcome is a deterministic function of the collected
+// submissions, so replays always reproduce the same label. A failed
+// attempt always discards the connection; retries run on a fresh one, so
+// no attempt ever sees another attempt's leftover bytes.
+//
+// With MaxRetries == 0 (the default) none of these frames are emitted and
+// the wire format is byte-for-byte the pre-resilience protocol.
+
+// Session control codes, carried in Flags[0] of KindControl frames
+// exchanged after the hello.
+const (
+	ctrlBeginInstance int64 = 100 // [code, instance, attempt, prevStatus] S1→S2
+	ctrlEndSession    int64 = 101 // [code, lastStatus]                    S1→S2
+	ctrlUploadDone    int64 = 102 // [code, user]                          user→server
+	ctrlUploadAck     int64 = 103 // [code, user]                          server→user
+)
+
+// Authoritative per-instance statuses, propagated S1→S2 in begin/end
+// frames.
+const (
+	statusNone   int64 = 0
+	statusOK     int64 = 1
+	statusFailed int64 = 2
+)
+
+// capResilient is the optional second hello flag advertising that the
+// sender speaks the session protocol. Legacy hellos carry exactly one
+// flag; the resilient hello is the only wire change visible before any
+// retry happens.
+const capResilient int64 = 1
+
+// retriesTotal counts retry attempts by role and scope (scope: instance,
+// reconnect, upload).
+func retriesTotal(role, scope string) *obs.Counter {
+	return obs.Default.Counter("retries_total",
+		"Retry attempts, by role and scope.",
+		obs.L("role", role), obs.L("scope", scope))
+}
+
+// queriesFailed counts query instances that exhausted their retry budget.
+func queriesFailed(role string) *obs.Counter {
+	return obs.Default.Counter("queries_failed_total",
+		"Query instances that failed after exhausting the retry budget.",
+		obs.L("role", role))
+}
+
+// sendBegin announces (or re-announces) instance i, attempt a, carrying
+// the authoritative status of the previous instance.
+func sendBegin(ctx context.Context, conn transport.Conn, instance, attempt int, prevStatus int64) error {
+	return conn.Send(ctx, &transport.Message{
+		Kind:  transport.KindControl,
+		Flags: []int64{ctrlBeginInstance, int64(instance), int64(attempt), prevStatus},
+	})
+}
+
+// sendEnd closes the session, carrying the status of the last instance.
+func sendEnd(ctx context.Context, conn transport.Conn, lastStatus int64) error {
+	return conn.Send(ctx, &transport.Message{
+		Kind:  transport.KindControl,
+		Flags: []int64{ctrlEndSession, lastStatus},
+	})
+}
+
+// sessionFrame is a decoded begin or end frame.
+type sessionFrame struct {
+	code     int64
+	instance int
+	attempt  int
+	status   int64 // prevStatus on begin, lastStatus on end
+}
+
+// recvSessionFrame reads the next begin/end frame on the peer link.
+func recvSessionFrame(ctx context.Context, conn transport.Conn) (sessionFrame, error) {
+	msg, err := transport.ExpectKind(ctx, conn, transport.KindControl)
+	if err != nil {
+		return sessionFrame{}, err
+	}
+	switch {
+	case len(msg.Flags) == 4 && msg.Flags[0] == ctrlBeginInstance:
+		return sessionFrame{
+			code:     ctrlBeginInstance,
+			instance: int(msg.Flags[1]),
+			attempt:  int(msg.Flags[2]),
+			status:   msg.Flags[3],
+		}, nil
+	case len(msg.Flags) == 2 && msg.Flags[0] == ctrlEndSession:
+		return sessionFrame{code: ctrlEndSession, status: msg.Flags[1]}, nil
+	}
+	return sessionFrame{}, transport.MarkFatal(fmt.Errorf("deploy: malformed session frame %v", msg.Flags))
+}
+
+// peerSource hands the freshest peer connection to the S1 session loop.
+// The accept loop offers reconnections as they arrive; older unclaimed
+// connections are closed, so the consumer always converges on the newest
+// link after a reset.
+type peerSource struct {
+	mu      sync.Mutex
+	pending transport.Conn
+	caps    int64
+	notify  chan struct{}
+}
+
+func newPeerSource() *peerSource {
+	return &peerSource{notify: make(chan struct{}, 1)}
+}
+
+// offer installs a new peer connection, replacing (and closing) any
+// unclaimed one.
+func (ps *peerSource) offer(conn transport.Conn, caps int64) {
+	ps.mu.Lock()
+	if ps.pending != nil {
+		ps.pending.Close()
+	}
+	ps.pending = conn
+	ps.caps = caps
+	ps.mu.Unlock()
+	select {
+	case ps.notify <- struct{}{}:
+	default:
+	}
+}
+
+// await blocks for a peer connection (bounded by ctx) and returns it with
+// the capability flag from its hello.
+func (ps *peerSource) await(ctx context.Context) (transport.Conn, int64, error) {
+	for {
+		ps.mu.Lock()
+		conn, caps := ps.pending, ps.caps
+		ps.pending = nil
+		ps.mu.Unlock()
+		if conn != nil {
+			return conn, caps, nil
+		}
+		select {
+		case <-ps.notify:
+		case <-ctx.Done():
+			return nil, 0, fmt.Errorf("deploy: waiting for S2: %w", ctx.Err())
+		}
+	}
+}
+
+// takeNewer swaps current for a fresher pending connection if the peer has
+// reconnected since current was claimed; otherwise returns current.
+func (ps *peerSource) takeNewer(current transport.Conn) transport.Conn {
+	ps.mu.Lock()
+	conn := ps.pending
+	ps.pending = nil
+	ps.mu.Unlock()
+	if conn == nil {
+		return current
+	}
+	if current != nil {
+		current.Close()
+	}
+	return conn
+}
+
+// close releases any unclaimed connection.
+func (ps *peerSource) close() {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if ps.pending != nil {
+		ps.pending.Close()
+		ps.pending = nil
+	}
+}
+
+// InstanceResult is the per-query-instance entry of a deployment Report.
+type InstanceResult struct {
+	// Instance is the query instance index.
+	Instance int
+	// Outcome is the consensus outcome; meaningful only when Err is nil.
+	// Failed instances carry the placeholder {Consensus: false, Label: -1}.
+	Outcome protocol.Outcome
+	// Attempts is how many attempts the instance took (1 = no retries).
+	Attempts int
+	// Err is non-nil when the instance exhausted its retry budget; it
+	// names the failing phase.
+	Err error
+}
+
+// Report is the full result of a resilient server run: one entry per
+// instance, in order, each either succeeded or cleanly failed.
+type Report struct {
+	Results []InstanceResult
+}
+
+// Outcomes returns the per-instance outcomes in order; failed instances
+// carry the placeholder {Consensus: false, Label: -1}.
+func (r *Report) Outcomes() []protocol.Outcome {
+	out := make([]protocol.Outcome, len(r.Results))
+	for i, res := range r.Results {
+		out[i] = res.Outcome
+	}
+	return out
+}
+
+// Failed returns the instances that did not complete.
+func (r *Report) Failed() []InstanceResult {
+	var out []InstanceResult
+	for _, res := range r.Results {
+		if res.Err != nil {
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+// FirstErr returns the first failed instance's error, or nil.
+func (r *Report) FirstErr() error {
+	for _, res := range r.Results {
+		if res.Err != nil {
+			return fmt.Errorf("deploy: instance %d failed after %d attempts: %w",
+				res.Instance, res.Attempts, res.Err)
+		}
+	}
+	return nil
+}
+
+// attemptRetryable decides whether a failed instance attempt may be
+// retried: the parent context must still be live (a cancelled run stops
+// immediately) and the error must classify as transient I/O. Per-attempt
+// deadline expiry counts as transient — recycling stalled attempts is what
+// the deadline is for.
+func attemptRetryable(parent context.Context, err error) bool {
+	if parent.Err() != nil {
+		return false
+	}
+	return transport.IsRetryable(err)
+}
+
+// backoffDelay is the sleep before retry attempt a (1-based), doubling
+// from base and capped at 16×base.
+func backoffDelay(base time.Duration, a int) time.Duration {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	d := base << uint(a-1)
+	if maxD := 16 * base; d > maxD || d <= 0 {
+		d = maxD
+	}
+	return d
+}
+
+// sleepCtx sleeps for d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// errPeerGone marks reconnect-budget exhaustion on the S2 side.
+var errPeerGone = errors.New("deploy: peer reconnect budget exhausted")

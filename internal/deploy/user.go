@@ -5,8 +5,10 @@ import (
 	"crypto/rand"
 	"encoding/binary"
 	"fmt"
+	"io"
 	"math/big"
 	mrand "math/rand"
+	"time"
 
 	"github.com/privconsensus/privconsensus/internal/fixedpoint"
 	"github.com/privconsensus/privconsensus/internal/keystore"
@@ -23,6 +25,29 @@ type UserOptions struct {
 	S2Addr string
 	// Seed, when non-zero, makes share/noise randomness deterministic.
 	Seed int64
+	// MaxRetries enables resilient uploads: on a transient failure the
+	// client reconnects and replays the whole upload up to this many
+	// times, ending each upload with a done frame and waiting for the
+	// server's ack. Replays are safe — the server deduplicates
+	// (user, instance) submissions. 0 (the default) keeps the original
+	// fire-and-forget wire behavior.
+	MaxRetries int
+	// Backoff is the delay before the first retry (default 50ms),
+	// doubling per retry.
+	Backoff time.Duration
+	// AttemptTimeout bounds each upload attempt (default 2m).
+	AttemptTimeout time.Duration
+	// FaultSpec, when non-empty, injects deterministic faults into the
+	// client's connections (see transport.ParseFaultSpec). Testing only.
+	FaultSpec string
+}
+
+// attemptTimeout returns the per-attempt deadline with its default.
+func (o UserOptions) attemptTimeout() time.Duration {
+	if o.AttemptTimeout > 0 {
+		return o.AttemptTimeout
+	}
+	return 2 * time.Minute
 }
 
 // SubmitVotes builds encrypted submissions for each instance's vote vector
@@ -56,6 +81,10 @@ func SubmitVotes(ctx context.Context, pub *keystore.PublicFile, opts UserOptions
 		noiseSeed = int64(binary.BigEndian.Uint64(b[:]))
 	}
 	noiseRNG := mrand.New(mrand.NewSource(noiseSeed))
+
+	if opts.MaxRetries > 0 {
+		return submitResilient(ctx, pub, opts, votes, cryptoRNG, noiseRNG)
+	}
 
 	conn1, err := transport.Dial(ctx, opts.S1Addr)
 	if err != nil {
@@ -97,6 +126,110 @@ func SubmitVotes(ctx context.Context, pub *keystore.PublicFile, opts UserOptions
 		if err := conn2.Send(ctx, msg2); err != nil {
 			return fmt.Errorf("deploy: send to S2: %w", err)
 		}
+	}
+	return nil
+}
+
+// submitResilient builds every submission frame once, then uploads the S1
+// and S2 halves with per-server retry: each attempt dials a fresh
+// connection, replays all frames, sends a done marker and waits for the
+// server's ack. The server deduplicates (user, instance) cells, so a
+// replay after a mid-upload reset cannot double-count a vote.
+func submitResilient(ctx context.Context, pub *keystore.PublicFile, opts UserOptions,
+	votes [][]float64, cryptoRNG io.Reader, noiseRNG *mrand.Rand) error {
+	cfg := pub.Config
+	msgs1 := make([]*transport.Message, 0, len(votes))
+	msgs2 := make([]*transport.Message, 0, len(votes))
+	for instance, vote := range votes {
+		units, err := votesToUnits(vote, cfg.Classes)
+		if err != nil {
+			return fmt.Errorf("deploy: instance %d: %w", instance, err)
+		}
+		sub, _, err := protocol.BuildSubmission(cryptoRNG, noiseRNG, cfg, opts.User, units, pub.PK1, pub.PK2)
+		if err != nil {
+			return fmt.Errorf("deploy: build submission %d: %w", instance, err)
+		}
+		m1, err := EncodeHalf(opts.User, instance, sub.ToS1)
+		if err != nil {
+			return err
+		}
+		m2, err := EncodeHalf(opts.User, instance, sub.ToS2)
+		if err != nil {
+			return err
+		}
+		msgs1 = append(msgs1, m1)
+		msgs2 = append(msgs2, m2)
+	}
+
+	var inj *transport.FaultInjector
+	if opts.FaultSpec != "" {
+		spec, err := transport.ParseFaultSpec(opts.FaultSpec)
+		if err != nil {
+			return err
+		}
+		inj = transport.NewFaultInjector(spec)
+	}
+	if err := uploadWithRetry(ctx, "S1", opts.S1Addr, msgs1, opts, inj); err != nil {
+		return err
+	}
+	return uploadWithRetry(ctx, "S2", opts.S2Addr, msgs2, opts, inj)
+}
+
+// uploadWithRetry delivers one server's frames, retrying transient
+// failures on a fresh connection within the budget.
+func uploadWithRetry(ctx context.Context, server, addr string, msgs []*transport.Message,
+	opts UserOptions, inj *transport.FaultInjector) error {
+	var lastErr error
+	for attempt := 0; attempt <= opts.MaxRetries; attempt++ {
+		if attempt > 0 {
+			retriesTotal("user", "upload").Inc()
+			sleepCtx(ctx, backoffDelay(opts.Backoff, attempt))
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("deploy: upload to %s: %w", server, err)
+		}
+		err := uploadOnce(ctx, addr, msgs, opts, inj)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !attemptRetryable(ctx, err) {
+			return fmt.Errorf("deploy: upload to %s: %w", server, err)
+		}
+	}
+	return fmt.Errorf("deploy: upload to %s failed after %d attempts: %w", server, opts.MaxRetries+1, lastErr)
+}
+
+// uploadOnce is a single upload attempt: dial, hello, all frames, done
+// marker, ack.
+func uploadOnce(ctx context.Context, addr string, msgs []*transport.Message,
+	opts UserOptions, inj *transport.FaultInjector) error {
+	actx, cancel := context.WithTimeout(ctx, opts.attemptTimeout())
+	defer cancel()
+	d := transport.Dialer{AttemptTimeout: opts.attemptTimeout(), Faults: inj, Seed: opts.Seed + int64(opts.User) + 29}
+	conn, err := d.Dial(actx, addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := sendHello(actx, conn, partyUser); err != nil {
+		return err
+	}
+	for _, m := range msgs {
+		if err := conn.Send(actx, m); err != nil {
+			return err
+		}
+	}
+	done := &transport.Message{Kind: transport.KindControl, Flags: []int64{ctrlUploadDone, int64(opts.User)}}
+	if err := conn.Send(actx, done); err != nil {
+		return err
+	}
+	ack, err := conn.Recv(actx)
+	if err != nil {
+		return err
+	}
+	if ack.Kind != transport.KindControl || len(ack.Flags) < 1 || ack.Flags[0] != ctrlUploadAck {
+		return transport.MarkFatal(fmt.Errorf("deploy: unexpected upload ack %v", ack.Flags))
 	}
 	return nil
 }

@@ -50,6 +50,9 @@ type QueryTrace struct {
 	Result string
 	// Err is the failure that aborted the query, if any.
 	Err string
+	// Attempt is which delivery attempt of the query this trace records
+	// (1 = first try). Retried instances produce one trace per attempt.
+	Attempt int
 }
 
 // TotalBytes sums the per-phase traffic.
@@ -78,6 +81,9 @@ func (q *QueryTrace) Summary() string {
 	var b strings.Builder
 	sent, recvd := q.TotalBytes()
 	fmt.Fprintf(&b, "query=%s total=%v tx=%dB rx=%dB result=%q", q.ID, q.Duration.Round(time.Microsecond), sent, recvd, q.Result)
+	if q.Attempt > 1 {
+		fmt.Fprintf(&b, " attempt=%d", q.Attempt)
+	}
 	if q.Err != "" {
 		fmt.Fprintf(&b, " err=%q", q.Err)
 	}
@@ -93,7 +99,7 @@ func (q *QueryTrace) Summary() string {
 type Tracer struct {
 	mu      sync.Mutex
 	trace   QueryTrace
-	open    string           // phase of the currently open span, "" if none
+	open    string // phase of the currently open span, "" if none
 	watched map[string]*Counter
 	opsAt   map[string]int64 // watched counter values when the open span started
 	clock   func() time.Time
@@ -119,6 +125,13 @@ func (t *Tracer) Watch(shortName string, c *Counter) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.watched[shortName] = c
+}
+
+// SetAttempt records which delivery attempt this trace covers (1-based).
+func (t *Tracer) SetAttempt(attempt int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.trace.Attempt = attempt
 }
 
 // StartPhase opens a span. An open span is implicitly ended first, so a

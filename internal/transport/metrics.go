@@ -21,7 +21,19 @@ var (
 	muxBacklog = obs.Default.Histogram("transport_mux_backlog_frames",
 		"Frames queued on a mux stream when the pump routed one to it.",
 		obs.DepthBuckets())
+
+	dialRetries = obs.Default.Counter("retries_total",
+		"Retry attempts, by role and scope.",
+		obs.L("role", "transport"), obs.L("scope", "dial"))
 )
+
+// faultsInjected returns (creating on first use) the injected-fault counter
+// for a fault kind.
+func faultsInjected(kind string) *obs.Counter {
+	return obs.Default.Counter("faults_injected_total",
+		"Faults injected by the transport fault injector, by kind.",
+		obs.L("kind", kind))
+}
 
 // stepCounters caches the per-step obs series a Meter feeds, so the
 // registry lookup happens once per (step, direction) instead of per message.

@@ -59,11 +59,11 @@ func TestMuxWrapRejects(t *testing.T) {
 func TestMuxUnwrapRejects(t *testing.T) {
 	cases := []*Message{
 		nil,
-		msgOf(KindControl, []int64{1, 2}),            // not a mux frame
-		{Kind: KindMux, Flags: []int64{5}},           // too few flags
-		{Kind: KindMux, Flags: []int64{-1, 6}},       // negative stream
-		{Kind: KindMux, Flags: []int64{0, 0}},        // zero inner kind
-		{Kind: KindMux, Flags: []int64{0, 300}},      // inner kind out of range
+		msgOf(KindControl, []int64{1, 2}),                  // not a mux frame
+		{Kind: KindMux, Flags: []int64{5}},                 // too few flags
+		{Kind: KindMux, Flags: []int64{-1, 6}},             // negative stream
+		{Kind: KindMux, Flags: []int64{0, 0}},              // zero inner kind
+		{Kind: KindMux, Flags: []int64{0, 300}},            // inner kind out of range
 		{Kind: KindMux, Flags: []int64{0, int64(KindMux)}}, // nested
 	}
 	for i, msg := range cases {

@@ -44,8 +44,14 @@ func Dial(ctx context.Context, addr string) (Conn, error) {
 
 // Listener accepts framed-message connections.
 type Listener struct {
-	nl net.Listener
+	nl     net.Listener
+	faults *FaultInjector
 }
+
+// SetFaults installs a fault injector; subsequently accepted connections
+// are wrapped in its fault schedule. Call before Accept; nil disables
+// injection.
+func (l *Listener) SetFaults(f *FaultInjector) { l.faults = f }
 
 // Listen opens a TCP listener on addr (use "127.0.0.1:0" for an ephemeral
 // test port).
@@ -66,7 +72,7 @@ func (l *Listener) Accept() (Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: accept: %w", err)
 	}
-	return NewTCPConn(nc), nil
+	return NewTCPConn(l.faults.WrapNetConn(nc)), nil
 }
 
 // Close stops the listener.

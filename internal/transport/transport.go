@@ -86,7 +86,9 @@ func ExpectKind(ctx context.Context, c Conn, want MessageKind) (*Message, error)
 		return nil, err
 	}
 	if msg.Kind != want {
-		return nil, fmt.Errorf("transport: expected %v message, got %v", want, msg.Kind)
+		// A kind mismatch is a protocol-level disagreement; reconnecting
+		// cannot fix it, so the retry loops must treat it as fatal.
+		return nil, MarkFatal(fmt.Errorf("transport: expected %v message, got %v", want, msg.Kind))
 	}
 	return msg, nil
 }

@@ -5,18 +5,47 @@
 # enabled on S1, submits one full query through real users, then scrapes
 # /healthz and /metrics and asserts the protocol's counter families are
 # exposed with live values.
+#
+# Every listener binds port 0 and the chosen addresses are parsed from the
+# server logs, so the script cannot collide with other processes (or a
+# concurrent copy of itself). On failure it prints the chosen addresses and
+# the server logs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 workdir=$(mktemp -d)
 s1_pid=""
 s2_pid=""
+S1_ADDR="(unbound)"
+S2_ADDR="(unbound)"
+METRICS_ADDR="(unbound)"
 cleanup() {
     [ -n "$s1_pid" ] && kill "$s1_pid" 2>/dev/null || true
     [ -n "$s2_pid" ] && kill "$s2_pid" 2>/dev/null || true
     rm -rf "$workdir"
 }
 trap cleanup EXIT
+
+dump_state() {
+    echo "addresses: S1=$S1_ADDR S2=$S2_ADDR metrics=$METRICS_ADDR"
+    echo "--- s1.log"; cat "$workdir/s1.log" 2>/dev/null || true
+    echo "--- s2.log"; cat "$workdir/s2.log" 2>/dev/null || true
+}
+
+# wait_log FILE SED-PATTERN — poll FILE until the \1 capture of SED-PATTERN
+# appears (10s budget) and print it.
+wait_log() {
+    local file=$1 re=$2 out=""
+    for _ in $(seq 1 100); do
+        out=$(sed -n "s/.*$re.*/\1/p" "$file" 2>/dev/null | head -n 1)
+        if [ -n "$out" ]; then
+            echo "$out"
+            return 0
+        fi
+        sleep 0.1
+    done
+    return 1
+}
 
 echo "== building binaries"
 go build -o "$workdir" ./cmd/keygen ./cmd/server ./cmd/user
@@ -25,20 +54,31 @@ echo "== generating keys"
 "$workdir/keygen" -out "$workdir/keys" -users 2 -classes 4 \
     -threshold 0.5 -sigma1 0 -sigma2 0 >/dev/null
 
-S1_ADDR=127.0.0.1:19701
-S2_ADDR=127.0.0.1:19702
-METRICS_ADDR=127.0.0.1:19790
-
-echo "== starting servers"
-"$workdir/server" -role s1 -keys "$workdir/keys/s1.json" -listen "$S1_ADDR" \
-    -instances 1 -seed 11 -metrics-addr "$METRICS_ADDR" -metrics-linger 60s \
+echo "== starting servers (port 0, addresses from logs)"
+"$workdir/server" -role s1 -keys "$workdir/keys/s1.json" -listen 127.0.0.1:0 \
+    -instances 1 -seed 11 -metrics-addr 127.0.0.1:0 -metrics-linger 60s \
     >"$workdir/s1.log" 2>&1 &
 s1_pid=$!
-sleep 1
-"$workdir/server" -role s2 -keys "$workdir/keys/s2.json" -listen "$S2_ADDR" \
+if ! S1_ADDR=$(wait_log "$workdir/s1.log" 'S1 listening on \([0-9.]*:[0-9]*\)'); then
+    echo "FAIL: S1 never reported its listen address"
+    dump_state
+    exit 1
+fi
+if ! METRICS_ADDR=$(wait_log "$workdir/s1.log" 'metrics endpoint on http:\/\/\([0-9.]*:[0-9]*\)\/metrics'); then
+    echo "FAIL: S1 never reported its metrics address"
+    dump_state
+    exit 1
+fi
+
+"$workdir/server" -role s2 -keys "$workdir/keys/s2.json" -listen 127.0.0.1:0 \
     -peer "$S1_ADDR" -instances 1 -seed 12 >"$workdir/s2.log" 2>&1 &
 s2_pid=$!
-sleep 1
+if ! S2_ADDR=$(wait_log "$workdir/s2.log" 'S2 listening on \([0-9.]*:[0-9]*\)'); then
+    echo "FAIL: S2 never reported its listen address"
+    dump_state
+    exit 1
+fi
+echo "   S1=$S1_ADDR S2=$S2_ADDR metrics=$METRICS_ADDR"
 
 echo "== submitting votes"
 for u in 0 1; do
@@ -61,7 +101,7 @@ for _ in $(seq 1 50); do
 done
 if [ "$ok" != "ok" ]; then
     echo "FAIL: /healthz did not return ok (got: '$ok')"
-    echo "--- s1.log"; cat "$workdir/s1.log"
+    dump_state
     exit 1
 fi
 
@@ -86,7 +126,7 @@ if ! grep -q 'deploy_queries_total{outcome="consensus",role="s1"} 1' <<<"$metric
     fail=1
 fi
 if [ "$fail" -ne 0 ]; then
-    echo "--- s1.log"; cat "$workdir/s1.log"
+    dump_state
     exit 1
 fi
 
