@@ -26,14 +26,17 @@ race:
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos' -v ./internal/deploy/
 
-# Fuzz the transport attack surface: the frame decoder, the mux unwrapper,
-# the partial-write recomposition and the fault-spec parser. One target per
+# Fuzz the attack surfaces: the transport frame decoder, the mux unwrapper,
+# the partial-write recomposition, the fault-spec parser, and the fixed-base
+# exponentiation kernels (differential against big.Int.Exp). One target per
 # invocation (go fuzz requires it); FUZZTIME bounds each.
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadMessage$$' -fuzztime $(FUZZTIME) ./internal/transport/
 	$(GO) test -run '^$$' -fuzz '^FuzzMuxUnwrap$$' -fuzztime $(FUZZTIME) ./internal/transport/
 	$(GO) test -run '^$$' -fuzz '^FuzzSegmentRecompose$$' -fuzztime $(FUZZTIME) ./internal/transport/
 	$(GO) test -run '^$$' -fuzz '^FuzzFaultSpec$$' -fuzztime $(FUZZTIME) ./internal/transport/
+	$(GO) test -run '^$$' -fuzz '^FuzzFixedBaseExp$$' -fuzztime $(FUZZTIME) ./internal/mathutil/
+	$(GO) test -run '^$$' -fuzz '^FuzzMultiExp$$' -fuzztime $(FUZZTIME) ./internal/mathutil/
 
 # Coverage with a regression floor (scripts/coverage_baseline.txt); leaves
 # the profile at results/coverage.out.

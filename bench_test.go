@@ -339,6 +339,48 @@ func BenchmarkObsOverhead(b *testing.B) {
 
 // --- Ablation benches (DESIGN.md) ---
 
+// BenchmarkPaillierEnc measures one fresh-nonce Paillier encryption with the
+// pool disabled — the fixed-base kernel's Paillier target. Guarded by
+// scripts/bench_guard.sh via the paillier_enc_ns record in
+// results/BENCH_protocol.json.
+func BenchmarkPaillierEnc(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	key, err := paillier.GenerateKey(rng, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pk := key.Public()
+	msg := big.NewInt(123456)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pk.Encrypt(rng, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDGKEnc measures one fresh-nonce DGK encryption in the protocol's
+// default parameter regime — the fixed-base kernel's DGK target. Guarded by
+// scripts/bench_guard.sh via the dgk_enc_ns record in
+// results/BENCH_protocol.json.
+func BenchmarkDGKEnc(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	key, err := dgk.GenerateKey(rng, dgk.Params{NBits: 192, TBits: 40, U: 1009, L: 56})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pk := key.Public()
+	msg := big.NewInt(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pk.Encrypt(rng, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkPaillierPoolOnOff isolates the paper's pre-generated randomness
 // table optimization (§VI-A): pooled vs on-demand encryption.
 func BenchmarkPaillierPoolOnOff(b *testing.B) {
@@ -350,6 +392,7 @@ func BenchmarkPaillierPoolOnOff(b *testing.B) {
 	msg := big.NewInt(123456)
 
 	b.Run("on-demand", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := key.Encrypt(rng, msg); err != nil {
 				b.Fatal(err)
@@ -363,6 +406,7 @@ func BenchmarkPaillierPoolOnOff(b *testing.B) {
 		}
 		defer pool.Close()
 		ctx := context.Background()
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := pool.Encrypt(ctx, msg); err != nil {
@@ -384,6 +428,7 @@ func BenchmarkPaillierCRT(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("crt", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := key.Decrypt(c); err != nil {
 				b.Fatal(err)
@@ -391,6 +436,7 @@ func BenchmarkPaillierCRT(b *testing.B) {
 		}
 	})
 	b.Run("plain", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := key.DecryptSlow(c); err != nil {
 				b.Fatal(err)
@@ -413,6 +459,7 @@ func BenchmarkDGKBitLength(b *testing.B) {
 			}
 			a := big.NewInt(12345 % (1 << l))
 			v := big.NewInt(54321 % (1 << l))
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				connA, connB := transport.Pair()

@@ -15,6 +15,7 @@ import (
 
 	"github.com/privconsensus/privconsensus/internal/dgk"
 	"github.com/privconsensus/privconsensus/internal/fixedpoint"
+	"github.com/privconsensus/privconsensus/internal/mathutil"
 	"github.com/privconsensus/privconsensus/internal/obs"
 	"github.com/privconsensus/privconsensus/internal/paillier"
 	"github.com/privconsensus/privconsensus/internal/protocol"
@@ -266,6 +267,7 @@ func (e *Engine) labelInstance(ctx context.Context, votes [][]float64, subs []*S
 	// watched deltas cover both servers' work combined.
 	paillier.WatchOps(tracer)
 	dgk.WatchOps(tracer)
+	mathutil.WatchOps(tracer)
 
 	connA, connB := transport.Pair()
 	var c1, c2 transport.Conn = connA, connB

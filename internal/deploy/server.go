@@ -11,6 +11,7 @@ import (
 
 	"github.com/privconsensus/privconsensus/internal/dgk"
 	"github.com/privconsensus/privconsensus/internal/keystore"
+	"github.com/privconsensus/privconsensus/internal/mathutil"
 	"github.com/privconsensus/privconsensus/internal/obs"
 	"github.com/privconsensus/privconsensus/internal/paillier"
 	"github.com/privconsensus/privconsensus/internal/protocol"
@@ -190,6 +191,7 @@ func runInstance(ctx context.Context, role string, i, attempt int, opts ServerOp
 	tracer.SetAttempt(attempt + 1)
 	paillier.WatchOps(tracer)
 	dgk.WatchOps(tracer)
+	mathutil.WatchOps(tracer)
 	out, err := run(obs.WithTracer(ctx, tracer), meter)
 	meter.FillTrace(tracer)
 	if err != nil {
@@ -292,6 +294,7 @@ func RunS1Report(ctx context.Context, file *keystore.S1File, opts ServerOptions)
 	if err != nil {
 		return nil, err
 	}
+	keys.Precompute() // build fixed-base tables once at key load
 	s, err := setupServer(ctx, "S1", file.Config, opts)
 	if err != nil {
 		return nil, err
@@ -532,6 +535,7 @@ func RunS2Report(ctx context.Context, file *keystore.S2File, opts ServerOptions)
 	if err != nil {
 		return nil, err
 	}
+	keys.Precompute() // build fixed-base tables once at key load
 	s, err := setupServer(ctx, "S2", file.Config, opts)
 	if err != nil {
 		return nil, err

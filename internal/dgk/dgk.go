@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
 
 	"github.com/privconsensus/privconsensus/internal/mathutil"
 )
@@ -85,6 +86,56 @@ type PublicKey struct {
 	RBits int
 	// L is the comparison bit length carried for protocol agreement.
 	L int
+	// pre holds the lazily-built fixed-base tables for g and h. The holder
+	// is attached at key construction/load and shared (by pointer) with
+	// every copy of the key, so a table is built once per key and then read
+	// lock-free by all nonce-pool workers and comparison goroutines.
+	pre *precomp
+}
+
+// precomp caches the fixed-base exponentiation tables derived from a key.
+// Both generators are fixed for the key's lifetime: g raises only
+// plaintexts (< u) and h only RBits-wide blinding exponents, so two small
+// window tables replace every square-and-multiply on the encrypt path.
+type precomp struct {
+	gOnce, hOnce sync.Once
+	g, h         *mathutil.FixedBaseExp
+}
+
+// gTable returns the fixed-base table for g (exponents < u), building it on
+// first use. It is nil for hand-assembled keys without a holder or when the
+// modulus is unusable (e.g. even); callers then fall back to big.Int.Exp.
+func (pk *PublicKey) gTable() *mathutil.FixedBaseExp {
+	if pk.pre == nil {
+		return nil
+	}
+	pk.pre.gOnce.Do(func() {
+		if t, err := mathutil.NewFixedBaseExp(pk.G, pk.N, pk.U.BitLen()); err == nil {
+			pk.pre.g = t
+		}
+	})
+	return pk.pre.g
+}
+
+// hTable returns the fixed-base table for h (RBits-wide exponents).
+func (pk *PublicKey) hTable() *mathutil.FixedBaseExp {
+	if pk.pre == nil {
+		return nil
+	}
+	pk.pre.hOnce.Do(func() {
+		if t, err := mathutil.NewFixedBaseExp(pk.H, pk.N, pk.RBits); err == nil {
+			pk.pre.h = t
+		}
+	})
+	return pk.pre.h
+}
+
+// Precompute eagerly builds the fixed-base tables so the first encryption
+// after key load does not pay the table-construction cost. Safe to call
+// concurrently and more than once.
+func (pk *PublicKey) Precompute() {
+	pk.gTable()
+	pk.hTable()
 }
 
 // PrivateKey holds the DGK secret key with its zero-test and decryption
@@ -176,6 +227,7 @@ func GenerateKey(rng io.Reader, params Params) (*PrivateKey, error) {
 			N: n, G: g, H: h, U: u,
 			RBits: params.TBits * 5 / 2,
 			L:     params.L,
+			pre:   &precomp{},
 		},
 		p: p, vp: vp,
 	}
@@ -284,10 +336,17 @@ func (pk *PublicKey) Encrypt(rng io.Reader, m *big.Int) (*Ciphertext, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dgk: sample randomness: %w", err)
 	}
-	gm := new(big.Int).Exp(pk.G, m, pk.N)
-	hr := new(big.Int).Exp(pk.H, r, pk.N)
-	c := gm.Mul(gm, hr)
-	c.Mod(c, pk.N)
+	// Both factors have fixed bases, so a warm key answers the whole
+	// product from its window tables; without tables, Shamir's trick still
+	// shares one squaring chain between the two exponentiations. Either
+	// path yields the exact same ciphertext value as g^m · h^r computed
+	// with two independent big.Int.Exp calls.
+	var c *big.Int
+	if gt, ht := pk.gTable(), pk.hTable(); gt != nil && ht != nil {
+		c = gt.MulExp(ht, m, r)
+	} else {
+		c = mathutil.MultiExp(pk.G, m, pk.H, r, pk.N)
+	}
 	encOps.Inc()
 	return &Ciphertext{C: c}, nil
 }
@@ -330,7 +389,12 @@ func (pk *PublicKey) AddPlain(c *Ciphertext, k *big.Int) (*Ciphertext, error) {
 		return nil, err
 	}
 	kMod := new(big.Int).Mod(k, pk.U)
-	gk := new(big.Int).Exp(pk.G, kMod, pk.N)
+	var gk *big.Int
+	if gt := pk.gTable(); gt != nil {
+		gk = gt.Exp(kMod)
+	} else {
+		gk = new(big.Int).Exp(pk.G, kMod, pk.N)
+	}
 	out := gk.Mul(gk, c.C)
 	out.Mod(out, pk.N)
 	return &Ciphertext{C: out}, nil

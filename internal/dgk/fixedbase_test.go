@@ -1,0 +1,73 @@
+package dgk
+
+import (
+	"math/big"
+	"testing"
+)
+
+// TestEncryptTablePathByteIdentical proves the fixed-base tables change
+// nothing on the wire: the same key and the same seeded rng produce
+// byte-for-byte identical ciphertexts with tables warmed and with tables
+// absent (the MultiExp fallback a key without precomp state uses).
+func TestEncryptTablePathByteIdentical(t *testing.T) {
+	key, err := GenerateKey(testRNG(11), TestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	withTables := key.Public()
+	withTables.Precompute()
+	// Same public material, but no precomp holder: Encrypt takes the
+	// MultiExp fallback path.
+	bare := &PublicKey{
+		N: withTables.N, G: withTables.G, H: withTables.H,
+		U: withTables.U, RBits: withTables.RBits, L: withTables.L,
+	}
+	for m := int64(0); m < 16; m++ {
+		a, err := withTables.Encrypt(testRNG(m), big.NewInt(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := bare.Encrypt(testRNG(m), big.NewInt(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.C.Cmp(b.C) != 0 {
+			t.Fatalf("m=%d: table path %v != direct path %v", m, a.C, b.C)
+		}
+	}
+}
+
+// TestPoolDrawsMatchDirectEncryption proves the pooled path (nonces drawn
+// through the h table) yields ciphertexts identical to direct encryption
+// with the same rng seed.
+func TestPoolDrawsMatchDirectEncryption(t *testing.T) {
+	key, err := GenerateKey(testRNG(12), TestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk := key.Public()
+	pk.Precompute()
+	pool, err := NewNoncePool(testRNG(99), pk, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	direct, err := pk.Encrypt(testRNG(99), big.NewInt(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := pool.Encrypt(t.Context(), big.NewInt(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.C.Cmp(pooled.C) != 0 {
+		t.Fatalf("pooled ciphertext %v != direct %v", pooled.C, direct.C)
+	}
+	got, err := key.Decrypt(pooled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != 5 {
+		t.Fatalf("pooled decrypt: got %v, want 5", got)
+	}
+}

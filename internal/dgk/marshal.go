@@ -65,6 +65,7 @@ func (raw publicKeyJSON) toPublic() (*PublicKey, error) {
 	return &PublicKey{
 		N: n, G: g, H: h,
 		U: new(big.Int).SetUint64(raw.U), RBits: raw.RBits, L: raw.L,
+		pre: &precomp{},
 	}, nil
 }
 

@@ -58,7 +58,14 @@ func (p *NoncePool) fill(ctx context.Context, rng io.Reader) {
 			p.errOnce.Do(func() { p.fillErr = err })
 			return
 		}
-		hr := new(big.Int).Exp(p.pk.H, r, p.pk.N)
+		// Refill through the shared fixed-base table (identical value to
+		// big.Int.Exp, a fraction of the multiplications).
+		var hr *big.Int
+		if ht := p.pk.hTable(); ht != nil {
+			hr = ht.Exp(r)
+		} else {
+			hr = new(big.Int).Exp(p.pk.H, r, p.pk.N)
+		}
 		select {
 		case p.nonces <- hr:
 			poolRefills.Inc()
@@ -105,7 +112,12 @@ func (p *NoncePool) Encrypt(ctx context.Context, m *big.Int) (*Ciphertext, error
 	if err != nil {
 		return nil, err
 	}
-	gm := new(big.Int).Exp(p.pk.G, m, p.pk.N)
+	var gm *big.Int
+	if gt := p.pk.gTable(); gt != nil {
+		gm = gt.Exp(m)
+	} else {
+		gm = new(big.Int).Exp(p.pk.G, m, p.pk.N)
+	}
 	c := gm.Mul(gm, hr)
 	c.Mod(c, p.pk.N)
 	encOps.Inc()

@@ -45,13 +45,19 @@ type BenchJSON struct {
 	UserToServerBytes2 int64 `json:"user_to_server_bytes2"`
 	ConsensusInstances int   `json:"consensus_instances"`
 
+	// Crypto micro-kernel timings (schema v2): mean single-threaded
+	// fresh-nonce encryption cost with pools bypassed, the direct view of
+	// the fixed-base exponentiation path. See MicroBench.
+	PaillierEncNs int64 `json:"paillier_enc_ns"`
+	DGKEncNs      int64 `json:"dgk_enc_ns"`
+
 	Phases []BenchPhase `json:"phases"`
 }
 
 // BenchJSONFrom converts a benchmark result into its JSON record.
 func BenchJSONFrom(res *ProtocolBenchResult) BenchJSON {
 	out := BenchJSON{
-		Schema:             "privconsensus/protocol-bench/v1",
+		Schema:             "privconsensus/protocol-bench/v2",
 		GeneratedAt:        time.Now().UTC().Format(time.RFC3339),
 		GoVersion:          runtime.Version(),
 		GOOS:               runtime.GOOS,
@@ -81,8 +87,17 @@ func BenchJSONFrom(res *ProtocolBenchResult) BenchJSON {
 }
 
 // WriteBenchJSON writes the benchmark record to path, indented for diffing.
+// It also runs the crypto micro-benchmarks so the record carries the
+// fixed-base kernel timings the regression guard watches.
 func WriteBenchJSON(path string, res *ProtocolBenchResult) error {
-	data, err := json.MarshalIndent(BenchJSONFrom(res), "", "  ")
+	out := BenchJSONFrom(res)
+	micro, err := MicroBench()
+	if err != nil {
+		return err
+	}
+	out.PaillierEncNs = micro.PaillierEncNs
+	out.DGKEncNs = micro.DGKEncNs
+	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return fmt.Errorf("experiments: marshal bench json: %w", err)
 	}

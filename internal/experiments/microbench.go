@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"time"
+
+	"github.com/privconsensus/privconsensus/internal/dgk"
+	"github.com/privconsensus/privconsensus/internal/paillier"
+)
+
+// Crypto micro-kernel timings recorded alongside the protocol benchmark so
+// the regression guard can watch the fixed-base exponentiation path
+// directly. Both measurements deliberately bypass the nonce pools: a pooled
+// encryption is a single multiply, which would hide a regression in the
+// kernels the pools themselves refill through.
+
+// MicroBenchResult holds single-threaded mean encryption times.
+type MicroBenchResult struct {
+	// PaillierEncNs is one fresh-nonce Paillier encryption (512-bit key).
+	PaillierEncNs int64
+	// DGKEncNs is one fresh-nonce DGK encryption at the protocol's default
+	// parameters (NBits 192, TBits 40, u 1009, l 56).
+	DGKEncNs int64
+}
+
+// microIters balances stable means against `make bench` wall time.
+const microIters = 200
+
+// MicroBench measures the crypto micro-kernels with warmed fixed-base
+// tables, mirroring BenchmarkPaillierEnc / BenchmarkDGKEnc from the root
+// bench suite.
+func MicroBench() (*MicroBenchResult, error) {
+	rng := rand.New(rand.NewSource(7))
+	pKey, err := paillier.GenerateKey(rng, 512)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: microbench Paillier key: %w", err)
+	}
+	pPub := pKey.Public()
+	pPub.Precompute()
+	msg := big.NewInt(123456)
+	start := time.Now()
+	for i := 0; i < microIters; i++ {
+		if _, err := pPub.Encrypt(rng, msg); err != nil {
+			return nil, fmt.Errorf("experiments: microbench Paillier enc: %w", err)
+		}
+	}
+	paillierNs := time.Since(start).Nanoseconds() / microIters
+
+	dRng := rand.New(rand.NewSource(8))
+	dKey, err := dgk.GenerateKey(dRng, dgk.Params{NBits: 192, TBits: 40, U: 1009, L: 56})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: microbench DGK key: %w", err)
+	}
+	dPub := dKey.Public()
+	dPub.Precompute()
+	one := big.NewInt(1)
+	start = time.Now()
+	for i := 0; i < microIters; i++ {
+		if _, err := dPub.Encrypt(dRng, one); err != nil {
+			return nil, fmt.Errorf("experiments: microbench DGK enc: %w", err)
+		}
+	}
+	dgkNs := time.Since(start).Nanoseconds() / microIters
+
+	return &MicroBenchResult{PaillierEncNs: paillierNs, DGKEncNs: dgkNs}, nil
+}

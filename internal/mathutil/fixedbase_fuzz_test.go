@@ -1,0 +1,78 @@
+package mathutil
+
+import (
+	"math/big"
+	"testing"
+)
+
+// Differential fuzzing for the fixed-base kernels: on every input the
+// optimized path must agree exactly with math/big's Exp, which serves as the
+// reference implementation. Inputs are capped (the harness feeds arbitrary
+// byte strings) so a single iteration stays fast enough for the CI budget.
+
+const fuzzMaxBytes = 64 // 512-bit operands, matching protocol key sizes
+
+func clampBytes(b []byte) []byte {
+	if len(b) > fuzzMaxBytes {
+		return b[:fuzzMaxBytes]
+	}
+	return b
+}
+
+// FuzzFixedBaseExp builds a table from fuzzed (base, modulus) material and
+// checks Exp against big.Int.Exp for a fuzzed exponent — covering both the
+// table walk (exponent within maxBits) and the oversized-exponent fallback,
+// since maxBits comes from the fuzzer too.
+func FuzzFixedBaseExp(f *testing.F) {
+	f.Add([]byte{3}, []byte{101}, []byte{77}, uint8(16))
+	f.Add([]byte{2}, []byte{0xff, 0xff}, []byte{0x12, 0x34, 0x56}, uint8(8))
+	f.Add([]byte{0}, []byte{9}, []byte{0}, uint8(1))
+	f.Add([]byte{0xfe, 0x12}, []byte{0xab, 0xcd, 0xef}, []byte{0xff, 0xff, 0xff, 0xff, 0xff}, uint8(40))
+	f.Fuzz(func(t *testing.T, baseB, modB, expB []byte, maxBits uint8) {
+		base := new(big.Int).SetBytes(clampBytes(baseB))
+		m := new(big.Int).SetBytes(clampBytes(modB))
+		m.SetBit(m, 0, 1) // force odd so construction can succeed
+		e := new(big.Int).SetBytes(clampBytes(expB))
+		fb, err := NewFixedBaseExp(base, m, int(maxBits))
+		if err != nil {
+			// Constructor rejections (m <= 2, maxBits == 0) are valid
+			// outcomes for fuzzed input, not failures.
+			return
+		}
+		got := fb.Exp(e)
+		want := new(big.Int).Exp(base, e, m)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("FixedBaseExp(base=%v, m=%v, maxBits=%d).Exp(%v) = %v, want %v",
+				base, m, maxBits, e, got, want)
+		}
+	})
+}
+
+// FuzzMultiExp checks Shamir's simultaneous exponentiation against the
+// two-Exp composition a^x · b^y mod m for arbitrary operands.
+func FuzzMultiExp(f *testing.F) {
+	f.Add([]byte{2}, []byte{10}, []byte{3}, []byte{4}, []byte{101})
+	f.Add([]byte{0}, []byte{0}, []byte{0}, []byte{0}, []byte{1})
+	f.Add([]byte{0xff}, []byte{0xff, 0xff}, []byte{0x7f}, []byte{0x80}, []byte{0xab, 0xcd})
+	f.Fuzz(func(t *testing.T, aB, xB, bB, yB, mB []byte) {
+		a := new(big.Int).SetBytes(clampBytes(aB))
+		x := new(big.Int).SetBytes(clampBytes(xB))
+		b := new(big.Int).SetBytes(clampBytes(bB))
+		y := new(big.Int).SetBytes(clampBytes(yB))
+		m := new(big.Int).SetBytes(clampBytes(mB))
+		got := MultiExp(a, x, b, y, m)
+		if m.Sign() <= 0 {
+			if got != nil {
+				t.Fatalf("MultiExp with m=%v: got %v, want nil", m, got)
+			}
+			return
+		}
+		want := new(big.Int).Exp(a, x, m)
+		want.Mul(want, new(big.Int).Exp(b, y, m))
+		want.Mod(want, m)
+		if got == nil || got.Cmp(want) != 0 {
+			t.Fatalf("MultiExp(a=%v, x=%v, b=%v, y=%v, m=%v) = %v, want %v",
+				a, x, b, y, m, got, want)
+		}
+	})
+}

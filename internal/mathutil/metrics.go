@@ -1,0 +1,23 @@
+package mathutil
+
+import "github.com/privconsensus/privconsensus/internal/obs"
+
+// Kernel counters on the obs default registry. They count exponentiation
+// operations only — never exponents, bases or key material. The hit/fallback
+// split makes the fixed-base speedup visible in /metrics: a healthy
+// deployment answers nearly every fixed-base call from a table.
+var (
+	fixedBaseHits = obs.Default.Counter("privconsensus_fixedbase_hits_total",
+		"Modular exponentiations answered from a fixed-base window table (multiplications only).")
+	fixedBaseFallbacks = obs.Default.Counter("privconsensus_fixedbase_fallbacks_total",
+		"Fixed-base exponentiations that fell back to big.Int.Exp (negative or wider-than-table exponent).")
+	fixedBaseTables = obs.Default.Counter("privconsensus_fixedbase_tables_total",
+		"Fixed-base window tables built (once per base/modulus pair per key).")
+)
+
+// WatchOps registers the fixed-base kernel counters on a tracer so each
+// QueryTrace span records how much exponentiation work the tables absorbed.
+func WatchOps(t *obs.Tracer) {
+	t.Watch("fixedbase_hit", fixedBaseHits)
+	t.Watch("fixedbase_fallback", fixedBaseFallbacks)
+}

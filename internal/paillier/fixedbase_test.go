@@ -1,0 +1,90 @@
+package paillier
+
+import (
+	"math/big"
+	"testing"
+)
+
+// TestTableBlindingRoundTrip exercises the fixed-base blinding path
+// explicitly (tables warmed up front) across a spread of messages,
+// including the signed extremes.
+func TestTableBlindingRoundTrip(t *testing.T) {
+	key := testKey(t, 64)
+	pk := key.Public()
+	pk.Precompute()
+	rng := testRNG(31)
+	halfN := new(big.Int).Rsh(pk.N, 1)
+	msgs := []*big.Int{
+		big.NewInt(0), big.NewInt(1), big.NewInt(123456),
+		new(big.Int).Sub(halfN, big.NewInt(1)),
+	}
+	for _, m := range msgs {
+		c, err := pk.Encrypt(rng, m)
+		if err != nil {
+			t.Fatalf("Encrypt(%v): %v", m, err)
+		}
+		got, err := key.Decrypt(c)
+		if err != nil {
+			t.Fatalf("Decrypt(%v): %v", m, err)
+		}
+		if got.Cmp(m) != 0 {
+			t.Fatalf("round trip: got %v, want %v", got, m)
+		}
+	}
+}
+
+// TestBlindingFallbackWithoutTables covers the r^N fallback a key without
+// precomp state uses (e.g. a zero-value PublicKey populated field by
+// field): ciphertexts must still decrypt, and the two blinding styles must
+// be homomorphically compatible.
+func TestBlindingFallbackWithoutTables(t *testing.T) {
+	key := testKey(t, 64)
+	warm := key.Public()
+	warm.Precompute()
+	bare := &PublicKey{N: warm.N, N2: warm.N2, G: warm.G} // no pre holder
+	rng := testRNG(32)
+
+	cBare, err := bare.Encrypt(rng, big.NewInt(17))
+	if err != nil {
+		t.Fatalf("fallback Encrypt: %v", err)
+	}
+	if got, err := key.Decrypt(cBare); err != nil || got.Int64() != 17 {
+		t.Fatalf("fallback round trip: got (%v, %v), want 17", got, err)
+	}
+
+	cWarm, err := warm.Encrypt(rng, big.NewInt(25))
+	if err != nil {
+		t.Fatalf("table Encrypt: %v", err)
+	}
+	sum, err := warm.Add(cWarm, cBare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := key.Decrypt(sum); err != nil || got.Int64() != 42 {
+		t.Fatalf("mixed-blinding Add: got (%v, %v), want 42", got, err)
+	}
+}
+
+// TestRerandomizeTablePath checks Rerandomize (which now draws its factor
+// through the blinding table) still preserves the plaintext and changes the
+// ciphertext bytes.
+func TestRerandomizeTablePath(t *testing.T) {
+	key := testKey(t, 64)
+	pk := key.Public()
+	pk.Precompute()
+	rng := testRNG(33)
+	c, err := pk.Encrypt(rng, big.NewInt(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := pk.Rerandomize(rng, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.C.Cmp(c.C) == 0 {
+		t.Fatal("Rerandomize left the ciphertext unchanged")
+	}
+	if got, err := key.Decrypt(r); err != nil || got.Int64() != 9 {
+		t.Fatalf("rerandomized decrypt: got (%v, %v), want 9", got, err)
+	}
+}

@@ -36,6 +36,7 @@ func (pk *PublicKey) UnmarshalJSON(data []byte) error {
 	pk.N = n
 	pk.N2 = new(big.Int).Mul(n, n)
 	pk.G = new(big.Int).Add(n, big.NewInt(1))
+	pk.pre = &precomp{}
 	return nil
 }
 

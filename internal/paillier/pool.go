@@ -7,8 +7,6 @@ import (
 	"io"
 	"math/big"
 	"sync"
-
-	"github.com/privconsensus/privconsensus/internal/mathutil"
 )
 
 // NoncePool pre-generates the expensive r^n mod n^2 blinding factors so that
@@ -58,12 +56,14 @@ func NewNoncePool(rng io.Reader, pk *PublicKey, capacity, workers int) (*NoncePo
 func (p *NoncePool) fill(ctx context.Context, rng io.Reader) {
 	defer p.wg.Done()
 	for {
-		r, err := mathutil.RandUnit(rng, p.pk.N)
+		// freshNonce refills through the key's shared fixed-base blinding
+		// table when available, a multiplication chain instead of a full
+		// square-and-multiply per draw.
+		rn, err := p.pk.freshNonce(rng)
 		if err != nil {
 			p.errOnce.Do(func() { p.fillErr = err })
 			return
 		}
-		rn := new(big.Int).Exp(r, p.pk.N, p.pk.N2)
 		select {
 		case p.nonces <- rn:
 			poolRefills.Inc()
@@ -110,13 +110,7 @@ func (p *NoncePool) Encrypt(ctx context.Context, m *big.Int) (*Ciphertext, error
 	if err != nil {
 		return nil, err
 	}
-	gm := new(big.Int).Mul(m, p.pk.N)
-	gm.Add(gm, mathutil.One)
-	gm.Mod(gm, p.pk.N2)
-	c := gm.Mul(gm, rn)
-	c.Mod(c, p.pk.N2)
-	encOps.Inc()
-	return &Ciphertext{C: c}, nil
+	return p.pk.seal(m, rn), nil
 }
 
 // EncryptVector encrypts each element of ms with pooled nonces.

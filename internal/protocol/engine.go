@@ -91,6 +91,7 @@ func RunS1(ctx context.Context, rng io.Reader, cfg Config, keys KeysS1,
 	if len(subs) != cfg.Users {
 		return nil, fmt.Errorf("protocol: got %d submissions, want %d", len(subs), cfg.Users)
 	}
+	keys.Precompute() // warm fixed-base tables before the first phase
 	sess := newMuxSession(cfg, conn, meter)
 	if sess.mux != nil {
 		// math/rand sources are not safe for concurrent draws.
@@ -213,6 +214,7 @@ func RunS2(ctx context.Context, rng io.Reader, cfg Config, keys KeysS2,
 	if len(subs) != cfg.Users {
 		return nil, fmt.Errorf("protocol: got %d submissions, want %d", len(subs), cfg.Users)
 	}
+	keys.Precompute() // warm fixed-base tables before the first phase
 	sess := newMuxSession(cfg, conn, meter)
 	if sess.mux != nil {
 		// math/rand sources are not safe for concurrent draws.

@@ -259,11 +259,40 @@ type KeysS1 struct {
 	DGKPub  *dgk.PublicKey
 }
 
+// Precompute warms the fixed-base exponentiation tables behind every key in
+// S1's view so the first query does not pay the table-build cost inside a
+// protocol phase. Idempotent and safe to call concurrently.
+func (k KeysS1) Precompute() {
+	if k.Own != nil {
+		k.Own.Precompute()
+	}
+	if k.PeerPub != nil {
+		k.PeerPub.Precompute()
+	}
+	if k.DGKPub != nil {
+		k.DGKPub.Precompute()
+	}
+}
+
 // KeysS2 is the key material visible to S2.
 type KeysS2 struct {
 	Own     *paillier.PrivateKey // (pk2, sk2)
 	PeerPub *paillier.PublicKey  // pk1
 	DGK     *dgk.PrivateKey
+}
+
+// Precompute warms the fixed-base exponentiation tables in S2's view; see
+// KeysS1.Precompute.
+func (k KeysS2) Precompute() {
+	if k.Own != nil {
+		k.Own.Precompute()
+	}
+	if k.PeerPub != nil {
+		k.PeerPub.Precompute()
+	}
+	if k.DGK != nil {
+		k.DGK.Precompute()
+	}
 }
 
 // ForS1 extracts S1's view of the keys.
