@@ -1,6 +1,12 @@
 package privconsensus
 
 import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
 	"github.com/privconsensus/privconsensus/internal/dp"
 )
 
@@ -10,30 +16,98 @@ import (
 // Every query pays the Sparse Vector Technique cost (Lemma 1 of the paper:
 // 9α/2σ₁² at order α); queries whose label is actually released
 // additionally pay the Report Noisy Maximum cost (Lemma 2: α/σ₂²).
+//
+// An Accountant created with NewAccountantAt is durable: its state is
+// rewritten (write-temp-then-rename, so a crash never truncates it) after
+// every recorded spend, and reloaded on construction. An Accountant is
+// safe for concurrent use.
 type Accountant struct {
+	mu    sync.Mutex
 	inner *dp.Accountant
+	path  string
 }
 
-// NewAccountant returns an empty accountant.
+// NewAccountant returns an empty in-memory accountant.
 func NewAccountant() *Accountant {
 	return &Accountant{inner: dp.NewAccountant()}
+}
+
+// NewAccountantAt returns an accountant whose spend is persisted at path:
+// an existing state file is reloaded (so privacy spend survives process
+// restarts), a missing one starts the accountant empty, and every
+// RecordQuery/RecordRelease atomically rewrites the file.
+func NewAccountantAt(path string) (*Accountant, error) {
+	a := &Accountant{inner: dp.NewAccountant(), path: path}
+	b, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		// First run: the file appears on the first recorded spend.
+	case err != nil:
+		return nil, fmt.Errorf("privconsensus: load accountant: %w", err)
+	default:
+		if err := json.Unmarshal(b, a.inner); err != nil {
+			return nil, fmt.Errorf("privconsensus: load accountant %s: %w", path, err)
+		}
+	}
+	return a, nil
 }
 
 // RecordQuery records the SVT spend of one threshold check with deviation
 // sigma1 (in votes). Call once per query, released or not.
 func (a *Accountant) RecordQuery(sigma1 float64) error {
-	return a.inner.AddSVT(sigma1)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.inner.AddSVT(sigma1); err != nil {
+		return err
+	}
+	return a.persist()
 }
 
 // RecordRelease records the RNM spend of one released label with deviation
 // sigma2.
 func (a *Accountant) RecordRelease(sigma2 float64) error {
-	return a.inner.AddRNM(sigma2)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.inner.AddRNM(sigma2); err != nil {
+		return err
+	}
+	return a.persist()
+}
+
+// persist atomically rewrites the state file. Callers hold mu. The spend
+// was already recorded in memory when persistence fails, so the in-memory
+// view only ever over-counts — never under-reports — the durable state.
+func (a *Accountant) persist() error {
+	if a.path == "" {
+		return nil
+	}
+	b, err := json.Marshal(a.inner)
+	if err != nil {
+		return fmt.Errorf("privconsensus: encode accountant: %w", err)
+	}
+	tmp := a.path + ".tmp"
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o600); err != nil {
+		return fmt.Errorf("privconsensus: persist accountant: %w", err)
+	}
+	if err := os.Rename(tmp, a.path); err != nil {
+		return fmt.Errorf("privconsensus: persist accountant: %w", err)
+	}
+	return nil
+}
+
+// Counts returns the number of recorded SVT (per-query) and RNM
+// (per-release) invocations.
+func (a *Accountant) Counts() (queries, releases int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inner.Counts()
 }
 
 // Epsilon converts the accumulated spend to (ε, δ)-DP, returning ε and the
 // optimal Rényi order α*.
 func (a *Accountant) Epsilon(delta float64) (eps, alphaStar float64, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	return a.inner.Epsilon(delta)
 }
 

@@ -37,6 +37,7 @@ func run(args []string) error {
 		sigma2      = fs.Float64("sigma2", 4, "report-noisy-max deviation (votes)")
 		seed        = fs.Int64("seed", 1, "RNG seed")
 		crypto      = fs.Int("crypto", 0, "also run the cryptographic protocol on N sample instances")
+		acctPath    = fs.String("accountant-path", "", "persist the crypto sample's privacy accountant to this file; reloaded on the next run so the (eps, delta) budget accumulates across restarts")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,7 +78,7 @@ func run(args []string) error {
 	fmt.Printf("  wall time:            %v\n", time.Since(start).Round(time.Millisecond))
 
 	if *crypto > 0 {
-		if err := runCryptoSample(*crypto, *users, *threshold, *sigma1, *sigma2, *seed); err != nil {
+		if err := runCryptoSample(*crypto, *users, *threshold, *sigma1, *sigma2, *seed, *acctPath); err != nil {
 			return fmt.Errorf("crypto sample: %w", err)
 		}
 	}
@@ -86,18 +87,20 @@ func run(args []string) error {
 
 // runCryptoSample runs the real two-server protocol on synthetic one-hot
 // votes to demonstrate the cryptographic path.
-func runCryptoSample(instances, users int, threshold, sigma1, sigma2 float64, seed int64) error {
+func runCryptoSample(instances, users int, threshold, sigma1, sigma2 float64, seed int64, acctPath string) error {
 	cfg := privconsensus.DefaultConfig(users)
 	cfg.ThresholdFrac = threshold
 	cfg.Sigma1, cfg.Sigma2 = sigma1, sigma2
 	cfg.Seed = seed
+	cfg.AccountantPath = acctPath
 	engine, err := privconsensus.NewEngine(cfg)
 	if err != nil {
 		return err
 	}
 	ctx := context.Background()
 	fmt.Printf("\ncryptographic protocol sample (%d instances, %d users, 10 classes):\n", instances, users)
-	for i := 0; i < instances; i++ {
+	batch := make([][][]float64, instances)
+	for i := range batch {
 		votes := make([][]float64, users)
 		winning := i % cfg.Classes
 		for u := range votes {
@@ -109,13 +112,21 @@ func runCryptoSample(instances, users int, threshold, sigma1, sigma2 float64, se
 			}
 			votes[u] = v
 		}
-		start := time.Now()
-		out, err := engine.LabelInstance(ctx, votes)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("  instance %d: consensus=%v label=%d (%v)\n",
-			i, out.Consensus, out.Label, time.Since(start).Round(time.Millisecond))
+		batch[i] = votes
 	}
+	start := time.Now()
+	res, err := engine.LabelBatch(ctx, batch)
+	if err != nil {
+		return err
+	}
+	for i, out := range res.Outcomes {
+		fmt.Printf("  instance %d: consensus=%v label=%d\n", i, out.Consensus, out.Label)
+	}
+	scope := "this run"
+	if acctPath != "" {
+		scope = "cumulative at " + acctPath
+	}
+	fmt.Printf("  crypto privacy spend: eps = %.3f at delta = 1e-6 (%s)\n", res.Epsilon, scope)
+	fmt.Printf("  crypto wall time:     %v\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }

@@ -37,7 +37,7 @@ func TestRunCryptoSample(t *testing.T) {
 	if testing.Short() {
 		t.Skip("crypto sample is slow in -short mode")
 	}
-	if err := runCryptoSample(1, 4, 0.5, 0.5, 0.5, 7); err != nil {
+	if err := runCryptoSample(1, 4, 0.5, 0.5, 0.5, 7, ""); err != nil {
 		t.Fatalf("crypto sample: %v", err)
 	}
 }

@@ -12,6 +12,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,7 @@ import (
 	"syscall"
 	"time"
 
+	privconsensus "github.com/privconsensus/privconsensus"
 	"github.com/privconsensus/privconsensus/internal/deploy"
 	"github.com/privconsensus/privconsensus/internal/keystore"
 )
@@ -47,6 +49,8 @@ func run(args []string) error {
 		backoff   = fs.Duration("backoff", 50*time.Millisecond, "initial retry backoff (doubles per retry)")
 		attemptTO = fs.Duration("attempt-timeout", 2*time.Minute, "deadline for each instance attempt and reconnect wait")
 		faultSpec = fs.String("fault-spec", "", "inject deterministic connection faults, e.g. seed=7,reset=0.02,stall=0.01,max=20 (testing only)")
+		quorum    = fs.Float64("quorum", 0, "minimum participants per query: a fraction of users in (0,1) or an absolute count >= 1 (0 = require full participation; both servers must agree)")
+		deadline  = fs.Duration("submit-deadline", 0, "close the submission window this long after startup once quorum is met (0 with -quorum unset = wait for everyone)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,6 +76,8 @@ func run(args []string) error {
 		Backoff:        *backoff,
 		AttemptTimeout: *attemptTO,
 		FaultSpec:      *faultSpec,
+		Quorum:         *quorum,
+		SubmitDeadline: *deadline,
 		Logf:           deploy.DefaultLogger("[" + *role + "] "),
 	}
 
@@ -103,13 +109,19 @@ func run(args []string) error {
 
 	fmt.Printf("%s finished %d instances:\n", *role, len(rep.Results))
 	for _, res := range rep.Results {
+		part := ""
+		if res.Dropped > 0 {
+			part = fmt.Sprintf(" (%d of %d users)", res.Participants, res.Participants+res.Dropped)
+		}
 		switch {
+		case errors.Is(res.Err, privconsensus.ErrQuorumNotMet):
+			fmt.Printf("  instance %d: quorum not met%s\n", res.Instance, part)
 		case res.Err != nil:
 			fmt.Printf("  instance %d: FAILED after %d attempts: %v\n", res.Instance, res.Attempts, res.Err)
 		case res.Outcome.Consensus:
-			fmt.Printf("  instance %d: label %d\n", res.Instance, res.Outcome.Label)
+			fmt.Printf("  instance %d: label %d%s\n", res.Instance, res.Outcome.Label, part)
 		default:
-			fmt.Printf("  instance %d: no consensus\n", res.Instance)
+			fmt.Printf("  instance %d: no consensus%s\n", res.Instance, part)
 		}
 	}
 	if failed := rep.Failed(); len(failed) > 0 {

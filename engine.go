@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/big"
 	mrand "math/rand"
 	"net"
@@ -56,7 +57,30 @@ type Config struct {
 	// failed and moving on to the rest of the batch. 0 disables retries
 	// (a failed query is still recorded and the batch continues).
 	MaxQueryRetries int
+	// Quorum enables partial participation: the minimum number of users a
+	// query needs. A value in (0, 1) is a fraction of Users (rounded up);
+	// >= 1 an absolute count. With Quorum set, a nil row in the votes grid
+	// marks an absent user and the query runs over whoever voted; a query
+	// below quorum fails with ErrQuorumNotMet. 0 (the default) requires
+	// full participation, as before.
+	Quorum float64
+	// AbsoluteThreshold fixes the consensus threshold at
+	// ThresholdFrac×Users votes regardless of how many users participate.
+	// The default (false) scales it to ThresholdFrac×participants, keeping
+	// the paper's "fraction of voters" semantics under dropout. The two
+	// modes agree at full participation.
+	AbsoluteThreshold bool
+	// AccountantPath, when non-empty, makes the engine's privacy accountant
+	// durable: its state is reloaded from this file by NewEngine and
+	// atomically rewritten after every recorded spend, so the cumulative
+	// (ε, δ) budget survives process restarts.
+	AccountantPath string
 }
+
+// ErrQuorumNotMet reports a query released with fewer participants than
+// Config.Quorum. It is terminal for the query — retrying cannot conjure the
+// missing submissions — but the rest of a batch still completes.
+var ErrQuorumNotMet = protocol.ErrQuorumNotMet
 
 // DefaultConfig mirrors the paper's experimental setup.
 func DefaultConfig(users int) Config {
@@ -77,6 +101,11 @@ type Outcome struct {
 	// Label is the released label (argmax of the noisy votes), or -1
 	// when no consensus was reached.
 	Label int
+	// Participants is how many users' votes the query aggregated; Dropped
+	// is how many configured users were absent. Participants == Users and
+	// Dropped == 0 under full participation.
+	Participants int
+	Dropped      int
 }
 
 // Submission is a user's encrypted contribution for one query instance.
@@ -109,6 +138,10 @@ type Engine struct {
 	queries   atomic.Int64
 	traceMu   sync.Mutex
 	lastTrace *obs.QueryTrace
+
+	// acct is the durable privacy accountant (nil unless AccountantPath is
+	// set); LabelBatch records every spend into it.
+	acct *Accountant
 }
 
 // NewEngine validates cfg and generates all server key material.
@@ -135,12 +168,19 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("privconsensus: generate keys: %w", err)
 	}
+	var acct *Accountant
+	if cfg.AccountantPath != "" {
+		if acct, err = NewAccountantAt(cfg.AccountantPath); err != nil {
+			return nil, err
+		}
+	}
 	return &Engine{
 		cfg:   cfg,
 		pcfg:  pcfg,
 		keys:  keys,
 		rng:   rng,
 		noise: mrand.New(mrand.NewSource(noiseSeed)),
+		acct:  acct,
 	}, nil
 }
 
@@ -150,11 +190,15 @@ func toProtocolConfig(cfg Config) (protocol.Config, error) {
 	if cfg.Users < 1 {
 		return protocol.Config{}, errors.New("privconsensus: need at least 1 user")
 	}
+	if cfg.Quorum < 0 {
+		return protocol.Config{}, fmt.Errorf("privconsensus: negative quorum %g", cfg.Quorum)
+	}
 	pcfg := protocol.DefaultConfig(cfg.Users)
 	if cfg.Classes > 0 {
 		pcfg.Classes = cfg.Classes
 	}
 	pcfg.ThresholdFrac = cfg.ThresholdFrac
+	pcfg.AbsoluteThreshold = cfg.AbsoluteThreshold
 	pcfg.Sigma1 = cfg.Sigma1
 	pcfg.Sigma2 = cfg.Sigma2
 	if cfg.PaillierBits > 0 {
@@ -172,6 +216,10 @@ func toProtocolConfig(cfg Config) (protocol.Config, error) {
 
 // Config returns the engine's configuration.
 func (e *Engine) Config() Config { return e.cfg }
+
+// Accountant returns the engine's durable privacy accountant, or nil when
+// Config.AccountantPath is unset (LabelBatch then accounts per batch).
+func (e *Engine) Accountant() *Accountant { return e.acct }
 
 // SubmissionFor builds user `user`'s encrypted submission for one query.
 // votes is the user's per-class prediction: a one-hot indicator or a
@@ -203,21 +251,63 @@ func (e *Engine) SubmissionFor(user int, votes []float64) (*Submission, error) {
 
 // LabelInstance runs the full two-server protocol in-process for one query
 // instance: votes[user][class] are every user's predictions. Both servers
-// execute concurrently over an in-memory transport.
+// execute concurrently over an in-memory transport. With Config.Quorum set,
+// a nil row marks an absent user and the query runs over whoever voted;
+// below-quorum queries fail with ErrQuorumNotMet.
 func (e *Engine) LabelInstance(ctx context.Context, votes [][]float64) (*Outcome, error) {
+	subs, err := e.submissionsFor(votes)
+	if err != nil {
+		return nil, err
+	}
+	out, _, err := e.labelInstance(ctx, votes, subs, nil)
+	return out, err
+}
+
+// submissionsFor encrypts the votes grid, treating nil rows as absent users
+// when partial participation is enabled, and enforces the quorum.
+func (e *Engine) submissionsFor(votes [][]float64) ([]*Submission, error) {
 	if len(votes) != e.pcfg.Users {
 		return nil, fmt.Errorf("privconsensus: got votes from %d users, want %d", len(votes), e.pcfg.Users)
 	}
 	subs := make([]*Submission, len(votes))
+	participants := 0
 	for u, v := range votes {
+		if v == nil && e.cfg.Quorum > 0 {
+			continue // absent user
+		}
 		sub, err := e.SubmissionFor(u, v)
 		if err != nil {
 			return nil, fmt.Errorf("privconsensus: user %d: %w", u, err)
 		}
 		subs[u] = sub
+		participants++
 	}
-	out, _, err := e.labelInstance(ctx, votes, subs, nil)
-	return out, err
+	if q := e.quorumCount(); participants < q {
+		return nil, fmt.Errorf("privconsensus: %d of %d users voted, quorum is %d: %w",
+			participants, e.pcfg.Users, q, ErrQuorumNotMet)
+	}
+	return subs, nil
+}
+
+// quorumCount resolves Config.Quorum against the user count: (0, 1) is a
+// fraction rounded up, >= 1 an absolute count, clamped to [1, Users]. With
+// Quorum unset every user must vote.
+func (e *Engine) quorumCount() int {
+	q := e.pcfg.Users
+	switch {
+	case e.cfg.Quorum <= 0:
+	case e.cfg.Quorum < 1:
+		q = int(math.Ceil(e.cfg.Quorum * float64(e.pcfg.Users)))
+	default:
+		q = int(math.Round(e.cfg.Quorum))
+	}
+	if q < 1 {
+		q = 1
+	}
+	if q > e.pcfg.Users {
+		q = e.pcfg.Users
+	}
+	return q
 }
 
 // StepStats reports one protocol step's cost, mirroring the rows of the
@@ -238,16 +328,9 @@ type StepStats struct {
 // LabelInstanceMetered is LabelInstance plus per-step time and traffic
 // accounting, for cost analysis of a deployment.
 func (e *Engine) LabelInstanceMetered(ctx context.Context, votes [][]float64) (*Outcome, []StepStats, error) {
-	if len(votes) != e.pcfg.Users {
-		return nil, nil, fmt.Errorf("privconsensus: got votes from %d users, want %d", len(votes), e.pcfg.Users)
-	}
-	subs := make([]*Submission, len(votes))
-	for u, v := range votes {
-		sub, err := e.SubmissionFor(u, v)
-		if err != nil {
-			return nil, nil, fmt.Errorf("privconsensus: user %d: %w", u, err)
-		}
-		subs[u] = sub
+	subs, err := e.submissionsFor(votes)
+	if err != nil {
+		return nil, nil, err
 	}
 	meter := transport.NewMeter()
 	out, stats, err := e.labelInstance(ctx, votes, subs, meter)
@@ -263,6 +346,13 @@ func (e *Engine) labelInstance(ctx context.Context, votes [][]float64, subs []*S
 		meter = transport.NewMeter()
 	}
 	tracer := obs.NewTracer(fmt.Sprintf("q%d", e.queries.Add(1)))
+	present := 0
+	for _, s := range subs {
+		if s != nil {
+			present++
+		}
+	}
+	tracer.SetParticipants(present, e.pcfg.Users-present)
 	// Op counters are process-wide; in this in-process simulation the
 	// watched deltas cover both servers' work combined.
 	paillier.WatchOps(tracer)
@@ -375,14 +465,22 @@ type BatchResult struct {
 	// Outcomes has one entry per batch query, in order. A failed query
 	// (see Failed) carries the placeholder {Consensus: false, Label: -1}.
 	Outcomes []Outcome
-	// Epsilon is the batch's total (ε, δ=1e-6)-DP spend per the paper's
+	// Epsilon is the total (ε, δ=1e-6)-DP spend per the paper's
 	// accounting: every query pays SVT, released labels additionally pay
-	// RNM.
+	// RNM. With Config.AccountantPath set the accountant is durable and
+	// Epsilon covers everything it ever recorded, including prior runs.
 	Epsilon float64
 	// Released counts the queries that reached consensus.
 	Released int
+	// Participants is the total number of user votes aggregated across the
+	// batch; Dropped is the total excluded (absent rows, including every
+	// configured user of a quorum-missed query). Both mirror the
+	// per-query counts in Outcomes.
+	Participants int
+	Dropped      int
 	// Failed lists the queries that exhausted the retry budget
-	// (Config.MaxQueryRetries). The rest of the batch still completes.
+	// (Config.MaxQueryRetries) or missed the quorum (their Err unwraps to
+	// ErrQuorumNotMet). The rest of the batch still completes.
 	Failed []QueryFailure
 }
 
@@ -396,28 +494,37 @@ var (
 )
 
 // LabelBatch runs LabelInstance for every query in votes (votes[q][user]
-// [class]) and tracks the privacy spend with the built-in accountant. A
-// query that fails with a transient error is retried up to
-// Config.MaxQueryRetries times; one that exhausts the budget (or fails
-// fatally) is recorded in BatchResult.Failed with a placeholder outcome
-// while the rest of the batch completes. Failed queries conservatively
-// still pay their SVT privacy cost — the protocol may have consumed the
-// noisy threshold comparison before the failure. LabelBatch itself errors
-// only on structural problems: a cancelled context or accountant failure.
+// [class]) and tracks the privacy spend with the built-in accountant (the
+// durable one when Config.AccountantPath is set). A query that fails with a
+// transient error is retried up to Config.MaxQueryRetries times; one that
+// exhausts the budget, fails fatally, or misses the quorum
+// (ErrQuorumNotMet, never retried) is recorded in BatchResult.Failed with a
+// placeholder outcome while the rest of the batch completes. Failed queries
+// conservatively still pay their SVT privacy cost — the protocol may have
+// consumed the noisy threshold comparison before the failure. LabelBatch
+// itself errors only on structural problems: a cancelled context or
+// accountant failure.
 func (e *Engine) LabelBatch(ctx context.Context, votes [][][]float64) (*BatchResult, error) {
 	res := &BatchResult{Outcomes: make([]Outcome, 0, len(votes))}
-	acc := NewAccountant()
+	acc := e.acct
+	if acc == nil {
+		acc = NewAccountant()
+	}
 	for q, instance := range votes {
 		out, attempts, err := e.labelWithRetry(ctx, instance)
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil, fmt.Errorf("privconsensus: query %d: %w", q, err)
 			}
-			engineQueriesFailed.Inc()
+			if !errors.Is(err, ErrQuorumNotMet) {
+				engineQueriesFailed.Inc()
+			}
 			res.Failed = append(res.Failed, QueryFailure{Query: q, Attempts: attempts, Err: err})
-			out = &Outcome{Consensus: false, Label: -1}
+			out = &Outcome{Consensus: false, Label: -1, Dropped: e.pcfg.Users}
 		}
 		res.Outcomes = append(res.Outcomes, *out)
+		res.Participants += out.Participants
+		res.Dropped += out.Dropped
 		if e.cfg.Sigma1 > 0 {
 			if err := acc.RecordQuery(e.cfg.Sigma1); err != nil {
 				return nil, err
@@ -486,6 +593,9 @@ func (e *Engine) runServerMetered(ctx context.Context, role Role, conn transport
 	halves := make([]protocol.SubmissionHalf, len(subs))
 	for i, s := range subs {
 		if s == nil || s.inner == nil {
+			if e.cfg.Quorum > 0 {
+				continue // absent user: a zero half is skipped by the protocol
+			}
 			return nil, fmt.Errorf("privconsensus: nil submission at index %d", i)
 		}
 		if role == RoleS1 {
@@ -520,5 +630,6 @@ func (e *Engine) runServerMetered(ctx context.Context, role Role, conn transport
 	if err != nil {
 		return nil, err
 	}
-	return &Outcome{Consensus: out.Consensus, Label: out.Label}, nil
+	return &Outcome{Consensus: out.Consensus, Label: out.Label,
+		Participants: out.Participants, Dropped: e.pcfg.Users - out.Participants}, nil
 }

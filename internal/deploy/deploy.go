@@ -30,7 +30,9 @@ import (
 	"math/big"
 	mrand "math/rand"
 	"sync"
+	"time"
 
+	"github.com/privconsensus/privconsensus/internal/obs"
 	"github.com/privconsensus/privconsensus/internal/paillier"
 	"github.com/privconsensus/privconsensus/internal/protocol"
 	"github.com/privconsensus/privconsensus/internal/transport"
@@ -122,24 +124,31 @@ func recvHello(ctx context.Context, conn transport.Conn) (party, caps int64, err
 }
 
 // collector gathers user submissions until every (user, instance) cell is
-// filled.
+// filled, or — with a submit deadline armed — until the deadline releases
+// whatever arrived. Every submission is validated on ingestion; rejected
+// submissions are counted by reason and never enter the grid.
 type collector struct {
 	mu        sync.Mutex
 	users     int
 	instances int
 	classes   int
+	ring      *big.Int                     // Paillier N² the halves must live in (nil disables the check)
 	halves    [][]*protocol.SubmissionHalf // [instance][user]
 	remaining int
+	released  bool
 	done      chan struct{}
 	doneOnce  sync.Once
 }
 
-// newCollector prepares an empty submission grid.
-func newCollector(users, instances, classes int) *collector {
+// newCollector prepares an empty submission grid. ring is the N² modulus of
+// the Paillier key the stored halves are encrypted under; every ciphertext
+// of every submission must fall in [0, ring) or the submission is rejected.
+func newCollector(users, instances, classes int, ring *big.Int) *collector {
 	c := &collector{
 		users:     users,
 		instances: instances,
 		classes:   classes,
+		ring:      ring,
 		halves:    make([][]*protocol.SubmissionHalf, instances),
 		remaining: users * instances,
 		done:      make(chan struct{}),
@@ -150,21 +159,51 @@ func newCollector(users, instances, classes int) *collector {
 	return c
 }
 
-// add records one submission; duplicate or out-of-range cells error.
+// reject counts a refused submission by reason and returns the wrapped
+// sentinel; serveUserConn tolerates rejections without dropping the
+// connection, so one hostile frame cannot suppress a user's later valid
+// submissions.
+func (c *collector) reject(reason string, err error) error {
+	submissionsRejected(reason).Inc()
+	return fmt.Errorf("%w (%s): %v", errRejectedSubmission, reason, err)
+}
+
+// add validates and records one submission. Validation order: identity and
+// shape first (unknown-user, bad-instance, bad-length), ring membership of
+// every ciphertext, then exact-once semantics — a byte-identical replay of
+// the recorded submission is a tolerated duplicate (reconnect idempotency),
+// a conflicting one is rejected first-write-wins, and anything arriving
+// after the collector released is rejected as late.
 func (c *collector) add(user, instance int, half protocol.SubmissionHalf) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if user < 0 || user >= c.users {
-		return fmt.Errorf("deploy: user index %d outside [0, %d)", user, c.users)
+		return c.reject("unknown-user", fmt.Errorf("user index %d outside [0, %d)", user, c.users))
 	}
 	if instance < 0 || instance >= c.instances {
-		return fmt.Errorf("deploy: instance index %d outside [0, %d)", instance, c.instances)
+		return c.reject("bad-instance", fmt.Errorf("instance index %d outside [0, %d)", instance, c.instances))
 	}
-	if len(half.Votes) != c.classes {
-		return fmt.Errorf("deploy: submission has %d classes, want %d", len(half.Votes), c.classes)
+	if len(half.Votes) != c.classes || len(half.Thresh) != c.classes || len(half.Noisy) != c.classes {
+		return c.reject("bad-length", fmt.Errorf("submission has %d/%d/%d ciphertexts, want %d each",
+			len(half.Votes), len(half.Thresh), len(half.Noisy), c.classes))
 	}
-	if c.halves[instance][user] != nil {
-		return fmt.Errorf("%w from user %d for instance %d", errDuplicateSubmission, user, instance)
+	if c.ring != nil {
+		for _, group := range [][]*paillier.Ciphertext{half.Votes, half.Thresh, half.Noisy} {
+			for _, ct := range group {
+				if ct == nil || ct.C == nil || ct.C.Sign() < 0 || ct.C.Cmp(c.ring) >= 0 {
+					return c.reject("out-of-ring", fmt.Errorf("user %d instance %d ciphertext outside [0, N²)", user, instance))
+				}
+			}
+		}
+	}
+	if prev := c.halves[instance][user]; prev != nil {
+		if halfEqual(*prev, half) {
+			return fmt.Errorf("%w from user %d for instance %d", errDuplicateSubmission, user, instance)
+		}
+		return c.reject("duplicate", fmt.Errorf("conflicting resubmission from user %d for instance %d (first write wins)", user, instance))
+	}
+	if c.released {
+		return c.reject("late", fmt.Errorf("submission from user %d for instance %d arrived after release", user, instance))
 	}
 	h := half
 	c.halves[instance][user] = &h
@@ -173,6 +212,20 @@ func (c *collector) add(user, instance int, half protocol.SubmissionHalf) error 
 		c.doneOnce.Do(func() { close(c.done) })
 	}
 	return nil
+}
+
+// halfEqual reports whether two equal-shape submission halves carry the
+// same ciphertext bytes.
+func halfEqual(a, b protocol.SubmissionHalf) bool {
+	pairs := [][2][]*paillier.Ciphertext{{a.Votes, b.Votes}, {a.Thresh, b.Thresh}, {a.Noisy, b.Noisy}}
+	for _, p := range pairs {
+		for i := range p[0] {
+			if p[0][i].C.Cmp(p[1][i].C) != 0 {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // wait blocks until all submissions arrived or ctx is done.
@@ -188,7 +241,53 @@ func (c *collector) wait(ctx context.Context) error {
 	}
 }
 
-// instance returns the ordered submission halves for one instance.
+// waitQuorum blocks until full participation or the submit window elapses,
+// whichever comes first, then freezes the grid: later submissions are
+// rejected as late, so both servers' participant sets stay stable across
+// instance retries. The wait duration feeds the quorum-wait histogram.
+func (c *collector) waitQuorum(ctx context.Context, window time.Duration, role string) error {
+	start := time.Now()
+	timer := time.NewTimer(window)
+	defer timer.Stop()
+	select {
+	case <-c.done:
+	case <-timer.C:
+	case <-ctx.Done():
+		c.mu.Lock()
+		missing := c.remaining
+		c.mu.Unlock()
+		return fmt.Errorf("deploy: timed out with %d submissions missing: %w", missing, ctx.Err())
+	}
+	c.mu.Lock()
+	c.released = true
+	c.mu.Unlock()
+	obs.QuorumWaitSeconds(role).Observe(time.Since(start).Seconds())
+	return nil
+}
+
+// counts reports filled and total grid cells.
+func (c *collector) counts() (got, want int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.users*c.instances - c.remaining, c.users * c.instances
+}
+
+// bitmap returns the participant bitmap for one instance: bit u set iff
+// user u's validated submission is held locally.
+func (c *collector) bitmap(i int) *big.Int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	bm := new(big.Int)
+	for u, h := range c.halves[i] {
+		if h != nil {
+			bm.SetBit(bm, u, 1)
+		}
+	}
+	return bm
+}
+
+// instance returns the ordered submission halves for one instance; only
+// valid after a successful wait() (every cell filled).
 func (c *collector) instance(i int) []protocol.SubmissionHalf {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -199,11 +298,38 @@ func (c *collector) instance(i int) []protocol.SubmissionHalf {
 	return out
 }
 
-// errDuplicateSubmission marks a submission for an already-filled cell.
-// The collector reports it so tests can assert exact-once semantics;
-// serveUserConn tolerates it, which is what makes upload replays after a
-// reconnect idempotent.
+// maskedInstance returns the full-length submission slice for one instance
+// with zero-value halves for every user outside the agreed set (the
+// protocol engine's dropped-user representation). An agreed participant
+// with no local submission is a fatal peer mismatch: the servers would sum
+// different subsets.
+func (c *collector) maskedInstance(i int, agreed *big.Int) ([]protocol.SubmissionHalf, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]protocol.SubmissionHalf, c.users)
+	for u := 0; u < c.users; u++ {
+		if agreed.Bit(u) == 0 {
+			continue
+		}
+		h := c.halves[i][u]
+		if h == nil {
+			return nil, transport.MarkFatal(fmt.Errorf("deploy: agreed participant %d has no local submission for instance %d: %w",
+				u, i, protocol.ErrPeerMismatch))
+		}
+		out[u] = *h
+	}
+	return out, nil
+}
+
+// errDuplicateSubmission marks a byte-identical submission for an
+// already-filled cell. The collector reports it so tests can assert
+// exact-once semantics; serveUserConn tolerates it, which is what makes
+// upload replays after a reconnect idempotent.
 var errDuplicateSubmission = errors.New("deploy: duplicate submission")
+
+// errRejectedSubmission marks a submission refused by server-side
+// validation (counted in privconsensus_submissions_rejected_total).
+var errRejectedSubmission = errors.New("deploy: submission rejected")
 
 // serveUserConn drains submission frames from one user connection into the
 // collector until the user closes or sends all frames. A resilient user
@@ -235,6 +361,9 @@ func serveUserConn(ctx context.Context, conn transport.Conn, col *collector) err
 		if err := col.add(user, instance, half); err != nil {
 			if errors.Is(err, errDuplicateSubmission) {
 				continue // idempotent replay after a reconnect
+			}
+			if errors.Is(err, errRejectedSubmission) {
+				continue // counted and excluded; keep serving valid frames
 			}
 			return err
 		}

@@ -267,7 +267,7 @@ func TestEncodeHalfValidation(t *testing.T) {
 
 func TestCollector(t *testing.T) {
 	_, _, pubFile, cfg := testSetup(t, 2)
-	col := newCollector(2, 1, cfg.Classes)
+	col := newCollector(2, 1, cfg.Classes, nil)
 
 	bigUnits, err := votesToUnits(oneHot(cfg.Classes, 0), cfg.Classes)
 	if err != nil {

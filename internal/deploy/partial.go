@@ -1,0 +1,192 @@
+package deploy
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/big"
+	"math/bits"
+	"time"
+
+	"github.com/privconsensus/privconsensus/internal/obs"
+	"github.com/privconsensus/privconsensus/internal/protocol"
+	"github.com/privconsensus/privconsensus/internal/transport"
+)
+
+// Partial participation for the two-server deployment.
+//
+// When ServerOptions.Quorum or ServerOptions.SubmitDeadline is set the
+// collector releases the protocol before every user has submitted, and each
+// query instance runs over the subset of users that actually showed up.
+// Correctness then hinges on S1 and S2 summing the *same* subset: the
+// servers agree on it per instance with a participant-bitmap exchange on
+// the peer link, before any protocol message:
+//
+//	participants := Message{Kind: KindControl,
+//	                        Flags: [104, instance], Values: [bitmap]}  S1→S2
+//	ack          := Message{Kind: KindControl,
+//	                        Flags: [105, instance], Values: [agreed]}  S2→S1
+//
+// bitmap bit u is set iff user u's validated submission for the instance is
+// held locally. S2 replies with the intersection of S1's proposal and its
+// own set; S1 verifies the agreed set is a subset of its proposal. Any
+// malformed frame or non-subset ack is marked fatal (transport.MarkFatal):
+// a retry cannot fix a peer that disagrees about who participated. With
+// both options unset none of these frames are emitted and the wire format
+// is byte-for-byte the full-participation protocol.
+
+// capPartial is the hello capability bit advertising partial participation.
+// Both servers must agree, like capResilient: the exchange frames change
+// the peer wire format.
+const capPartial int64 = 2
+
+// Participant exchange control codes (Flags[0] of KindControl frames).
+const (
+	ctrlParticipants    int64 = 104 // [code, instance] + Values [bitmap]  S1→S2
+	ctrlParticipantsAck int64 = 105 // [code, instance] + Values [agreed]  S2→S1
+)
+
+// submissionsRejected counts submissions the collector refused, by reason
+// (unknown-user, bad-instance, bad-length, out-of-ring, duplicate, late).
+func submissionsRejected(reason string) *obs.Counter {
+	return obs.Default.Counter("privconsensus_submissions_rejected_total",
+		"User submissions rejected by server-side validation.",
+		obs.L("reason", reason))
+}
+
+// helloCaps returns the capability flags this server advertises (S2) or
+// expects (S1) in the peer hello.
+func (o ServerOptions) helloCaps() int64 {
+	caps := int64(0)
+	if o.resilient() {
+		caps |= capResilient
+	}
+	if o.partial() {
+		caps |= capPartial
+	}
+	return caps
+}
+
+// partial reports whether partial participation is enabled.
+func (o ServerOptions) partial() bool { return o.Quorum > 0 || o.SubmitDeadline > 0 }
+
+// quorumCount resolves the Quorum option against the configured user count:
+// (0,1) is a fraction rounded up, >= 1 an absolute count, 0 means any
+// participation (1). The result is clamped to [1, users].
+func (o ServerOptions) quorumCount(users int) int {
+	q := 1
+	switch {
+	case o.Quorum <= 0:
+	case o.Quorum < 1:
+		q = int(math.Ceil(o.Quorum * float64(users)))
+	default:
+		q = int(math.Round(o.Quorum))
+	}
+	if q < 1 {
+		q = 1
+	}
+	if q > users {
+		q = users
+	}
+	return q
+}
+
+// submitWindow is the collector release deadline: SubmitDeadline, or the
+// attempt timeout when only Quorum was set.
+func (o ServerOptions) submitWindow() time.Duration {
+	if o.SubmitDeadline > 0 {
+		return o.SubmitDeadline
+	}
+	return o.attemptTimeout()
+}
+
+// checkPeerCaps verifies (on S1) that S2's advertised capabilities match
+// this server's session options; mismatches would desynchronize the wire.
+func checkPeerCaps(caps int64, opts ServerOptions) error {
+	if opts.resilient() && caps&capResilient == 0 {
+		return fmt.Errorf("deploy: peer S2 did not advertise session resilience; run both servers with the same -max-retries")
+	}
+	if opts.partial() != (caps&capPartial != 0) {
+		return fmt.Errorf("deploy: S1 and S2 disagree on partial participation; run both servers with the same -quorum and -submit-deadline")
+	}
+	return nil
+}
+
+// popcount returns the number of set bits in a participant bitmap.
+func popcount(bm *big.Int) int {
+	n := 0
+	for _, w := range bm.Bits() {
+		n += bits.OnesCount(uint(w))
+	}
+	return n
+}
+
+// bitmapIndices returns the set bit positions below users, ascending.
+func bitmapIndices(bm *big.Int, users int) []int {
+	out := make([]int, 0, popcount(bm))
+	for u := 0; u < users; u++ {
+		if bm.Bit(u) == 1 {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// exchangeParticipantsS1 proposes S1's local participant set for one
+// instance and returns the agreed set from S2's ack. An ack that is not a
+// subset of the proposal is a fatal protocol mismatch: it would make the
+// servers sum different share subsets and decrypt garbage.
+func exchangeParticipantsS1(ctx context.Context, conn transport.Conn, instance int, proposal *big.Int) (*big.Int, error) {
+	err := conn.Send(ctx, &transport.Message{
+		Kind:   transport.KindControl,
+		Flags:  []int64{ctrlParticipants, int64(instance)},
+		Values: []*big.Int{proposal},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("deploy: send participants for instance %d: %w", instance, err)
+	}
+	msg, err := transport.ExpectKind(ctx, conn, transport.KindControl)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: participants ack for instance %d: %w", instance, err)
+	}
+	if len(msg.Flags) != 2 || msg.Flags[0] != ctrlParticipantsAck ||
+		msg.Flags[1] != int64(instance) || len(msg.Values) != 1 || msg.Values[0] == nil {
+		return nil, transport.MarkFatal(fmt.Errorf("deploy: malformed participants ack %v for instance %d", msg.Flags, instance))
+	}
+	agreed := msg.Values[0]
+	if agreed.Sign() < 0 || new(big.Int).AndNot(agreed, proposal).Sign() != 0 {
+		return nil, transport.MarkFatal(fmt.Errorf("deploy: instance %d participant bitmap mismatch (agreed set is not a subset of the proposal): %w",
+			instance, protocol.ErrPeerMismatch))
+	}
+	return agreed, nil
+}
+
+// exchangeParticipantsS2 receives S1's proposal for one instance, replies
+// with the intersection against S2's local set, and returns it.
+func exchangeParticipantsS2(ctx context.Context, conn transport.Conn, instance int, local *big.Int) (*big.Int, error) {
+	msg, err := transport.ExpectKind(ctx, conn, transport.KindControl)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: participants for instance %d: %w", instance, err)
+	}
+	if len(msg.Flags) != 2 || msg.Flags[0] != ctrlParticipants || len(msg.Values) != 1 || msg.Values[0] == nil {
+		return nil, transport.MarkFatal(fmt.Errorf("deploy: malformed participants frame %v for instance %d", msg.Flags, instance))
+	}
+	if msg.Flags[1] != int64(instance) {
+		return nil, transport.MarkFatal(fmt.Errorf("deploy: participants frame for instance %d while running instance %d: %w",
+			msg.Flags[1], instance, protocol.ErrPeerMismatch))
+	}
+	proposal := msg.Values[0]
+	if proposal.Sign() < 0 {
+		return nil, transport.MarkFatal(fmt.Errorf("deploy: negative participant bitmap for instance %d", instance))
+	}
+	agreed := new(big.Int).And(proposal, local)
+	err = conn.Send(ctx, &transport.Message{
+		Kind:   transport.KindControl,
+		Flags:  []int64{ctrlParticipantsAck, int64(instance)},
+		Values: []*big.Int{agreed},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("deploy: send participants ack for instance %d: %w", instance, err)
+	}
+	return agreed, nil
+}

@@ -1,0 +1,437 @@
+package deploy
+
+import (
+	"context"
+	"errors"
+	"math/big"
+	"testing"
+	"time"
+
+	"github.com/privconsensus/privconsensus/internal/paillier"
+	"github.com/privconsensus/privconsensus/internal/protocol"
+	"github.com/privconsensus/privconsensus/internal/transport"
+)
+
+// testHalf builds a well-shaped submission half whose ciphertexts all carry
+// the given value (no real crypto — collector validation only looks at
+// shape and ring membership).
+func testHalf(classes int, val int64) protocol.SubmissionHalf {
+	group := func() []*paillier.Ciphertext {
+		out := make([]*paillier.Ciphertext, classes)
+		for i := range out {
+			out[i] = &paillier.Ciphertext{C: big.NewInt(val)}
+		}
+		return out
+	}
+	return protocol.SubmissionHalf{Votes: group(), Thresh: group(), Noisy: group()}
+}
+
+// TestCollectorValidation drives every rejection path of the hardened
+// ingestion: hostile frames are refused with the right reason and never
+// enter the grid, while the one tolerated case (byte-identical replay)
+// keeps exact-once semantics.
+func TestCollectorValidation(t *testing.T) {
+	const classes = 3
+	ring := big.NewInt(1000)
+	col := newCollector(2, 2, classes, ring)
+
+	reject := func(name string, user, instance int, h protocol.SubmissionHalf) {
+		t.Helper()
+		err := col.add(user, instance, h)
+		if !errors.Is(err, errRejectedSubmission) {
+			t.Errorf("%s: err = %v, want rejection", name, err)
+		}
+	}
+	reject("unknown user", -1, 0, testHalf(classes, 5))
+	reject("unknown user high", 2, 0, testHalf(classes, 5))
+	reject("bad instance", 0, 7, testHalf(classes, 5))
+	reject("bad length", 0, 0, testHalf(classes+1, 5))
+	reject("out of ring", 0, 0, testHalf(classes, 1000))
+	reject("negative ciphertext", 0, 0, testHalf(classes, -3))
+
+	if err := col.add(0, 0, testHalf(classes, 5)); err != nil {
+		t.Fatalf("valid submission rejected: %v", err)
+	}
+	// Byte-identical replay: tolerated duplicate, still one participant.
+	if err := col.add(0, 0, testHalf(classes, 5)); !errors.Is(err, errDuplicateSubmission) {
+		t.Errorf("identical replay: err = %v, want duplicate sentinel", err)
+	}
+	// Conflicting resubmission: first write wins.
+	reject("conflicting resubmission", 0, 0, testHalf(classes, 6))
+	if bm := col.bitmap(0); popcount(bm) != 1 || bm.Bit(0) != 1 {
+		t.Errorf("bitmap after replays = %v, want only user 0", bm)
+	}
+	got, _ := col.counts()
+	if got != 1 {
+		t.Errorf("counts after replays = %d cells, want 1", got)
+	}
+
+	// After release, anything new is late; the stored grid stays frozen.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := col.waitQuorum(ctx, time.Millisecond, "s1"); err != nil {
+		t.Fatal(err)
+	}
+	reject("late", 1, 0, testHalf(classes, 5))
+	// An identical replay of a pre-release submission is still tolerated
+	// after release (the reconnecting user is not a new participant).
+	if err := col.add(0, 0, testHalf(classes, 5)); !errors.Is(err, errDuplicateSubmission) {
+		t.Errorf("post-release identical replay: err = %v, want duplicate sentinel", err)
+	}
+}
+
+// TestCollectorDedupReplay asserts the exact-once guarantee the resilient
+// upload leans on: a reconnect replay counts as one participant and leaves
+// the stored bytes untouched, so the aggregated sum cannot double-spend a
+// vote.
+func TestCollectorDedupReplay(t *testing.T) {
+	const classes = 2
+	col := newCollector(3, 1, classes, nil)
+	h := testHalf(classes, 42)
+	if err := col.add(1, 0, h); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // replayed upload after reconnects
+		if err := col.add(1, 0, testHalf(classes, 42)); !errors.Is(err, errDuplicateSubmission) {
+			t.Fatalf("replay %d: err = %v, want duplicate sentinel", i, err)
+		}
+	}
+	bm := col.bitmap(0)
+	if popcount(bm) != 1 {
+		t.Fatalf("replays inflated the participant set: bitmap %v", bm)
+	}
+	subs, err := col.maskedInstance(0, bm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !subs[1].Present() || !halfEqual(subs[1], h) {
+		t.Error("stored submission bytes changed across replays")
+	}
+	if subs[0].Present() || subs[2].Present() {
+		t.Error("absent users appear present in the masked instance")
+	}
+}
+
+// TestParticipantExchange runs the bitmap agreement over a live pipe: the
+// agreed set is the intersection of the two servers' local sets on both
+// ends.
+func TestParticipantExchange(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	a, b := transport.Pair()
+	defer a.Close()
+	defer b.Close()
+
+	bits := func(idx ...int) *big.Int {
+		bm := new(big.Int)
+		for _, u := range idx {
+			bm.SetBit(bm, u, 1)
+		}
+		return bm
+	}
+	type res struct {
+		agreed *big.Int
+		err    error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		agreed, err := exchangeParticipantsS1(ctx, a, 4, bits(0, 2, 3))
+		ch <- res{agreed, err}
+	}()
+	agreed2, err := exchangeParticipantsS2(ctx, b, 4, bits(0, 1, 3))
+	if err != nil {
+		t.Fatalf("S2 exchange: %v", err)
+	}
+	r1 := <-ch
+	if r1.err != nil {
+		t.Fatalf("S1 exchange: %v", r1.err)
+	}
+	want := bits(0, 3)
+	if r1.agreed.Cmp(want) != 0 || agreed2.Cmp(want) != 0 {
+		t.Errorf("agreed sets %v / %v, want %v on both ends", r1.agreed, agreed2, want)
+	}
+}
+
+// TestParticipantExchangeMismatchIsFatal: an ack claiming users S1 never
+// proposed means the servers would sum different subsets — S1 must classify
+// it fatal (non-retryable) instead of running the protocol.
+func TestParticipantExchangeMismatchIsFatal(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	a, b := transport.Pair()
+	defer a.Close()
+	defer b.Close()
+
+	go func() {
+		// Hostile S2: acks with a superset of the proposal.
+		if _, err := transport.ExpectKind(ctx, b, transport.KindControl); err != nil {
+			return
+		}
+		_ = b.Send(ctx, &transport.Message{
+			Kind:   transport.KindControl,
+			Flags:  []int64{ctrlParticipantsAck, 0},
+			Values: []*big.Int{big.NewInt(0b111)},
+		})
+	}()
+	_, err := exchangeParticipantsS1(ctx, a, 0, big.NewInt(0b011))
+	if err == nil {
+		t.Fatal("non-subset ack accepted")
+	}
+	if !errors.Is(err, protocol.ErrPeerMismatch) {
+		t.Errorf("err = %v, want ErrPeerMismatch", err)
+	}
+	if transport.IsRetryable(err) {
+		t.Errorf("bitmap mismatch classified retryable: %v", err)
+	}
+
+	// Malformed frame on the S2 side: wrong instance index is fatal too.
+	c, d := transport.Pair()
+	defer c.Close()
+	defer d.Close()
+	go func() {
+		_ = c.Send(ctx, &transport.Message{
+			Kind:   transport.KindControl,
+			Flags:  []int64{ctrlParticipants, 9},
+			Values: []*big.Int{big.NewInt(1)},
+		})
+	}()
+	_, err = exchangeParticipantsS2(ctx, d, 2, big.NewInt(1))
+	if err == nil || transport.IsRetryable(err) {
+		t.Errorf("cross-instance participants frame not fatal: %v", err)
+	}
+}
+
+// TestQuorumCountResolution covers the fraction/absolute/clamping rules.
+func TestQuorumCountResolution(t *testing.T) {
+	cases := []struct {
+		quorum float64
+		users  int
+		want   int
+	}{
+		{0, 10, 1},     // any participation
+		{0.5, 10, 5},   // fraction
+		{0.51, 10, 6},  // fraction rounds up
+		{0.05, 10, 1},  // tiny fraction still needs someone
+		{1, 10, 1},     // absolute one
+		{7, 10, 7},     // absolute count
+		{25, 10, 10},   // clamped to users
+		{0.9999, 3, 3}, // fraction ceil hits users
+		{2.4, 10, 2},   // absolute rounds
+	}
+	for _, c := range cases {
+		got := ServerOptions{Quorum: c.quorum}.quorumCount(c.users)
+		if got != c.want {
+			t.Errorf("quorumCount(%g, %d users) = %d, want %d", c.quorum, c.users, got, c.want)
+		}
+	}
+}
+
+// TestPartialModeOffIsInert: with Quorum and SubmitDeadline unset the hello
+// advertises nothing and instance preparation never touches the peer link —
+// the nil conn below would panic on any send — so the wire format stays the
+// pre-partial protocol byte for byte.
+func TestPartialModeOffIsInert(t *testing.T) {
+	opts := ServerOptions{Instances: 1}
+	if opts.partial() {
+		t.Fatal("default options report partial participation")
+	}
+	if caps := opts.helloCaps(); caps != 0 {
+		t.Fatalf("default hello caps = %d, want 0 (legacy one-flag hello)", caps)
+	}
+	if err := checkPeerCaps(0, opts); err != nil {
+		t.Fatalf("legacy hello rejected: %v", err)
+	}
+
+	const classes = 2
+	cfg := protocol.DefaultConfig(2)
+	cfg.Classes = classes
+	col := newCollector(2, 1, classes, nil)
+	for u := 0; u < 2; u++ {
+		if err := col.add(u, 0, testHalf(classes, int64(u+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := &serverSetup{cfg: cfg, col: col}
+	subs, participants, err := prepareSubs(context.Background(), s, opts, "s1", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if participants != 2 || len(subs) != 2 || !subs[0].Present() || !subs[1].Present() {
+		t.Errorf("full-participation prepare returned %d participants, %d halves", participants, len(subs))
+	}
+
+	// Mode mismatch is caught at the hello: a partial S2 against a plain S1.
+	if err := checkPeerCaps(capPartial, opts); err == nil {
+		t.Error("partial-capability hello accepted by a full-participation server")
+	}
+	partialOpts := ServerOptions{Instances: 1, Quorum: 0.5}
+	if err := checkPeerCaps(0, partialOpts); err == nil {
+		t.Error("legacy hello accepted by a partial-participation server")
+	}
+}
+
+// TestPartialDeploymentEndToEnd runs the full two-server TCP deployment
+// with a submit deadline while one configured user never shows up: both
+// instances must complete over the two present users and report the same
+// participant-aware outcome.
+func TestPartialDeploymentEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-endpoint deployment test is slow in -short mode")
+	}
+	const users = 3
+	s1File, s2File, pubFile, cfg := testSetup(t, users)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	const instances = 2
+	partial := func(listen, peer string, seed int64, ready chan string) ServerOptions {
+		return ServerOptions{
+			ListenAddr:     listen,
+			PeerAddr:       peer,
+			Instances:      instances,
+			Seed:           seed,
+			Ready:          ready,
+			Quorum:         0.5,
+			SubmitDeadline: 5 * time.Second,
+			AttemptTimeout: 45 * time.Second,
+		}
+	}
+
+	type repResult struct {
+		rep *Report
+		err error
+	}
+	s1Ready := make(chan string, 1)
+	s1Done := make(chan repResult, 1)
+	go func() {
+		rep, err := RunS1Report(ctx, s1File, partial("127.0.0.1:0", "", 211, s1Ready))
+		s1Done <- repResult{rep, err}
+	}()
+	s1Addr := <-s1Ready
+
+	s2Ready := make(chan string, 1)
+	s2Done := make(chan repResult, 1)
+	go func() {
+		rep, err := RunS2Report(ctx, s2File, partial("127.0.0.1:0", s1Addr, 212, s2Ready))
+		s2Done <- repResult{rep, err}
+	}()
+	s2Addr := <-s2Ready
+
+	// Users 0 and 1 vote class 2 on both instances; user 2 never connects.
+	userErr := make(chan error, 2)
+	for u := 0; u < 2; u++ {
+		go func(u int) {
+			votes := [][]float64{oneHot(cfg.Classes, 2), oneHot(cfg.Classes, 2)}
+			userErr <- SubmitVotes(ctx, pubFile, UserOptions{
+				User: u, S1Addr: s1Addr, S2Addr: s2Addr, Seed: int64(320 + u),
+			}, votes)
+		}(u)
+	}
+	for u := 0; u < 2; u++ {
+		if err := <-userErr; err != nil {
+			t.Fatalf("user submit: %v", err)
+		}
+	}
+
+	r1 := <-s1Done
+	r2 := <-s2Done
+	if r1.err != nil {
+		t.Fatalf("S1: %v", r1.err)
+	}
+	if r2.err != nil {
+		t.Fatalf("S2: %v", r2.err)
+	}
+	for i := 0; i < instances; i++ {
+		a, b := r1.rep.Results[i], r2.rep.Results[i]
+		if a.Err != nil || b.Err != nil {
+			t.Fatalf("instance %d failed: s1=%v s2=%v", i, a.Err, b.Err)
+		}
+		if a.Outcome != b.Outcome {
+			t.Errorf("instance %d: servers disagree: %+v vs %+v", i, a.Outcome, b.Outcome)
+		}
+		if a.Participants != 2 || a.Dropped != 1 {
+			t.Errorf("instance %d: participants=%d dropped=%d, want 2/1", i, a.Participants, a.Dropped)
+		}
+		// Unanimous among the participants and T = 50% of 2 participants:
+		// the dropout must not block consensus.
+		if !a.Outcome.Consensus || a.Outcome.Label != 2 {
+			t.Errorf("instance %d: outcome %+v, want consensus on 2 over the partial set", i, a.Outcome)
+		}
+		if a.Outcome.Participants != 2 {
+			t.Errorf("instance %d: outcome participants = %d, want 2", i, a.Outcome.Participants)
+		}
+	}
+}
+
+// TestQuorumNotMetEndToEnd: with a quorum above the turnout both servers
+// must release at the deadline, agree the instance cannot run, fail it with
+// ErrQuorumNotMet — and not hang or tear down the deployment.
+func TestQuorumNotMetEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-endpoint deployment test is slow in -short mode")
+	}
+	const users = 3
+	s1File, s2File, pubFile, cfg := testSetup(t, users)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	opts := func(listen, peer string, seed int64, ready chan string) ServerOptions {
+		return ServerOptions{
+			ListenAddr:     listen,
+			PeerAddr:       peer,
+			Instances:      1,
+			Seed:           seed,
+			Ready:          ready,
+			Quorum:         3, // all three users — but only one shows up
+			SubmitDeadline: 2 * time.Second,
+			AttemptTimeout: 30 * time.Second,
+		}
+	}
+	type repResult struct {
+		rep *Report
+		err error
+	}
+	s1Ready := make(chan string, 1)
+	s1Done := make(chan repResult, 1)
+	go func() {
+		rep, err := RunS1Report(ctx, s1File, opts("127.0.0.1:0", "", 221, s1Ready))
+		s1Done <- repResult{rep, err}
+	}()
+	s1Addr := <-s1Ready
+	s2Ready := make(chan string, 1)
+	s2Done := make(chan repResult, 1)
+	go func() {
+		rep, err := RunS2Report(ctx, s2File, opts("127.0.0.1:0", s1Addr, 222, s2Ready))
+		s2Done <- repResult{rep, err}
+	}()
+	s2Addr := <-s2Ready
+
+	if err := SubmitVotes(ctx, pubFile, UserOptions{
+		User: 0, S1Addr: s1Addr, S2Addr: s2Addr, Seed: 330,
+	}, [][]float64{oneHot(cfg.Classes, 1)}); err != nil {
+		t.Fatalf("user submit: %v", err)
+	}
+
+	r1 := <-s1Done
+	r2 := <-s2Done
+	if r1.err != nil {
+		t.Fatalf("S1 structural failure: %v", r1.err)
+	}
+	if r2.err != nil {
+		t.Fatalf("S2 structural failure: %v", r2.err)
+	}
+	for role, rep := range map[string]*Report{"s1": r1.rep, "s2": r2.rep} {
+		res := rep.Results[0]
+		if !errors.Is(res.Err, protocol.ErrQuorumNotMet) {
+			t.Errorf("%s instance 0: err = %v, want ErrQuorumNotMet", role, res.Err)
+		}
+		if res.Participants != 1 || res.Dropped != 2 {
+			t.Errorf("%s instance 0: participants=%d dropped=%d, want 1/2", role, res.Participants, res.Dropped)
+		}
+		if res.Outcome.Consensus || res.Outcome.Label != -1 {
+			t.Errorf("%s instance 0: outcome %+v, want the clean placeholder", role, res.Outcome)
+		}
+	}
+}

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/big"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/privconsensus/privconsensus/internal/dgk"
@@ -75,6 +77,20 @@ type ServerOptions struct {
 	// connection this server accepts or dials (see
 	// transport.ParseFaultSpec). Testing only.
 	FaultSpec string
+	// Quorum enables partial participation: the minimum number of users a
+	// query instance needs to run. A value in (0, 1) is a fraction of the
+	// configured users (rounded up); >= 1 an absolute count. An instance
+	// released with fewer participants fails cleanly with
+	// protocol.ErrQuorumNotMet instead of running. Both servers must agree
+	// on the partial-participation settings, like Parallelism.
+	Quorum float64
+	// SubmitDeadline bounds how long the collector waits for user
+	// submissions: when it elapses, every instance proceeds with whoever
+	// showed up (subject to Quorum). 0 with Quorum set falls back to
+	// AttemptTimeout as the submission window; 0 with Quorum unset keeps
+	// the full-participation wait (the default, wire-identical to the
+	// pre-partial protocol).
+	SubmitDeadline time.Duration
 }
 
 // resilient reports whether the session-resilience protocol is enabled.
@@ -137,6 +153,12 @@ func (o ServerOptions) validate() error {
 	if o.Instances < 1 {
 		return fmt.Errorf("deploy: need at least 1 instance, got %d", o.Instances)
 	}
+	if o.Quorum < 0 {
+		return fmt.Errorf("deploy: negative quorum %g", o.Quorum)
+	}
+	if o.SubmitDeadline < 0 {
+		return fmt.Errorf("deploy: negative submit deadline %v", o.SubmitDeadline)
+	}
 	return nil
 }
 
@@ -184,11 +206,12 @@ func (h *adminHandle) close(ctx context.Context) {
 // meter and tracer, phase spans from the protocol engine, traffic bridged
 // into the trace, a one-line summary log, and errors that name the failing
 // phase. The summary logs quantities only — never votes, shares or keys.
-func runInstance(ctx context.Context, role string, i, attempt int, opts ServerOptions,
+func runInstance(ctx context.Context, role string, i, attempt, participants, dropped int, opts ServerOptions,
 	run func(ctx context.Context, meter *transport.Meter) (*protocol.Outcome, error)) (*protocol.Outcome, error) {
 	meter := transport.NewMeter()
 	tracer := obs.NewTracer(fmt.Sprintf("%s-q%d", role, i))
 	tracer.SetAttempt(attempt + 1)
+	tracer.SetParticipants(participants, dropped)
 	paillier.WatchOps(tracer)
 	dgk.WatchOps(tracer)
 	mathutil.WatchOps(tracer)
@@ -232,8 +255,10 @@ type serverSetup struct {
 }
 
 // setupServer performs the option validation, admin endpoint, listener and
-// collector setup common to S1 and S2.
-func setupServer(ctx context.Context, role string, cfg protocol.Config, opts ServerOptions) (*serverSetup, error) {
+// collector setup common to S1 and S2. ring is the N² modulus every stored
+// ciphertext must live in (the peer's Paillier key — submissions held by
+// one server are encrypted under the other server's public key).
+func setupServer(ctx context.Context, role string, cfg protocol.Config, opts ServerOptions, ring *big.Int) (*serverSetup, error) {
 	if opts.Parallelism != 0 {
 		cfg.Parallelism = opts.Parallelism
 	}
@@ -260,9 +285,69 @@ func setupServer(ctx context.Context, role string, cfg protocol.Config, opts Ser
 		cfg:    cfg,
 		admin:  admin,
 		l:      l,
-		col:    newCollector(cfg.Users, opts.Instances, cfg.Classes),
+		col:    newCollector(cfg.Users, opts.Instances, cfg.Classes, ring),
 		faults: inj,
 	}, nil
+}
+
+// collectSubmissions waits for user submissions per the participation mode:
+// full participation by default, or the quorum/deadline release when
+// partial participation is enabled. role is the metric label ("s1"/"s2").
+func collectSubmissions(ctx context.Context, s *serverSetup, opts ServerOptions, role string) error {
+	if !opts.partial() {
+		if err := s.col.wait(ctx); err != nil {
+			return err
+		}
+		opts.log(levelInfo, "%s received all %d×%d submissions", strings.ToUpper(role), s.cfg.Users, opts.Instances)
+		return nil
+	}
+	if err := s.col.waitQuorum(ctx, opts.submitWindow(), role); err != nil {
+		return err
+	}
+	got, want := s.col.counts()
+	opts.log(levelInfo, "%s released submissions with %d of %d cells filled (quorum %d of %d users per instance)",
+		strings.ToUpper(role), got, want, opts.quorumCount(s.cfg.Users), s.cfg.Users)
+	return nil
+}
+
+// prepareSubs resolves one instance's submissions on either server: in
+// partial mode it runs the participant exchange (S1 proposes, S2
+// intersects) and masks the grid by the agreed set; otherwise it returns
+// the full grid. It reports the participant count alongside, and
+// protocol.ErrQuorumNotMet (no protocol traffic follows) when the agreed
+// set is below quorum.
+func prepareSubs(ctx context.Context, s *serverSetup, opts ServerOptions, role string,
+	peer transport.Conn, i int) ([]protocol.SubmissionHalf, int, error) {
+	if !opts.partial() {
+		return s.col.instance(i), s.cfg.Users, nil
+	}
+	local := s.col.bitmap(i)
+	var (
+		agreed *big.Int
+		err    error
+	)
+	if role == "s1" {
+		agreed, err = exchangeParticipantsS1(ctx, peer, i, local)
+	} else {
+		agreed, err = exchangeParticipantsS2(ctx, peer, i, local)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	participants := popcount(agreed)
+	obs.Participants(role).Set(float64(participants))
+	if participants < opts.quorumCount(s.cfg.Users) {
+		queriesTotal(role, "quorum-not-met").Inc()
+		opts.log(levelWarn, "%s instance %d released %d of %d users, below quorum %d",
+			role, i, participants, s.cfg.Users, opts.quorumCount(s.cfg.Users))
+		return nil, participants, fmt.Errorf("deploy: instance %d has %d of %d participants: %w",
+			i, participants, s.cfg.Users, protocol.ErrQuorumNotMet)
+	}
+	subs, err := s.col.maskedInstance(i, agreed)
+	if err != nil {
+		return nil, participants, err
+	}
+	return subs, participants, nil
 }
 
 // RunS1 runs server S1: it listens for all users and for S2, collects the
@@ -295,7 +380,7 @@ func RunS1Report(ctx context.Context, file *keystore.S1File, opts ServerOptions)
 		return nil, err
 	}
 	keys.Precompute() // build fixed-base tables once at key load
-	s, err := setupServer(ctx, "S1", file.Config, opts)
+	s, err := setupServer(ctx, "S1", file.Config, opts, ringOf(keys.PeerPub))
 	if err != nil {
 		return nil, err
 	}
@@ -303,14 +388,14 @@ func RunS1Report(ctx context.Context, file *keystore.S1File, opts ServerOptions)
 	defer s.l.Close()
 
 	var (
-		peerCh chan transport.Conn
+		peerCh chan peerConn
 		ps     *peerSource
 	)
 	if opts.resilient() {
 		ps = newPeerSource()
 		defer ps.close()
 	} else {
-		peerCh = make(chan transport.Conn, 1)
+		peerCh = make(chan peerConn, 1)
 	}
 	acceptErr := make(chan error, 1)
 	acceptCtx, stopAccept := context.WithCancel(ctx)
@@ -335,52 +420,86 @@ func RunS1Report(ctx context.Context, file *keystore.S1File, opts ServerOptions)
 		}
 		return nil, err
 	}
-	if caps&capResilient == 0 {
-		peer.Close()
-		return nil, fmt.Errorf("deploy: peer S2 did not advertise session resilience; run both servers with the same -max-retries")
-	}
-	opts.log(levelInfo, "S1 connected to peer S2 (resilient session, budget %d retries)", opts.MaxRetries)
-	if err := s.col.wait(ctx); err != nil {
+	if err := checkPeerCaps(caps, opts); err != nil {
 		peer.Close()
 		return nil, err
 	}
-	opts.log(levelInfo, "S1 received all %d×%d submissions", s.cfg.Users, opts.Instances)
+	opts.log(levelInfo, "S1 connected to peer S2 (resilient session, budget %d retries)", opts.MaxRetries)
+	if err := collectSubmissions(ctx, s, opts, "s1"); err != nil {
+		peer.Close()
+		return nil, err
+	}
 	return runS1Session(ctx, keys, s, opts, ps, peer)
+}
+
+// ringOf returns the Paillier ciphertext ring bound N² (nil for a nil key).
+func ringOf(pk *paillier.PublicKey) *big.Int {
+	if pk == nil {
+		return nil
+	}
+	return pk.N2
 }
 
 // runS1Legacy is the pre-resilience S1 flow: single peer connection,
 // sequential instances, abort on first error. Its wire format is
 // byte-for-byte the original protocol.
 func runS1Legacy(ctx context.Context, keys protocol.KeysS1, s *serverSetup, opts ServerOptions,
-	peerCh chan transport.Conn, acceptErr chan error, stopAccept func()) (*Report, error) {
-	var peer transport.Conn
+	peerCh chan peerConn, acceptErr chan error, stopAccept func()) (*Report, error) {
+	var pc peerConn
 	select {
-	case peer = <-peerCh:
+	case pc = <-peerCh:
 	case err := <-acceptErr:
 		return nil, err
 	case <-ctx.Done():
 		return nil, fmt.Errorf("deploy: waiting for S2: %w", ctx.Err())
 	}
+	peer := pc.conn
 	defer peer.Close()
+	if err := checkPeerCaps(pc.caps, opts); err != nil {
+		return nil, err
+	}
 	opts.log(levelInfo, "S1 connected to peer S2")
-	if err := s.col.wait(ctx); err != nil {
+	if err := collectSubmissions(ctx, s, opts, "s1"); err != nil {
 		return nil, err
 	}
 	stopAccept()
-	opts.log(levelInfo, "S1 received all %d×%d submissions", s.cfg.Users, opts.Instances)
 
 	rng := newRNG(opts.Seed)
 	results := make([]InstanceResult, 0, opts.Instances)
 	for i := 0; i < opts.Instances; i++ {
-		out, err := runInstance(ctx, "s1", i, 0, opts, func(qctx context.Context, meter *transport.Meter) (*protocol.Outcome, error) {
-			return protocol.RunS1(qctx, rng, s.cfg, keys, peer, s.col.instance(i), meter)
-		})
+		subs, participants, err := prepareSubs(ctx, s, opts, "s1", peer, i)
+		if err != nil {
+			if errors.Is(err, protocol.ErrQuorumNotMet) {
+				results = append(results, quorumMissResult(i, 1, participants, s.cfg.Users, err))
+				continue
+			}
+			return nil, err
+		}
+		out, err := runInstance(ctx, "s1", i, 0, participants, s.cfg.Users-participants, opts,
+			func(qctx context.Context, meter *transport.Meter) (*protocol.Outcome, error) {
+				return protocol.RunS1(qctx, rng, s.cfg, keys, peer, subs, meter)
+			})
 		if err != nil {
 			return nil, err
 		}
-		results = append(results, InstanceResult{Instance: i, Outcome: *out, Attempts: 1})
+		results = append(results, InstanceResult{Instance: i, Outcome: *out, Attempts: 1,
+			Participants: participants, Dropped: s.cfg.Users - participants})
 	}
 	return &Report{Results: results}, nil
+}
+
+// quorumMissResult is the clean per-instance failure for a below-quorum
+// release: no protocol ran, the error is terminal, and the participant
+// counts are preserved for the report.
+func quorumMissResult(i, attempts, participants, users int, err error) InstanceResult {
+	return InstanceResult{
+		Instance:     i,
+		Outcome:      protocol.Outcome{Consensus: false, Label: -1, Participants: participants},
+		Attempts:     attempts,
+		Participants: participants,
+		Dropped:      users - participants,
+		Err:          err,
+	}
 }
 
 // runS1Session leads the resilient session: for each instance it announces
@@ -396,6 +515,7 @@ func runS1Session(ctx context.Context, keys protocol.KeysS1, s *serverSetup, opt
 	for i := 0; i < opts.Instances; i++ {
 		res := InstanceResult{Instance: i, Outcome: protocol.Outcome{Consensus: false, Label: -1}}
 		var lastErr error
+		participants := s.cfg.Users
 		for attempt := 0; attempt <= opts.MaxRetries; attempt++ {
 			res.Attempts = attempt + 1
 			if attempt > 0 {
@@ -424,9 +544,15 @@ func runS1Session(ctx context.Context, keys protocol.KeysS1, s *serverSetup, opt
 				if err := sendBegin(actx, peer, i, attempt, prev); err != nil {
 					return nil, fmt.Errorf("deploy: begin instance %d: %w", i, err)
 				}
-				return runInstance(actx, "s1", i, attempt, opts, func(qctx context.Context, meter *transport.Meter) (*protocol.Outcome, error) {
-					return protocol.RunS1(qctx, rng, s.cfg, keys, peer, s.col.instance(i), meter)
-				})
+				subs, p, err := prepareSubs(actx, s, opts, "s1", peer, i)
+				participants = p
+				if err != nil {
+					return nil, err
+				}
+				return runInstance(actx, "s1", i, attempt, participants, s.cfg.Users-participants, opts,
+					func(qctx context.Context, meter *transport.Meter) (*protocol.Outcome, error) {
+						return protocol.RunS1(qctx, rng, s.cfg, keys, peer, subs, meter)
+					})
 			}()
 			cancel()
 			if err == nil {
@@ -435,6 +561,11 @@ func runS1Session(ctx context.Context, keys protocol.KeysS1, s *serverSetup, opt
 				break
 			}
 			lastErr = err
+			if errors.Is(err, protocol.ErrQuorumNotMet) {
+				// Nothing went wrong on the wire and both servers reached
+				// the same verdict; keep the connection and stop retrying.
+				break
+			}
 			// An attempt that failed mid-protocol leaves unknown bytes in
 			// flight; always start the next attempt on a fresh connection.
 			peer.Close()
@@ -444,9 +575,13 @@ func runS1Session(ctx context.Context, keys protocol.KeysS1, s *serverSetup, opt
 			}
 			opts.log(levelWarn, "S1 instance %d attempt %d failed, will retry: %v", i, attempt+1, err)
 		}
+		res.Participants = participants
+		res.Dropped = s.cfg.Users - participants
 		if lastErr != nil {
 			res.Err = lastErr
-			queriesFailed("s1").Inc()
+			if !errors.Is(lastErr, protocol.ErrQuorumNotMet) {
+				queriesFailed("s1").Inc()
+			}
 			opts.log(levelWarn, "S1 instance %d failed after %d attempts: %v", i, res.Attempts, lastErr)
 			prev = statusFailed
 		} else {
@@ -536,7 +671,7 @@ func RunS2Report(ctx context.Context, file *keystore.S2File, opts ServerOptions)
 		return nil, err
 	}
 	keys.Precompute() // build fixed-base tables once at key load
-	s, err := setupServer(ctx, "S2", file.Config, opts)
+	s, err := setupServer(ctx, "S2", file.Config, opts, ringOf(keys.PeerPub))
 	if err != nil {
 		return nil, err
 	}
@@ -562,25 +697,34 @@ func RunS2Report(ctx context.Context, file *keystore.S2File, opts ServerOptions)
 			return nil, fmt.Errorf("deploy: dial S1: %w", err)
 		}
 		defer peer.Close()
-		if err := sendHello(ctx, peer, partyPeer); err != nil {
+		if err := sendHelloCaps(ctx, peer, partyPeer, opts.helloCaps()); err != nil {
 			return nil, err
 		}
 		opts.log(levelInfo, "S2 connected to peer S1 at %s", opts.PeerAddr)
-		if err := s.col.wait(ctx); err != nil {
+		if err := collectSubmissions(ctx, s, opts, "s2"); err != nil {
 			return nil, err
 		}
 		stopAccept()
-		opts.log(levelInfo, "S2 received all %d×%d submissions", s.cfg.Users, opts.Instances)
 
 		results := make([]InstanceResult, 0, opts.Instances)
 		for i := 0; i < opts.Instances; i++ {
-			out, err := runInstance(ctx, "s2", i, 0, opts, func(qctx context.Context, meter *transport.Meter) (*protocol.Outcome, error) {
-				return protocol.RunS2(qctx, rng, s.cfg, keys, peer, s.col.instance(i), meter)
-			})
+			subs, participants, err := prepareSubs(ctx, s, opts, "s2", peer, i)
+			if err != nil {
+				if errors.Is(err, protocol.ErrQuorumNotMet) {
+					results = append(results, quorumMissResult(i, 1, participants, s.cfg.Users, err))
+					continue
+				}
+				return nil, err
+			}
+			out, err := runInstance(ctx, "s2", i, 0, participants, s.cfg.Users-participants, opts,
+				func(qctx context.Context, meter *transport.Meter) (*protocol.Outcome, error) {
+					return protocol.RunS2(qctx, rng, s.cfg, keys, peer, subs, meter)
+				})
 			if err != nil {
 				return nil, err
 			}
-			results = append(results, InstanceResult{Instance: i, Outcome: *out, Attempts: 1})
+			results = append(results, InstanceResult{Instance: i, Outcome: *out, Attempts: 1,
+				Participants: participants, Dropped: s.cfg.Users - participants})
 		}
 		return &Report{Results: results}, nil
 	}
@@ -597,7 +741,7 @@ func RunS2Report(ctx context.Context, file *keystore.S2File, opts ServerOptions)
 		if err != nil {
 			return nil, fmt.Errorf("deploy: dial S1: %w", err)
 		}
-		if err := sendHelloCaps(ctx, conn, partyPeer, capResilient); err != nil {
+		if err := sendHelloCaps(ctx, conn, partyPeer, opts.helloCaps()); err != nil {
 			conn.Close()
 			return nil, err
 		}
@@ -608,12 +752,11 @@ func RunS2Report(ctx context.Context, file *keystore.S2File, opts ServerOptions)
 		return nil, err
 	}
 	opts.log(levelInfo, "S2 connected to peer S1 at %s (resilient session)", opts.PeerAddr)
-	if err := s.col.wait(ctx); err != nil {
+	if err := collectSubmissions(ctx, s, opts, "s2"); err != nil {
 		peer.Close()
 		return nil, err
 	}
 	stopAccept()
-	opts.log(levelInfo, "S2 received all %d×%d submissions", s.cfg.Users, opts.Instances)
 	return runS2Session(ctx, keys, rng, s, opts, peer, connect)
 }
 
@@ -630,6 +773,10 @@ func runS2Session(ctx context.Context, keys protocol.KeysS2, rng io.Reader, s *s
 	outcomes := make([]*protocol.Outcome, n)
 	attempts := make([]int, n)
 	localErrs := make([]error, n)
+	participants := make([]int, n)
+	for i := range participants {
+		participants[i] = s.cfg.Users
+	}
 	consecFail := 0
 	sawEnd := false
 
@@ -686,12 +833,27 @@ func runS2Session(ctx context.Context, keys protocol.KeysS2, rng io.Reader, s *s
 			}
 			attempts[i]++
 			actx, cancel := context.WithTimeout(ctx, opts.attemptTimeout())
-			out, err := runInstance(actx, "s2", i, frame.attempt, opts, func(qctx context.Context, meter *transport.Meter) (*protocol.Outcome, error) {
-				return protocol.RunS2(qctx, rng, s.cfg, keys, peer, s.col.instance(i), meter)
-			})
+			out, err := func() (*protocol.Outcome, error) {
+				subs, p, err := prepareSubs(actx, s, opts, "s2", peer, i)
+				participants[i] = p
+				if err != nil {
+					return nil, err
+				}
+				return runInstance(actx, "s2", i, frame.attempt, p, s.cfg.Users-p, opts,
+					func(qctx context.Context, meter *transport.Meter) (*protocol.Outcome, error) {
+						return protocol.RunS2(qctx, rng, s.cfg, keys, peer, subs, meter)
+					})
+			}()
 			cancel()
 			if err != nil {
 				localErrs[i] = err
+				if errors.Is(err, protocol.ErrQuorumNotMet) {
+					// Both servers agreed the instance cannot run; the wire
+					// is clean, so keep the connection and await the next
+					// frame.
+					outcomes[i] = nil
+					continue
+				}
 				peer.Close()
 				peer = nil
 				if !attemptRetryable(ctx, err) {
@@ -712,9 +874,11 @@ func runS2Session(ctx context.Context, keys protocol.KeysS2, rng io.Reader, s *s
 	results := make([]InstanceResult, n)
 	for i := 0; i < n; i++ {
 		res := InstanceResult{
-			Instance: i,
-			Outcome:  protocol.Outcome{Consensus: false, Label: -1},
-			Attempts: attempts[i],
+			Instance:     i,
+			Outcome:      protocol.Outcome{Consensus: false, Label: -1},
+			Attempts:     attempts[i],
+			Participants: participants[i],
+			Dropped:      s.cfg.Users - participants[i],
 		}
 		switch {
 		case statuses[i] == statusOK && outcomes[i] != nil:
@@ -724,6 +888,10 @@ func runS2Session(ctx context.Context, keys protocol.KeysS2, rng io.Reader, s *s
 			// (e.g. the final volley was lost). The label exists at S1.
 			res.Err = fmt.Errorf("deploy: s2 instance %d: peer reported success but the local run did not complete: %w",
 				i, firstNonNil(localErrs[i], errPeerGone))
+		case errors.Is(localErrs[i], protocol.ErrQuorumNotMet):
+			// A quorum miss is a clean local verdict, not a delivery
+			// failure; surface it regardless of the peer status.
+			res.Err = localErrs[i]
 		case statuses[i] == statusFailed:
 			res.Err = fmt.Errorf("deploy: s2 instance %d: %w", i, firstNonNil(localErrs[i], errors.New("peer reported failure")))
 		case outcomes[i] != nil && localErrs[i] == nil:
@@ -733,7 +901,7 @@ func runS2Session(ctx context.Context, keys protocol.KeysS2, rng io.Reader, s *s
 		default:
 			res.Err = fmt.Errorf("deploy: s2 instance %d never completed: %w", i, firstNonNil(localErrs[i], errPeerGone))
 		}
-		if res.Err != nil {
+		if res.Err != nil && !errors.Is(res.Err, protocol.ErrQuorumNotMet) {
 			queriesFailed("s2").Inc()
 		}
 		results[i] = res
@@ -751,6 +919,13 @@ func firstNonNil(errs ...error) error {
 	return nil
 }
 
+// peerConn is an accepted peer connection together with the capability
+// flags from its hello frame.
+type peerConn struct {
+	conn transport.Conn
+	caps int64
+}
+
 // acceptLoop classifies inbound connections by their hello frame: user
 // connections feed the collector, peer connections go to the peerSource
 // (resilient mode, where reconnections replace the previous link) or to
@@ -758,7 +933,7 @@ func firstNonNil(errs ...error) error {
 // individual user connections are logged and the connection dropped;
 // structural errors abort via errCh.
 func acceptLoop(ctx context.Context, l *transport.Listener, col *collector,
-	peerCh chan<- transport.Conn, ps *peerSource, errCh chan<- error, opts ServerOptions) {
+	peerCh chan<- peerConn, ps *peerSource, errCh chan<- error, opts ServerOptions) {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -791,7 +966,7 @@ func acceptLoop(ctx context.Context, l *transport.Listener, col *collector,
 					return
 				}
 				select {
-				case peerCh <- conn:
+				case peerCh <- peerConn{conn: conn, caps: caps}:
 				default:
 					opts.log(levelWarn, "duplicate peer connection; dropping")
 					conn.Close()

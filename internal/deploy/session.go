@@ -195,8 +195,15 @@ type InstanceResult struct {
 	Outcome protocol.Outcome
 	// Attempts is how many attempts the instance took (1 = no retries).
 	Attempts int
-	// Err is non-nil when the instance exhausted its retry budget; it
-	// names the failing phase.
+	// Participants is how many users' submissions the instance aggregated;
+	// Dropped is how many configured users were excluded (dropout,
+	// rejection, or quorum release). Participants == Users and Dropped == 0
+	// under full participation.
+	Participants int
+	Dropped      int
+	// Err is non-nil when the instance exhausted its retry budget (or, for
+	// partial participation, when it is protocol.ErrQuorumNotMet); it names
+	// the failing phase.
 	Err error
 }
 

@@ -212,6 +212,12 @@ func uploadOnce(ctx context.Context, addr string, msgs []*transport.Message,
 		return err
 	}
 	defer conn.Close()
+	// The TCP transport maps the context deadline onto I/O deadlines only
+	// at call start, so a mid-call cancellation would otherwise leave the
+	// attempt blocked (typically on the ack read) until the attempt
+	// deadline. Closing the connection unblocks it immediately.
+	stop := context.AfterFunc(actx, func() { conn.Close() })
+	defer stop()
 	if err := sendHello(actx, conn, partyUser); err != nil {
 		return err
 	}

@@ -69,7 +69,7 @@ func TestSubmitVotesReconnectMidUpload(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l1.Close()
-	col1 := newCollector(1, instances, cfg.Classes)
+	col1 := newCollector(1, instances, cfg.Classes, nil)
 	s1Err := make(chan error, 1)
 	go func() {
 		s1Err <- func() error {
@@ -116,7 +116,7 @@ func TestSubmitVotesReconnectMidUpload(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l2.Close()
-	col2 := newCollector(1, instances, cfg.Classes)
+	col2 := newCollector(1, instances, cfg.Classes, nil)
 	go func() {
 		for {
 			conn, err := l2.Accept()
@@ -166,5 +166,60 @@ func TestSubmitVotesReconnectMidUpload(t *testing.T) {
 		if got := len(col1.instance(i)); got != 1 {
 			t.Errorf("S1 instance %d has %d halves, want 1", i, got)
 		}
+	}
+}
+
+// TestSubmitVotesCancelWhileAwaitingAck: the server accepts the upload but
+// never acks, and the caller cancels mid-wait. The client maps its context
+// deadline onto connection I/O only at call start, so without the
+// close-on-cancel hook the attempt would sit in the ack read until the
+// attempt timeout; cancellation must instead surface promptly.
+func TestSubmitVotesCancelWhileAwaitingAck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("key generation is slow in -short mode")
+	}
+	_, _, pubFile, cfg := testSetup(t, 2)
+
+	l, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c transport.Conn) {
+				// Drain everything the client sends, ack nothing.
+				for {
+					if _, err := c.Recv(context.Background()); err != nil {
+						c.Close()
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(200*time.Millisecond, cancel)
+	start := time.Now()
+	err = SubmitVotes(ctx, pubFile, UserOptions{
+		User:           0,
+		S1Addr:         l.Addr(),
+		S2Addr:         l.Addr(),
+		Seed:           803,
+		MaxRetries:     2,
+		Backoff:        time.Millisecond,
+		AttemptTimeout: time.Minute,
+	}, [][]float64{oneHot(cfg.Classes, 0)})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("expected an error from the cancelled upload")
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("cancelled upload took %v; cancellation did not unblock the ack wait", elapsed)
 	}
 }

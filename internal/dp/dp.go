@@ -6,6 +6,7 @@
 package dp
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -144,6 +145,37 @@ func (a *Accountant) Counts() (svt, rnm int) { return a.svtCount, a.rnmCount }
 
 // RDPEpsilon returns the composed RDP epsilon at order alpha.
 func (a *Accountant) RDPEpsilon(alpha float64) float64 { return a.coef * alpha }
+
+// accountantState is the serialized shape of an Accountant: the linear RDP
+// coefficient plus the invocation counters, which fully determine the
+// privacy spend.
+type accountantState struct {
+	Coefficient float64 `json:"coefficient"`
+	SVTCount    int     `json:"svt_count"`
+	RNMCount    int     `json:"rnm_count"`
+}
+
+// MarshalJSON serializes the accountant so its spend can be persisted
+// across process restarts.
+func (a *Accountant) MarshalJSON() ([]byte, error) {
+	return json.Marshal(accountantState{Coefficient: a.coef, SVTCount: a.svtCount, RNMCount: a.rnmCount})
+}
+
+// UnmarshalJSON restores an accountant serialized by MarshalJSON,
+// rejecting states that could silently under-report spend.
+func (a *Accountant) UnmarshalJSON(b []byte) error {
+	var s accountantState
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	if s.Coefficient < 0 || math.IsNaN(s.Coefficient) || math.IsInf(s.Coefficient, 0) ||
+		s.SVTCount < 0 || s.RNMCount < 0 {
+		return fmt.Errorf("dp: invalid accountant state (coefficient %g, svt %d, rnm %d)",
+			s.Coefficient, s.SVTCount, s.RNMCount)
+	}
+	a.coef, a.svtCount, a.rnmCount = s.Coefficient, s.SVTCount, s.RNMCount
+	return nil
+}
 
 // Epsilon converts the accumulated RDP guarantee to (ε, δ)-DP using the
 // standard conversion ε = min_α [c·α + log(1/δ)/(α-1)]. For linear RDP the

@@ -1,6 +1,7 @@
 package dp
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
 	"testing"
@@ -358,5 +359,58 @@ func TestSigmaForBudgetValidation(t *testing.T) {
 	}
 	if _, err := SigmaForBudget(1, 1e-6, 1, 0, 1); err == nil {
 		t.Error("expected ratio error")
+	}
+}
+
+func TestAccountantJSONRoundTrip(t *testing.T) {
+	a := NewAccountant()
+	if err := a.AddSVT(1.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddSVT(3.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddRNM(2.0); err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(a)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	restored := NewAccountant()
+	if err := json.Unmarshal(b, restored); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	q, r := restored.Counts()
+	if wq, wr := a.Counts(); q != wq || r != wr {
+		t.Fatalf("counts %d/%d after round trip, want %d/%d", q, r, wq, wr)
+	}
+	for _, delta := range []float64{1e-5, 1e-9} {
+		want, _, err := a.Epsilon(delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := restored.Epsilon(delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("epsilon(%g) = %g after round trip, want %g", delta, got, want)
+		}
+	}
+}
+
+func TestAccountantJSONRejectsHostileState(t *testing.T) {
+	for name, state := range map[string]string{
+		"negative-coefficient": `{"coefficient": -0.5, "svt_count": 1, "rnm_count": 0}`,
+		"nan-coefficient":      `{"coefficient": "NaN", "svt_count": 1, "rnm_count": 0}`,
+		"negative-svt":         `{"coefficient": 1, "svt_count": -1, "rnm_count": 0}`,
+		"negative-rnm":         `{"coefficient": 1, "svt_count": 0, "rnm_count": -2}`,
+		"not-json":             `coefficient=1`,
+	} {
+		a := NewAccountant()
+		if err := json.Unmarshal([]byte(state), a); err == nil {
+			t.Errorf("%s: hostile state accepted", name)
+		}
 	}
 }

@@ -1,0 +1,21 @@
+package obs
+
+// Partial-participation metric families, shared by the deploy servers and
+// the in-process engine. See docs/OBSERVABILITY.md § Metrics reference.
+
+// Participants is the per-role gauge of how many users' submissions were
+// aggregated into the most recently released query instance.
+func Participants(role string) *Gauge {
+	return Default.Gauge("privconsensus_participants",
+		"Users aggregated into the most recently released query instance.",
+		L("role", role))
+}
+
+// QuorumWaitSeconds observes how long the collector waited for user
+// submissions before releasing the protocol (full participation, deadline
+// expiry, or quorum release).
+func QuorumWaitSeconds(role string) *Histogram {
+	return Default.Histogram("privconsensus_quorum_wait_seconds",
+		"Seconds spent waiting for user submissions before release.",
+		DurationBuckets(), L("role", role))
+}

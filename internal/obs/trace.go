@@ -53,6 +53,12 @@ type QueryTrace struct {
 	// Attempt is which delivery attempt of the query this trace records
 	// (1 = first try). Retried instances produce one trace per attempt.
 	Attempt int
+	// Participants is how many users' submissions were aggregated into
+	// this query; Dropped is how many configured users were excluded
+	// (dropout, rejection, or quorum release). Zero Participants means
+	// participation tracking was not set for this trace.
+	Participants int
+	Dropped      int
 }
 
 // TotalBytes sums the per-phase traffic.
@@ -83,6 +89,9 @@ func (q *QueryTrace) Summary() string {
 	fmt.Fprintf(&b, "query=%s total=%v tx=%dB rx=%dB result=%q", q.ID, q.Duration.Round(time.Microsecond), sent, recvd, q.Result)
 	if q.Attempt > 1 {
 		fmt.Fprintf(&b, " attempt=%d", q.Attempt)
+	}
+	if q.Dropped > 0 {
+		fmt.Fprintf(&b, " participants=%d dropped=%d", q.Participants, q.Dropped)
 	}
 	if q.Err != "" {
 		fmt.Fprintf(&b, " err=%q", q.Err)
@@ -132,6 +141,15 @@ func (t *Tracer) SetAttempt(attempt int) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.trace.Attempt = attempt
+}
+
+// SetParticipants records how many users were aggregated into the traced
+// query and how many were excluded.
+func (t *Tracer) SetParticipants(participants, dropped int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.trace.Participants = participants
+	t.trace.Dropped = dropped
 }
 
 // StartPhase opens a span. An open span is implicitly ended first, so a

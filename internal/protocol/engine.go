@@ -22,6 +22,9 @@ type Outcome struct {
 	// Label is the released label i~* (the argmax of the noisy votes),
 	// or -1 when no consensus was reached.
 	Label int
+	// Participants is the number of submissions aggregated into this
+	// outcome (== Users at full participation).
+	Participants int
 }
 
 // comparerS1 abstracts S1's side of a signed secure comparison (satisfied
@@ -100,15 +103,24 @@ func RunS1(ctx context.Context, rng io.Reader, cfg Config, keys KeysS1,
 	conn = sess.seq
 	par := cfg.parallelism()
 
+	// Partial participation: nil halves mark dropped users; aggregate only
+	// the present subset. Both servers must mask the same subset (the
+	// deploy layer agrees on it via the participant bitmap exchange).
+	participants := ParticipantIndices(subs)
+	active, adjust, err := subsetInputs(cfg, subs, participants)
+	if err != nil {
+		return nil, err
+	}
+
 	// Step 2: Secure Sum — aggregate user shares homomorphically.
 	var aggVotes, aggThresh, aggNoisy []*paillier.Ciphertext
-	err := timeStep(ctx, meter, StepSecureSum1, func() error {
+	err = timeStep(ctx, meter, StepSecureSum1, func() error {
 		var err error
-		aggVotes, err = aggregate(keys.PeerPub, subs, par, func(h SubmissionHalf) []*paillier.Ciphertext { return h.Votes })
+		aggVotes, err = aggregate(keys.PeerPub, active, par, func(h SubmissionHalf) []*paillier.Ciphertext { return h.Votes })
 		if err != nil {
 			return err
 		}
-		aggThresh, err = aggregate(keys.PeerPub, subs, par, func(h SubmissionHalf) []*paillier.Ciphertext { return h.Thresh })
+		aggThresh, err = aggregate(keys.PeerPub, active, par, func(h SubmissionHalf) []*paillier.Ciphertext { return h.Thresh })
 		return err
 	})
 	if err != nil {
@@ -127,6 +139,15 @@ func RunS1(ctx context.Context, rng io.Reader, cfg Config, keys KeysS1,
 		return nil, err
 	}
 	votesSeq, threshSeq := bp.Plain[0], bp.Plain[1]
+	// Shift the threshold decision from the baked-in 2*O_P to the target
+	// 2*H (see thresholdAdjustment): S1 subtracts delta at every position,
+	// S2 adds it, so the comparison bias stays position-independent. At
+	// full participation delta is zero and nothing changes.
+	if adjust.Sign() != 0 {
+		for _, v := range threshSeq {
+			v.Sub(v, adjust)
+		}
+	}
 
 	// Step 4: Secure Comparison — all-pairs DGK to find pi(i*).
 	setStep(conn, StepCompare1)
@@ -152,13 +173,13 @@ func RunS1(ctx context.Context, rng io.Reader, cfg Config, keys KeysS1,
 		return nil, fmt.Errorf("protocol: S1 threshold check: %w", err)
 	}
 	if !pass {
-		return &Outcome{Consensus: false, Label: -1}, nil
+		return &Outcome{Consensus: false, Label: -1, Participants: len(active)}, nil
 	}
 
 	// Step 6: second Secure Sum (noisy shares).
 	err = timeStep(ctx, meter, StepSecureSum2, func() error {
 		var err error
-		aggNoisy, err = aggregate(keys.PeerPub, subs, par, func(h SubmissionHalf) []*paillier.Ciphertext { return h.Noisy })
+		aggNoisy, err = aggregate(keys.PeerPub, active, par, func(h SubmissionHalf) []*paillier.Ciphertext { return h.Noisy })
 		return err
 	})
 	if err != nil {
@@ -201,7 +222,7 @@ func RunS1(ctx context.Context, rng io.Reader, cfg Config, keys KeysS1,
 	if err != nil {
 		return nil, err
 	}
-	return &Outcome{Consensus: true, Label: label}, nil
+	return &Outcome{Consensus: true, Label: label, Participants: len(active)}, nil
 }
 
 // RunS2 executes S2's role in Alg. 5. subs holds every user's ToS2 half
@@ -222,6 +243,13 @@ func RunS2(ctx context.Context, rng io.Reader, cfg Config, keys KeysS2,
 	}
 	conn = sess.seq
 	par := cfg.parallelism()
+
+	// Partial participation: mirror RunS1's subset masking exactly.
+	participants := ParticipantIndices(subs)
+	active, adjust, err := subsetInputs(cfg, subs, participants)
+	if err != nil {
+		return nil, err
+	}
 
 	// Optional randomness-table optimization for the DGK comparisons.
 	var cmpB comparerS2 = keys.DGK
@@ -246,13 +274,13 @@ func RunS2(ctx context.Context, rng io.Reader, cfg Config, keys KeysS2,
 	}
 
 	var aggVotes, aggThresh, aggNoisy []*paillier.Ciphertext
-	err := timeStep(ctx, meter, StepSecureSum1, func() error {
+	err = timeStep(ctx, meter, StepSecureSum1, func() error {
 		var err error
-		aggVotes, err = aggregate(keys.PeerPub, subs, par, func(h SubmissionHalf) []*paillier.Ciphertext { return h.Votes })
+		aggVotes, err = aggregate(keys.PeerPub, active, par, func(h SubmissionHalf) []*paillier.Ciphertext { return h.Votes })
 		if err != nil {
 			return err
 		}
-		aggThresh, err = aggregate(keys.PeerPub, subs, par, func(h SubmissionHalf) []*paillier.Ciphertext { return h.Thresh })
+		aggThresh, err = aggregate(keys.PeerPub, active, par, func(h SubmissionHalf) []*paillier.Ciphertext { return h.Thresh })
 		return err
 	})
 	if err != nil {
@@ -270,6 +298,12 @@ func RunS2(ctx context.Context, rng io.Reader, cfg Config, keys KeysS2,
 		return nil, err
 	}
 	votesSeq, threshSeq := bp.Plain[0], bp.Plain[1]
+	// S2 adds the same delta S1 subtracts; see the RunS1 comment.
+	if adjust.Sign() != 0 {
+		for _, v := range threshSeq {
+			v.Add(v, adjust)
+		}
+	}
 
 	setStep(conn, StepCompare1)
 	var pStar int
@@ -293,12 +327,12 @@ func RunS2(ctx context.Context, rng io.Reader, cfg Config, keys KeysS2,
 		return nil, fmt.Errorf("protocol: S2 threshold check: %w", err)
 	}
 	if !pass {
-		return &Outcome{Consensus: false, Label: -1}, nil
+		return &Outcome{Consensus: false, Label: -1, Participants: len(active)}, nil
 	}
 
 	err = timeStep(ctx, meter, StepSecureSum2, func() error {
 		var err error
-		aggNoisy, err = aggregate(keys.PeerPub, subs, par, func(h SubmissionHalf) []*paillier.Ciphertext { return h.Noisy })
+		aggNoisy, err = aggregate(keys.PeerPub, active, par, func(h SubmissionHalf) []*paillier.Ciphertext { return h.Noisy })
 		return err
 	})
 	if err != nil {
@@ -337,7 +371,30 @@ func RunS2(ctx context.Context, rng io.Reader, cfg Config, keys KeysS2,
 	if err != nil {
 		return nil, err
 	}
-	return &Outcome{Consensus: true, Label: label}, nil
+	return &Outcome{Consensus: true, Label: label, Participants: len(active)}, nil
+}
+
+// subsetInputs resolves a full-length submission slice (nil halves = dropped
+// users) into the dense active slice to aggregate plus the threshold
+// adjustment delta for the participant set. Present halves must carry all
+// three ciphertext vectors.
+func subsetInputs(cfg Config, subs []SubmissionHalf, participants []int) ([]SubmissionHalf, *big.Int, error) {
+	if len(participants) == 0 {
+		return nil, nil, fmt.Errorf("protocol: no participating submissions")
+	}
+	active := make([]SubmissionHalf, 0, len(participants))
+	for _, u := range participants {
+		h := subs[u]
+		if len(h.Thresh) != len(h.Votes) || len(h.Noisy) != len(h.Votes) {
+			return nil, nil, fmt.Errorf("protocol: user %d submission half is incomplete", u)
+		}
+		active = append(active, h)
+	}
+	adjust, err := cfg.thresholdAdjustment(participants)
+	if err != nil {
+		return nil, nil, err
+	}
+	return active, adjust, nil
 }
 
 // aggregate homomorphically sums one field of every user's submission

@@ -1,0 +1,171 @@
+package protocol
+
+import (
+	"math/big"
+	"testing"
+
+	"github.com/privconsensus/privconsensus/internal/paillier"
+)
+
+// maskSubmissions zeroes the submissions of every user not in keep, the
+// deploy-layer representation of dropped users.
+func maskSubmissions(subs []*Submission, keep []int) []*Submission {
+	keepSet := make(map[int]bool, len(keep))
+	for _, u := range keep {
+		keepSet[u] = true
+	}
+	out := make([]*Submission, len(subs))
+	for u, s := range subs {
+		if keepSet[u] {
+			out[u] = s
+		} else {
+			out[u] = &Submission{}
+		}
+	}
+	return out
+}
+
+// Fraction mode: with 4 of 6 users present and 3 of them voting class 1,
+// the threshold re-scales to 0.6*4 = 2.4 votes, so consensus is reached.
+func TestPartialParticipationFractionMode(t *testing.T) {
+	cfg := testConfig(6)
+	cfg.Sigma1, cfg.Sigma2 = 0, 0
+	cfg.ThresholdFrac = 0.6
+	keys, err := GenerateKeys(testRNG(30), cfg)
+	if err != nil {
+		t.Fatalf("GenerateKeys: %v", err)
+	}
+	votes := [][]*big.Int{
+		oneHotVotes(cfg.Classes, 1),
+		oneHotVotes(cfg.Classes, 3), // dropped
+		oneHotVotes(cfg.Classes, 1),
+		oneHotVotes(cfg.Classes, 1),
+		oneHotVotes(cfg.Classes, 3), // dropped
+		oneHotVotes(cfg.Classes, 0),
+	}
+	subs, _ := buildAll(t, cfg, keys, votes, 31)
+	participants := []int{0, 2, 3, 5}
+	out1, out2 := runInstance(t, cfg, keys, maskSubmissions(subs, participants), nil)
+	if *out1 != *out2 {
+		t.Fatalf("servers disagree: %+v vs %+v", out1, out2)
+	}
+	if !out1.Consensus || out1.Label != 1 {
+		t.Fatalf("outcome = %+v, want consensus on label 1", out1)
+	}
+	if out1.Participants != len(participants) {
+		t.Fatalf("Participants = %d, want %d", out1.Participants, len(participants))
+	}
+}
+
+// Absolute mode: the same 3-of-4 subset fails the full-population threshold
+// 0.6*6 = 3.6 votes.
+func TestPartialParticipationAbsoluteMode(t *testing.T) {
+	cfg := testConfig(6)
+	cfg.Sigma1, cfg.Sigma2 = 0, 0
+	cfg.ThresholdFrac = 0.6
+	cfg.AbsoluteThreshold = true
+	keys, err := GenerateKeys(testRNG(32), cfg)
+	if err != nil {
+		t.Fatalf("GenerateKeys: %v", err)
+	}
+	votes := [][]*big.Int{
+		oneHotVotes(cfg.Classes, 1),
+		oneHotVotes(cfg.Classes, 3), // dropped
+		oneHotVotes(cfg.Classes, 1),
+		oneHotVotes(cfg.Classes, 1),
+		oneHotVotes(cfg.Classes, 3), // dropped
+		oneHotVotes(cfg.Classes, 0),
+	}
+	subs, _ := buildAll(t, cfg, keys, votes, 33)
+	out1, out2 := runInstance(t, cfg, keys, maskSubmissions(subs, []int{0, 2, 3, 5}), nil)
+	if *out1 != *out2 {
+		t.Fatalf("servers disagree: %+v vs %+v", out1, out2)
+	}
+	if out1.Consensus {
+		t.Fatalf("outcome = %+v, want no consensus under absolute threshold", out1)
+	}
+	if out1.Participants != 4 {
+		t.Fatalf("Participants = %d, want 4", out1.Participants)
+	}
+}
+
+// The crypto path over a subset must match the plaintext reference over the
+// same subset with the participant-scaled threshold, including noise.
+func TestPartialParticipationMatchesPlainReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full protocol runs are slow in -short mode")
+	}
+	cfg := testConfig(7)
+	cfg.ThresholdFrac = 0.5
+	keys, err := GenerateKeys(testRNG(40), cfg)
+	if err != nil {
+		t.Fatalf("GenerateKeys: %v", err)
+	}
+	for trial, participants := range [][]int{
+		{0, 1, 2, 3, 4, 5, 6}, // full participation: delta must be zero
+		{1, 2, 4, 5, 6},
+		{0, 3, 6},
+	} {
+		votes := make([][]*big.Int, cfg.Users)
+		for u := range votes {
+			votes[u] = oneHotVotes(cfg.Classes, (u*3+trial)%cfg.Classes)
+		}
+		subs, discs := buildAll(t, cfg, keys, votes, int64(41+trial))
+		kept := make([]*Disclosure, 0, len(participants))
+		for _, u := range participants {
+			kept = append(kept, discs[u])
+		}
+		aggVotes, z1, z2, err := AggregateDisclosures(kept)
+		if err != nil {
+			t.Fatalf("trial %d: AggregateDisclosures: %v", trial, err)
+		}
+		wantCons, wantLabel, err := PlainOutcome(aggVotes, z1, z2, cfg.ParticipantThresholdUnits(len(participants)))
+		if err != nil {
+			t.Fatalf("trial %d: PlainOutcome: %v", trial, err)
+		}
+		out1, out2 := runInstance(t, cfg, keys, maskSubmissions(subs, participants), nil)
+		if *out1 != *out2 {
+			t.Fatalf("trial %d: servers disagree: %+v vs %+v", trial, out1, out2)
+		}
+		if out1.Consensus != wantCons {
+			t.Fatalf("trial %d: consensus = %v, want %v", trial, out1.Consensus, wantCons)
+		}
+		if wantCons && out1.Label != wantLabel {
+			t.Fatalf("trial %d: label = %d, want %d", trial, out1.Label, wantLabel)
+		}
+	}
+}
+
+// ParticipantThresholdUnits at full participation equals ThresholdUnits in
+// both modes, so the adjustment delta is zero and the wire is untouched.
+func TestThresholdAdjustmentZeroAtFullParticipation(t *testing.T) {
+	for _, abs := range []bool{false, true} {
+		cfg := testConfig(9)
+		cfg.ThresholdFrac = 0.61
+		cfg.AbsoluteThreshold = abs
+		all := make([]int, cfg.Users)
+		for i := range all {
+			all[i] = i
+		}
+		delta, err := cfg.thresholdAdjustment(all)
+		if err != nil {
+			t.Fatalf("abs=%v: %v", abs, err)
+		}
+		if delta.Sign() != 0 {
+			t.Fatalf("abs=%v: delta = %v at full participation, want 0", abs, delta)
+		}
+	}
+}
+
+func TestParticipantIndices(t *testing.T) {
+	subs := make([]SubmissionHalf, 4)
+	subs[0].Votes = []*paillier.Ciphertext{{}}
+	subs[3].Votes = []*paillier.Ciphertext{{}}
+	got := ParticipantIndices(subs)
+	if len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Fatalf("ParticipantIndices = %v, want [0 3]", got)
+	}
+	if subs[1].Present() || !subs[0].Present() {
+		t.Fatal("Present misclassifies halves")
+	}
+}

@@ -47,6 +47,10 @@ var (
 	ErrVoteRange    = errors.New("protocol: vote outside [0, VoteScale]")
 	ErrNoConsensus  = errors.New("protocol: threshold not met")
 	ErrPeerMismatch = errors.New("protocol: peers disagree on protocol state")
+	// ErrQuorumNotMet reports that a query released with fewer participants
+	// than the configured quorum and was not run. It is terminal for the
+	// instance: retrying cannot conjure the missing submissions.
+	ErrQuorumNotMet = errors.New("protocol: quorum not met")
 )
 
 // Config parameterizes one run of the private consensus protocol.
@@ -68,6 +72,14 @@ type Config struct {
 	PaillierBits int
 	// DGK parameterizes the comparison cryptosystem.
 	DGK dgk.Params
+	// AbsoluteThreshold keeps the consensus threshold T at
+	// ThresholdFrac*Users even when a query runs over a partial
+	// participant set (nil entries in the submission slice). The default
+	// (false) re-scales T to ThresholdFrac*|participants|, preserving the
+	// paper's fraction-of-voters semantics under dropout. At full
+	// participation the two modes are byte-for-byte identical on the wire:
+	// the post-decryption adjustment both modes apply is exactly zero.
+	AbsoluteThreshold bool
 	// ThresholdAllPositions runs the DGK threshold check at every
 	// permuted position rather than only at pi(i*). This matches the
 	// traffic ratios of the paper's Table II and avoids revealing
@@ -191,6 +203,8 @@ func (c Config) valueBound() *big.Int {
 	agg.Add(agg, new(big.Int).Lsh(c.noiseClamp(), 1))
 	// Threshold offset <= T/2 <= users*VoteScale/2.
 	agg.Add(agg, new(big.Int).Mul(users, big.NewInt(VoteScale/2)))
+	// Partial-participation threshold adjustment: |H - O_P| <= T/2.
+	agg.Add(agg, new(big.Int).Mul(users, big.NewInt(VoteScale/2)))
 	// Differences double the magnitude.
 	return agg.Lsh(agg, 1)
 }
@@ -222,6 +236,56 @@ func (c Config) PerUserOffset(user int) (*big.Int, error) {
 		q.Add(q, big.NewInt(1))
 	}
 	return q, nil
+}
+
+// ParticipantThresholdUnits returns T in vote units for a query answered by
+// `participants` users, per the configured threshold mode: in absolute mode
+// T stays at ThresholdUnits() regardless of participation; otherwise it
+// scales to ThresholdFrac of the participants who actually showed up.
+// Rounded to the nearest even integer so T/2 is exact.
+func (c Config) ParticipantThresholdUnits(participants int) *big.Int {
+	if c.AbsoluteThreshold {
+		return c.ThresholdUnits()
+	}
+	t := int64(math.Round(c.ThresholdFrac * float64(participants) * VoteScale / 2))
+	return big.NewInt(2 * t)
+}
+
+// thresholdAdjustment returns delta = H - O_P, where H is half the target
+// threshold for the participant set P and O_P is the sum of the per-user
+// T/(2|U|) offsets the participants baked into their threshold shares.
+// The DGK threshold comparison natively decides c_P + 2*Z1 >= 2*O_P; S1
+// subtracting delta from its decrypted threshold sequence while S2 adds it
+// shifts the decision to c_P + 2*Z1 >= 2*H exactly. At full participation
+// O_P = T/2 and delta = 0 in both threshold modes, so the full-participation
+// wire format is untouched.
+func (c Config) thresholdAdjustment(participants []int) (*big.Int, error) {
+	h := new(big.Int).Rsh(c.ParticipantThresholdUnits(len(participants)), 1)
+	op := new(big.Int)
+	for _, u := range participants {
+		off, err := c.PerUserOffset(u)
+		if err != nil {
+			return nil, err
+		}
+		op.Add(op, off)
+	}
+	return h.Sub(h, op), nil
+}
+
+// Present reports whether the half carries a submission: zero-value halves
+// mark users that dropped out of a partial-participation query.
+func (h SubmissionHalf) Present() bool { return len(h.Votes) > 0 }
+
+// ParticipantIndices returns the indices of the present submissions in a
+// full-length (Users-sized) submission slice, in ascending order.
+func ParticipantIndices(subs []SubmissionHalf) []int {
+	out := make([]int, 0, len(subs))
+	for u, h := range subs {
+		if h.Present() {
+			out = append(out, u)
+		}
+	}
+	return out
 }
 
 // Keys bundles all key material for a protocol deployment. S1 owns the
