@@ -43,13 +43,13 @@ fuzz:
 cover:
 	./scripts/coverage_guard.sh
 
-# Short benchmark pass: the parallelism sweep plus the protocol step bench,
-# one iteration each, so CI catches bench-harness rot without long runs.
-# BenchmarkProtocolJSON also refreshes the machine-readable record in
-# results/BENCH_protocol.json.
+# Short benchmark pass: the parallelism sweep, the argmax strategy ablation
+# and the protocol step bench, one iteration each, so CI catches
+# bench-harness rot without long runs. BenchmarkProtocolJSON also refreshes
+# the machine-readable record in results/BENCH_protocol.json.
 bench:
 	BENCH_JSON=$(CURDIR)/results/BENCH_protocol.json \
-		$(GO) test -run '^$$' -bench 'BenchmarkArgmaxParallelism|BenchmarkTable1ProtocolSteps|BenchmarkProtocolJSON' -benchtime=1x .
+		$(GO) test -run '^$$' -bench 'BenchmarkArgmaxParallelism|BenchmarkArgmaxStrategy|BenchmarkTable1ProtocolSteps|BenchmarkProtocolJSON' -benchtime=1x .
 
 # Regenerate the bench record, then fail if the secure-comparison phase
 # regressed more than 25% against the committed baseline.

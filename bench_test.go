@@ -276,7 +276,8 @@ func BenchmarkArgmaxParallelism(b *testing.B) {
 // BenchmarkProtocolJSON runs the full protocol benchmark and, when the
 // BENCH_JSON environment variable names a path, writes the machine-readable
 // record there (`make bench` points it at results/BENCH_protocol.json). The
-// record carries ns/op, bytes/op, the per-phase breakdown, the parallelism
+// record carries ns/op, bytes/op, the per-phase breakdown under both argmax
+// strategies (tournament primary, all-pairs oracle), the parallelism
 // setting and the CPU count.
 func BenchmarkProtocolJSON(b *testing.B) {
 	var last *experiments.ProtocolBenchResult
@@ -295,10 +296,52 @@ func BenchmarkProtocolJSON(b *testing.B) {
 	}
 	b.ReportMetric(float64(last.Overall.Nanoseconds()), "protocol-ns/inst")
 	if path := os.Getenv("BENCH_JSON"); path != "" {
-		if err := experiments.WriteBenchJSON(path, last); err != nil {
+		b.StopTimer()
+		oracle, err := experiments.ProtocolBench(experiments.ProtocolBenchConfig{
+			Instances: 1, Users: 10, Classes: 10,
+			Seed: 1, ForceConsensus: true,
+			ArgmaxStrategy: protocol.StrategyAllPairs,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.WriteBenchJSON(path, last, oracle); err != nil {
 			b.Fatal(err)
 		}
 		b.Logf("wrote %s", path)
+	}
+}
+
+// BenchmarkArgmaxStrategy ablates the tournament argmax against the
+// all-pairs oracle across class counts: the tournament runs K-1 comparisons
+// in ceil(log2(K)) batched round trips where all-pairs runs K(K-1) in as
+// many exchanges, so the gap widens with K. Each sub-benchmark reports the
+// summed secure-comparison time and the overall per-instance runtime.
+func BenchmarkArgmaxStrategy(b *testing.B) {
+	for _, strat := range []string{protocol.StrategyAllPairs, protocol.StrategyTournament} {
+		for _, classes := range []int{5, 10, 32} {
+			b.Run(fmt.Sprintf("%s/C=%d", strat, classes), func(b *testing.B) {
+				var compare, overall time.Duration
+				for i := 0; i < b.N; i++ {
+					res, err := experiments.ProtocolBench(experiments.ProtocolBenchConfig{
+						Instances: 1, Users: 10, Classes: classes,
+						Seed: int64(i + 1), ForceConsensus: true,
+						ArgmaxStrategy: strat,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					overall += res.Overall
+					for _, s := range res.Steps {
+						if s.Step == protocol.StepCompare1 || s.Step == protocol.StepCompare2 {
+							compare += s.AvgTime
+						}
+					}
+				}
+				b.ReportMetric(float64(compare.Milliseconds())/float64(b.N), "compare-ms/inst")
+				b.ReportMetric(float64(overall.Milliseconds())/float64(b.N), "overall-ms/inst")
+			})
+		}
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"github.com/privconsensus/privconsensus/internal/experiments"
 	"github.com/privconsensus/privconsensus/internal/ml"
 	"github.com/privconsensus/privconsensus/internal/plot"
+	"github.com/privconsensus/privconsensus/internal/protocol"
 )
 
 func main() {
@@ -44,6 +45,7 @@ func run(args []string) error {
 		svgDir    = fs.String("svg", "", "also write each figure as an SVG into this directory")
 		dgkPool   = fs.Bool("dgkpool", false, "enable the DGK nonce pool for table1/table2")
 		par       = fs.Int("parallelism", 0, "protocol worker bound for table1/table2 (0 = NumCPU, 1 = sequential)")
+		argmax    = fs.String("argmax", "", "argmax strategy for table1/table2: tournament (default) or allpairs")
 		benchJSON = fs.String("json", "", "write the machine-readable protocol benchmark to this path (table1/table2)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -86,6 +88,7 @@ func run(args []string) error {
 	pb.Seed = *seed
 	pb.UseDGKPool = *dgkPool
 	pb.Parallelism = *par
+	pb.ArgmaxStrategy = *argmax
 	if *instances > 0 {
 		pb.Instances = *instances
 	}
@@ -130,7 +133,18 @@ func runOne(id string, opts experiments.Options, pb experiments.ProtocolBenchCon
 			printTable2(res)
 		}
 		if benchJSON != "" {
-			if err := experiments.WriteBenchJSON(benchJSON, res); err != nil {
+			// Re-run the workload under the all-pairs oracle so the record
+			// carries both strategies' per-phase costs (skip when the
+			// primary run already is all-pairs).
+			var oracle *experiments.ProtocolBenchResult
+			if pb.ResolvedArgmaxStrategy() != protocol.StrategyAllPairs {
+				ocfg := pb
+				ocfg.ArgmaxStrategy = protocol.StrategyAllPairs
+				if oracle, err = experiments.ProtocolBench(ocfg); err != nil {
+					return err
+				}
+			}
+			if err := experiments.WriteBenchJSON(benchJSON, res, oracle); err != nil {
 				return err
 			}
 			fmt.Printf("wrote %s\n", benchJSON)

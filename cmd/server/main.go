@@ -43,6 +43,7 @@ func run(args []string) error {
 		timeout   = fs.Duration("timeout", 10*time.Minute, "overall deadline")
 		seed      = fs.Int64("seed", 0, "deterministic seed (0 = crypto/rand)")
 		par       = fs.Int("parallelism", 0, "protocol worker bound (0 = key file / NumCPU, 1 = sequential wire format; both servers must agree)")
+		argmax    = fs.String("argmax", "", "argmax strategy: tournament (batched bracket, the default) or allpairs (legacy wire format; both servers must agree)")
 		metrics   = fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (empty = disabled)")
 		linger    = fs.Duration("metrics-linger", 0, "keep the metrics endpoint up this long after the last instance")
 		retries   = fs.Int("max-retries", 0, "per-instance retry budget on transient I/O failures (0 = legacy wire protocol; both servers must agree)")
@@ -70,6 +71,7 @@ func run(args []string) error {
 		Instances:      *instances,
 		Seed:           *seed,
 		Parallelism:    *par,
+		ArgmaxStrategy: *argmax,
 		MetricsAddr:    *metrics,
 		MetricsLinger:  *linger,
 		MaxRetries:     *retries,

@@ -49,6 +49,13 @@ type Config struct {
 	// changes the wire format (multiplexed vs plain), so in a two-process
 	// deployment both servers must agree on whether it is 1.
 	Parallelism int
+	// ArgmaxStrategy selects how the two argmax phases schedule their DGK
+	// comparisons: "tournament" (the default for empty) runs a blinded
+	// single-elimination bracket with one batched exchange per level,
+	// "allpairs" runs the original all-pairs schedule byte-for-byte. The
+	// strategy changes the wire format, so in a two-process deployment
+	// both servers must agree.
+	ArgmaxStrategy string
 	// Seed, when non-zero, makes the engine fully deterministic (for
 	// tests and reproducible simulations). Zero uses crypto/rand.
 	Seed int64
@@ -208,6 +215,7 @@ func toProtocolConfig(cfg Config) (protocol.Config, error) {
 		pcfg.DGK = dgk.Params{NBits: cfg.DGKBits, TBits: 40, U: 1009, L: 56}
 	}
 	pcfg.Parallelism = cfg.Parallelism
+	pcfg.ArgmaxStrategy = cfg.ArgmaxStrategy
 	if err := pcfg.Validate(); err != nil {
 		return protocol.Config{}, err
 	}

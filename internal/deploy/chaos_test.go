@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"github.com/privconsensus/privconsensus/internal/protocol"
 )
 
 // chaosFaultSpec is the seeded schedule for the chaos deployment test:
@@ -55,6 +57,7 @@ func TestChaosResilientDeployment(t *testing.T) {
 			Backoff:        5 * time.Millisecond,
 			AttemptTimeout: 30 * time.Second,
 			FaultSpec:      chaosFaultSpec,
+			ArgmaxStrategy: protocol.StrategyTournament,
 			MetricsAddr:    "127.0.0.1:0",
 			MetricsReady:   metricsReady,
 			MetricsLinger:  5 * time.Second,
@@ -76,6 +79,7 @@ func TestChaosResilientDeployment(t *testing.T) {
 			MaxRetries:     5,
 			Backoff:        5 * time.Millisecond,
 			AttemptTimeout: 30 * time.Second,
+			ArgmaxStrategy: protocol.StrategyTournament,
 		})
 		s2Done <- repResult{rep, err}
 	}()

@@ -201,7 +201,7 @@ func TestServerTimesOutOnMissingUsers(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer peer.Close()
-	if err := sendHello(context.Background(), peer, partyPeer); err != nil {
+	if err := sendHelloCaps(context.Background(), peer, partyPeer, capBatched); err != nil {
 		t.Fatal(err)
 	}
 	select {

@@ -40,6 +40,14 @@ import (
 // the peer wire format.
 const capPartial int64 = 2
 
+// capBatched is the hello capability bit advertising the tournament argmax
+// with batched DGK comparison frames. It is advertised whenever the
+// resolved strategy is tournament (the default); a server pinned to the
+// all-pairs oracle omits it, keeping that hello byte-for-byte the legacy
+// format. Both servers must resolve to the same strategy: the bracket
+// schedule and the batch frames change the peer wire format.
+const capBatched int64 = 4
+
 // Participant exchange control codes (Flags[0] of KindControl frames).
 const (
 	ctrlParticipants    int64 = 104 // [code, instance] + Values [bitmap]  S1→S2
@@ -55,14 +63,19 @@ func submissionsRejected(reason string) *obs.Counter {
 }
 
 // helloCaps returns the capability flags this server advertises (S2) or
-// expects (S1) in the peer hello.
-func (o ServerOptions) helloCaps() int64 {
+// expects (S1) in the peer hello. cfg is the resolved protocol config (after
+// any ServerOptions overrides): the argmax strategy lives there rather than
+// in the options.
+func (o ServerOptions) helloCaps(cfg protocol.Config) int64 {
 	caps := int64(0)
 	if o.resilient() {
 		caps |= capResilient
 	}
 	if o.partial() {
 		caps |= capPartial
+	}
+	if cfg.ResolvedArgmaxStrategy() == protocol.StrategyTournament {
+		caps |= capBatched
 	}
 	return caps
 }
@@ -101,13 +114,18 @@ func (o ServerOptions) submitWindow() time.Duration {
 }
 
 // checkPeerCaps verifies (on S1) that S2's advertised capabilities match
-// this server's session options; mismatches would desynchronize the wire.
-func checkPeerCaps(caps int64, opts ServerOptions) error {
+// this server's session options and resolved protocol config; mismatches
+// would desynchronize the wire.
+func checkPeerCaps(caps int64, opts ServerOptions, cfg protocol.Config) error {
 	if opts.resilient() && caps&capResilient == 0 {
 		return fmt.Errorf("deploy: peer S2 did not advertise session resilience; run both servers with the same -max-retries")
 	}
 	if opts.partial() != (caps&capPartial != 0) {
 		return fmt.Errorf("deploy: S1 and S2 disagree on partial participation; run both servers with the same -quorum and -submit-deadline")
+	}
+	tournament := cfg.ResolvedArgmaxStrategy() == protocol.StrategyTournament
+	if tournament != (caps&capBatched != 0) {
+		return fmt.Errorf("deploy: S1 and S2 disagree on the argmax strategy; run both servers with the same -argmax")
 	}
 	return nil
 }

@@ -235,16 +235,32 @@ func TestPartialModeOffIsInert(t *testing.T) {
 	if opts.partial() {
 		t.Fatal("default options report partial participation")
 	}
-	if caps := opts.helloCaps(); caps != 0 {
-		t.Fatalf("default hello caps = %d, want 0 (legacy one-flag hello)", caps)
-	}
-	if err := checkPeerCaps(0, opts); err != nil {
-		t.Fatalf("legacy hello rejected: %v", err)
-	}
-
 	const classes = 2
 	cfg := protocol.DefaultConfig(2)
 	cfg.Classes = classes
+	// The all-pairs oracle keeps the hello byte-for-byte legacy: no caps.
+	oracle := cfg
+	oracle.ArgmaxStrategy = protocol.StrategyAllPairs
+	if caps := opts.helloCaps(oracle); caps != 0 {
+		t.Fatalf("all-pairs hello caps = %d, want 0 (legacy one-flag hello)", caps)
+	}
+	if err := checkPeerCaps(0, opts, oracle); err != nil {
+		t.Fatalf("legacy hello rejected: %v", err)
+	}
+	// The default strategy is tournament, advertised as capBatched.
+	if caps := opts.helloCaps(cfg); caps != capBatched {
+		t.Fatalf("default hello caps = %d, want capBatched (%d)", caps, capBatched)
+	}
+	if err := checkPeerCaps(capBatched, opts, cfg); err != nil {
+		t.Fatalf("tournament hello rejected by tournament server: %v", err)
+	}
+	// Strategy mismatch is caught at the hello, both directions.
+	if err := checkPeerCaps(0, opts, cfg); err == nil {
+		t.Error("legacy hello accepted by a tournament server")
+	}
+	if err := checkPeerCaps(capBatched, opts, oracle); err == nil {
+		t.Error("tournament hello accepted by an all-pairs server")
+	}
 	col := newCollector(2, 1, classes, nil)
 	for u := 0; u < 2; u++ {
 		if err := col.add(u, 0, testHalf(classes, int64(u+1))); err != nil {
@@ -261,11 +277,11 @@ func TestPartialModeOffIsInert(t *testing.T) {
 	}
 
 	// Mode mismatch is caught at the hello: a partial S2 against a plain S1.
-	if err := checkPeerCaps(capPartial, opts); err == nil {
+	if err := checkPeerCaps(capPartial|capBatched, opts, cfg); err == nil {
 		t.Error("partial-capability hello accepted by a full-participation server")
 	}
 	partialOpts := ServerOptions{Instances: 1, Quorum: 0.5}
-	if err := checkPeerCaps(0, partialOpts); err == nil {
+	if err := checkPeerCaps(capBatched, partialOpts, cfg); err == nil {
 		t.Error("legacy hello accepted by a partial-participation server")
 	}
 }

@@ -44,6 +44,12 @@ type ServerOptions struct {
 	// concurrently. The setting changes the wire format, so both server
 	// processes must resolve to the same mode.
 	Parallelism int
+	// ArgmaxStrategy, when non-empty, overrides the key file's argmax
+	// strategy (protocol.StrategyTournament or protocol.StrategyAllPairs;
+	// empty resolves to tournament). The strategy changes the wire format,
+	// so both server processes must resolve to the same one — the peer
+	// hello carries it as a capability bit and S1 rejects a mismatch.
+	ArgmaxStrategy string
 	// MetricsAddr, when non-empty, serves the observability admin endpoint
 	// (/metrics, /healthz, /debug/pprof/*, /debug/vars) on that address.
 	MetricsAddr string
@@ -262,6 +268,9 @@ func setupServer(ctx context.Context, role string, cfg protocol.Config, opts Ser
 	if opts.Parallelism != 0 {
 		cfg.Parallelism = opts.Parallelism
 	}
+	if opts.ArgmaxStrategy != "" {
+		cfg.ArgmaxStrategy = opts.ArgmaxStrategy
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -420,7 +429,7 @@ func RunS1Report(ctx context.Context, file *keystore.S1File, opts ServerOptions)
 		}
 		return nil, err
 	}
-	if err := checkPeerCaps(caps, opts); err != nil {
+	if err := checkPeerCaps(caps, opts, s.cfg); err != nil {
 		peer.Close()
 		return nil, err
 	}
@@ -455,7 +464,7 @@ func runS1Legacy(ctx context.Context, keys protocol.KeysS1, s *serverSetup, opts
 	}
 	peer := pc.conn
 	defer peer.Close()
-	if err := checkPeerCaps(pc.caps, opts); err != nil {
+	if err := checkPeerCaps(pc.caps, opts, s.cfg); err != nil {
 		return nil, err
 	}
 	opts.log(levelInfo, "S1 connected to peer S2")
@@ -678,6 +687,16 @@ func RunS2Report(ctx context.Context, file *keystore.S2File, opts ServerOptions)
 	defer s.admin.close(ctx)
 	defer s.l.Close()
 
+	// Long-lived comparison pools: created once for the whole run so the
+	// offline precompute (DGK bit-encryption material or h^r nonces,
+	// depending on the strategy) refills in the gaps between instances
+	// instead of being rebuilt per query. Nil when UseDGKPool is off.
+	pools, err := protocol.NewS2Pools(s.cfg, keys)
+	if err != nil {
+		return nil, err
+	}
+	defer pools.Close()
+
 	acceptErr := make(chan error, 1)
 	acceptCtx, stopAccept := context.WithCancel(ctx)
 	defer stopAccept()
@@ -697,7 +716,7 @@ func RunS2Report(ctx context.Context, file *keystore.S2File, opts ServerOptions)
 			return nil, fmt.Errorf("deploy: dial S1: %w", err)
 		}
 		defer peer.Close()
-		if err := sendHelloCaps(ctx, peer, partyPeer, opts.helloCaps()); err != nil {
+		if err := sendHelloCaps(ctx, peer, partyPeer, opts.helloCaps(s.cfg)); err != nil {
 			return nil, err
 		}
 		opts.log(levelInfo, "S2 connected to peer S1 at %s", opts.PeerAddr)
@@ -718,7 +737,7 @@ func RunS2Report(ctx context.Context, file *keystore.S2File, opts ServerOptions)
 			}
 			out, err := runInstance(ctx, "s2", i, 0, participants, s.cfg.Users-participants, opts,
 				func(qctx context.Context, meter *transport.Meter) (*protocol.Outcome, error) {
-					return protocol.RunS2(qctx, rng, s.cfg, keys, peer, subs, meter)
+					return protocol.RunS2WithPools(qctx, rng, s.cfg, keys, peer, subs, meter, pools)
 				})
 			if err != nil {
 				return nil, err
@@ -741,7 +760,7 @@ func RunS2Report(ctx context.Context, file *keystore.S2File, opts ServerOptions)
 		if err != nil {
 			return nil, fmt.Errorf("deploy: dial S1: %w", err)
 		}
-		if err := sendHelloCaps(ctx, conn, partyPeer, opts.helloCaps()); err != nil {
+		if err := sendHelloCaps(ctx, conn, partyPeer, opts.helloCaps(s.cfg)); err != nil {
 			conn.Close()
 			return nil, err
 		}
@@ -757,7 +776,7 @@ func RunS2Report(ctx context.Context, file *keystore.S2File, opts ServerOptions)
 		return nil, err
 	}
 	stopAccept()
-	return runS2Session(ctx, keys, rng, s, opts, peer, connect)
+	return runS2Session(ctx, keys, rng, s, opts, peer, connect, pools)
 }
 
 // runS2Session follows S1's session frames: every begin frame (re)runs the
@@ -767,7 +786,7 @@ func RunS2Report(ctx context.Context, file *keystore.S2File, opts ServerOptions)
 // exhausts (S1 is gone and the end frame was lost), the report is
 // assembled from local results.
 func runS2Session(ctx context.Context, keys protocol.KeysS2, rng io.Reader, s *serverSetup, opts ServerOptions,
-	peer transport.Conn, connect func() (transport.Conn, error)) (*Report, error) {
+	peer transport.Conn, connect func() (transport.Conn, error), pools *protocol.S2Pools) (*Report, error) {
 	n := opts.Instances
 	statuses := make([]int64, n)
 	outcomes := make([]*protocol.Outcome, n)
@@ -841,7 +860,7 @@ func runS2Session(ctx context.Context, keys protocol.KeysS2, rng io.Reader, s *s
 				}
 				return runInstance(actx, "s2", i, frame.attempt, p, s.cfg.Users-p, opts,
 					func(qctx context.Context, meter *transport.Meter) (*protocol.Outcome, error) {
-						return protocol.RunS2(qctx, rng, s.cfg, keys, peer, subs, meter)
+						return protocol.RunS2WithPools(qctx, rng, s.cfg, keys, peer, subs, meter, pools)
 					})
 			}()
 			cancel()

@@ -62,13 +62,14 @@ func TestUserDropsMidUpload(t *testing.T) {
 	}()
 	addr := <-ready
 
-	// Peer connects so S1 advances to submission collection.
+	// Peer connects so S1 advances to submission collection; the default
+	// strategy is tournament, so the hello must advertise capBatched.
 	peer, err := transport.Dial(ctx, addr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer peer.Close()
-	if err := sendHello(ctx, peer, partyPeer); err != nil {
+	if err := sendHelloCaps(ctx, peer, partyPeer, capBatched); err != nil {
 		t.Fatal(err)
 	}
 

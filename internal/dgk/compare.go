@@ -35,98 +35,17 @@ import (
 
 // CompareA runs party A's side: it holds value a and learns (a >= b).
 func (pk *PublicKey) CompareA(ctx context.Context, rng io.Reader, conn transport.Conn, a *big.Int) (bool, error) {
+	// Fail fast on a bad input before touching the wire: blocking on round
+	// 1 with a value that can never be compared would hang the session.
 	if err := checkRange(a, pk.L); err != nil {
 		return false, fmt.Errorf("dgk: CompareA: %w", err)
 	}
-	aBits, err := mathutil.Bits(a, pk.L)
-	if err != nil {
-		return false, err
-	}
-
 	// Round 1: receive B's encrypted bits (little-endian).
 	msg, err := transport.ExpectKind(ctx, conn, transport.KindBits)
 	if err != nil {
 		return false, fmt.Errorf("dgk: receive encrypted bits: %w", err)
 	}
-	if len(msg.Values) != pk.L {
-		return false, fmt.Errorf("dgk: expected %d encrypted bits, got %d", pk.L, len(msg.Values))
-	}
-	encB := make([]*Ciphertext, pk.L)
-	for i, v := range msg.Values {
-		encB[i] = &Ciphertext{C: v}
-		if err := pk.validateCiphertext(encB[i]); err != nil {
-			return false, fmt.Errorf("dgk: bit %d: %w", i, err)
-		}
-	}
-
-	// Compute E(c_i) for each i, scanning from MSB so the XOR prefix sum
-	// over j > i accumulates incrementally.
-	//
-	// E(a_j XOR b_j) = E(b_j) when a_j = 0, and E(1 - b_j) otherwise.
-	encXorSum, err := pk.Encrypt(rng, mathutil.Zero) // sum over processed (higher) positions
-	if err != nil {
-		return false, err
-	}
-	blinded := make([]*Ciphertext, pk.L)
-	for i := pk.L - 1; i >= 0; i-- {
-		// c_i = a_i - b_i + 1 + 3 * xorSum
-		ci, err := pk.ScalarMul(encB[i], big.NewInt(-1)) // -b_i
-		if err != nil {
-			return false, err
-		}
-		ci, err = pk.AddPlain(ci, big.NewInt(int64(aBits[i])+1)) // + a_i + 1
-		if err != nil {
-			return false, err
-		}
-		tripleSum, err := pk.ScalarMul(encXorSum, big.NewInt(3))
-		if err != nil {
-			return false, err
-		}
-		ci, err = pk.Add(ci, tripleSum)
-		if err != nil {
-			return false, err
-		}
-		// Blind with a random nonzero exponent: zero stays zero, nonzero
-		// becomes uniform nonzero.
-		r, err := randNonzero(rng, pk.U)
-		if err != nil {
-			return false, err
-		}
-		blinded[i], err = pk.ScalarMul(ci, r)
-		if err != nil {
-			return false, err
-		}
-
-		// Fold position i into the XOR prefix sum for lower positions.
-		var xi *Ciphertext
-		if aBits[i] == 0 {
-			xi = encB[i]
-		} else {
-			neg, err := pk.ScalarMul(encB[i], big.NewInt(-1))
-			if err != nil {
-				return false, err
-			}
-			xi, err = pk.AddPlain(neg, mathutil.One) // 1 - b_i
-			if err != nil {
-				return false, err
-			}
-		}
-		encXorSum, err = pk.Add(encXorSum, xi)
-		if err != nil {
-			return false, err
-		}
-	}
-
-	// Permute so B cannot tell which bit position (if any) was zero.
-	pi, err := perm.New(rng, pk.L)
-	if err != nil {
-		return false, err
-	}
-	vals := make([]*big.Int, pk.L)
-	for i, c := range blinded {
-		vals[i] = c.C
-	}
-	permuted, err := pi.Apply(vals)
+	permuted, err := pk.blindCompareValues(rng, a, msg.Values)
 	if err != nil {
 		return false, err
 	}
@@ -144,6 +63,100 @@ func (pk *PublicKey) CompareA(ctx context.Context, rng io.Reader, conn transport
 	}
 	comparisons.Inc()
 	return res.Flags[0] == 1, nil
+}
+
+// blindCompareValues computes party A's round-2 payload for one comparison:
+// the blinded, permuted E(r_i * c_i) sequence derived from A's value a and
+// B's encrypted bit vector (raw ciphertext values, little-endian). It is the
+// pure per-comparison compute kernel shared by the single and batched
+// protocol variants.
+func (pk *PublicKey) blindCompareValues(rng io.Reader, a *big.Int, encBits []*big.Int) ([]*big.Int, error) {
+	if err := checkRange(a, pk.L); err != nil {
+		return nil, fmt.Errorf("dgk: CompareA: %w", err)
+	}
+	aBits, err := mathutil.Bits(a, pk.L)
+	if err != nil {
+		return nil, err
+	}
+	if len(encBits) != pk.L {
+		return nil, fmt.Errorf("dgk: expected %d encrypted bits, got %d", pk.L, len(encBits))
+	}
+	encB := make([]*Ciphertext, pk.L)
+	for i, v := range encBits {
+		encB[i] = &Ciphertext{C: v}
+		if err := pk.validateCiphertext(encB[i]); err != nil {
+			return nil, fmt.Errorf("dgk: bit %d: %w", i, err)
+		}
+	}
+
+	// Compute E(c_i) for each i, scanning from MSB so the XOR prefix sum
+	// over j > i accumulates incrementally.
+	//
+	// E(a_j XOR b_j) = E(b_j) when a_j = 0, and E(1 - b_j) otherwise.
+	encXorSum, err := pk.Encrypt(rng, mathutil.Zero) // sum over processed (higher) positions
+	if err != nil {
+		return nil, err
+	}
+	blinded := make([]*Ciphertext, pk.L)
+	for i := pk.L - 1; i >= 0; i-- {
+		// c_i = a_i - b_i + 1 + 3 * xorSum
+		ci, err := pk.ScalarMul(encB[i], big.NewInt(-1)) // -b_i
+		if err != nil {
+			return nil, err
+		}
+		ci, err = pk.AddPlain(ci, big.NewInt(int64(aBits[i])+1)) // + a_i + 1
+		if err != nil {
+			return nil, err
+		}
+		tripleSum, err := pk.ScalarMul(encXorSum, big.NewInt(3))
+		if err != nil {
+			return nil, err
+		}
+		ci, err = pk.Add(ci, tripleSum)
+		if err != nil {
+			return nil, err
+		}
+		// Blind with a random nonzero exponent: zero stays zero, nonzero
+		// becomes uniform nonzero.
+		r, err := randNonzero(rng, pk.U)
+		if err != nil {
+			return nil, err
+		}
+		blinded[i], err = pk.ScalarMul(ci, r)
+		if err != nil {
+			return nil, err
+		}
+
+		// Fold position i into the XOR prefix sum for lower positions.
+		var xi *Ciphertext
+		if aBits[i] == 0 {
+			xi = encB[i]
+		} else {
+			neg, err := pk.ScalarMul(encB[i], big.NewInt(-1))
+			if err != nil {
+				return nil, err
+			}
+			xi, err = pk.AddPlain(neg, mathutil.One) // 1 - b_i
+			if err != nil {
+				return nil, err
+			}
+		}
+		encXorSum, err = pk.Add(encXorSum, xi)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Permute so B cannot tell which bit position (if any) was zero.
+	pi, err := perm.New(rng, pk.L)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]*big.Int, pk.L)
+	for i, c := range blinded {
+		vals[i] = c.C
+	}
+	return pi.Apply(vals)
 }
 
 // CompareB runs party B's side (the key owner): it holds value b and learns
@@ -180,21 +193,10 @@ func (k *PrivateKey) finishCompareB(ctx context.Context, conn transport.Conn) (b
 	if err != nil {
 		return false, fmt.Errorf("dgk: receive blinded values: %w", err)
 	}
-	if len(msg.Values) != k.L {
-		return false, fmt.Errorf("dgk: expected %d blinded values, got %d", k.L, len(msg.Values))
+	aGEb, err := k.zeroTestValues(msg.Values)
+	if err != nil {
+		return false, err
 	}
-	foundZero := false
-	for i, v := range msg.Values {
-		z, err := k.IsZero(&Ciphertext{C: v})
-		if err != nil {
-			return false, fmt.Errorf("dgk: zero-test %d: %w", i, err)
-		}
-		if z {
-			foundZero = true
-			// Keep testing: constant work regardless of outcome.
-		}
-	}
-	aGEb := !foundZero // a zero exists iff a < b
 
 	// Round 3: share the outcome.
 	flag := int64(0)
@@ -206,6 +208,26 @@ func (k *PrivateKey) finishCompareB(ctx context.Context, conn transport.Conn) (b
 	}
 	comparisonsB.Inc()
 	return aGEb, nil
+}
+
+// zeroTestValues decides one comparison from its blinded round-2 sequence:
+// a >= b iff no value decrypts to zero. Every position is tested so the work
+// is constant regardless of outcome.
+func (k *PrivateKey) zeroTestValues(vals []*big.Int) (bool, error) {
+	if len(vals) != k.L {
+		return false, fmt.Errorf("dgk: expected %d blinded values, got %d", k.L, len(vals))
+	}
+	foundZero := false
+	for i, v := range vals {
+		z, err := k.IsZero(&Ciphertext{C: v})
+		if err != nil {
+			return false, fmt.Errorf("dgk: zero-test %d: %w", i, err)
+		}
+		if z {
+			foundZero = true
+		}
+	}
+	return !foundZero, nil // a zero exists iff a < b
 }
 
 // CompareSignedA is CompareA for signed values in (-2^(L-1), 2^(L-1)): both

@@ -1,0 +1,212 @@
+package dgk
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/big"
+	"sync"
+
+	"github.com/privconsensus/privconsensus/internal/mathutil"
+	"github.com/privconsensus/privconsensus/internal/transport"
+)
+
+// MaterialPool extends the offline/online split beyond NoncePool's h^r
+// blinding factors: it precomputes the key owner's COMPLETE round-1 payload
+// for a comparison — fresh encryptions of both bit values at every position —
+// during idle time between instances. The online phase then reduces to a
+// table pick per bit: no exponentiations, no multiplications, just selecting
+// E(b_i) from the precomputed {E(0), E(1)} pair. The material is input
+// independent (both bit values are encrypted before b is known) and single
+// use (the unselected ciphertext is discarded, never reused, so ciphertexts
+// stay unlinkable across comparisons).
+type MaterialPool struct {
+	pk      *PublicKey
+	items   chan *CmpMaterial
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	fillErr error
+	errOnce sync.Once
+}
+
+// CmpMaterial is the precomputed key-owner material for one comparison:
+// for each of the L bit positions, fresh encryptions of 0 and 1.
+type CmpMaterial struct {
+	pairs [][2]*Ciphertext
+}
+
+// Bit returns the precomputed encryption of `bit` at position pos.
+func (m *CmpMaterial) Bit(pos int, bit uint8) (*Ciphertext, error) {
+	if pos < 0 || pos >= len(m.pairs) {
+		return nil, fmt.Errorf("dgk: material bit position %d out of range [0, %d)", pos, len(m.pairs))
+	}
+	if bit > 1 {
+		return nil, fmt.Errorf("dgk: material bit value %d is not a bit", bit)
+	}
+	return m.pairs[pos][bit], nil
+}
+
+// NewMaterialPool starts `workers` goroutines keeping up to `capacity`
+// comparisons' worth of precomputed material available. rng must be
+// concurrency-safe when workers > 1.
+func NewMaterialPool(rng io.Reader, pk *PublicKey, capacity, workers int) (*MaterialPool, error) {
+	if capacity <= 0 || workers <= 0 {
+		return nil, fmt.Errorf("dgk: material pool capacity %d and workers %d must be positive", capacity, workers)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &MaterialPool{
+		pk:     pk,
+		items:  make(chan *CmpMaterial, capacity),
+		cancel: cancel,
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.fill(ctx, rng)
+	}
+	return p, nil
+}
+
+// fill keeps the pool topped up until cancelled.
+func (p *MaterialPool) fill(ctx context.Context, rng io.Reader) {
+	defer p.wg.Done()
+	zero := big.NewInt(0)
+	one := big.NewInt(1)
+	for {
+		m := &CmpMaterial{pairs: make([][2]*Ciphertext, p.pk.L)}
+		for i := 0; i < p.pk.L; i++ {
+			c0, err := p.pk.Encrypt(rng, zero)
+			if err != nil {
+				p.errOnce.Do(func() { p.fillErr = err })
+				return
+			}
+			c1, err := p.pk.Encrypt(rng, one)
+			if err != nil {
+				p.errOnce.Do(func() { p.fillErr = err })
+				return
+			}
+			m.pairs[i] = [2]*Ciphertext{c0, c1}
+		}
+		select {
+		case p.items <- m:
+			materialRefills.Inc()
+			materialPrefill.Set(float64(len(p.items)))
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// Next returns precomputed material for one comparison. A draw satisfied
+// without waiting counts as a hit; one that has to block for a refill worker
+// counts as a miss.
+func (p *MaterialPool) Next(ctx context.Context) (*CmpMaterial, error) {
+	select {
+	case m, ok := <-p.items:
+		if !ok {
+			return nil, ErrPoolClosed
+		}
+		materialHits.Inc()
+		materialPrefill.Set(float64(len(p.items)))
+		return m, nil
+	default:
+	}
+	materialMisses.Inc()
+	select {
+	case m, ok := <-p.items:
+		if !ok {
+			return nil, ErrPoolClosed
+		}
+		materialPrefill.Set(float64(len(p.items)))
+		return m, nil
+	case <-ctx.Done():
+		if p.fillErr != nil {
+			return nil, p.fillErr
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// Close stops the background workers.
+func (p *MaterialPool) Close() {
+	p.cancel()
+	p.wg.Wait()
+	close(p.items)
+	for range p.items {
+		// Drain so the retained ciphertexts become collectable.
+	}
+	materialPrefill.Set(0)
+}
+
+// CompareBMaterial is CompareB with the key owner's round-1 bit encryptions
+// drawn fully precomputed from a material pool: the online cost per bit is a
+// table pick instead of an encryption.
+func (k *PrivateKey) CompareBMaterial(ctx context.Context, pool *MaterialPool, conn transport.Conn, b *big.Int) (bool, error) {
+	vals, err := k.materialBits(ctx, pool, b)
+	if err != nil {
+		return false, err
+	}
+	if err := conn.Send(ctx, &transport.Message{Kind: transport.KindBits, Values: vals}); err != nil {
+		return false, fmt.Errorf("dgk: send encrypted bits: %w", err)
+	}
+	return k.finishCompareB(ctx, conn)
+}
+
+// CompareSignedBMaterial is CompareBMaterial for signed inputs.
+func (k *PrivateKey) CompareSignedBMaterial(ctx context.Context, pool *MaterialPool, conn transport.Conn, b *big.Int) (bool, error) {
+	shifted, err := shiftSigned(b, k.L)
+	if err != nil {
+		return false, err
+	}
+	return k.CompareBMaterial(ctx, pool, conn, shifted)
+}
+
+// CompareBatchBMaterial is CompareBatchB with every comparison's bit
+// encryptions drawn from the material pool.
+func (k *PrivateKey) CompareBatchBMaterial(ctx context.Context, pool *MaterialPool, conn transport.Conn, vals []*big.Int, par int) ([]bool, error) {
+	mats := make([]*CmpMaterial, len(vals))
+	for i := range vals {
+		m, err := pool.Next(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("dgk: material for batch item %d: %w", i, err)
+		}
+		mats[i] = m
+	}
+	return k.compareBatchB(ctx, conn, vals, par,
+		func(_ context.Context, item, pos int, bit uint8) (*Ciphertext, error) {
+			return mats[item].Bit(pos, bit)
+		})
+}
+
+// CompareSignedBatchBMaterial is CompareBatchBMaterial for signed values.
+func (k *PrivateKey) CompareSignedBatchBMaterial(ctx context.Context, pool *MaterialPool, conn transport.Conn, vals []*big.Int, par int) ([]bool, error) {
+	shifted, err := shiftSignedAll(vals, k.L)
+	if err != nil {
+		return nil, err
+	}
+	return k.CompareBatchBMaterial(ctx, pool, conn, shifted, par)
+}
+
+// materialBits assembles one comparison's round-1 payload from pooled
+// material.
+func (k *PrivateKey) materialBits(ctx context.Context, pool *MaterialPool, b *big.Int) ([]*big.Int, error) {
+	if err := checkRange(b, k.L); err != nil {
+		return nil, fmt.Errorf("dgk: CompareBMaterial: %w", err)
+	}
+	bBits, err := mathutil.Bits(b, k.L)
+	if err != nil {
+		return nil, err
+	}
+	m, err := pool.Next(ctx)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]*big.Int, k.L)
+	for i, bit := range bBits {
+		c, err := m.Bit(i, bit)
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = c.C
+	}
+	return vals, nil
+}

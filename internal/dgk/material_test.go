@@ -1,0 +1,131 @@
+package dgk
+
+import (
+	"context"
+	"math/big"
+	"testing"
+	"time"
+
+	"github.com/privconsensus/privconsensus/internal/transport"
+)
+
+func TestMaterialPoolBitsDecrypt(t *testing.T) {
+	key := sharedTestKey(t)
+	pool, err := NewMaterialPool(testRNG(41), key.Public(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	m, err := pool.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.pairs) != key.L {
+		t.Fatalf("material has %d pairs, want %d", len(m.pairs), key.L)
+	}
+	for pos := 0; pos < key.L; pos++ {
+		for bit := uint8(0); bit <= 1; bit++ {
+			c, err := m.Bit(pos, bit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := key.Decrypt(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Int64() != int64(bit) {
+				t.Errorf("pos %d bit %d decrypts to %v", pos, bit, got)
+			}
+		}
+	}
+	if _, err := m.Bit(-1, 0); err == nil {
+		t.Error("expected position range error")
+	}
+	if _, err := m.Bit(key.L, 0); err == nil {
+		t.Error("expected position range error")
+	}
+	if _, err := m.Bit(0, 2); err == nil {
+		t.Error("expected bit value error")
+	}
+}
+
+func TestMaterialPoolValidation(t *testing.T) {
+	key := sharedTestKey(t)
+	if _, err := NewMaterialPool(testRNG(1), key.Public(), 0, 1); err == nil {
+		t.Error("expected capacity error")
+	}
+	if _, err := NewMaterialPool(testRNG(1), key.Public(), 1, 0); err == nil {
+		t.Error("expected worker error")
+	}
+}
+
+func TestMaterialPoolClose(t *testing.T) {
+	key := sharedTestKey(t)
+	pool, err := NewMaterialPool(lockRNG(42), key.Public(), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Close()
+	if _, err := pool.Next(context.Background()); err != ErrPoolClosed {
+		t.Errorf("Next after Close = %v, want ErrPoolClosed", err)
+	}
+}
+
+// The material-backed comparisons must agree with the plaintext comparison,
+// in both the single and batched forms.
+func TestCompareMaterialMatchesPlain(t *testing.T) {
+	key := sharedTestKey(t)
+	pool, err := NewMaterialPool(testRNG(43), key.Public(), 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	aVals := []int64{5, 3, -7, -10, 1 << 30}
+	bVals := []int64{3, 5, -7, 4, -(1 << 30)}
+	want := []bool{true, false, true, false, true}
+
+	// Single comparisons through the material pool.
+	for i := range aVals {
+		connA, connB := transport.Pair()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		type res struct {
+			geq bool
+			err error
+		}
+		ch := make(chan res, 1)
+		go func() {
+			geq, err := key.Public().CompareSignedA(ctx, testRNG(44), connA, big.NewInt(aVals[i]))
+			ch <- res{geq, err}
+		}()
+		geqB, err := key.CompareSignedBMaterial(ctx, pool, connB, big.NewInt(bVals[i]))
+		if err != nil {
+			t.Fatalf("CompareSignedBMaterial(%d, %d): %v", aVals[i], bVals[i], err)
+		}
+		ra := <-ch
+		cancel()
+		connA.Close()
+		connB.Close()
+		if ra.err != nil {
+			t.Fatalf("CompareSignedA: %v", ra.err)
+		}
+		if geqB != want[i] || ra.geq != want[i] {
+			t.Errorf("material compare(%d, %d) = A:%v B:%v, want %v",
+				aVals[i], bVals[i], ra.geq, geqB, want[i])
+		}
+	}
+
+	// Batched comparisons through the material pool, at both worker counts.
+	for _, par := range []int{1, 4} {
+		geqA, geqB := runBatch(t, key, aVals, bVals, par,
+			func(ctx context.Context, connB transport.Conn, shifted []*big.Int) ([]bool, error) {
+				return key.CompareSignedBatchBMaterial(ctx, pool, connB, shifted, par)
+			})
+		for i := range want {
+			if geqA[i] != want[i] || geqB[i] != want[i] {
+				t.Errorf("par %d item %d: material batch compare(%d, %d) = A:%v B:%v, want %v",
+					par, i, aVals[i], bVals[i], geqA[i], geqB[i], want[i])
+			}
+		}
+	}
+}

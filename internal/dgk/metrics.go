@@ -23,6 +23,14 @@ var (
 		"Nonce pool draws that had to wait for a refill worker.")
 	poolRefills = obs.Default.Counter("dgk_pool_refills_total",
 		"h^r blinding factors precomputed by nonce pool workers.")
+	materialHits = obs.Default.Counter("dgk_material_hits_total",
+		"Material pool draws satisfied without blocking.")
+	materialMisses = obs.Default.Counter("dgk_material_misses_total",
+		"Material pool draws that had to wait for a refill worker.")
+	materialRefills = obs.Default.Counter("dgk_material_refills_total",
+		"Full comparisons' worth of bit-encryption material precomputed by pool workers.")
+	materialPrefill = obs.Default.Gauge("dgk_material_pool_prefill",
+		"Comparisons' worth of precomputed material currently buffered in the pool.")
 )
 
 // WatchOps registers this package's operation counters on a tracer so each
@@ -33,4 +41,5 @@ func WatchOps(t *obs.Tracer) {
 	t.Watch("dgk_cmp_a", comparisons)
 	t.Watch("dgk_cmp_b", comparisonsB)
 	t.Watch("dgk_pool_miss", poolMisses)
+	t.Watch("dgk_material_miss", materialMisses)
 }

@@ -34,6 +34,11 @@ type BenchJSON struct {
 	Parallelism int   `json:"parallelism"`
 	UseDGKPool  bool  `json:"use_dgk_pool"`
 	Seed        int64 `json:"seed"`
+	// ArgmaxStrategy (schema v3) names the comparison schedule the primary
+	// record measured: "tournament" (batched bracket) or "allpairs". The
+	// regression guard only compares phase timings between records of the
+	// same strategy.
+	ArgmaxStrategy string `json:"argmax_strategy"`
 
 	// NsPerOp is the mean end-to-end time of one query instance.
 	NsPerOp int64 `json:"ns_per_op"`
@@ -52,12 +57,20 @@ type BenchJSON struct {
 	DGKEncNs      int64 `json:"dgk_enc_ns"`
 
 	Phases []BenchPhase `json:"phases"`
+
+	// Oracle record (schema v3): the same workload re-run under the
+	// all-pairs strategy, so one file carries per-phase avg_msgs for both
+	// schedules. These fields sit after Phases on purpose — the guard's
+	// line-oriented first-match extraction must always hit the primary
+	// record first. Omitted when the oracle run was skipped.
+	AllPairsNsPerOp int64        `json:"allpairs_ns_per_op,omitempty"`
+	AllPairsPhases  []BenchPhase `json:"allpairs_phases,omitempty"`
 }
 
 // BenchJSONFrom converts a benchmark result into its JSON record.
 func BenchJSONFrom(res *ProtocolBenchResult) BenchJSON {
 	out := BenchJSON{
-		Schema:             "privconsensus/protocol-bench/v2",
+		Schema:             "privconsensus/protocol-bench/v3",
 		GeneratedAt:        time.Now().UTC().Format(time.RFC3339),
 		GoVersion:          runtime.Version(),
 		GOOS:               runtime.GOOS,
@@ -69,6 +82,7 @@ func BenchJSONFrom(res *ProtocolBenchResult) BenchJSON {
 		Parallelism:        res.Config.Parallelism,
 		UseDGKPool:         res.Config.UseDGKPool,
 		Seed:               res.Config.Seed,
+		ArgmaxStrategy:     res.Config.ResolvedArgmaxStrategy(),
 		NsPerOp:            res.Overall.Nanoseconds(),
 		UserToServerBytes:  res.UserToServerBytes,
 		UserToServerBytes2: res.UserToServerBytes2,
@@ -87,10 +101,18 @@ func BenchJSONFrom(res *ProtocolBenchResult) BenchJSON {
 }
 
 // WriteBenchJSON writes the benchmark record to path, indented for diffing.
+// res is the primary run (the configured strategy); oracle, when non-nil, is
+// the same workload under the all-pairs schedule and lands in the
+// allpairs_* fields so one record carries both strategies' per-phase costs.
 // It also runs the crypto micro-benchmarks so the record carries the
 // fixed-base kernel timings the regression guard watches.
-func WriteBenchJSON(path string, res *ProtocolBenchResult) error {
+func WriteBenchJSON(path string, res, oracle *ProtocolBenchResult) error {
 	out := BenchJSONFrom(res)
+	if oracle != nil {
+		oj := BenchJSONFrom(oracle)
+		out.AllPairsNsPerOp = oj.NsPerOp
+		out.AllPairsPhases = oj.Phases
+	}
 	micro, err := MicroBench()
 	if err != nil {
 		return err

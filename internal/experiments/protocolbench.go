@@ -30,6 +30,18 @@ type ProtocolBenchConfig struct {
 	// protocol, anything else multiplexes the transport and runs the DGK
 	// comparison phases concurrently.
 	Parallelism int
+	// ArgmaxStrategy is forwarded to protocol.Config.ArgmaxStrategy:
+	// empty or "tournament" runs the batched bracket, "allpairs" the
+	// original all-pairs comparison schedule.
+	ArgmaxStrategy string
+}
+
+// ResolvedArgmaxStrategy names the strategy the run actually uses.
+func (c ProtocolBenchConfig) ResolvedArgmaxStrategy() string {
+	if c.ArgmaxStrategy == "" {
+		return protocol.StrategyTournament
+	}
+	return c.ArgmaxStrategy
 }
 
 // DefaultProtocolBenchConfig mirrors the paper's measurement workload shape
@@ -90,6 +102,7 @@ func ProtocolBench(cfg ProtocolBenchConfig) (*ProtocolBenchResult, error) {
 	pcfg.Classes = cfg.Classes
 	pcfg.UseDGKPool = cfg.UseDGKPool
 	pcfg.Parallelism = cfg.Parallelism
+	pcfg.ArgmaxStrategy = cfg.ArgmaxStrategy
 	if err := pcfg.Validate(); err != nil {
 		return nil, err
 	}

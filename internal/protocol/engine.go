@@ -27,28 +27,47 @@ type Outcome struct {
 	Participants int
 }
 
-// comparerS1 abstracts S1's side of a signed secure comparison (satisfied
-// by *dgk.PublicKey).
+// comparerS1 abstracts S1's side of a signed secure comparison, single and
+// batched (satisfied by *dgk.PublicKey).
 type comparerS1 interface {
 	CompareSignedA(context.Context, io.Reader, transport.Conn, *big.Int) (bool, error)
+	CompareSignedBatchA(context.Context, io.Reader, transport.Conn, []*big.Int, int) ([]bool, error)
 }
 
 // comparerS2 abstracts S2's side (satisfied by *dgk.PrivateKey and the
 // pooled variant below).
 type comparerS2 interface {
 	CompareSignedB(context.Context, io.Reader, transport.Conn, *big.Int) (bool, error)
+	CompareSignedBatchB(context.Context, io.Reader, transport.Conn, []*big.Int, int) ([]bool, error)
 }
 
-// pooledComparerS2 draws DGK bit-encryption nonces from a pre-generated
-// pool.
+// pooledComparerS2 draws S2's bit-encryption work from precomputed pools:
+// h^r nonces for the single-comparison path, full comparison material for
+// the batched path. Either pool may be nil, falling back to on-demand
+// encryption with rng.
 type pooledComparerS2 struct {
-	key  *dgk.PrivateKey
-	pool *dgk.NoncePool
+	key      *dgk.PrivateKey
+	pool     *dgk.NoncePool
+	material *dgk.MaterialPool
 }
 
 // CompareSignedB implements comparerS2.
-func (p pooledComparerS2) CompareSignedB(ctx context.Context, _ io.Reader, conn transport.Conn, v *big.Int) (bool, error) {
-	return p.key.CompareSignedBPooled(ctx, p.pool, conn, v)
+func (p pooledComparerS2) CompareSignedB(ctx context.Context, rng io.Reader, conn transport.Conn, v *big.Int) (bool, error) {
+	if p.material != nil {
+		return p.key.CompareSignedBMaterial(ctx, p.material, conn, v)
+	}
+	if p.pool != nil {
+		return p.key.CompareSignedBPooled(ctx, p.pool, conn, v)
+	}
+	return p.key.CompareSignedB(ctx, rng, conn, v)
+}
+
+// CompareSignedBatchB implements comparerS2.
+func (p pooledComparerS2) CompareSignedBatchB(ctx context.Context, rng io.Reader, conn transport.Conn, vals []*big.Int, par int) ([]bool, error) {
+	if p.material != nil {
+		return p.key.CompareSignedBatchBMaterial(ctx, p.material, conn, vals, par)
+	}
+	return p.key.CompareSignedBatchB(ctx, rng, conn, vals, par)
 }
 
 // stepSetter lets the engine advance the metering label on metered conns.
@@ -225,10 +244,88 @@ func RunS1(ctx context.Context, rng io.Reader, cfg Config, keys KeysS1,
 	return &Outcome{Consensus: true, Label: label, Participants: len(active)}, nil
 }
 
+// S2Pools holds S2's precomputed DGK comparison material, kept warm by
+// background refill workers. Created once per server process and passed to
+// RunS2WithPools, the pools outlive individual instances: the offline phase
+// (bit-encryption precompute) runs between queries, leaving the online
+// phase mostly table walks.
+type S2Pools struct {
+	nonces   *dgk.NoncePool
+	material *dgk.MaterialPool
+}
+
+// NewS2Pools builds the pools the configured strategy draws from: full
+// comparison material for the batched tournament schedule, h^r nonces for
+// the all-pairs schedule. Returns (nil, nil) when cfg.UseDGKPool is false —
+// on-demand encryption needs no pools.
+func NewS2Pools(cfg Config, keys KeysS2) (*S2Pools, error) {
+	if !cfg.UseDGKPool {
+		return nil, nil
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	workers := 2
+	if par := cfg.parallelism(); par > workers {
+		workers = par
+	}
+	if cfg.tournament() {
+		// One material item covers a whole comparison (L bit-encryption
+		// pairs), so capacity is counted in comparisons: one instance's
+		// comparisonBudget by default, or the configured nonce-count
+		// capacity converted at L nonces per comparison.
+		capacity := cfg.comparisonBudget()
+		if cfg.DGKPoolCapacity > 0 {
+			capacity = (cfg.DGKPoolCapacity + cfg.DGK.L - 1) / cfg.DGK.L
+		}
+		mp, err := dgk.NewMaterialPool(nil, keys.DGK.Public(), capacity, workers)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: DGK material pool: %w", err)
+		}
+		return &S2Pools{material: mp}, nil
+	}
+	capacity := cfg.DGKPoolCapacity
+	if capacity <= 0 {
+		// Every comparison consumes L nonces; cover the full instance
+		// (both argmax phases plus threshold checks, per the
+		// strategy-aware comparisonBudget) so the pool never drains into
+		// on-demand generation.
+		capacity = cfg.comparisonBudget() * cfg.DGK.L
+	}
+	np, err := dgk.NewNoncePool(nil, keys.DGK.Public(), capacity, workers)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: DGK pool: %w", err)
+	}
+	return &S2Pools{nonces: np}, nil
+}
+
+// Close stops the background refill workers and releases buffered material.
+func (p *S2Pools) Close() {
+	if p == nil {
+		return
+	}
+	if p.nonces != nil {
+		p.nonces.Close()
+	}
+	if p.material != nil {
+		p.material.Close()
+	}
+}
+
 // RunS2 executes S2's role in Alg. 5. subs holds every user's ToS2 half
-// (encrypted under pk1).
+// (encrypted under pk1). Pools (when enabled) live only for this instance;
+// long-running servers should hold an S2Pools and call RunS2WithPools so
+// precompute overlaps the idle time between queries.
 func RunS2(ctx context.Context, rng io.Reader, cfg Config, keys KeysS2,
 	conn transport.Conn, subs []SubmissionHalf, meter *transport.Meter) (*Outcome, error) {
+	return RunS2WithPools(ctx, rng, cfg, keys, conn, subs, meter, nil)
+}
+
+// RunS2WithPools is RunS2 drawing comparison material from caller-owned
+// pools. pools may be nil: ephemeral pools are then created per cfg and
+// closed when the instance finishes.
+func RunS2WithPools(ctx context.Context, rng io.Reader, cfg Config, keys KeysS2,
+	conn transport.Conn, subs []SubmissionHalf, meter *transport.Meter, pools *S2Pools) (*Outcome, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -251,26 +348,22 @@ func RunS2(ctx context.Context, rng io.Reader, cfg Config, keys KeysS2,
 		return nil, err
 	}
 
-	// Optional randomness-table optimization for the DGK comparisons.
-	var cmpB comparerS2 = keys.DGK
-	if cfg.UseDGKPool {
-		capacity := cfg.DGKPoolCapacity
-		if capacity <= 0 {
-			// Every comparison consumes L nonces; cover the full
-			// instance (two all-pairs phases plus threshold checks) so
-			// the pool never drains into on-demand generation.
-			capacity = cfg.comparisonBudget() * cfg.DGK.L
-		}
-		workers := 2
-		if par > workers {
-			workers = par
-		}
-		pool, err := dgk.NewNoncePool(nil, keys.DGK.Public(), capacity, workers)
+	// Optional randomness-table optimization for the DGK comparisons:
+	// caller-owned pools when provided, ephemeral per-instance ones
+	// otherwise.
+	if pools == nil {
+		p, err := NewS2Pools(cfg, keys)
 		if err != nil {
-			return nil, fmt.Errorf("protocol: DGK pool: %w", err)
+			return nil, err
 		}
-		defer pool.Close()
-		cmpB = pooledComparerS2{key: keys.DGK, pool: pool}
+		if p != nil {
+			defer p.Close()
+		}
+		pools = p
+	}
+	var cmpB comparerS2 = keys.DGK
+	if pools != nil {
+		cmpB = pooledComparerS2{key: keys.DGK, pool: pools.nonces, material: pools.material}
 	}
 
 	var aggVotes, aggThresh, aggNoisy []*paillier.Ciphertext
@@ -476,14 +569,24 @@ func aggregate(pk *paillier.PublicKey, subs []SubmissionHalf, par int, field fun
 	return partials[0], nil
 }
 
-// argmaxPermutedS1 finds the permuted position of the maximum via all-pairs
-// DGK comparisons (Eq. 7), S1 side. Both parties derive the same result.
+// argmaxPermutedS1 finds the permuted position of the maximum, S1 side.
+// Both parties derive the same result. The default tournament strategy runs
+// the bracket of tournament.go with one batched exchange per level; the
+// all-pairs strategy runs the original Eq. 7 schedule, one exchange per
+// pair.
 //
-// For the pair (p, q), p < q, S1 supplies seq[p] - seq[q] and S2 supplies
-// its seq[q] - seq[p]; the comparison bit is (c_p' >= c_q') because the
-// common scalar bias cancels in each party's difference.
+// In either schedule, for the pair (p, q), p < q, S1 supplies seq[p] -
+// seq[q] and S2 supplies its seq[q] - seq[p]; the comparison bit is (c_p'
+// >= c_q') because the common scalar bias cancels in each party's
+// difference.
 func argmaxPermutedS1(ctx context.Context, rng io.Reader, cfg Config, pub comparerS1,
 	sess *muxSession, step string, seq []*big.Int) (int, error) {
+	if cfg.tournament() {
+		return tournamentArgmax(ctx, cfg, sess, seq, false,
+			func(ctx context.Context, conn transport.Conn, diffs []*big.Int) ([]bool, error) {
+				return pub.CompareSignedBatchA(ctx, rng, conn, diffs, sess.batchPar())
+			})
+	}
 	jobs := argmaxJobs(cfg, seq, false)
 	geqs, err := sess.runComparisons(ctx, step, jobs, func(ctx context.Context, conn transport.Conn, d *big.Int) (bool, error) {
 		return pub.CompareSignedA(ctx, rng, conn, d)
@@ -491,12 +594,19 @@ func argmaxPermutedS1(ctx context.Context, rng io.Reader, cfg Config, pub compar
 	if err != nil {
 		return -1, err
 	}
+	strategyComparisons(cfg).Add(int64(len(jobs)))
 	return argmaxWinner(cfg, geqs)
 }
 
 // argmaxPermutedS2 is the S2 (DGK key owner) side of argmaxPermutedS1.
 func argmaxPermutedS2(ctx context.Context, rng io.Reader, cfg Config, key comparerS2,
 	sess *muxSession, step string, seq []*big.Int) (int, error) {
+	if cfg.tournament() {
+		return tournamentArgmax(ctx, cfg, sess, seq, true,
+			func(ctx context.Context, conn transport.Conn, diffs []*big.Int) ([]bool, error) {
+				return key.CompareSignedBatchB(ctx, rng, conn, diffs, sess.batchPar())
+			})
+	}
 	jobs := argmaxJobs(cfg, seq, true)
 	geqs, err := sess.runComparisons(ctx, step, jobs, func(ctx context.Context, conn transport.Conn, d *big.Int) (bool, error) {
 		return key.CompareSignedB(ctx, rng, conn, d)
@@ -504,6 +614,7 @@ func argmaxPermutedS2(ctx context.Context, rng io.Reader, cfg Config, key compar
 	if err != nil {
 		return -1, err
 	}
+	strategyComparisons(cfg).Add(int64(len(jobs)))
 	return argmaxWinner(cfg, geqs)
 }
 
@@ -587,16 +698,28 @@ func (m *winsMatrix) winner() (int, error) {
 // which decides c_p + 2*z1_p >= T since the shared bias r' cancels. Only
 // the bit at pStar matters; with ThresholdAllPositions every position is
 // checked so traffic does not depend on pStar.
+// Under the tournament strategy the whole check is one batched exchange;
+// under all-pairs it keeps the original one-exchange-per-position wire
+// format.
 func thresholdCheckS1(ctx context.Context, rng io.Reader, cfg Config, pub comparerS1,
 	sess *muxSession, threshSeq []*big.Int, pStar int) (bool, error) {
 	positions := checkPositions(cfg, pStar)
-	geqs, err := sess.runComparisons(ctx, StepThreshold, thresholdJobs(positions, threshSeq),
-		func(ctx context.Context, conn transport.Conn, d *big.Int) (bool, error) {
-			return pub.CompareSignedA(ctx, rng, conn, d)
-		})
+	jobs := thresholdJobs(positions, threshSeq)
+	var geqs []bool
+	var err error
+	if cfg.tournament() {
+		geqs, err = pub.CompareSignedBatchA(ctx, rng, sess.seq, jobDiffs(jobs), sess.batchPar())
+		cmpJobsTotal.Add(int64(len(jobs)))
+	} else {
+		geqs, err = sess.runComparisons(ctx, StepThreshold, jobs,
+			func(ctx context.Context, conn transport.Conn, d *big.Int) (bool, error) {
+				return pub.CompareSignedA(ctx, rng, conn, d)
+			})
+	}
 	if err != nil {
 		return false, err
 	}
+	strategyComparisons(cfg).Add(int64(len(jobs)))
 	return thresholdPass(positions, geqs, pStar), nil
 }
 
@@ -604,14 +727,33 @@ func thresholdCheckS1(ctx context.Context, rng io.Reader, cfg Config, pub compar
 func thresholdCheckS2(ctx context.Context, rng io.Reader, cfg Config, key comparerS2,
 	sess *muxSession, threshSeq []*big.Int, pStar int) (bool, error) {
 	positions := checkPositions(cfg, pStar)
-	geqs, err := sess.runComparisons(ctx, StepThreshold, thresholdJobs(positions, threshSeq),
-		func(ctx context.Context, conn transport.Conn, d *big.Int) (bool, error) {
-			return key.CompareSignedB(ctx, rng, conn, d)
-		})
+	jobs := thresholdJobs(positions, threshSeq)
+	var geqs []bool
+	var err error
+	if cfg.tournament() {
+		geqs, err = key.CompareSignedBatchB(ctx, rng, sess.seq, jobDiffs(jobs), sess.batchPar())
+		cmpJobsTotal.Add(int64(len(jobs)))
+	} else {
+		geqs, err = sess.runComparisons(ctx, StepThreshold, jobs,
+			func(ctx context.Context, conn transport.Conn, d *big.Int) (bool, error) {
+				return key.CompareSignedB(ctx, rng, conn, d)
+			})
+	}
 	if err != nil {
 		return false, err
 	}
+	strategyComparisons(cfg).Add(int64(len(jobs)))
 	return thresholdPass(positions, geqs, pStar), nil
+}
+
+// jobDiffs projects a job list onto its comparison inputs for the batched
+// exchanges.
+func jobDiffs(jobs []cmpJob) []*big.Int {
+	diffs := make([]*big.Int, len(jobs))
+	for i, j := range jobs {
+		diffs[i] = j.diff
+	}
+	return diffs
 }
 
 // thresholdJobs builds one comparison job per checked permuted position.

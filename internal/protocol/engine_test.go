@@ -339,8 +339,8 @@ func TestFullProtocolSinglePositionThreshold(t *testing.T) {
 		t.Fatal("threshold step not metered")
 	}
 	cmp, _ := meter.Step(StepCompare1)
-	pairs := cfg.Classes * (cfg.Classes - 1) / 2
-	perComparison := float64(cmp.BytesSent) / float64(pairs)
+	comparisons := cfg.Classes - 1 // tournament bracket comparisons in phase 4
+	perComparison := float64(cmp.BytesSent) / float64(comparisons)
 	if float64(thr.BytesSent) > 1.5*perComparison {
 		t.Errorf("single-position threshold used %d bytes, expected ~%0.f (one comparison)",
 			thr.BytesSent, perComparison)

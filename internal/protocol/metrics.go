@@ -11,7 +11,21 @@ var (
 		"DGK comparison jobs executed across all phases.")
 	cmpInflight = obs.Default.Gauge("protocol_comparisons_inflight",
 		"Comparisons currently executing on mux streams.")
+	cmpTournament = obs.Default.Counter("privconsensus_comparisons_total",
+		"Secure comparisons executed, labelled by argmax strategy.",
+		obs.L("strategy", StrategyTournament))
+	cmpAllPairs = obs.Default.Counter("privconsensus_comparisons_total",
+		"Secure comparisons executed, labelled by argmax strategy.",
+		obs.L("strategy", StrategyAllPairs))
 )
+
+// strategyComparisons returns the per-strategy comparison counter for cfg.
+func strategyComparisons(cfg Config) *obs.Counter {
+	if cfg.tournament() {
+		return cmpTournament
+	}
+	return cmpAllPairs
+}
 
 // phaseSeconds returns the wall-time histogram for one protocol step.
 func phaseSeconds(step string) *obs.Histogram {

@@ -119,6 +119,18 @@ func newMuxSession(cfg Config, conn transport.Conn, meter *transport.Meter) *mux
 	return &muxSession{seq: m.Stream(0), mux: m, par: cfg.parallelism(), next: 1}
 }
 
+// batchPar bounds the CPU workers a batched comparison exchange may use: 1
+// in the sequential mode (Parallelism == 1, preserving deterministic rng
+// draw order), the session worker bound otherwise. Batched frames travel on
+// the sequential conn either way — the wire format never depends on the
+// worker count.
+func (s *muxSession) batchPar() int {
+	if s.mux == nil {
+		return 1
+	}
+	return s.par
+}
+
 // cmpJob is one secure comparison of a concurrent phase.
 type cmpJob struct {
 	// tag labels the comparison in errors, e.g. "compare pair (2,5)".

@@ -147,14 +147,25 @@ func TestComparisonBudget(t *testing.T) {
 	cfg := testConfig(5)
 	cfg.Classes = 4
 	cfg.ThresholdAllPositions = false
-	// Two argmax phases of K(K-1)/2 pairwise comparisons each, run by one
-	// instance as K(K-1) total, plus a single threshold check.
+	// Tournament (the default): two argmax phases of K-1 bracket
+	// comparisons each, plus a single threshold check.
+	if got, want := cfg.comparisonBudget(), 2*3+1; got != want {
+		t.Errorf("tournament budget = %d, want %d", got, want)
+	}
+	cfg.ThresholdAllPositions = true
+	if got, want := cfg.comparisonBudget(), 2*3+4; got != want {
+		t.Errorf("tournament all-positions budget = %d, want %d", got, want)
+	}
+	// All-pairs: two phases of K(K-1)/2 pairwise comparisons each, run by
+	// one instance as K(K-1) total.
+	cfg.ArgmaxStrategy = StrategyAllPairs
+	cfg.ThresholdAllPositions = false
 	if got, want := cfg.comparisonBudget(), 4*3+1; got != want {
-		t.Errorf("budget = %d, want %d", got, want)
+		t.Errorf("all-pairs budget = %d, want %d", got, want)
 	}
 	cfg.ThresholdAllPositions = true
 	if got, want := cfg.comparisonBudget(), 4*3+4; got != want {
-		t.Errorf("all-positions budget = %d, want %d", got, want)
+		t.Errorf("all-pairs all-positions budget = %d, want %d", got, want)
 	}
 }
 

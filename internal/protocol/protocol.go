@@ -41,6 +41,19 @@ const (
 	StepRestoration = "restoration(9)"
 )
 
+// Argmax strategy names for Config.ArgmaxStrategy.
+const (
+	// StrategyTournament runs the secure-comparison phases as a blinded
+	// single-elimination bracket: C-1 comparisons in ceil(log2(C)) levels,
+	// each level's comparisons batched into one frame per round trip.
+	StrategyTournament = "tournament"
+	// StrategyAllPairs runs the original all-pairs Eq. 7 schedule —
+	// C(C-1)/2 comparisons, one wire exchange each — preserving the
+	// pre-tournament wire format byte for byte. It serves as the parity
+	// oracle for the tournament path.
+	StrategyAllPairs = "allpairs"
+)
+
 // Errors returned by the package.
 var (
 	ErrBadConfig    = errors.New("protocol: invalid configuration")
@@ -94,6 +107,13 @@ type Config struct {
 	// DGKPoolCapacity sizes the pool (0 sizes it from the number of
 	// comparisons one instance performs: comparisonBudget() * DGK.L).
 	DGKPoolCapacity int
+	// ArgmaxStrategy selects the secure-comparison schedule:
+	// StrategyTournament (the default when empty) or StrategyAllPairs.
+	// Both servers must configure the same strategy — the wire formats
+	// differ — and the deploy layer's capability hello enforces this.
+	// The released label is identical under either strategy, including
+	// on ties: both resolve them to the lowest permuted position.
+	ArgmaxStrategy string
 	// Parallelism bounds the number of concurrent DGK comparisons and
 	// CPU-bound crypto workers (homomorphic aggregation, Paillier
 	// re-randomization). 0 selects runtime.NumCPU(). The value 1
@@ -159,8 +179,25 @@ func (c Config) Validate() error {
 	if c.Parallelism < 0 {
 		return fmt.Errorf("%w: negative parallelism %d", ErrBadConfig, c.Parallelism)
 	}
+	switch c.ArgmaxStrategy {
+	case "", StrategyTournament, StrategyAllPairs:
+	default:
+		return fmt.Errorf("%w: unknown argmax strategy %q", ErrBadConfig, c.ArgmaxStrategy)
+	}
 	return nil
 }
+
+// ResolvedArgmaxStrategy resolves the configured strategy ("" defaults to
+// the tournament schedule).
+func (c Config) ResolvedArgmaxStrategy() string {
+	if c.ArgmaxStrategy == "" {
+		return StrategyTournament
+	}
+	return c.ArgmaxStrategy
+}
+
+// tournament reports whether the tournament argmax schedule is in effect.
+func (c Config) tournament() bool { return c.ResolvedArgmaxStrategy() == StrategyTournament }
 
 // parallelism resolves the configured worker bound (0 = NumCPU).
 func (c Config) parallelism() int {
@@ -178,11 +215,17 @@ func (c Config) parallelism() int {
 // servers always make the same choice.
 func (c Config) muxEnabled() bool { return c.Parallelism != 1 }
 
-// comparisonBudget counts the DGK comparisons one Alg. 5 instance performs:
-// two all-pairs argmax phases of K(K-1)/2 comparisons each, plus the
-// threshold checks (all K positions, or just one).
+// comparisonBudget counts the DGK comparisons one Alg. 5 instance performs
+// under the configured argmax strategy: two argmax phases — K-1 comparisons
+// each for the tournament bracket, K(K-1)/2 each for all-pairs — plus the
+// threshold checks (all K positions, or just one). Sizing pools from this
+// keeps the default tournament deployment from over-provisioning 10x for a
+// schedule it never runs.
 func (c Config) comparisonBudget() int {
-	n := c.Classes * (c.Classes - 1)
+	n := 2 * (c.Classes - 1)
+	if !c.tournament() {
+		n = c.Classes * (c.Classes - 1)
+	}
 	if c.ThresholdAllPositions {
 		return n + c.Classes
 	}

@@ -39,6 +39,11 @@ const (
 	// KindMux wraps another message with a stream ID for multiplexed
 	// links (see mux.go). Mux frames never nest.
 	KindMux
+	// KindBatch aggregates several same-kind messages into one frame so a
+	// single round trip carries a whole phase of sub-protocol exchanges
+	// (see batch.go). Batch frames may ride inside mux frames but never
+	// nest in each other.
+	KindBatch
 )
 
 // String implements fmt.Stringer for diagnostics.
@@ -58,6 +63,8 @@ func (k MessageKind) String() string {
 		return "control"
 	case KindMux:
 		return "mux"
+	case KindBatch:
+		return "batch"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
