@@ -16,6 +16,7 @@ import (
 	"math/big"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
@@ -346,26 +347,36 @@ func BenchmarkArgmaxStrategy(b *testing.B) {
 }
 
 // BenchmarkObsOverhead measures the cost of the observability layer on the
-// protocol hot path: a full query instance with metric collection on vs
-// off. The acceptance bound is <= 5% (see results/obs_overhead.txt).
+// protocol hot path: a full query instance with metric collection off, on,
+// and on with the durable event journal writing every query to disk. The
+// acceptance bound for both enabled variants is <= 5% over metrics-off
+// (see results/obs_overhead.txt).
 func BenchmarkObsOverhead(b *testing.B) {
-	for _, enabled := range []bool{true, false} {
-		name := "metrics-on"
-		if !enabled {
-			name = "metrics-off"
-		}
-		b.Run(name, func(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		metrics bool
+		journal bool
+	}{
+		{"metrics-on", true, false},
+		{"metrics-off", false, false},
+		{"journal-on", true, true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
 			prev := obs.Default.Enabled()
-			obs.Default.SetEnabled(enabled)
+			obs.Default.SetEnabled(tc.metrics)
 			defer obs.Default.SetEnabled(prev)
 			cfg := DefaultConfig(4)
 			cfg.Classes = 4
 			cfg.Sigma1, cfg.Sigma2 = 0, 0
 			cfg.Seed = 42
+			if tc.journal {
+				cfg.JournalPath = filepath.Join(b.TempDir(), "bench.jsonl")
+			}
 			engine, err := NewEngine(cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
+			defer engine.Close()
 			votes := [][]float64{
 				{0, 0, 1, 0}, {0, 0, 1, 0}, {0, 0, 1, 0}, {1, 0, 0, 0},
 			}

@@ -52,6 +52,8 @@ func run(args []string) error {
 		faultSpec = fs.String("fault-spec", "", "inject deterministic connection faults, e.g. seed=7,reset=0.02,stall=0.01,max=20 (testing only)")
 		quorum    = fs.Float64("quorum", 0, "minimum participants per query: a fraction of users in (0,1) or an absolute count >= 1 (0 = require full participation; both servers must agree)")
 		deadline  = fs.Duration("submit-deadline", 0, "close the submission window this long after startup once quorum is met (0 with -quorum unset = wait for everyone)")
+		journal   = fs.String("journal", "", "append a hash-chained JSONL event journal at this path and propagate a cross-process trace ID (both servers must agree; see cmd/trace)")
+		logLevel  = fs.String("log-level", "", "log threshold: debug, info (default), warn or silent")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,6 +82,8 @@ func run(args []string) error {
 		FaultSpec:      *faultSpec,
 		Quorum:         *quorum,
 		SubmitDeadline: *deadline,
+		JournalPath:    *journal,
+		LogLevel:       *logLevel,
 		Logf:           deploy.DefaultLogger("[" + *role + "] "),
 	}
 

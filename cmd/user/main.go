@@ -39,6 +39,8 @@ func run(args []string) error {
 		retries  = fs.Int("max-retries", 0, "upload retry budget on transient I/O failures (0 = legacy fire-and-forget upload)")
 		backoff  = fs.Duration("backoff", 50*time.Millisecond, "initial retry backoff (doubles per retry)")
 		faults   = fs.String("fault-spec", "", "inject deterministic connection faults (testing only)")
+		journal  = fs.String("journal", "", "append a hash-chained JSONL event journal at this path and join the servers' cross-process trace (see cmd/trace)")
+		logLevel = fs.String("log-level", "", "log threshold: debug, info (default), warn or silent")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,6 +76,8 @@ func run(args []string) error {
 	if err := deploy.SubmitVotes(ctx, &pub, deploy.UserOptions{
 		User: *userIdx, S1Addr: *s1Addr, S2Addr: *s2Addr, Seed: *seed,
 		MaxRetries: *retries, Backoff: *backoff, FaultSpec: *faults,
+		JournalPath: *journal, LogLevel: *logLevel,
+		Logf: deploy.DefaultLogger(fmt.Sprintf("[user%d] ", *userIdx)),
 	}, votes); err != nil {
 		return err
 	}

@@ -82,6 +82,11 @@ type Config struct {
 	// atomically rewritten after every recorded spend, so the cumulative
 	// (ε, δ) budget survives process restarts.
 	AccountantPath string
+	// JournalPath, when non-empty, appends every query's phase spans,
+	// annotations and privacy-accountant spends to a hash-chained JSONL
+	// event journal at this path (see internal/obs and cmd/trace). Close
+	// the engine with Engine.Close when set.
+	JournalPath string
 }
 
 // ErrQuorumNotMet reports a query released with fewer participants than
@@ -149,6 +154,10 @@ type Engine struct {
 	// acct is the durable privacy accountant (nil unless AccountantPath is
 	// set); LabelBatch records every spend into it.
 	acct *Accountant
+
+	// journal is the durable event journal (nil unless JournalPath is set);
+	// every query's trace and every accountant spend is appended to it.
+	journal *obs.Journal
 }
 
 // NewEngine validates cfg and generates all server key material.
@@ -181,14 +190,59 @@ func NewEngine(cfg Config) (*Engine, error) {
 			return nil, err
 		}
 	}
+	var journal *obs.Journal
+	if cfg.JournalPath != "" {
+		journal, err = obs.OpenJournal(cfg.JournalPath, obs.JournalOptions{Role: "engine"})
+		if err != nil {
+			return nil, err
+		}
+		id, err := mintEngineTraceID(cfg.Seed)
+		if err != nil {
+			journal.Close()
+			return nil, err
+		}
+		if err := journal.BeginTrace(id); err != nil {
+			journal.Close()
+			return nil, err
+		}
+	}
 	return &Engine{
-		cfg:   cfg,
-		pcfg:  pcfg,
-		keys:  keys,
-		rng:   rng,
-		noise: mrand.New(mrand.NewSource(noiseSeed)),
-		acct:  acct,
+		cfg:     cfg,
+		pcfg:    pcfg,
+		keys:    keys,
+		rng:     rng,
+		noise:   mrand.New(mrand.NewSource(noiseSeed)),
+		acct:    acct,
+		journal: journal,
 	}, nil
+}
+
+// mintEngineTraceID draws the in-process run's trace identity:
+// deterministic from a distinct stream when seeded, crypto/rand otherwise.
+func mintEngineTraceID(seed int64) (string, error) {
+	var rng io.Reader = rand.Reader
+	if seed != 0 {
+		rng = mrand.New(mrand.NewSource(seed + 8191))
+	}
+	var b [8]byte
+	for {
+		if _, err := io.ReadFull(rng, b[:]); err != nil {
+			return "", fmt.Errorf("privconsensus: mint trace id: %w", err)
+		}
+		id := uint64(0)
+		for _, x := range b {
+			id = id<<8 | uint64(x)
+		}
+		if id &^= 1 << 63; id != 0 {
+			return fmt.Sprintf("t-%016x", id), nil
+		}
+	}
+}
+
+// Close releases the engine's durable resources (currently the event
+// journal). Safe to call on an engine without a journal, and idempotent.
+func (e *Engine) Close() error {
+	return e.journal.Close()
 }
 
 // toProtocolConfig maps the public config onto the internal protocol
@@ -353,7 +407,8 @@ func (e *Engine) labelInstance(ctx context.Context, votes [][]float64, subs []*S
 	if meter == nil {
 		meter = transport.NewMeter()
 	}
-	tracer := obs.NewTracer(fmt.Sprintf("q%d", e.queries.Add(1)))
+	qn := e.queries.Add(1)
+	tracer := obs.NewTracer(fmt.Sprintf("q%d", qn))
 	present := 0
 	for _, s := range subs {
 		if s != nil {
@@ -404,9 +459,14 @@ func (e *Engine) labelInstance(ctx context.Context, votes [][]float64, subs []*S
 		default:
 			tracer.Finish("no-consensus", nil)
 		}
+		qt := tracer.Trace()
 		e.traceMu.Lock()
-		e.lastTrace = tracer.Trace()
+		e.lastTrace = qt
 		e.traceMu.Unlock()
+		obs.DefaultTraces.Add(qt)
+		// Journal append failures must not fail the query; the outcome is
+		// already decided.
+		e.journal.AppendTrace(int(qn)-1, 1, qt) //nolint:errcheck
 	}
 
 	if err != nil {
@@ -537,6 +597,7 @@ func (e *Engine) LabelBatch(ctx context.Context, votes [][][]float64) (*BatchRes
 			if err := acc.RecordQuery(e.cfg.Sigma1); err != nil {
 				return nil, err
 			}
+			e.journalSpend(q, fmt.Sprintf("svt sigma=%g", e.cfg.Sigma1))
 		}
 		if out.Consensus {
 			res.Released++
@@ -544,6 +605,7 @@ func (e *Engine) LabelBatch(ctx context.Context, votes [][][]float64) (*BatchRes
 				if err := acc.RecordRelease(e.cfg.Sigma2); err != nil {
 					return nil, err
 				}
+				e.journalSpend(q, fmt.Sprintf("rnm sigma=%g", e.cfg.Sigma2))
 			}
 		}
 	}
@@ -553,6 +615,13 @@ func (e *Engine) LabelBatch(ctx context.Context, votes [][][]float64) (*BatchRes
 	}
 	res.Epsilon = eps
 	return res, nil
+}
+
+// journalSpend records one privacy-accountant spend in the event journal
+// (no-op without a journal; append failures never fail the batch — the
+// spend itself is already durably recorded by the accountant).
+func (e *Engine) journalSpend(query int, note string) {
+	e.journal.Append(obs.Event{Type: obs.EventSpend, Instance: query, Note: note}) //nolint:errcheck
 }
 
 // labelWithRetry runs one query instance, retrying transient failures

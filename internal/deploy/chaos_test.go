@@ -5,11 +5,14 @@ import (
 	"context"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
 	"time"
 
+	"github.com/privconsensus/privconsensus/internal/obs"
 	"github.com/privconsensus/privconsensus/internal/protocol"
 )
 
@@ -33,6 +36,16 @@ func TestChaosResilientDeployment(t *testing.T) {
 		instances = 20
 	)
 	s1File, s2File, pubFile, cfg := testSetup(t, users)
+	// CI sets CHAOS_JOURNAL_DIR to keep the journals as build artifacts
+	// (and verifies them again with cmd/trace); locally they are ephemeral.
+	journalDir := os.Getenv("CHAOS_JOURNAL_DIR")
+	if journalDir == "" {
+		journalDir = t.TempDir()
+	} else if err := os.MkdirAll(journalDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	s1Journal := filepath.Join(journalDir, "s1.jsonl")
+	s2Journal := filepath.Join(journalDir, "s2.jsonl")
 
 	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
 	defer cancel()
@@ -61,6 +74,7 @@ func TestChaosResilientDeployment(t *testing.T) {
 			MetricsAddr:    "127.0.0.1:0",
 			MetricsReady:   metricsReady,
 			MetricsLinger:  5 * time.Second,
+			JournalPath:    s1Journal,
 		})
 		s1Done <- repResult{rep, err}
 	}()
@@ -80,6 +94,7 @@ func TestChaosResilientDeployment(t *testing.T) {
 			Backoff:        5 * time.Millisecond,
 			AttemptTimeout: 30 * time.Second,
 			ArgmaxStrategy: protocol.StrategyTournament,
+			JournalPath:    s2Journal,
 		})
 		s2Done <- repResult{rep, err}
 	}()
@@ -145,6 +160,36 @@ func TestChaosResilientDeployment(t *testing.T) {
 	// attempts, so at most 4 can fail even in the worst schedule.
 	if okBoth < instances-5 {
 		t.Errorf("only %d/%d S1 instances succeeded under the bounded fault budget", okBoth, instances)
+	}
+
+	// Both journals must survive the chaos run with intact hash chains, and
+	// the disruptions themselves must be on the record: S1 injected the
+	// faults, so its journal carries the fault events, and the schedule is
+	// hot enough that at least one retry lands in some journal.
+	var faultEvents, retryEvents int
+	for _, path := range []string{s1Journal, s2Journal} {
+		if n, err := obs.VerifyJournalFile(path); err != nil || n == 0 {
+			t.Errorf("%s after chaos: %d records, err %v; the chain must verify", path, n, err)
+			continue
+		}
+		evs, err := obs.ReadJournalFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range evs {
+			switch ev.Type {
+			case obs.EventFault:
+				faultEvents++
+			case obs.EventRetry:
+				retryEvents++
+			}
+		}
+	}
+	if faultEvents == 0 {
+		t.Error("no fault events journaled; S1's injector observer never fired")
+	}
+	if retryEvents == 0 {
+		t.Error("no retry events journaled despite a firing fault schedule")
 	}
 }
 

@@ -138,6 +138,7 @@ type collector struct {
 	released  bool
 	done      chan struct{}
 	doneOnce  sync.Once
+	events    func(reason string) // optional rejection observer (journal hook)
 }
 
 // newCollector prepares an empty submission grid. ring is the N² modulus of
@@ -165,6 +166,9 @@ func newCollector(users, instances, classes int, ring *big.Int) *collector {
 // submissions.
 func (c *collector) reject(reason string, err error) error {
 	submissionsRejected(reason).Inc()
+	if c.events != nil {
+		c.events(reason)
+	}
 	return fmt.Errorf("%w (%s): %v", errRejectedSubmission, reason, err)
 }
 

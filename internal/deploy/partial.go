@@ -77,6 +77,9 @@ func (o ServerOptions) helloCaps(cfg protocol.Config) int64 {
 	if cfg.ResolvedArgmaxStrategy() == protocol.StrategyTournament {
 		caps |= capBatched
 	}
+	if o.traced() {
+		caps |= capTrace
+	}
 	return caps
 }
 
@@ -126,6 +129,9 @@ func checkPeerCaps(caps int64, opts ServerOptions, cfg protocol.Config) error {
 	tournament := cfg.ResolvedArgmaxStrategy() == protocol.StrategyTournament
 	if tournament != (caps&capBatched != 0) {
 		return fmt.Errorf("deploy: S1 and S2 disagree on the argmax strategy; run both servers with the same -argmax")
+	}
+	if opts.traced() != (caps&capTrace != 0) {
+		return fmt.Errorf("deploy: S1 and S2 disagree on trace journaling; run both servers with the same -journal setting")
 	}
 	return nil
 }

@@ -97,6 +97,18 @@ type ServerOptions struct {
 	// the full-participation wait (the default, wire-identical to the
 	// pre-partial protocol).
 	SubmitDeadline time.Duration
+	// JournalPath, when non-empty, appends every query's spans and
+	// lifecycle events (rejections, retries, faults, quorum decisions, δ
+	// corrections) to a hash-chained JSONL journal at this path, and
+	// enables cross-process trace propagation: S1 mints a per-run trace ID
+	// and pushes it to S2 and tracing users over a capability-negotiated
+	// ctrl frame. Both servers must agree on whether tracing is on, like
+	// Parallelism. Empty (the default) keeps the wire byte-for-byte the
+	// untraced protocol.
+	JournalPath string
+	// LogLevel filters Logf output: "debug", "info" (the default), "warn"
+	// or "silent".
+	LogLevel string
 }
 
 // resilient reports whether the session-resilience protocol is enabled.
@@ -137,15 +149,43 @@ func (o ServerOptions) announceReady(addr string) {
 type logLevel int
 
 const (
-	levelInfo logLevel = iota
+	levelDebug logLevel = iota
+	levelInfo
 	levelWarn
+	levelSilent // threshold only: no line logs at this level
 )
 
+// parseLogLevel resolves a -log-level value ("" defaults to info).
+func parseLogLevel(s string) (logLevel, error) {
+	switch s {
+	case "debug":
+		return levelDebug, nil
+	case "", "info":
+		return levelInfo, nil
+	case "warn":
+		return levelWarn, nil
+	case "silent":
+		return levelSilent, nil
+	}
+	return levelInfo, fmt.Errorf("deploy: unknown log level %q (want debug, info, warn or silent)", s)
+}
+
+// minLevel resolves the configured threshold; unknown values were caught
+// by validate, so here they just fall back to info.
+func (o ServerOptions) minLevel() logLevel {
+	lv, err := parseLogLevel(o.LogLevel)
+	if err != nil {
+		return levelInfo
+	}
+	return lv
+}
+
 // log is the single leveled logging helper every deploy log site goes
-// through. A nil Logf returns before any formatting work happens; warnings
-// are prefixed so a plain sink still distinguishes them.
+// through. A nil Logf or a line below the configured threshold returns
+// before any formatting work happens; warnings are prefixed so a plain
+// sink still distinguishes them.
 func (o ServerOptions) log(lv logLevel, format string, args ...any) {
-	if o.Logf == nil {
+	if o.Logf == nil || lv < o.minLevel() {
 		return
 	}
 	if lv == levelWarn {
@@ -164,6 +204,9 @@ func (o ServerOptions) validate() error {
 	}
 	if o.SubmitDeadline < 0 {
 		return fmt.Errorf("deploy: negative submit deadline %v", o.SubmitDeadline)
+	}
+	if _, err := parseLogLevel(o.LogLevel); err != nil {
+		return err
 	}
 	return nil
 }
@@ -210,9 +253,11 @@ func (h *adminHandle) close(ctx context.Context) {
 
 // runInstance executes one query instance with full observability: a fresh
 // meter and tracer, phase spans from the protocol engine, traffic bridged
-// into the trace, a one-line summary log, and errors that name the failing
-// phase. The summary logs quantities only — never votes, shares or keys.
-func runInstance(ctx context.Context, role string, i, attempt, participants, dropped int, opts ServerOptions,
+// into the trace, a one-line summary log, errors that name the failing
+// phase, and — when journaling is on — the completed trace appended to the
+// event journal and the /debug/traces ring. The summary and journal record
+// quantities only — never votes, shares or keys.
+func runInstance(ctx context.Context, s *serverSetup, role string, i, attempt, participants, dropped int, opts ServerOptions,
 	run func(ctx context.Context, meter *transport.Meter) (*protocol.Outcome, error)) (*protocol.Outcome, error) {
 	meter := transport.NewMeter()
 	tracer := obs.NewTracer(fmt.Sprintf("%s-q%d", role, i))
@@ -227,7 +272,7 @@ func runInstance(ctx context.Context, role string, i, attempt, participants, dro
 		phase := tracer.OpenPhase()
 		tracer.Finish("error", err)
 		queriesTotal(role, "error").Inc()
-		opts.log(levelWarn, "%s", tracer.Trace().Summary())
+		finishInstanceTrace(s, tracer, i, attempt, opts, levelWarn)
 		if phase != "" {
 			return nil, fmt.Errorf("deploy: %s instance %d (phase %q): %w", role, i, phase, err)
 		}
@@ -239,8 +284,23 @@ func runInstance(ctx context.Context, role string, i, attempt, participants, dro
 	}
 	tracer.Finish(result, nil)
 	queriesTotal(role, result0(out)).Inc()
-	opts.log(levelInfo, "%s", tracer.Trace().Summary())
+	finishInstanceTrace(s, tracer, i, attempt, opts, levelInfo)
 	return out, nil
+}
+
+// finishInstanceTrace publishes a sealed per-instance trace: summary log
+// line, /debug/traces ring, and — when journaling is on — the span and
+// annotation events with the query's closing record.
+func finishInstanceTrace(s *serverSetup, tracer *obs.Tracer, i, attempt int, opts ServerOptions, lv logLevel) {
+	qt := tracer.Trace()
+	opts.log(lv, "%s", qt.Summary())
+	obs.DefaultTraces.Add(qt)
+	if s == nil || s.journal == nil {
+		return
+	}
+	if err := s.journal.AppendTrace(i, attempt+1, qt); err != nil {
+		opts.log(levelWarn, "journal append failed: %v", err)
+	}
 }
 
 // result0 maps an outcome to its metric label.
@@ -253,17 +313,20 @@ func result0(out *protocol.Outcome) string {
 
 // serverSetup bundles the state shared by both servers' run paths.
 type serverSetup struct {
-	cfg    protocol.Config
-	admin  *adminHandle
-	l      *transport.Listener
-	col    *collector
-	faults *transport.FaultInjector
+	cfg     protocol.Config
+	admin   *adminHandle
+	l       *transport.Listener
+	col     *collector
+	faults  *transport.FaultInjector
+	journal *obs.Journal
+	trace   *traceState
 }
 
-// setupServer performs the option validation, admin endpoint, listener and
-// collector setup common to S1 and S2. ring is the N² modulus every stored
-// ciphertext must live in (the peer's Paillier key — submissions held by
-// one server are encrypted under the other server's public key).
+// setupServer performs the option validation, admin endpoint, listener,
+// collector, journal and trace-state setup common to S1 and S2. ring is
+// the N² modulus every stored ciphertext must live in (the peer's Paillier
+// key — submissions held by one server are encrypted under the other
+// server's public key).
 func setupServer(ctx context.Context, role string, cfg protocol.Config, opts ServerOptions, ring *big.Int) (*serverSetup, error) {
 	if opts.Parallelism != 0 {
 		cfg.Parallelism = opts.Parallelism
@@ -274,6 +337,7 @@ func setupServer(ctx context.Context, role string, cfg protocol.Config, opts Ser
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	obs.SetBuildInfo(nil, cfg.ResolvedArgmaxStrategy(), cfg.ResolvedParallelism())
 	inj, err := opts.faults()
 	if err != nil {
 		return nil, err
@@ -282,21 +346,58 @@ func setupServer(ctx context.Context, role string, cfg protocol.Config, opts Ser
 	if err != nil {
 		return nil, err
 	}
+	s := &serverSetup{
+		cfg:    cfg,
+		admin:  admin,
+		faults: inj,
+		trace:  newTraceState(),
+	}
+	if opts.traced() {
+		s.journal, err = obs.OpenJournal(opts.JournalPath, obs.JournalOptions{Role: strings.ToLower(role)})
+		if err != nil {
+			admin.close(ctx)
+			return nil, err
+		}
+		opts.log(levelDebug, "%s journaling to %s", role, opts.JournalPath)
+	}
+	switch {
+	case !opts.traced():
+		// Untraced servers answer tracing users immediately with ID 0.
+		s.trace.put(0)
+	case role == "S1":
+		// S1 mints the run's trace identity at startup, so the accept loop
+		// can hand it to S2 and users without waiting.
+		id, err := mintTraceID(opts.Seed)
+		if err != nil {
+			s.journal.Close()
+			admin.close(ctx)
+			return nil, err
+		}
+		s.adoptTraceID(id, opts)
+	}
+	// S2 traced: the ID arrives from S1 on the first peer connection.
+	if s.journal != nil {
+		inj.SetObserver(func(kind string) {
+			s.journalEvent(opts, obs.Event{Type: obs.EventFault, Instance: -1, Note: kind})
+		})
+	}
 	l, err := transport.Listen(opts.ListenAddr)
 	if err != nil {
+		s.journal.Close()
 		admin.close(ctx)
 		return nil, err
 	}
 	l.SetFaults(inj)
 	opts.log(levelInfo, "%s listening on %s", role, l.Addr())
 	opts.announceReady(l.Addr())
-	return &serverSetup{
-		cfg:    cfg,
-		admin:  admin,
-		l:      l,
-		col:    newCollector(cfg.Users, opts.Instances, cfg.Classes, ring),
-		faults: inj,
-	}, nil
+	s.l = l
+	s.col = newCollector(cfg.Users, opts.Instances, cfg.Classes, ring)
+	if s.journal != nil {
+		s.col.events = func(reason string) {
+			s.journalEvent(opts, obs.Event{Type: obs.EventRejection, Instance: -1, Note: reason})
+		}
+	}
+	return s, nil
 }
 
 // collectSubmissions waits for user submissions per the participation mode:
@@ -328,6 +429,10 @@ func collectSubmissions(ctx context.Context, s *serverSetup, opts ServerOptions,
 func prepareSubs(ctx context.Context, s *serverSetup, opts ServerOptions, role string,
 	peer transport.Conn, i int) ([]protocol.SubmissionHalf, int, error) {
 	if !opts.partial() {
+		// Full participation: the quorum decision is trivial but still
+		// journaled so every instance's timeline starts the same way.
+		s.journalEvent(opts, obs.Event{Type: obs.EventQuorum, Instance: i,
+			Note: fmt.Sprintf("participants=%d dropped=0 quorum=%d", s.cfg.Users, s.cfg.Users)})
 		return s.col.instance(i), s.cfg.Users, nil
 	}
 	local := s.col.bitmap(i)
@@ -345,6 +450,9 @@ func prepareSubs(ctx context.Context, s *serverSetup, opts ServerOptions, role s
 	}
 	participants := popcount(agreed)
 	obs.Participants(role).Set(float64(participants))
+	s.journalEvent(opts, obs.Event{Type: obs.EventQuorum, Instance: i,
+		Note: fmt.Sprintf("participants=%d dropped=%d quorum=%d",
+			participants, s.cfg.Users-participants, opts.quorumCount(s.cfg.Users))})
 	if participants < opts.quorumCount(s.cfg.Users) {
 		queriesTotal(role, "quorum-not-met").Inc()
 		opts.log(levelWarn, "%s instance %d released %d of %d users, below quorum %d",
@@ -394,6 +502,7 @@ func RunS1Report(ctx context.Context, file *keystore.S1File, opts ServerOptions)
 		return nil, err
 	}
 	defer s.admin.close(ctx)
+	defer s.journal.Close()
 	defer s.l.Close()
 
 	var (
@@ -409,7 +518,7 @@ func RunS1Report(ctx context.Context, file *keystore.S1File, opts ServerOptions)
 	acceptErr := make(chan error, 1)
 	acceptCtx, stopAccept := context.WithCancel(ctx)
 	defer stopAccept()
-	go acceptLoop(acceptCtx, s.l, s.col, peerCh, ps, acceptErr, opts)
+	go acceptLoop(acceptCtx, s, peerCh, ps, acceptErr, opts)
 
 	if !opts.resilient() {
 		return runS1Legacy(ctx, keys, s, opts, peerCh, acceptErr, stopAccept)
@@ -484,7 +593,7 @@ func runS1Legacy(ctx context.Context, keys protocol.KeysS1, s *serverSetup, opts
 			}
 			return nil, err
 		}
-		out, err := runInstance(ctx, "s1", i, 0, participants, s.cfg.Users-participants, opts,
+		out, err := runInstance(ctx, s, "s1", i, 0, participants, s.cfg.Users-participants, opts,
 			func(qctx context.Context, meter *transport.Meter) (*protocol.Outcome, error) {
 				return protocol.RunS1(qctx, rng, s.cfg, keys, peer, subs, meter)
 			})
@@ -529,6 +638,7 @@ func runS1Session(ctx context.Context, keys protocol.KeysS1, s *serverSetup, opt
 			res.Attempts = attempt + 1
 			if attempt > 0 {
 				retriesTotal("s1", "instance").Inc()
+				s.journalEvent(opts, obs.Event{Type: obs.EventRetry, Instance: i, Attempt: attempt + 1, Note: "instance"})
 				sleepCtx(ctx, backoffDelay(opts.Backoff, attempt))
 			}
 			if err := ctx.Err(); err != nil {
@@ -543,6 +653,7 @@ func runS1Session(ctx context.Context, keys protocol.KeysS1, s *serverSetup, opt
 				if err != nil {
 					lastErr = err
 					retriesTotal("s1", "reconnect").Inc()
+					s.journalEvent(opts, obs.Event{Type: obs.EventRetry, Instance: i, Note: "reconnect"})
 					continue
 				}
 			} else {
@@ -558,7 +669,7 @@ func runS1Session(ctx context.Context, keys protocol.KeysS1, s *serverSetup, opt
 				if err != nil {
 					return nil, err
 				}
-				return runInstance(actx, "s1", i, attempt, participants, s.cfg.Users-participants, opts,
+				return runInstance(actx, s, "s1", i, attempt, participants, s.cfg.Users-participants, opts,
 					func(qctx context.Context, meter *transport.Meter) (*protocol.Outcome, error) {
 						return protocol.RunS1(qctx, rng, s.cfg, keys, peer, subs, meter)
 					})
@@ -601,7 +712,7 @@ func runS1Session(ctx context.Context, keys protocol.KeysS1, s *serverSetup, opt
 			return nil, fmt.Errorf("deploy: run cancelled after instance %d: %w", i, err)
 		}
 	}
-	peer = s1SendEnd(ctx, opts, ps, peer, prev)
+	peer = s1SendEnd(ctx, s, opts, ps, peer, prev)
 	if peer != nil {
 		peer.Close()
 	}
@@ -611,7 +722,7 @@ func runS1Session(ctx context.Context, keys protocol.KeysS1, s *serverSetup, opt
 // s1SendEnd delivers the end-of-session frame best-effort, reconnecting
 // within the retry budget. S2 has a local fallback when the frame is lost,
 // so failure here is logged, not fatal.
-func s1SendEnd(ctx context.Context, opts ServerOptions, ps *peerSource, peer transport.Conn, lastStatus int64) transport.Conn {
+func s1SendEnd(ctx context.Context, s *serverSetup, opts ServerOptions, ps *peerSource, peer transport.Conn, lastStatus int64) transport.Conn {
 	var lastErr error
 	for try := 0; try <= opts.MaxRetries; try++ {
 		if err := ctx.Err(); err != nil {
@@ -643,6 +754,7 @@ func s1SendEnd(ctx context.Context, opts ServerOptions, ps *peerSource, peer tra
 			break
 		}
 		retriesTotal("s1", "reconnect").Inc()
+		s.journalEvent(opts, obs.Event{Type: obs.EventRetry, Instance: -1, Note: "reconnect"})
 	}
 	opts.log(levelWarn, "S1 could not deliver end-of-session to S2: %v", lastErr)
 	return peer
@@ -685,6 +797,7 @@ func RunS2Report(ctx context.Context, file *keystore.S2File, opts ServerOptions)
 		return nil, err
 	}
 	defer s.admin.close(ctx)
+	defer s.journal.Close()
 	defer s.l.Close()
 
 	// Long-lived comparison pools: created once for the whole run so the
@@ -700,7 +813,7 @@ func RunS2Report(ctx context.Context, file *keystore.S2File, opts ServerOptions)
 	acceptErr := make(chan error, 1)
 	acceptCtx, stopAccept := context.WithCancel(ctx)
 	defer stopAccept()
-	go acceptLoop(acceptCtx, s.l, s.col, nil, nil, acceptErr, opts)
+	go acceptLoop(acceptCtx, s, nil, nil, acceptErr, opts)
 
 	// Derive a distinct deterministic stream from S1's only when seeded;
 	// seed 0 must stay crypto/rand.
@@ -719,6 +832,13 @@ func RunS2Report(ctx context.Context, file *keystore.S2File, opts ServerOptions)
 		if err := sendHelloCaps(ctx, peer, partyPeer, opts.helloCaps(s.cfg)); err != nil {
 			return nil, err
 		}
+		if opts.traced() {
+			id, err := recvTraceContext(ctx, peer)
+			if err != nil {
+				return nil, err
+			}
+			s.adoptTraceID(id, opts)
+		}
 		opts.log(levelInfo, "S2 connected to peer S1 at %s", opts.PeerAddr)
 		if err := collectSubmissions(ctx, s, opts, "s2"); err != nil {
 			return nil, err
@@ -735,7 +855,7 @@ func RunS2Report(ctx context.Context, file *keystore.S2File, opts ServerOptions)
 				}
 				return nil, err
 			}
-			out, err := runInstance(ctx, "s2", i, 0, participants, s.cfg.Users-participants, opts,
+			out, err := runInstance(ctx, s, "s2", i, 0, participants, s.cfg.Users-participants, opts,
 				func(qctx context.Context, meter *transport.Meter) (*protocol.Outcome, error) {
 					return protocol.RunS2WithPools(qctx, rng, s.cfg, keys, peer, subs, meter, pools)
 				})
@@ -763,6 +883,16 @@ func RunS2Report(ctx context.Context, file *keystore.S2File, opts ServerOptions)
 		if err := sendHelloCaps(ctx, conn, partyPeer, opts.helloCaps(s.cfg)); err != nil {
 			conn.Close()
 			return nil, err
+		}
+		if opts.traced() {
+			// Every (re)connection replays the trace frame; adoption is
+			// idempotent, so replays after the first are no-ops.
+			id, err := recvTraceContext(ctx, conn)
+			if err != nil {
+				conn.Close()
+				return nil, err
+			}
+			s.adoptTraceID(id, opts)
 		}
 		return conn, nil
 	}
@@ -809,6 +939,7 @@ func runS2Session(ctx context.Context, keys protocol.KeysS2, rng io.Reader, s *s
 				break
 			}
 			retriesTotal("s2", "reconnect").Inc()
+			s.journalEvent(opts, obs.Event{Type: obs.EventRetry, Instance: -1, Note: "reconnect"})
 			sleepCtx(ctx, backoffDelay(opts.Backoff, consecFail))
 			var err error
 			peer, err = connect()
@@ -849,6 +980,7 @@ func runS2Session(ctx context.Context, keys protocol.KeysS2, rng io.Reader, s *s
 			}
 			if frame.attempt > 0 {
 				retriesTotal("s2", "instance").Inc()
+				s.journalEvent(opts, obs.Event{Type: obs.EventRetry, Instance: i, Attempt: frame.attempt + 1, Note: "instance"})
 			}
 			attempts[i]++
 			actx, cancel := context.WithTimeout(ctx, opts.attemptTimeout())
@@ -858,7 +990,7 @@ func runS2Session(ctx context.Context, keys protocol.KeysS2, rng io.Reader, s *s
 				if err != nil {
 					return nil, err
 				}
-				return runInstance(actx, "s2", i, frame.attempt, p, s.cfg.Users-p, opts,
+				return runInstance(actx, s, "s2", i, frame.attempt, p, s.cfg.Users-p, opts,
 					func(qctx context.Context, meter *transport.Meter) (*protocol.Outcome, error) {
 						return protocol.RunS2WithPools(qctx, rng, s.cfg, keys, peer, subs, meter, pools)
 					})
@@ -951,10 +1083,10 @@ type peerConn struct {
 // peerCh (legacy mode, where a duplicate peer is dropped). Errors on
 // individual user connections are logged and the connection dropped;
 // structural errors abort via errCh.
-func acceptLoop(ctx context.Context, l *transport.Listener, col *collector,
-	peerCh chan<- peerConn, ps *peerSource, errCh chan<- error, opts ServerOptions) {
+func acceptLoop(ctx context.Context, s *serverSetup, peerCh chan<- peerConn, ps *peerSource,
+	errCh chan<- error, opts ServerOptions) {
 	for {
-		conn, err := l.Accept()
+		conn, err := s.l.Accept()
 		if err != nil {
 			select {
 			case <-ctx.Done():
@@ -975,6 +1107,16 @@ func acceptLoop(ctx context.Context, l *transport.Listener, col *collector,
 			}
 			switch party {
 			case partyPeer:
+				// A tracing peer expects the trace frame right after its
+				// hello, on every connection — reconnects included, so a
+				// reset link cannot leave S2 without the trace identity.
+				if caps&capTrace != 0 && opts.traced() {
+					if err := replyTraceContext(ctx, s, conn); err != nil {
+						opts.log(levelWarn, "peer trace context send failed: %v", err)
+						conn.Close()
+						return
+					}
+				}
 				if ps != nil {
 					ps.offer(conn, caps)
 					return
@@ -991,13 +1133,34 @@ func acceptLoop(ctx context.Context, l *transport.Listener, col *collector,
 					conn.Close()
 				}
 			case partyUser:
-				if err := serveUserConn(ctx, conn, col); err != nil {
+				// A tracing user asked for the run's trace identity; an
+				// untraced server answers immediately with ID 0 (its trace
+				// state is pre-published at setup), a traced S2 answers once
+				// S1 has delivered the ID.
+				if caps&capTrace != 0 {
+					if err := replyTraceContext(ctx, s, conn); err != nil {
+						opts.log(levelWarn, "user trace context send failed: %v", err)
+						conn.Close()
+						return
+					}
+				}
+				if err := serveUserConn(ctx, conn, s.col); err != nil {
 					opts.log(levelWarn, "user connection error: %v", err)
 				}
 				conn.Close()
 			}
 		}(conn)
 	}
+}
+
+// replyTraceContext answers a capTrace hello with the run's trace ID,
+// blocking (bounded by ctx) until the ID is known.
+func replyTraceContext(ctx context.Context, s *serverSetup, conn transport.Conn) error {
+	id, err := s.trace.get(ctx)
+	if err != nil {
+		return err
+	}
+	return sendTraceContext(ctx, conn, id)
 }
 
 // DefaultLogger returns a stdlib-backed log sink for the CLIs with

@@ -2,6 +2,7 @@ package deploy
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -274,10 +275,33 @@ func TestMetricsEndpointEndToEnd(t *testing.T) {
 		"paillier_pool_hits_total", "dgk_comparisons_total", "dgk_encrypt_total",
 		"transport_step_bytes_total", "transport_wire_bytes_total",
 		"protocol_phase_seconds_bucket", "deploy_queries_total",
+		"privconsensus_build_info",
 	} {
 		if !strings.Contains(string(text), family) {
 			t.Errorf("/metrics missing family %q", family)
 		}
+	}
+
+	// /debug/traces serves the ring of completed query traces as JSON.
+	resp, err = http.Get(fmt.Sprintf("http://%s/debug/traces", metricsAddr))
+	if err != nil {
+		t.Fatalf("debug/traces: %v", err)
+	}
+	var ring struct {
+		Total  uint64            `json:"total"`
+		Traces []*obs.QueryTrace `json:"traces"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&ring)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("decode /debug/traces: %v", err)
+	}
+	if ring.Total == 0 || len(ring.Traces) == 0 {
+		t.Fatalf("/debug/traces reports total=%d with %d traces; the completed query must be in the ring", ring.Total, len(ring.Traces))
+	}
+	last := ring.Traces[len(ring.Traces)-1]
+	if len(last.Spans) == 0 {
+		t.Errorf("ring trace %q has no phase spans", last.ID)
 	}
 
 	// Unblock the lingering admin endpoint and collect both servers.

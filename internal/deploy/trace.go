@@ -1,0 +1,169 @@
+package deploy
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/privconsensus/privconsensus/internal/obs"
+	"github.com/privconsensus/privconsensus/internal/transport"
+)
+
+// Cross-process query tracing for the two-server deployment.
+//
+// With ServerOptions.JournalPath set the server journals every query to an
+// append-only hash-chained event log (internal/obs/journal.go) and the
+// deployment shares one trace identity: S1 mints a per-run trace ID and
+// propagates it over a capability-negotiated ctrl frame,
+//
+//	trace := Message{Kind: KindControl, Flags: [106, traceID]}
+//
+// sent once per connection right after the hello — S1→S2 on every peer
+// connection (reconnects included, so a link reset cannot orphan S2), and
+// server→user on any user connection whose hello advertised capTrace. All
+// three processes stamp their journal events with the same ID and append a
+// trace-begin anchor when they learn it; cmd/trace aligns their clocks on
+// those anchors when merging the journals into one timeline.
+//
+// With JournalPath unset the capability bit is never advertised, the frame
+// is never sent, and the wire format stays byte-for-byte the untraced
+// protocol (parity-tested like the resilience/partial/batched bits).
+
+// capTrace is the hello capability bit advertising trace-context
+// propagation. Both servers must agree, like capPartial: the trace frame
+// changes the peer wire format.
+const capTrace int64 = 8
+
+// ctrlTraceContext carries the minted trace ID: [code, traceID].
+const ctrlTraceContext int64 = 106
+
+// traced reports whether journaling (and with it trace propagation) is on.
+func (o ServerOptions) traced() bool { return o.JournalPath != "" }
+
+// mintTraceID draws a non-zero 63-bit trace ID: deterministic from a
+// distinct stream when seeded, crypto/rand otherwise.
+func mintTraceID(seed int64) (int64, error) {
+	if seed != 0 {
+		seed += 8191 // stay off the protocol's deterministic stream
+	}
+	rng := newRNG(seed)
+	var b [8]byte
+	for {
+		if _, err := io.ReadFull(rng, b[:]); err != nil {
+			return 0, fmt.Errorf("deploy: mint trace id: %w", err)
+		}
+		id := int64(binary.BigEndian.Uint64(b[:]) &^ (1 << 63))
+		if id != 0 {
+			return id, nil
+		}
+	}
+}
+
+// traceIDString renders a trace ID for journals and logs.
+func traceIDString(id int64) string {
+	if id == 0 {
+		return ""
+	}
+	return fmt.Sprintf("t-%016x", uint64(id))
+}
+
+// traceState publishes the run's trace ID once it is known. S1 knows it at
+// setup; S2 learns it from the first peer connection, and user connections
+// accepted before then block (bounded by their ctx) in get.
+type traceState struct {
+	mu    sync.Mutex
+	id    int64
+	set   bool
+	ready chan struct{}
+}
+
+func newTraceState() *traceState {
+	return &traceState{ready: make(chan struct{})}
+}
+
+// put publishes the ID; only the first call wins. It reports whether this
+// call was the one that set it.
+func (t *traceState) put(id int64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.set {
+		return false
+	}
+	t.id = id
+	t.set = true
+	close(t.ready)
+	return true
+}
+
+// get blocks until the ID is published or ctx ends.
+func (t *traceState) get(ctx context.Context) (int64, error) {
+	select {
+	case <-t.ready:
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		return t.id, nil
+	case <-ctx.Done():
+		return 0, fmt.Errorf("deploy: waiting for trace context: %w", ctx.Err())
+	}
+}
+
+// idString returns the published ID rendered for journals ("" if unset or
+// untraced).
+func (t *traceState) idString() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.set {
+		return ""
+	}
+	return traceIDString(t.id)
+}
+
+// sendTraceContext delivers the trace ID on a fresh connection.
+func sendTraceContext(ctx context.Context, conn transport.Conn, id int64) error {
+	return conn.Send(ctx, &transport.Message{
+		Kind:  transport.KindControl,
+		Flags: []int64{ctrlTraceContext, id},
+	})
+}
+
+// recvTraceContext reads the trace frame that follows a capTrace hello.
+func recvTraceContext(ctx context.Context, conn transport.Conn) (int64, error) {
+	msg, err := transport.ExpectKind(ctx, conn, transport.KindControl)
+	if err != nil {
+		return 0, fmt.Errorf("deploy: trace context: %w", err)
+	}
+	if len(msg.Flags) != 2 || msg.Flags[0] != ctrlTraceContext || msg.Flags[1] < 0 {
+		return 0, transport.MarkFatal(fmt.Errorf("deploy: malformed trace context frame %v", msg.Flags))
+	}
+	return msg.Flags[1], nil
+}
+
+// adoptTraceID records a trace identity learned from the wire: the first
+// call publishes it and journals the anchor event. Safe on every
+// reconnection — later calls are no-ops.
+func (s *serverSetup) adoptTraceID(id int64, opts ServerOptions) {
+	if !s.trace.put(id) {
+		return
+	}
+	if id == 0 {
+		return
+	}
+	opts.log(levelDebug, "trace context %s adopted", traceIDString(id))
+	if err := s.journal.BeginTrace(traceIDString(id)); err != nil {
+		opts.log(levelWarn, "journal trace anchor failed: %v", err)
+	}
+}
+
+// journalEvent appends a lifecycle event to the server's journal (no-op
+// when journaling is off). Append failures are logged, never fatal:
+// observability must not kill a query.
+func (s *serverSetup) journalEvent(opts ServerOptions, ev obs.Event) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.Append(ev); err != nil {
+		opts.log(levelWarn, "journal append failed: %v", err)
+	}
+}

@@ -8,10 +8,12 @@ import (
 	"io"
 	"math/big"
 	mrand "math/rand"
+	"strings"
 	"time"
 
 	"github.com/privconsensus/privconsensus/internal/fixedpoint"
 	"github.com/privconsensus/privconsensus/internal/keystore"
+	"github.com/privconsensus/privconsensus/internal/obs"
 	"github.com/privconsensus/privconsensus/internal/protocol"
 	"github.com/privconsensus/privconsensus/internal/transport"
 )
@@ -40,6 +42,17 @@ type UserOptions struct {
 	// FaultSpec, when non-empty, injects deterministic faults into the
 	// client's connections (see transport.ParseFaultSpec). Testing only.
 	FaultSpec string
+	// JournalPath, when non-empty, appends the client's upload spans and
+	// retries to a hash-chained JSONL journal at this path, and asks each
+	// server for the run's trace ID (capTrace in the hello) so the events
+	// merge into the cross-process timeline. Empty (the default) keeps the
+	// wire byte-for-byte the untraced protocol.
+	JournalPath string
+	// LogLevel filters Logf output: "debug", "info" (the default), "warn"
+	// or "silent".
+	LogLevel string
+	// Logf receives progress lines; nil silences logging.
+	Logf func(format string, args ...any)
 }
 
 // attemptTimeout returns the per-attempt deadline with its default.
@@ -48,6 +61,78 @@ func (o UserOptions) attemptTimeout() time.Duration {
 		return o.AttemptTimeout
 	}
 	return 2 * time.Minute
+}
+
+// traced reports whether journaling (and trace-context requests) are on.
+func (o UserOptions) traced() bool { return o.JournalPath != "" }
+
+// log is the user client's leveled logging helper, mirroring the server's.
+func (o UserOptions) log(lv logLevel, format string, args ...any) {
+	if o.Logf == nil {
+		return
+	}
+	min, err := parseLogLevel(o.LogLevel)
+	if err != nil {
+		min = levelInfo
+	}
+	if lv < min {
+		return
+	}
+	if lv == levelWarn {
+		format = "WARN " + format
+	}
+	o.Logf(format, args...)
+}
+
+// userObs bundles the user client's optional journal and trace adoption.
+// All methods are nil-safe no-ops when journaling is off.
+type userObs struct {
+	opts    UserOptions
+	journal *obs.Journal
+}
+
+// adopt records a trace identity learned from a server. The first non-zero
+// ID wins (untraced servers answer with 0) and journals the anchor event
+// cmd/trace aligns clocks on.
+func (u *userObs) adopt(id int64) {
+	if u == nil || u.journal == nil || id == 0 {
+		return
+	}
+	u.opts.log(levelDebug, "trace context %s adopted", traceIDString(id))
+	if err := u.journal.BeginTrace(traceIDString(id)); err != nil {
+		u.opts.log(levelWarn, "journal trace anchor failed: %v", err)
+	}
+}
+
+// event appends one journal record; failures are logged, never fatal.
+func (u *userObs) event(ev obs.Event) {
+	if u == nil || u.journal == nil {
+		return
+	}
+	if err := u.journal.Append(ev); err != nil {
+		u.opts.log(levelWarn, "journal append failed: %v", err)
+	}
+}
+
+// userHello sends the user hello and, when traced, requests and adopts the
+// run's trace identity from the server.
+func userHello(ctx context.Context, conn transport.Conn, u *userObs) error {
+	caps := int64(0)
+	if u != nil && u.opts.traced() {
+		caps = capTrace
+	}
+	if err := sendHelloCaps(ctx, conn, partyUser, caps); err != nil {
+		return err
+	}
+	if caps&capTrace == 0 {
+		return nil
+	}
+	id, err := recvTraceContext(ctx, conn)
+	if err != nil {
+		return err
+	}
+	u.adopt(id)
+	return nil
 }
 
 // SubmitVotes builds encrypted submissions for each instance's vote vector
@@ -67,6 +152,18 @@ func SubmitVotes(ctx context.Context, pub *keystore.PublicFile, opts UserOptions
 	if len(votes) == 0 {
 		return fmt.Errorf("deploy: no instances to submit")
 	}
+	if _, err := parseLogLevel(opts.LogLevel); err != nil {
+		return err
+	}
+	u := &userObs{opts: opts}
+	if opts.traced() {
+		j, err := obs.OpenJournal(opts.JournalPath, obs.JournalOptions{Role: fmt.Sprintf("user%d", opts.User)})
+		if err != nil {
+			return err
+		}
+		u.journal = j
+		defer u.journal.Close()
+	}
 
 	cryptoRNG := newRNG(opts.Seed)
 	noiseSeed := opts.Seed * 7919
@@ -83,7 +180,7 @@ func SubmitVotes(ctx context.Context, pub *keystore.PublicFile, opts UserOptions
 	noiseRNG := mrand.New(mrand.NewSource(noiseSeed))
 
 	if opts.MaxRetries > 0 {
-		return submitResilient(ctx, pub, opts, votes, cryptoRNG, noiseRNG)
+		return submitResilient(ctx, pub, opts, u, votes, cryptoRNG, noiseRNG)
 	}
 
 	conn1, err := transport.Dial(ctx, opts.S1Addr)
@@ -96,13 +193,14 @@ func SubmitVotes(ctx context.Context, pub *keystore.PublicFile, opts UserOptions
 		return fmt.Errorf("deploy: dial S2: %w", err)
 	}
 	defer conn2.Close()
-	if err := sendHello(ctx, conn1, partyUser); err != nil {
+	if err := userHello(ctx, conn1, u); err != nil {
 		return err
 	}
-	if err := sendHello(ctx, conn2, partyUser); err != nil {
+	if err := userHello(ctx, conn2, u); err != nil {
 		return err
 	}
 
+	uploadStart := time.Now()
 	for instance, vote := range votes {
 		units, err := votesToUnits(vote, cfg.Classes)
 		if err != nil {
@@ -127,6 +225,9 @@ func SubmitVotes(ctx context.Context, pub *keystore.PublicFile, opts UserOptions
 			return fmt.Errorf("deploy: send to S2: %w", err)
 		}
 	}
+	u.event(obs.Event{Type: obs.EventSpan, Instance: -1, Phase: "upload",
+		StartNs: uploadStart.UnixNano(), DurNs: int64(time.Since(uploadStart)),
+		MsgsSent: int64(2 * len(votes))})
 	return nil
 }
 
@@ -135,7 +236,7 @@ func SubmitVotes(ctx context.Context, pub *keystore.PublicFile, opts UserOptions
 // connection, replays all frames, sends a done marker and waits for the
 // server's ack. The server deduplicates (user, instance) cells, so a
 // replay after a mid-upload reset cannot double-count a vote.
-func submitResilient(ctx context.Context, pub *keystore.PublicFile, opts UserOptions,
+func submitResilient(ctx context.Context, pub *keystore.PublicFile, opts UserOptions, u *userObs,
 	votes [][]float64, cryptoRNG io.Reader, noiseRNG *mrand.Rand) error {
 	cfg := pub.Config
 	msgs1 := make([]*transport.Message, 0, len(votes))
@@ -169,27 +270,35 @@ func submitResilient(ctx context.Context, pub *keystore.PublicFile, opts UserOpt
 		}
 		inj = transport.NewFaultInjector(spec)
 	}
-	if err := uploadWithRetry(ctx, "S1", opts.S1Addr, msgs1, opts, inj); err != nil {
+	if err := uploadWithRetry(ctx, "S1", opts.S1Addr, msgs1, opts, u, inj); err != nil {
 		return err
 	}
-	return uploadWithRetry(ctx, "S2", opts.S2Addr, msgs2, opts, inj)
+	return uploadWithRetry(ctx, "S2", opts.S2Addr, msgs2, opts, u, inj)
 }
 
 // uploadWithRetry delivers one server's frames, retrying transient
-// failures on a fresh connection within the budget.
+// failures on a fresh connection within the budget. The whole exchange is
+// journaled as one upload span carrying the attempt count.
 func uploadWithRetry(ctx context.Context, server, addr string, msgs []*transport.Message,
-	opts UserOptions, inj *transport.FaultInjector) error {
+	opts UserOptions, u *userObs, inj *transport.FaultInjector) error {
+	start := time.Now()
 	var lastErr error
 	for attempt := 0; attempt <= opts.MaxRetries; attempt++ {
 		if attempt > 0 {
 			retriesTotal("user", "upload").Inc()
+			u.event(obs.Event{Type: obs.EventRetry, Instance: -1, Attempt: attempt + 1,
+				Note: "upload " + strings.ToLower(server)})
 			sleepCtx(ctx, backoffDelay(opts.Backoff, attempt))
 		}
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("deploy: upload to %s: %w", server, err)
 		}
-		err := uploadOnce(ctx, addr, msgs, opts, inj)
+		err := uploadOnce(ctx, addr, msgs, opts, u, inj)
 		if err == nil {
+			u.event(obs.Event{Type: obs.EventSpan, Instance: -1, Attempt: attempt + 1,
+				Phase:   "upload-" + strings.ToLower(server),
+				StartNs: start.UnixNano(), DurNs: int64(time.Since(start)),
+				MsgsSent: int64(len(msgs))})
 			return nil
 		}
 		lastErr = err
@@ -203,7 +312,7 @@ func uploadWithRetry(ctx context.Context, server, addr string, msgs []*transport
 // uploadOnce is a single upload attempt: dial, hello, all frames, done
 // marker, ack.
 func uploadOnce(ctx context.Context, addr string, msgs []*transport.Message,
-	opts UserOptions, inj *transport.FaultInjector) error {
+	opts UserOptions, u *userObs, inj *transport.FaultInjector) error {
 	actx, cancel := context.WithTimeout(ctx, opts.attemptTimeout())
 	defer cancel()
 	d := transport.Dialer{AttemptTimeout: opts.attemptTimeout(), Faults: inj, Seed: opts.Seed + int64(opts.User) + 29}
@@ -218,7 +327,7 @@ func uploadOnce(ctx context.Context, addr string, msgs []*transport.Message,
 	// deadline. Closing the connection unblocks it immediately.
 	stop := context.AfterFunc(actx, func() { conn.Close() })
 	defer stop()
-	if err := sendHello(actx, conn, partyUser); err != nil {
+	if err := userHello(actx, conn, u); err != nil {
 		return err
 	}
 	for _, m := range msgs {

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net"
@@ -13,6 +14,7 @@ import (
 //
 //	/metrics       Prometheus text exposition of reg
 //	/healthz       200 "ok" liveness probe
+//	/debug/traces  JSON ring buffer of the last completed QueryTraces
 //	/debug/pprof/  stdlib profiling handlers
 //	/debug/vars    expvar JSON
 //
@@ -31,6 +33,15 @@ func NewAdminMux(reg *Registry) *http.ServeMux {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct { //nolint:errcheck // best-effort debug endpoint
+			Total  uint64        `json:"total"`
+			Traces []*QueryTrace `json:"traces"`
+		}{DefaultTraces.Total(), DefaultTraces.Traces()})
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

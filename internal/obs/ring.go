@@ -1,0 +1,74 @@
+package obs
+
+import "sync"
+
+// TraceRing keeps the last N completed QueryTraces for the /debug/traces
+// admin endpoint. Safe for concurrent use; a nil ring drops adds.
+type TraceRing struct {
+	mu    sync.Mutex
+	buf   []*QueryTrace
+	next  int
+	full  bool
+	total uint64
+}
+
+// NewTraceRing builds a ring holding the last n traces (n < 1 selects 1).
+func NewTraceRing(n int) *TraceRing {
+	if n < 1 {
+		n = 1
+	}
+	return &TraceRing{buf: make([]*QueryTrace, n)}
+}
+
+// Add records a completed trace (a caller-owned copy; the ring never
+// mutates it).
+func (r *TraceRing) Add(qt *QueryTrace) {
+	if r == nil || qt == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = qt
+	r.next = (r.next + 1) % len(r.buf)
+	if r.next == 0 {
+		r.full = true
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Total reports how many traces were ever added.
+func (r *TraceRing) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Traces returns the retained traces, oldest first.
+func (r *TraceRing) Traces() []*QueryTrace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*QueryTrace, 0, len(r.buf))
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+	}
+	out = append(out, r.buf[:r.next]...)
+	// Drop nil slots (ring not yet full).
+	n := 0
+	for _, qt := range out {
+		if qt != nil {
+			out[n] = qt
+			n++
+		}
+	}
+	return out[:n]
+}
+
+// DefaultTraces is the process-wide ring served on /debug/traces. The
+// deploy servers and the in-process engine add every completed query.
+var DefaultTraces = NewTraceRing(64)

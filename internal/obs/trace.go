@@ -35,6 +35,18 @@ type Span struct {
 	Err string
 }
 
+// TraceEvent is a point annotation recorded during a query — a quorum
+// verdict, a threshold correction δ, anything that happened at an instant
+// rather than over a phase. Like spans, events carry quantities only.
+type TraceEvent struct {
+	// Time is when the event happened.
+	Time time.Time
+	// Type names the event (journal Event* constants).
+	Type string
+	// Detail is the human-readable payload, e.g. "delta=12".
+	Detail string
+}
+
 // QueryTrace is the structured record of one protocol query: one span per
 // phase, in execution order.
 type QueryTrace struct {
@@ -45,6 +57,8 @@ type QueryTrace struct {
 	Duration time.Duration
 	// Spans holds the per-phase records in the order the phases ran.
 	Spans []Span
+	// Events holds point annotations in recording order.
+	Events []TraceEvent `json:",omitempty"`
 	// Result is a short outcome label set by the caller, e.g.
 	// "consensus label=4" or "no-consensus".
 	Result string
@@ -150,6 +164,13 @@ func (t *Tracer) SetParticipants(participants, dropped int) {
 	defer t.mu.Unlock()
 	t.trace.Participants = participants
 	t.trace.Dropped = dropped
+}
+
+// RecordEvent appends a point annotation to the trace.
+func (t *Tracer) RecordEvent(typ, detail string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.trace.Events = append(t.trace.Events, TraceEvent{Time: t.clock(), Type: typ, Detail: detail})
 }
 
 // StartPhase opens a span. An open span is implicitly ended first, so a
@@ -276,6 +297,7 @@ func (t *Tracer) Trace() *QueryTrace {
 			out.Spans[i].Ops = ops
 		}
 	}
+	out.Events = append([]TraceEvent(nil), t.trace.Events...)
 	return &out
 }
 

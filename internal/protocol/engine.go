@@ -166,6 +166,12 @@ func RunS1(ctx context.Context, rng io.Reader, cfg Config, keys KeysS1,
 		for _, v := range threshSeq {
 			v.Sub(v, adjust)
 		}
+		// δ is public under the protocol's threat model (it derives from
+		// the agreed participant count, not from any vote), so recording
+		// it in the trace does not leak.
+		if tr := obs.TracerFrom(ctx); tr != nil {
+			tr.RecordEvent(obs.EventDelta, fmt.Sprintf("delta=%s participants=%d", adjust, len(participants)))
+		}
 	}
 
 	// Step 4: Secure Comparison — all-pairs DGK to find pi(i*).
@@ -395,6 +401,9 @@ func RunS2WithPools(ctx context.Context, rng io.Reader, cfg Config, keys KeysS2,
 	if adjust.Sign() != 0 {
 		for _, v := range threshSeq {
 			v.Add(v, adjust)
+		}
+		if tr := obs.TracerFrom(ctx); tr != nil {
+			tr.RecordEvent(obs.EventDelta, fmt.Sprintf("delta=%s participants=%d", adjust, len(participants)))
 		}
 	}
 

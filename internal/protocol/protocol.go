@@ -199,6 +199,10 @@ func (c Config) ResolvedArgmaxStrategy() string {
 // tournament reports whether the tournament argmax schedule is in effect.
 func (c Config) tournament() bool { return c.ResolvedArgmaxStrategy() == StrategyTournament }
 
+// ResolvedParallelism resolves the configured worker bound (0 = NumCPU),
+// for identity labels such as the build-info gauge.
+func (c Config) ResolvedParallelism() int { return c.parallelism() }
+
 // parallelism resolves the configured worker bound (0 = NumCPU).
 func (c Config) parallelism() int {
 	if c.Parallelism == 0 {

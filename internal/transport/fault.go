@@ -197,6 +197,9 @@ type FaultInjector struct {
 	conns    atomic.Int64
 	injected atomic.Int64
 	budget   atomic.Int64 // remaining faults; < 0 means unlimited
+
+	obsMu    sync.Mutex
+	observer func(kind string)
 }
 
 // NewFaultInjector builds an injector for spec. A nil injector (or one for
@@ -219,6 +222,19 @@ func (f *FaultInjector) Injected() int64 {
 	return f.injected.Load()
 }
 
+// SetObserver registers a callback invoked once per injected fault with
+// the fault kind ("reset", "stall", "partial", "delay"). The deploy layer
+// uses it to journal chaos faults; the callback runs on the I/O goroutine
+// and must be fast and non-blocking.
+func (f *FaultInjector) SetObserver(fn func(kind string)) {
+	if f == nil {
+		return
+	}
+	f.obsMu.Lock()
+	f.observer = fn
+	f.obsMu.Unlock()
+}
+
 // take consumes one unit of the fault budget; false means the budget is
 // spent and no fault may fire.
 func (f *FaultInjector) take(kind string) bool {
@@ -236,6 +252,12 @@ func (f *FaultInjector) take(kind string) bool {
 	}
 	f.injected.Add(1)
 	faultsInjected(kind).Inc()
+	f.obsMu.Lock()
+	fn := f.observer
+	f.obsMu.Unlock()
+	if fn != nil {
+		fn(kind)
+	}
 	return true
 }
 

@@ -2,9 +2,11 @@
 # obs_smoke.sh — end-to-end observability smoke test.
 #
 # Spins up both protocol servers as real processes with the admin endpoint
-# enabled on S1, submits one full query through real users, then scrapes
-# /healthz and /metrics and asserts the protocol's counter families are
-# exposed with live values.
+# enabled on S1 and event journaling on everywhere, submits one full query
+# through real users, then scrapes /healthz, /metrics and /debug/traces and
+# asserts the protocol's counter families are exposed with live values.
+# Finally it verifies every journal's hash chain with cmd/trace and merges
+# them into one cross-process timeline.
 #
 # Every listener binds port 0 and the chosen addresses are parsed from the
 # server logs, so the script cannot collide with other processes (or a
@@ -48,7 +50,7 @@ wait_log() {
 }
 
 echo "== building binaries"
-go build -o "$workdir" ./cmd/keygen ./cmd/server ./cmd/user
+go build -o "$workdir" ./cmd/keygen ./cmd/server ./cmd/user ./cmd/trace
 
 echo "== generating keys"
 "$workdir/keygen" -out "$workdir/keys" -users 2 -classes 4 \
@@ -57,6 +59,7 @@ echo "== generating keys"
 echo "== starting servers (port 0, addresses from logs)"
 "$workdir/server" -role s1 -keys "$workdir/keys/s1.json" -listen 127.0.0.1:0 \
     -instances 1 -seed 11 -metrics-addr 127.0.0.1:0 -metrics-linger 60s \
+    -journal "$workdir/s1.jsonl" \
     >"$workdir/s1.log" 2>&1 &
 s1_pid=$!
 if ! S1_ADDR=$(wait_log "$workdir/s1.log" 'S1 listening on \([0-9.]*:[0-9]*\)'); then
@@ -71,7 +74,8 @@ if ! METRICS_ADDR=$(wait_log "$workdir/s1.log" 'metrics endpoint on http:\/\/\([
 fi
 
 "$workdir/server" -role s2 -keys "$workdir/keys/s2.json" -listen 127.0.0.1:0 \
-    -peer "$S1_ADDR" -instances 1 -seed 12 >"$workdir/s2.log" 2>&1 &
+    -peer "$S1_ADDR" -instances 1 -seed 12 -journal "$workdir/s2.jsonl" \
+    >"$workdir/s2.log" 2>&1 &
 s2_pid=$!
 if ! S2_ADDR=$(wait_log "$workdir/s2.log" 'S2 listening on \([0-9.]*:[0-9]*\)'); then
     echo "FAIL: S2 never reported its listen address"
@@ -83,7 +87,8 @@ echo "   S1=$S1_ADDR S2=$S2_ADDR metrics=$METRICS_ADDR"
 echo "== submitting votes"
 for u in 0 1; do
     "$workdir/user" -keys "$workdir/keys/public.json" -user "$u" \
-        -s1 "$S1_ADDR" -s2 "$S2_ADDR" -votes 2 -seed $((20 + u)) >/dev/null
+        -s1 "$S1_ADDR" -s2 "$S2_ADDR" -votes 2 -seed $((20 + u)) \
+        -journal "$workdir/user$u.jsonl" >/dev/null
 done
 
 # S2 exits when its instance completes; S1's metrics endpoint lingers.
@@ -110,7 +115,8 @@ metrics=$(curl -fsS "http://$METRICS_ADDR/metrics")
 fail=0
 for family in paillier_encrypt_total paillier_decrypt_total paillier_add_total \
     dgk_comparisons_total dgk_encrypt_total transport_step_bytes_total \
-    transport_wire_bytes_total protocol_phase_seconds_bucket deploy_queries_total; do
+    transport_wire_bytes_total protocol_phase_seconds_bucket deploy_queries_total \
+    privconsensus_build_info; do
     if ! grep -q "$family" <<<"$metrics"; then
         echo "FAIL: /metrics missing family $family"
         fail=1
@@ -130,8 +136,47 @@ if [ "$fail" -ne 0 ]; then
     exit 1
 fi
 
+echo "== scraping /debug/traces"
+traces=$(curl -fsS "http://$METRICS_ADDR/debug/traces")
+if ! grep -q '"total": [1-9]' <<<"$traces"; then
+    echo "FAIL: /debug/traces reports no completed query traces"
+    echo "$traces"
+    dump_state
+    exit 1
+fi
+if ! grep -q '"Spans"' <<<"$traces"; then
+    echo "FAIL: /debug/traces carries no phase spans"
+    dump_state
+    exit 1
+fi
+
 kill "$s1_pid" 2>/dev/null || true
 wait "$s1_pid" 2>/dev/null || true
 s1_pid=""
+
+echo "== verifying journal hash chains"
+if ! "$workdir/trace" -verify "$workdir/s1.jsonl" "$workdir/s2.jsonl" \
+    "$workdir/user0.jsonl" "$workdir/user1.jsonl"; then
+    echo "FAIL: a journal hash chain did not verify"
+    dump_state
+    exit 1
+fi
+
+echo "== merging journals into one timeline"
+merged=$("$workdir/trace" "$workdir/s1.jsonl" "$workdir/s2.jsonl" \
+    "$workdir/user0.jsonl" "$workdir/user1.jsonl")
+headers=$(grep -c '^== trace ' <<<"$merged" || true)
+if [ "$headers" -ne 1 ]; then
+    echo "FAIL: merged output has $headers trace timelines, want exactly 1 shared trace"
+    echo "$merged"
+    dump_state
+    exit 1
+fi
+if ! grep -q -- '-- instance 0' <<<"$merged"; then
+    echo "FAIL: merged timeline is missing the instance section"
+    echo "$merged"
+    dump_state
+    exit 1
+fi
 
 echo "obs-smoke: PASS"

@@ -2,6 +2,8 @@ package privconsensus
 
 import (
 	"context"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -97,6 +99,82 @@ func TestTraceRecordsOpsAndUnmeteredQueries(t *testing.T) {
 	}
 	if tr.Summary() == "" {
 		t.Fatal("empty trace summary")
+	}
+}
+
+// TestEngineJournalMatchesMeter extends the byte-equality acceptance check
+// to the durable journal: with Config.JournalPath set, the span events
+// written to disk must carry exactly the transport meter's numbers, the
+// chain must verify, and accountant spends must be on the record.
+func TestEngineJournalMatchesMeter(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "engine.jsonl")
+	cfg := DefaultConfig(5)
+	cfg.Classes = 4
+	cfg.Sigma1, cfg.Sigma2 = 0.5, 0.3
+	cfg.Seed = 42
+	cfg.JournalPath = path
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	votes := [][]float64{
+		oneHot(4, 2), oneHot(4, 2), oneHot(4, 2), oneHot(4, 2), oneHot(4, 2),
+	}
+	_, stats, err := e.LabelInstanceMetered(ctx, votes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A batch query on top records privacy spends (σ > 0).
+	if _, err := e.LabelBatch(ctx, [][][]float64{votes}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if n, err := obs.VerifyJournalFile(path); err != nil || n == 0 {
+		t.Fatalf("engine journal: %d records, err %v", n, err)
+	}
+	evs, err := obs.ReadJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evs[0].Type != obs.EventTraceBegin || !strings.HasPrefix(evs[0].Trace, "t-") {
+		t.Fatalf("first record %+v, want a trace-begin anchor with a minted t-… ID", evs[0])
+	}
+
+	var meterSent, meterRecvd int64
+	for _, s := range stats {
+		meterSent += s.BytesSent
+		meterRecvd += s.BytesReceived
+	}
+	var spanSent, spanRecvd int64
+	var queries, spends int
+	for _, ev := range evs {
+		switch ev.Type {
+		case obs.EventSpan:
+			if ev.Instance == 0 { // the metered query
+				spanSent += ev.BytesSent
+				spanRecvd += ev.BytesReceived
+			}
+		case obs.EventQuery:
+			queries++
+		case obs.EventSpend:
+			spends++
+		}
+	}
+	if spanSent != meterSent || spanRecvd != meterRecvd {
+		t.Errorf("journaled span bytes %d/%d != meter totals %d/%d (the invariant must survive the trip to disk)",
+			spanSent, spanRecvd, meterSent, meterRecvd)
+	}
+	if queries != 2 {
+		t.Errorf("journaled %d query records, want 2 (metered + batch)", queries)
+	}
+	// One SVT spend always, one RNM spend only on consensus release.
+	if spends < 1 {
+		t.Error("no accountant spend events journaled despite σ > 0")
 	}
 }
 
