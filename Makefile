@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 60s
 
-.PHONY: build vet fmt-check test race chaos fuzz cover bench bench-guard obs-smoke ci
+.PHONY: build vet fmt-check test race chaos fuzz cover bench bench-guard obs-smoke loadgen-smoke ingest-guard ci
 
 build:
 	$(GO) build ./...
@@ -21,10 +21,11 @@ race:
 
 # Chaos suite: full two-server deployments driven through seeded fault
 # schedules (resets, stalls, partial writes) with the retry/backoff session
-# protocol enabled. Run under the race detector; every instance must either
-# produce the correct label or fail cleanly.
+# protocol enabled, plus the ingestion-tree relay-death/re-homing scenario.
+# Run under the race detector; every instance must either produce the
+# correct label or fail cleanly.
 chaos:
-	$(GO) test -race -count=1 -run 'TestChaos' -v ./internal/deploy/
+	$(GO) test -race -count=1 -run 'TestChaos' -v ./internal/deploy/ ./internal/ingest/
 
 # Fuzz the attack surfaces: the transport frame decoder, the mux unwrapper,
 # the partial-write recomposition, the fault-spec parser, and the fixed-base
@@ -61,4 +62,18 @@ bench-guard: bench
 obs-smoke:
 	./scripts/obs_smoke.sh
 
-ci: build vet fmt-check race bench obs-smoke
+# Ingestion load harness smoke: 1k simulated users through a two-level
+# relay tree on loopback plus a tree-vs-direct full-protocol parity run,
+# refreshing the machine-readable record in results/BENCH_ingest.json.
+# Scale it up by hand with e.g. `go run ./cmd/loadgen -large 100000`.
+loadgen-smoke:
+	$(GO) run ./cmd/loadgen -users 1000 -relays 2 -batch 64 -workers 8 \
+		-parity-users 20 -out results/BENCH_ingest.json
+
+# Regenerate the ingestion record, then fail if throughput or ack p99
+# regressed more than 25% against the committed baseline (skips gracefully
+# when the records were measured on different machine shapes).
+ingest-guard: loadgen-smoke
+	./scripts/ingest_guard.sh
+
+ci: build vet fmt-check race bench obs-smoke ingest-guard

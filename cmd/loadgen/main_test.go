@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestParseArrival(t *testing.T) {
+	flood, err := parseArrival("flood", 3, 1)
+	if err != nil || len(flood) != 3 || flood[2] != 0 {
+		t.Errorf("flood = %v, %v", flood, err)
+	}
+	pois, err := parseArrival("poisson:100", 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pois); i++ {
+		if pois[i] <= pois[i-1] {
+			t.Errorf("poisson offsets not increasing: %v", pois)
+		}
+	}
+	burst, err := parseArrival("burst:2@50ms", 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if burst[0] != 0 || burst[1] != 0 || burst[2] != 50*time.Millisecond || burst[4] != 100*time.Millisecond {
+		t.Errorf("burst offsets = %v", burst)
+	}
+	for _, bad := range []string{"poisson:", "poisson:-1", "burst:0@1s", "burst:5", "burst:5@junk", "drizzle"} {
+		if _, err := parseArrival(bad, 2, 1); err == nil {
+			t.Errorf("schedule %q accepted", bad)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	durs := []time.Duration{5, 1, 4, 2, 3} // sorted: 1..5
+	cases := []struct {
+		p    int
+		want time.Duration
+	}{{50, 3}, {95, 5}, {99, 5}, {100, 5}}
+	for _, c := range cases {
+		if got := percentile(durs, c.p); got != c.want {
+			t.Errorf("p%d = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if percentile(nil, 50) != 0 {
+		t.Error("empty samples should yield 0")
+	}
+}
+
+// TestLoadgenSmoke runs the harness end to end at a tiny scale: a 2-level
+// tree, a burst schedule, a full-protocol parity check, and a written
+// record with sane measurements.
+func TestLoadgenSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loadgen smoke is slow in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "bench.json")
+	err := run([]string{
+		"-users", "60", "-relays", "2", "-batch", "8", "-workers", "4",
+		"-arrival", "burst:30@20ms", "-parity-users", "4", "-bits", "128",
+		"-seed", "5", "-out", out,
+	})
+	if err != nil {
+		t.Fatalf("loadgen run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("record is not valid JSON: %v", err)
+	}
+	if rec["schema"] != "privconsensus/ingest-bench/v1" {
+		t.Errorf("schema = %v", rec["schema"])
+	}
+	if tput, _ := rec["throughput_users_per_sec"].(float64); tput <= 0 {
+		t.Errorf("throughput = %v, want > 0", rec["throughput_users_per_sec"])
+	}
+	if ok, _ := rec["parity_ok"].(bool); !ok {
+		t.Error("parity_ok = false: tree and direct ingestion diverged")
+	}
+	if n, _ := rec["rehomes"].(float64); n != 0 {
+		t.Errorf("rehomes = %v in a failure-free run", rec["rehomes"])
+	}
+}

@@ -32,62 +32,32 @@ import (
 	"sync"
 	"time"
 
+	"github.com/privconsensus/privconsensus/internal/ingest"
 	"github.com/privconsensus/privconsensus/internal/obs"
 	"github.com/privconsensus/privconsensus/internal/paillier"
 	"github.com/privconsensus/privconsensus/internal/protocol"
 	"github.com/privconsensus/privconsensus/internal/transport"
 )
 
-// Party identifiers in hello frames.
+// Party identifiers in hello frames. A relay (the ingestion tier) connects
+// with partyRelay and the ingest.CapPresum capability; its combined frames
+// carry pre-summed batches the collector expands back into attested users.
 const (
-	partyUser int64 = 1
-	partyPeer int64 = 2
+	partyUser  int64 = ingest.PartyUser
+	partyPeer  int64 = ingest.PartyPeer
+	partyRelay int64 = ingest.PartyRelay
 )
 
 // EncodeHalf packs one user's submission half for one instance into a wire
-// message.
+// message. The canonical codec lives in the ingest package (relays speak the
+// same frame); this wrapper keeps the deploy API stable.
 func EncodeHalf(user, instance int, h protocol.SubmissionHalf) (*transport.Message, error) {
-	k := len(h.Votes)
-	if k == 0 || len(h.Thresh) != k || len(h.Noisy) != k {
-		return nil, fmt.Errorf("deploy: malformed submission half (%d/%d/%d ciphertexts)",
-			len(h.Votes), len(h.Thresh), len(h.Noisy))
-	}
-	values := make([]*big.Int, 0, 3*k)
-	for _, group := range [][]*paillier.Ciphertext{h.Votes, h.Thresh, h.Noisy} {
-		for _, c := range group {
-			if c == nil || c.C == nil {
-				return nil, fmt.Errorf("deploy: nil ciphertext in submission")
-			}
-			values = append(values, c.C)
-		}
-	}
-	return &transport.Message{
-		Kind:   transport.KindShares,
-		Flags:  []int64{int64(user), int64(instance), int64(k)},
-		Values: values,
-	}, nil
+	return ingest.EncodeHalf(user, instance, h)
 }
 
 // DecodeHalf unpacks a wire submission frame.
 func DecodeHalf(msg *transport.Message) (user, instance int, half protocol.SubmissionHalf, err error) {
-	if msg.Kind != transport.KindShares || len(msg.Flags) != 3 {
-		return 0, 0, half, fmt.Errorf("deploy: malformed submission frame")
-	}
-	k := int(msg.Flags[2])
-	if k <= 0 || len(msg.Values) != 3*k {
-		return 0, 0, half, fmt.Errorf("deploy: submission frame has %d values for %d classes", len(msg.Values), k)
-	}
-	toCipher := func(vs []*big.Int) []*paillier.Ciphertext {
-		out := make([]*paillier.Ciphertext, len(vs))
-		for i, v := range vs {
-			out[i] = &paillier.Ciphertext{C: v}
-		}
-		return out
-	}
-	half.Votes = toCipher(msg.Values[:k])
-	half.Thresh = toCipher(msg.Values[k : 2*k])
-	half.Noisy = toCipher(msg.Values[2*k:])
-	return int(msg.Flags[0]), int(msg.Flags[1]), half, nil
+	return ingest.DecodeHalf(msg)
 }
 
 // sendHello identifies this connection's party to the acceptor.
@@ -114,7 +84,7 @@ func recvHello(ctx context.Context, conn transport.Conn) (party, caps int64, err
 		return 0, 0, fmt.Errorf("deploy: hello: %w", err)
 	}
 	if len(msg.Flags) < 1 || len(msg.Flags) > 2 ||
-		(msg.Flags[0] != partyUser && msg.Flags[0] != partyPeer) {
+		(msg.Flags[0] != partyUser && msg.Flags[0] != partyPeer && msg.Flags[0] != partyRelay) {
 		return 0, 0, fmt.Errorf("deploy: invalid hello frame")
 	}
 	if len(msg.Flags) == 2 {
@@ -134,11 +104,33 @@ type collector struct {
 	classes   int
 	ring      *big.Int                     // Paillier N² the halves must live in (nil disables the check)
 	halves    [][]*protocol.SubmissionHalf // [instance][user]
+	// covered has bit u set iff user u's submission for the instance is
+	// held locally — directly in halves, or pre-summed inside a relay
+	// batch. It is the authoritative participant bitmap.
+	covered []*big.Int // [instance]
+	// batches holds accepted relay pre-sums per instance; their members
+	// have covered bits set but no per-user half.
+	batches [][]relayBatch // [instance]
+	// batchSeen keys relay-batch replay dedup by (relay, seq) identity.
+	batchSeen map[batchKey][32]byte
 	remaining int
 	released  bool
 	done      chan struct{}
 	doneOnce  sync.Once
 	events    func(reason string) // optional rejection observer (journal hook)
+}
+
+// relayBatch is one accepted combined frame: the homomorphic sum of the
+// bitmap members' halves for one instance.
+type relayBatch struct {
+	bm   *big.Int
+	half protocol.SubmissionHalf
+}
+
+// batchKey identifies one relay batch for replay dedup.
+type batchKey struct {
+	relay int64
+	seq   int64
 }
 
 // newCollector prepares an empty submission grid. ring is the N² modulus of
@@ -151,11 +143,15 @@ func newCollector(users, instances, classes int, ring *big.Int) *collector {
 		classes:   classes,
 		ring:      ring,
 		halves:    make([][]*protocol.SubmissionHalf, instances),
+		covered:   make([]*big.Int, instances),
+		batches:   make([][]relayBatch, instances),
+		batchSeen: make(map[batchKey][32]byte),
 		remaining: users * instances,
 		done:      make(chan struct{}),
 	}
 	for i := range c.halves {
 		c.halves[i] = make([]*protocol.SubmissionHalf, users)
+		c.covered[i] = new(big.Int)
 	}
 	return c
 }
@@ -206,13 +202,70 @@ func (c *collector) add(user, instance int, half protocol.SubmissionHalf) error 
 		}
 		return c.reject("duplicate", fmt.Errorf("conflicting resubmission from user %d for instance %d (first write wins)", user, instance))
 	}
+	if c.covered[instance].Bit(user) == 1 {
+		// The user is already pre-summed inside a relay batch; its bytes
+		// cannot be compared, so a direct frame is a conflicting identity.
+		return c.reject("duplicate", fmt.Errorf("user %d already covered by a relay batch for instance %d", user, instance))
+	}
 	if c.released {
 		return c.reject("late", fmt.Errorf("submission from user %d for instance %d arrived after release", user, instance))
 	}
 	h := half
 	c.halves[instance][user] = &h
+	c.covered[instance].SetBit(c.covered[instance], user, 1)
 	c.remaining--
 	if c.remaining == 0 {
+		c.doneOnce.Do(func() { close(c.done) })
+	}
+	return nil
+}
+
+// addBatch validates and records one relay batch. Validation mirrors add:
+// identity and shape first, ring membership, then exact-once semantics —
+// the (relay, seq) identity with a byte-identical frame digest is a
+// tolerated replay, a conflicting one is rejected, and a bitmap that
+// overlaps any covered user is rejected whole (a relay never legitimately
+// re-sums a delivered user).
+func (c *collector) addBatch(relay, seq int64, instance int, bm *big.Int, half protocol.SubmissionHalf, digest [32]byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if instance < 0 || instance >= c.instances {
+		return c.reject("bad-instance", fmt.Errorf("instance index %d outside [0, %d)", instance, c.instances))
+	}
+	if bm == nil || bm.Sign() <= 0 || bm.BitLen() > c.users {
+		return c.reject("bad-bitmap", fmt.Errorf("batch relay=%d seq=%d bitmap names users outside [0, %d)", relay, seq, c.users))
+	}
+	if len(half.Votes) != c.classes || len(half.Thresh) != c.classes || len(half.Noisy) != c.classes {
+		return c.reject("bad-length", fmt.Errorf("batch has %d/%d/%d ciphertexts, want %d each",
+			len(half.Votes), len(half.Thresh), len(half.Noisy), c.classes))
+	}
+	if c.ring != nil {
+		for _, group := range [][]*paillier.Ciphertext{half.Votes, half.Thresh, half.Noisy} {
+			for _, ct := range group {
+				if ct == nil || ct.C == nil || ct.C.Sign() < 0 || ct.C.Cmp(c.ring) >= 0 {
+					return c.reject("out-of-ring", fmt.Errorf("batch relay=%d seq=%d ciphertext outside [0, N²)", relay, seq))
+				}
+			}
+		}
+	}
+	key := batchKey{relay: relay, seq: seq}
+	if prev, ok := c.batchSeen[key]; ok {
+		if prev == digest {
+			return fmt.Errorf("%w from relay %d seq %d", errDuplicateSubmission, relay, seq)
+		}
+		return c.reject("duplicate", fmt.Errorf("conflicting reuse of batch identity relay=%d seq=%d (first write wins)", relay, seq))
+	}
+	if new(big.Int).And(c.covered[instance], bm).Sign() != 0 {
+		return c.reject("overlap", fmt.Errorf("batch relay=%d seq=%d repeats already-covered users for instance %d", relay, seq, instance))
+	}
+	if c.released {
+		return c.reject("late", fmt.Errorf("batch relay=%d seq=%d arrived after release", relay, seq))
+	}
+	c.batchSeen[key] = digest
+	c.covered[instance].Or(c.covered[instance], bm)
+	c.batches[instance] = append(c.batches[instance], relayBatch{bm: new(big.Int).Set(bm), half: half})
+	c.remaining -= popcount(bm)
+	if c.remaining <= 0 {
 		c.doneOnce.Do(func() { close(c.done) })
 	}
 	return nil
@@ -277,42 +330,50 @@ func (c *collector) counts() (got, want int) {
 }
 
 // bitmap returns the participant bitmap for one instance: bit u set iff
-// user u's validated submission is held locally.
+// user u's validated submission is held locally — directly or inside a
+// relay batch.
 func (c *collector) bitmap(i int) *big.Int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	bm := new(big.Int)
-	for u, h := range c.halves[i] {
-		if h != nil {
-			bm.SetBit(bm, u, 1)
-		}
-	}
-	return bm
+	return new(big.Int).Set(c.covered[i])
 }
 
-// instance returns the ordered submission halves for one instance; only
-// valid after a successful wait() (every cell filled).
-func (c *collector) instance(i int) []protocol.SubmissionHalf {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]protocol.SubmissionHalf, c.users)
-	for u, h := range c.halves[i] {
-		out[u] = *h
-	}
-	return out
-}
-
-// maskedInstance returns the full-length submission slice for one instance
-// with zero-value halves for every user outside the agreed set (the
-// protocol engine's dropped-user representation). An agreed participant
-// with no local submission is a fatal peer mismatch: the servers would sum
-// different subsets.
-func (c *collector) maskedInstance(i int, agreed *big.Int) ([]protocol.SubmissionHalf, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]protocol.SubmissionHalf, c.users)
+// instanceGroups returns one instance's submissions as aggregation groups
+// (relay batches whole, direct users as singletons); only valid after a
+// successful wait() (every user covered).
+func (c *collector) instanceGroups(i int) ([]protocol.Group, error) {
+	full := new(big.Int)
 	for u := 0; u < c.users; u++ {
-		if agreed.Bit(u) == 0 {
+		full.SetBit(full, u, 1)
+	}
+	return c.maskedGroups(i, full)
+}
+
+// maskedGroups returns the aggregation groups for one instance restricted
+// to the agreed participant set. A relay batch is atomic — its members were
+// homomorphically summed at the relay and cannot be separated — so an
+// agreed set that covers only part of a batch is a fatal peer mismatch
+// (the servers would sum different subsets), as is an agreed participant
+// with no local submission.
+func (c *collector) maskedGroups(i int, agreed *big.Int) ([]protocol.Group, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	groups := make([]protocol.Group, 0, len(c.batches[i])+c.users)
+	rest := new(big.Int).Set(agreed)
+	for _, b := range c.batches[i] {
+		inter := new(big.Int).And(b.bm, agreed)
+		if inter.Sign() == 0 {
+			continue
+		}
+		if inter.Cmp(b.bm) != 0 {
+			return nil, transport.MarkFatal(fmt.Errorf("deploy: agreed participant set for instance %d splits a relay batch (a pre-sum cannot be separated): %w",
+				i, protocol.ErrPeerMismatch))
+		}
+		groups = append(groups, protocol.Group{Members: bitmapIndices(b.bm, c.users), Half: b.half})
+		rest.AndNot(rest, b.bm)
+	}
+	for u := 0; u < c.users; u++ {
+		if rest.Bit(u) == 0 {
 			continue
 		}
 		h := c.halves[i][u]
@@ -320,9 +381,9 @@ func (c *collector) maskedInstance(i int, agreed *big.Int) ([]protocol.Submissio
 			return nil, transport.MarkFatal(fmt.Errorf("deploy: agreed participant %d has no local submission for instance %d: %w",
 				u, i, protocol.ErrPeerMismatch))
 		}
-		out[u] = *h
+		groups = append(groups, protocol.Group{Members: []int{u}, Half: *h})
 	}
-	return out, nil
+	return groups, nil
 }
 
 // errDuplicateSubmission marks a byte-identical submission for an

@@ -302,9 +302,12 @@ func TestCollector(t *testing.T) {
 	if err := col.wait(context.Background()); err != nil {
 		t.Errorf("wait after completion: %v", err)
 	}
-	got := col.instance(0)
+	got, err := col.instanceGroups(0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != 2 {
-		t.Errorf("instance returned %d halves", len(got))
+		t.Errorf("instanceGroups returned %d groups", len(got))
 	}
 }
 

@@ -100,15 +100,15 @@ func TestCollectorDedupReplay(t *testing.T) {
 	if popcount(bm) != 1 {
 		t.Fatalf("replays inflated the participant set: bitmap %v", bm)
 	}
-	subs, err := col.maskedInstance(0, bm)
+	groups, err := col.maskedGroups(0, bm)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !subs[1].Present() || !halfEqual(subs[1], h) {
-		t.Error("stored submission bytes changed across replays")
+	if len(groups) != 1 || len(groups[0].Members) != 1 || groups[0].Members[0] != 1 {
+		t.Fatalf("masked groups = %+v, want the single user 1", groups)
 	}
-	if subs[0].Present() || subs[2].Present() {
-		t.Error("absent users appear present in the masked instance")
+	if !groups[0].Half.Present() || !halfEqual(groups[0].Half, h) {
+		t.Error("stored submission bytes changed across replays")
 	}
 }
 
@@ -272,8 +272,8 @@ func TestPartialModeOffIsInert(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if participants != 2 || len(subs) != 2 || !subs[0].Present() || !subs[1].Present() {
-		t.Errorf("full-participation prepare returned %d participants, %d halves", participants, len(subs))
+	if participants != 2 || len(subs) != 2 || !subs[0].Half.Present() || !subs[1].Half.Present() {
+		t.Errorf("full-participation prepare returned %d participants, %d groups", participants, len(subs))
 	}
 
 	// Mode mismatch is caught at the hello: a partial S2 against a plain S1.

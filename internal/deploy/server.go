@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/privconsensus/privconsensus/internal/dgk"
+	"github.com/privconsensus/privconsensus/internal/ingest"
 	"github.com/privconsensus/privconsensus/internal/keystore"
 	"github.com/privconsensus/privconsensus/internal/mathutil"
 	"github.com/privconsensus/privconsensus/internal/obs"
@@ -420,20 +421,25 @@ func collectSubmissions(ctx context.Context, s *serverSetup, opts ServerOptions,
 	return nil
 }
 
-// prepareSubs resolves one instance's submissions on either server: in
+// prepareSubs resolves one instance's submissions on either server as
+// aggregation groups (relay batches whole, direct users as singletons): in
 // partial mode it runs the participant exchange (S1 proposes, S2
 // intersects) and masks the grid by the agreed set; otherwise it returns
 // the full grid. It reports the participant count alongside, and
 // protocol.ErrQuorumNotMet (no protocol traffic follows) when the agreed
 // set is below quorum.
 func prepareSubs(ctx context.Context, s *serverSetup, opts ServerOptions, role string,
-	peer transport.Conn, i int) ([]protocol.SubmissionHalf, int, error) {
+	peer transport.Conn, i int) ([]protocol.Group, int, error) {
 	if !opts.partial() {
 		// Full participation: the quorum decision is trivial but still
 		// journaled so every instance's timeline starts the same way.
 		s.journalEvent(opts, obs.Event{Type: obs.EventQuorum, Instance: i,
 			Note: fmt.Sprintf("participants=%d dropped=0 quorum=%d", s.cfg.Users, s.cfg.Users)})
-		return s.col.instance(i), s.cfg.Users, nil
+		groups, err := s.col.instanceGroups(i)
+		if err != nil {
+			return nil, 0, err
+		}
+		return groups, s.cfg.Users, nil
 	}
 	local := s.col.bitmap(i)
 	var (
@@ -460,11 +466,11 @@ func prepareSubs(ctx context.Context, s *serverSetup, opts ServerOptions, role s
 		return nil, participants, fmt.Errorf("deploy: instance %d has %d of %d participants: %w",
 			i, participants, s.cfg.Users, protocol.ErrQuorumNotMet)
 	}
-	subs, err := s.col.maskedInstance(i, agreed)
+	groups, err := s.col.maskedGroups(i, agreed)
 	if err != nil {
 		return nil, participants, err
 	}
-	return subs, participants, nil
+	return groups, participants, nil
 }
 
 // RunS1 runs server S1: it listens for all users and for S2, collects the
@@ -585,7 +591,7 @@ func runS1Legacy(ctx context.Context, keys protocol.KeysS1, s *serverSetup, opts
 	rng := newRNG(opts.Seed)
 	results := make([]InstanceResult, 0, opts.Instances)
 	for i := 0; i < opts.Instances; i++ {
-		subs, participants, err := prepareSubs(ctx, s, opts, "s1", peer, i)
+		groups, participants, err := prepareSubs(ctx, s, opts, "s1", peer, i)
 		if err != nil {
 			if errors.Is(err, protocol.ErrQuorumNotMet) {
 				results = append(results, quorumMissResult(i, 1, participants, s.cfg.Users, err))
@@ -595,7 +601,7 @@ func runS1Legacy(ctx context.Context, keys protocol.KeysS1, s *serverSetup, opts
 		}
 		out, err := runInstance(ctx, s, "s1", i, 0, participants, s.cfg.Users-participants, opts,
 			func(qctx context.Context, meter *transport.Meter) (*protocol.Outcome, error) {
-				return protocol.RunS1(qctx, rng, s.cfg, keys, peer, subs, meter)
+				return protocol.RunS1Groups(qctx, rng, s.cfg, keys, peer, groups, meter)
 			})
 		if err != nil {
 			return nil, err
@@ -664,14 +670,14 @@ func runS1Session(ctx context.Context, keys protocol.KeysS1, s *serverSetup, opt
 				if err := sendBegin(actx, peer, i, attempt, prev); err != nil {
 					return nil, fmt.Errorf("deploy: begin instance %d: %w", i, err)
 				}
-				subs, p, err := prepareSubs(actx, s, opts, "s1", peer, i)
+				groups, p, err := prepareSubs(actx, s, opts, "s1", peer, i)
 				participants = p
 				if err != nil {
 					return nil, err
 				}
 				return runInstance(actx, s, "s1", i, attempt, participants, s.cfg.Users-participants, opts,
 					func(qctx context.Context, meter *transport.Meter) (*protocol.Outcome, error) {
-						return protocol.RunS1(qctx, rng, s.cfg, keys, peer, subs, meter)
+						return protocol.RunS1Groups(qctx, rng, s.cfg, keys, peer, groups, meter)
 					})
 			}()
 			cancel()
@@ -847,7 +853,7 @@ func RunS2Report(ctx context.Context, file *keystore.S2File, opts ServerOptions)
 
 		results := make([]InstanceResult, 0, opts.Instances)
 		for i := 0; i < opts.Instances; i++ {
-			subs, participants, err := prepareSubs(ctx, s, opts, "s2", peer, i)
+			groups, participants, err := prepareSubs(ctx, s, opts, "s2", peer, i)
 			if err != nil {
 				if errors.Is(err, protocol.ErrQuorumNotMet) {
 					results = append(results, quorumMissResult(i, 1, participants, s.cfg.Users, err))
@@ -857,7 +863,7 @@ func RunS2Report(ctx context.Context, file *keystore.S2File, opts ServerOptions)
 			}
 			out, err := runInstance(ctx, s, "s2", i, 0, participants, s.cfg.Users-participants, opts,
 				func(qctx context.Context, meter *transport.Meter) (*protocol.Outcome, error) {
-					return protocol.RunS2WithPools(qctx, rng, s.cfg, keys, peer, subs, meter, pools)
+					return protocol.RunS2GroupsWithPools(qctx, rng, s.cfg, keys, peer, groups, meter, pools)
 				})
 			if err != nil {
 				return nil, err
@@ -985,14 +991,14 @@ func runS2Session(ctx context.Context, keys protocol.KeysS2, rng io.Reader, s *s
 			attempts[i]++
 			actx, cancel := context.WithTimeout(ctx, opts.attemptTimeout())
 			out, err := func() (*protocol.Outcome, error) {
-				subs, p, err := prepareSubs(actx, s, opts, "s2", peer, i)
+				groups, p, err := prepareSubs(actx, s, opts, "s2", peer, i)
 				participants[i] = p
 				if err != nil {
 					return nil, err
 				}
 				return runInstance(actx, s, "s2", i, frame.attempt, p, s.cfg.Users-p, opts,
 					func(qctx context.Context, meter *transport.Meter) (*protocol.Outcome, error) {
-						return protocol.RunS2WithPools(qctx, rng, s.cfg, keys, peer, subs, meter, pools)
+						return protocol.RunS2GroupsWithPools(qctx, rng, s.cfg, keys, peer, groups, meter, pools)
 					})
 			}()
 			cancel()
@@ -1132,6 +1138,17 @@ func acceptLoop(ctx context.Context, s *serverSetup, peerCh chan<- peerConn, ps 
 					opts.log(levelWarn, "duplicate peer connection; dropping")
 					conn.Close()
 				}
+			case partyRelay:
+				// An ingestion-tier relay delivering pre-summed batches. The
+				// capability bit is mandatory so a relay can never feed a
+				// server that does not understand combined frames silently.
+				if caps&ingest.CapPresum == 0 {
+					opts.log(levelWarn, "relay hello without presum capability; dropping")
+					conn.Close()
+					return
+				}
+				serveRelayConn(ctx, conn, s, opts)
+				conn.Close()
 			case partyUser:
 				// A tracing user asked for the run's trace identity; an
 				// untraced server answers immediately with ID 0 (its trace

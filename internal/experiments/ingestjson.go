@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// IngestJSON is the machine-readable ingestion benchmark record written as
+// BENCH_ingest.json by cmd/loadgen. The schema field versions the layout;
+// scripts/ingest_guard.sh compares records only when every shape key below
+// matches, so changing the workload shape never trips the regression guard.
+type IngestJSON struct {
+	Schema      string `json:"schema"`
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	NumCPU      int    `json:"num_cpu"`
+
+	// Shape keys: two records are comparable only when all of these match.
+	Mode         string `json:"mode"` // "tree" or "direct"
+	Users        int    `json:"users"`
+	Relays       int    `json:"relays"`
+	Levels       int    `json:"levels"`
+	Batch        int    `json:"batch"`
+	Workers      int    `json:"workers"`
+	Arrival      string `json:"arrival"`
+	PaillierBits int    `json:"paillier_bits"`
+	Classes      int    `json:"classes"`
+	Instances    int    `json:"instances"`
+	Seed         int64  `json:"seed"`
+
+	// ElapsedNs is the wall time from the first frame sent to the last
+	// upload confirmed.
+	ElapsedNs int64 `json:"elapsed_ns"`
+	// ThroughputUsersPerSec is Users / Elapsed — the harness's primary
+	// number, watched by the regression guard.
+	ThroughputUsersPerSec float64 `json:"throughput_users_per_sec"`
+	// Ack percentiles are per-user confirmation latencies: from the first
+	// frame sent to both servers' halves durably acked.
+	AckP50Ns int64 `json:"ack_p50_ns"`
+	AckP95Ns int64 `json:"ack_p95_ns"`
+	AckP99Ns int64 `json:"ack_p99_ns"`
+	// Quorum waits are each sink's time from listening to the collector's
+	// release — what a real query would have paid before protocol start.
+	QuorumWaitS1Ns int64 `json:"quorum_wait_s1_ns"`
+	QuorumWaitS2Ns int64 `json:"quorum_wait_s2_ns"`
+	// Rehomes counts uploader endpoint failovers during the measured run
+	// (expected 0 — the harness kills nothing).
+	Rehomes int `json:"rehomes"`
+
+	// Parity: whether the relay tree and direct ingestion produced identical
+	// consensus outcomes on a small full-protocol run.
+	ParityChecked bool `json:"parity_checked"`
+	ParityOK      bool `json:"parity_ok"`
+	ParityUsers   int  `json:"parity_users"`
+
+	// Large-run fields (flat, so the guard's line extraction stays trivial):
+	// a second measurement at -large scale, appended when requested.
+	LargeUsers                 int     `json:"large_users,omitempty"`
+	LargeElapsedNs             int64   `json:"large_elapsed_ns,omitempty"`
+	LargeThroughputUsersPerSec float64 `json:"large_throughput_users_per_sec,omitempty"`
+	LargeAckP99Ns              int64   `json:"large_ack_p99_ns,omitempty"`
+	LargeQuorumWaitS1Ns        int64   `json:"large_quorum_wait_s1_ns,omitempty"`
+}
+
+// WriteIngestJSON stamps the environment fields and writes the record to
+// path, indented for diffing.
+func WriteIngestJSON(path string, rec IngestJSON) error {
+	rec.Schema = "privconsensus/ingest-bench/v1"
+	rec.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	rec.GoVersion = runtime.Version()
+	rec.GOOS = runtime.GOOS
+	rec.GOARCH = runtime.GOARCH
+	rec.NumCPU = runtime.NumCPU()
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("experiments: marshal ingest json: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

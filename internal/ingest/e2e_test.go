@@ -1,0 +1,157 @@
+// End-to-end ingestion-tree tests. The package is ingest_test so it can
+// drive the deploy servers (deploy imports ingest, never the reverse).
+package ingest_test
+
+import (
+	"context"
+	"math/big"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/privconsensus/privconsensus/internal/deploy"
+	"github.com/privconsensus/privconsensus/internal/dgk"
+	"github.com/privconsensus/privconsensus/internal/ingest"
+	"github.com/privconsensus/privconsensus/internal/keystore"
+	"github.com/privconsensus/privconsensus/internal/protocol"
+)
+
+// testSetup generates key files for a small deployment (mirrors the deploy
+// package's test fixture).
+func testSetup(t *testing.T, users int) (*keystore.S1File, *keystore.S2File, *keystore.PublicFile, protocol.Config) {
+	return testSetupFrac(t, users, 0.5)
+}
+
+// testSetupFrac is testSetup with a chosen threshold fraction (awkward
+// fractions make the partial-participation δ correction nonzero).
+func testSetupFrac(t *testing.T, users int, frac float64) (*keystore.S1File, *keystore.S2File, *keystore.PublicFile, protocol.Config) {
+	t.Helper()
+	cfg := protocol.DefaultConfig(users)
+	cfg.Classes = 4
+	cfg.Kappa = 24
+	cfg.Sigma1, cfg.Sigma2 = 0, 0
+	cfg.ThresholdFrac = frac
+	cfg.DGK = dgk.Params{NBits: 160, TBits: 32, U: 1009, L: 50}
+	keys, err := protocol.GenerateKeys(rand.New(rand.NewSource(200)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s2, pub, err := keystore.Split(cfg, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s1, s2, pub, cfg
+}
+
+// oneHot builds a one-hot float vote vector.
+func oneHot(classes, label int) []float64 {
+	v := make([]float64, classes)
+	v[label] = 1
+	return v
+}
+
+// startRelay launches one relay and returns its bound listen addresses.
+func startRelay(ctx context.Context, t *testing.T, opts ingest.Options) (s1Addr, s2Addr string, done <-chan error) {
+	t.Helper()
+	r1 := make(chan string, 1)
+	r2 := make(chan string, 1)
+	opts.ListenS1 = "127.0.0.1:0"
+	opts.ListenS2 = "127.0.0.1:0"
+	opts.ReadyS1 = r1
+	opts.ReadyS2 = r2
+	errCh := make(chan error, 1)
+	go func() { errCh <- ingest.Run(ctx, opts) }()
+	select {
+	case s1Addr = <-r1:
+	case err := <-errCh:
+		t.Fatalf("relay did not start: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("relay start timed out")
+	}
+	s2Addr = <-r2
+	return s1Addr, s2Addr, errCh
+}
+
+// TestTreeIngestionEndToEnd drives 12 users through two relays into the
+// servers' ingestion path and asserts both sinks assemble the complete
+// participant bitmap — the tree is invisible downstream of the collector.
+func TestTreeIngestionEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-endpoint ingestion test is slow in -short mode")
+	}
+	const users = 12
+	_, _, pub, cfg := testSetup(t, users)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Sinks: the two servers' ingestion paths, full participation.
+	sinkReady := [2]chan string{make(chan string, 1), make(chan string, 1)}
+	type sinkResult struct {
+		rep *deploy.IngestReport
+		err error
+	}
+	sinkDone := [2]chan sinkResult{make(chan sinkResult, 1), make(chan sinkResult, 1)}
+	sinks := []struct {
+		role string
+		ring *big.Int
+	}{
+		{"s1", pub.PK2.N2}, // S1 holds halves encrypted under pk2
+		{"s2", pub.PK1.N2},
+	}
+	for i, sk := range sinks {
+		i, sk := i, sk
+		go func() {
+			rep, err := deploy.RunIngest(ctx, sk.role, cfg, sk.ring, deploy.ServerOptions{
+				ListenAddr: "127.0.0.1:0", Instances: 1, Ready: sinkReady[i],
+			})
+			sinkDone[i] <- sinkResult{rep, err}
+		}()
+	}
+	s1Addr := <-sinkReady[0]
+	s2Addr := <-sinkReady[1]
+
+	// Two leaf relays splitting the user population.
+	relayOpts := func(id int64) ingest.Options {
+		return ingest.Options{
+			UpstreamS1: s1Addr, UpstreamS2: s2Addr, RelayID: id,
+			Users: users, Instances: 1, Classes: cfg.Classes,
+			PK1: pub.PK1, PK2: pub.PK2,
+			BatchSize: 4, FlushInterval: 20 * time.Millisecond, Seed: id,
+		}
+	}
+	relCtx, relCancel := context.WithCancel(ctx)
+	defer relCancel()
+	a1, a2, _ := startRelay(relCtx, t, relayOpts(1))
+	b1, b2, _ := startRelay(relCtx, t, relayOpts(2))
+
+	// Users 0–5 via relay A, 6–11 via relay B, through the standard client.
+	for u := 0; u < users; u++ {
+		s1, s2 := a1, a2
+		if u >= 6 {
+			s1, s2 = b1, b2
+		}
+		err := deploy.SubmitVotes(ctx, pub, deploy.UserOptions{
+			User: u, S1Addr: s1, S2Addr: s2, Seed: int64(300 + u), MaxRetries: 2,
+		}, [][]float64{oneHot(cfg.Classes, u%cfg.Classes)})
+		if err != nil {
+			t.Fatalf("user %d: %v", u, err)
+		}
+	}
+
+	for i := range sinkDone {
+		res := <-sinkDone[i]
+		if res.err != nil {
+			t.Fatalf("sink %d: %v", i, res.err)
+		}
+		inst := res.rep.Instances[0]
+		if inst.Participants != users {
+			t.Errorf("sink %d ingested %d of %d users", i, inst.Participants, users)
+		}
+		for u := 0; u < users; u++ {
+			if inst.Bitmap.Bit(u) != 1 {
+				t.Errorf("sink %d missing user %d in the participant bitmap", i, u)
+			}
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Package ingest implements the tree-structured aggregator ingestion tier:
+// stateless relay nodes that sit between users and the protocol servers,
+// validate submission frames with the same hostile-input rules the servers
+// apply, homomorphically pre-sum validated batches under the destination
+// server's peer public key, and forward one combined submission plus a
+// participant bitmap upstream. Because Paillier addition is ciphertext
+// multiplication mod N² — commutative and associative — a relay's pre-sum
+// aggregates to the byte-identical ciphertext vector the server would have
+// computed from the individual frames, so the protocol outcome is exactly
+// the direct-ingestion outcome (protocol.Group carries the pre-sum in).
+//
+// Wire protocol. Relays speak the deploy wire protocol on both ends:
+//
+//	hello    := Message{Kind: KindControl, Flags: [party (, caps)]}
+//	submit   := Message{Kind: KindShares,
+//	                    Flags: [user, instance, classes],
+//	                    Values: votes || thresh || noisy}        (3K values)
+//	combined := Message{Kind: KindShares,
+//	                    Flags: [instance, classes, relay, seq, count],
+//	                    Values: [bitmap] || votes || thresh || noisy}
+//	batchAck := Message{Kind: KindControl,
+//	                    Flags: [110, relay, seq, status]}
+//
+// A relay identifies itself upstream with PartyRelay and the CapPresum
+// capability bit; the upstream (a parent relay or a server) acks every
+// combined frame so the relay can retransmit over a reconnect. Replays are
+// idempotent: a (relay, seq) pair with an identical frame digest is
+// tolerated, a conflicting one is rejected first-write-wins.
+package ingest
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"math/big"
+	"math/bits"
+
+	"github.com/privconsensus/privconsensus/internal/paillier"
+	"github.com/privconsensus/privconsensus/internal/protocol"
+	"github.com/privconsensus/privconsensus/internal/transport"
+)
+
+// Party identifiers in hello frames. PartyUser and PartyPeer mirror the
+// deploy package's wire constants; PartyRelay is new with the ingestion
+// tier.
+const (
+	PartyUser  int64 = 1
+	PartyPeer  int64 = 2
+	PartyRelay int64 = 3
+)
+
+// CapPresum is the hello capability bit a relay advertises upstream: the
+// connection carries combined (pre-summed) frames and expects per-batch
+// acks. An acceptor that does not recognize the bit drops the connection,
+// so a relay can never feed a pre-capability server silently.
+const CapPresum int64 = 16
+
+// Control codes on the user/relay ingestion path. CtrlUploadDone and
+// CtrlUploadAck mirror the deploy session protocol (a relay answers them on
+// behalf of the server so resilient user uploads confirm against the relay
+// that holds their frames); CtrlBatchAck is new with the ingestion tier.
+const (
+	CtrlUploadDone int64 = 102
+	CtrlUploadAck  int64 = 103
+	// CtrlBatchAck confirms one combined frame upstream:
+	// Flags [110, relay, seq, status] with status 0 = accepted (or
+	// tolerated replay), 1 = rejected by upstream validation.
+	CtrlBatchAck int64 = 110
+)
+
+// Batch ack statuses (Flags[3] of a CtrlBatchAck frame).
+const (
+	BatchAccepted int64 = 0
+	BatchRejected int64 = 1
+)
+
+// EncodeHalf packs one user's submission half for one instance into a wire
+// message. This is the canonical encoder for the deploy submit frame; the
+// deploy package delegates here.
+func EncodeHalf(user, instance int, h protocol.SubmissionHalf) (*transport.Message, error) {
+	k := len(h.Votes)
+	if k == 0 || len(h.Thresh) != k || len(h.Noisy) != k {
+		return nil, fmt.Errorf("ingest: malformed submission half (%d/%d/%d ciphertexts)",
+			len(h.Votes), len(h.Thresh), len(h.Noisy))
+	}
+	values := make([]*big.Int, 0, 3*k)
+	for _, group := range [][]*paillier.Ciphertext{h.Votes, h.Thresh, h.Noisy} {
+		for _, c := range group {
+			if c == nil || c.C == nil {
+				return nil, fmt.Errorf("ingest: nil ciphertext in submission")
+			}
+			values = append(values, c.C)
+		}
+	}
+	return &transport.Message{
+		Kind:   transport.KindShares,
+		Flags:  []int64{int64(user), int64(instance), int64(k)},
+		Values: values,
+	}, nil
+}
+
+// DecodeHalf unpacks a wire submission frame.
+func DecodeHalf(msg *transport.Message) (user, instance int, half protocol.SubmissionHalf, err error) {
+	if msg.Kind != transport.KindShares || len(msg.Flags) != 3 {
+		return 0, 0, half, fmt.Errorf("ingest: malformed submission frame")
+	}
+	k := int(msg.Flags[2])
+	if k <= 0 || len(msg.Values) != 3*k {
+		return 0, 0, half, fmt.Errorf("ingest: submission frame has %d values for %d classes", len(msg.Values), k)
+	}
+	half.Votes = toCiphertexts(msg.Values[:k])
+	half.Thresh = toCiphertexts(msg.Values[k : 2*k])
+	half.Noisy = toCiphertexts(msg.Values[2*k:])
+	return int(msg.Flags[0]), int(msg.Flags[1]), half, nil
+}
+
+// toCiphertexts wraps raw wire values as ciphertexts (unvalidated; ring
+// membership is the collector's job).
+func toCiphertexts(vs []*big.Int) []*paillier.Ciphertext {
+	out := make([]*paillier.Ciphertext, len(vs))
+	for i, v := range vs {
+		out[i] = &paillier.Ciphertext{C: v}
+	}
+	return out
+}
+
+// Combined is one relay batch: the homomorphic sum of the bitmap members'
+// submission halves for one instance, attested by relay Relay with
+// per-relay sequence number Seq.
+type Combined struct {
+	Relay    int64
+	Seq      int64
+	Instance int
+	// Bitmap has bit u set iff user u's validated frame is summed into
+	// Half.
+	Bitmap *big.Int
+	Half   protocol.SubmissionHalf
+}
+
+// Users returns the number of members in the batch.
+func (c Combined) Users() int { return popcount(c.Bitmap) }
+
+// EncodeCombined packs a relay batch into its wire frame. The frame is
+// distinguished from a per-user submit frame by its flag count (5 vs 3).
+func EncodeCombined(c Combined) (*transport.Message, error) {
+	k := len(c.Half.Votes)
+	if k == 0 || len(c.Half.Thresh) != k || len(c.Half.Noisy) != k {
+		return nil, fmt.Errorf("ingest: malformed combined half (%d/%d/%d ciphertexts)",
+			len(c.Half.Votes), len(c.Half.Thresh), len(c.Half.Noisy))
+	}
+	if c.Bitmap == nil || c.Bitmap.Sign() <= 0 {
+		return nil, fmt.Errorf("ingest: combined frame needs a non-empty participant bitmap")
+	}
+	values := make([]*big.Int, 0, 1+3*k)
+	values = append(values, c.Bitmap)
+	for _, group := range [][]*paillier.Ciphertext{c.Half.Votes, c.Half.Thresh, c.Half.Noisy} {
+		for _, ct := range group {
+			if ct == nil || ct.C == nil {
+				return nil, fmt.Errorf("ingest: nil ciphertext in combined frame")
+			}
+			values = append(values, ct.C)
+		}
+	}
+	return &transport.Message{
+		Kind:   transport.KindShares,
+		Flags:  []int64{int64(c.Instance), int64(k), c.Relay, c.Seq, int64(popcount(c.Bitmap))},
+		Values: values,
+	}, nil
+}
+
+// DecodeCombined unpacks and shape-checks a combined frame. The declared
+// member count must match the bitmap population — a mismatch means the
+// frame was corrupted or forged.
+func DecodeCombined(msg *transport.Message) (Combined, error) {
+	var c Combined
+	if msg.Kind != transport.KindShares || len(msg.Flags) != 5 {
+		return c, fmt.Errorf("ingest: malformed combined frame")
+	}
+	k := int(msg.Flags[1])
+	if k <= 0 || len(msg.Values) != 1+3*k {
+		return c, fmt.Errorf("ingest: combined frame has %d values for %d classes", len(msg.Values), k)
+	}
+	bm := msg.Values[0]
+	if bm == nil || bm.Sign() <= 0 {
+		return c, fmt.Errorf("ingest: combined frame bitmap is empty or negative")
+	}
+	if want := int(msg.Flags[4]); popcount(bm) != want {
+		return c, fmt.Errorf("ingest: combined frame declares %d members but bitmap has %d", want, popcount(bm))
+	}
+	c.Instance = int(msg.Flags[0])
+	c.Relay = msg.Flags[2]
+	c.Seq = msg.Flags[3]
+	c.Bitmap = bm
+	cts := msg.Values[1:]
+	c.Half.Votes = toCiphertexts(cts[:k])
+	c.Half.Thresh = toCiphertexts(cts[k : 2*k])
+	c.Half.Noisy = toCiphertexts(cts[2*k:])
+	return c, nil
+}
+
+// FrameDigest is the canonical content digest of one wire frame: SHA-256
+// over the frame's codec encoding. Relays and servers key their replay
+// dedup on it, so a byte-identical retransmission (after a reconnect) is
+// tolerated while a conflicting reuse of the same identity is rejected.
+func FrameDigest(msg *transport.Message) [32]byte {
+	h := sha256.New()
+	// The codec encoding is deterministic; an encode error (nil value)
+	// cannot happen for frames that passed Encode*/Decode*.
+	_ = transport.WriteMessage(h, msg)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// SendHello identifies this connection's party (and capabilities) to the
+// acceptor, in the deploy hello wire format.
+func SendHello(ctx context.Context, conn transport.Conn, party, caps int64) error {
+	flags := []int64{party}
+	if caps != 0 {
+		flags = append(flags, caps)
+	}
+	return conn.Send(ctx, &transport.Message{Kind: transport.KindControl, Flags: flags})
+}
+
+// RecvHello reads and validates a hello frame on a relay's ingestion
+// listener: users and child relays are welcome, anything else is not.
+func RecvHello(ctx context.Context, conn transport.Conn) (party, caps int64, err error) {
+	msg, err := transport.ExpectKind(ctx, conn, transport.KindControl)
+	if err != nil {
+		return 0, 0, fmt.Errorf("ingest: hello: %w", err)
+	}
+	if len(msg.Flags) < 1 || len(msg.Flags) > 2 ||
+		(msg.Flags[0] != PartyUser && msg.Flags[0] != PartyRelay) {
+		return 0, 0, fmt.Errorf("ingest: invalid hello frame")
+	}
+	if len(msg.Flags) == 2 {
+		caps = msg.Flags[1]
+	}
+	return msg.Flags[0], caps, nil
+}
+
+// popcount returns the number of set bits in a participant bitmap.
+func popcount(bm *big.Int) int {
+	if bm == nil {
+		return 0
+	}
+	n := 0
+	for _, w := range bm.Bits() {
+		n += bits.OnesCount(uint(w))
+	}
+	return n
+}
+
+// BitmapIndices returns the set bit positions below users, ascending.
+func BitmapIndices(bm *big.Int, users int) []int {
+	out := make([]int, 0, popcount(bm))
+	for u := 0; u < users; u++ {
+		if bm.Bit(u) == 1 {
+			out = append(out, u)
+		}
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package ingest
+
+import (
+	"math/big"
+	"testing"
+
+	"github.com/privconsensus/privconsensus/internal/paillier"
+	"github.com/privconsensus/privconsensus/internal/protocol"
+)
+
+// testHalf builds a well-shaped submission half whose ciphertexts all carry
+// the given value (shape and ring validation only — no real crypto).
+func testHalf(classes int, val int64) protocol.SubmissionHalf {
+	group := func() []*paillier.Ciphertext {
+		out := make([]*paillier.Ciphertext, classes)
+		for i := range out {
+			out[i] = &paillier.Ciphertext{C: big.NewInt(val)}
+		}
+		return out
+	}
+	return protocol.SubmissionHalf{Votes: group(), Thresh: group(), Noisy: group()}
+}
+
+func TestHalfRoundtrip(t *testing.T) {
+	h := testHalf(3, 42)
+	msg, err := EncodeHalf(5, 2, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, instance, got, err := DecodeHalf(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if user != 5 || instance != 2 || len(got.Votes) != 3 || got.Votes[0].C.Int64() != 42 {
+		t.Errorf("roundtrip = user %d instance %d votes %v", user, instance, got.Votes)
+	}
+}
+
+func TestCombinedRoundtrip(t *testing.T) {
+	bm := big.NewInt(0b1011) // users 0, 1, 3
+	c := Combined{Relay: 7, Seq: 12, Instance: 1, Bitmap: bm, Half: testHalf(2, 9)}
+	if c.Users() != 3 {
+		t.Fatalf("Users() = %d, want 3", c.Users())
+	}
+	msg, err := EncodeCombined(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCombined(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Relay != 7 || got.Seq != 12 || got.Instance != 1 ||
+		got.Bitmap.Cmp(bm) != 0 || len(got.Half.Votes) != 2 {
+		t.Errorf("roundtrip = %+v", got)
+	}
+}
+
+func TestCombinedRejectsMalformedFrames(t *testing.T) {
+	good, err := EncodeCombined(Combined{Relay: 1, Seq: 0, Instance: 0,
+		Bitmap: big.NewInt(0b11), Half: testHalf(2, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Declared member count diverging from the bitmap population.
+	bad := *good
+	bad.Flags = append([]int64(nil), good.Flags...)
+	bad.Flags[4] = 5
+	if _, err := DecodeCombined(&bad); err == nil {
+		t.Error("count/popcount mismatch accepted")
+	}
+	// Wrong flag arity (a per-user submit frame is not a combined frame).
+	user, _ := EncodeHalf(0, 0, testHalf(2, 5))
+	if _, err := DecodeCombined(user); err == nil {
+		t.Error("3-flag user frame decoded as combined")
+	}
+	// Empty bitmap refused at encode time.
+	if _, err := EncodeCombined(Combined{Relay: 1, Bitmap: new(big.Int), Half: testHalf(2, 5)}); err == nil {
+		t.Error("empty bitmap encoded")
+	}
+	// Truncated values.
+	bad2 := *good
+	bad2.Values = good.Values[:3]
+	if _, err := DecodeCombined(&bad2); err == nil {
+		t.Error("truncated combined frame accepted")
+	}
+}
+
+func TestFrameDigestDetectsTampering(t *testing.T) {
+	msg, err := EncodeHalf(0, 0, testHalf(2, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := FrameDigest(msg)
+	if d2 := FrameDigest(msg); d1 != d2 {
+		t.Fatal("digest is not deterministic")
+	}
+	msg2, _ := EncodeHalf(0, 0, testHalf(2, 6))
+	if FrameDigest(msg2) == d1 {
+		t.Error("distinct frames share a digest")
+	}
+}
+
+func TestBitmapHelpers(t *testing.T) {
+	bm := big.NewInt(0b101001)
+	if popcount(bm) != 3 {
+		t.Errorf("popcount = %d, want 3", popcount(bm))
+	}
+	if popcount(nil) != 0 {
+		t.Error("popcount(nil) != 0")
+	}
+	idx := BitmapIndices(bm, 6)
+	want := []int{0, 3, 5}
+	if len(idx) != len(want) {
+		t.Fatalf("indices = %v, want %v", idx, want)
+	}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("indices = %v, want %v", idx, want)
+		}
+	}
+}

@@ -54,6 +54,10 @@ const (
 	EventDelta = "delta-correction"
 	// EventSpend is a privacy-accountant spend.
 	EventSpend = "spend"
+	// EventRelayBatch is one combined (pre-summed) batch crossing an
+	// ingestion-tier hop: forwarded upstream by a relay, or accepted by a
+	// server from a relay. The note carries side, sequence and member count.
+	EventRelayBatch = "relay-batch"
 )
 
 // Event is one journal record. Instance is -1 for session-scoped events

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sort"
 	"time"
 
 	"github.com/privconsensus/privconsensus/internal/dgk"
@@ -104,7 +105,7 @@ func timeStep(ctx context.Context, meter *transport.Meter, step string, fn func(
 
 // RunS1 executes S1's role in the Private Consensus Protocol (Alg. 5) for
 // one query instance. subs holds every user's ToS1 half (encrypted under
-// pk2). meter may be nil.
+// pk2); nil halves mark dropped users. meter may be nil.
 func RunS1(ctx context.Context, rng io.Reader, cfg Config, keys KeysS1,
 	conn transport.Conn, subs []SubmissionHalf, meter *transport.Meter) (*Outcome, error) {
 	if err := cfg.Validate(); err != nil {
@@ -112,6 +113,18 @@ func RunS1(ctx context.Context, rng io.Reader, cfg Config, keys KeysS1,
 	}
 	if len(subs) != cfg.Users {
 		return nil, fmt.Errorf("protocol: got %d submissions, want %d", len(subs), cfg.Users)
+	}
+	return RunS1Groups(ctx, rng, cfg, keys, conn, GroupSingletons(subs), meter)
+}
+
+// RunS1Groups is RunS1 over pre-aggregated ingestion groups (see Group):
+// each group contributes one summed half covering all its members. The
+// aggregate — and therefore the whole transcript and outcome — is
+// byte-identical to running RunS1 with the same users submitting directly.
+func RunS1Groups(ctx context.Context, rng io.Reader, cfg Config, keys KeysS1,
+	conn transport.Conn, groups []Group, meter *transport.Meter) (*Outcome, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	keys.Precompute() // warm fixed-base tables before the first phase
 	sess := newMuxSession(cfg, conn, meter)
@@ -122,11 +135,10 @@ func RunS1(ctx context.Context, rng io.Reader, cfg Config, keys KeysS1,
 	conn = sess.seq
 	par := cfg.parallelism()
 
-	// Partial participation: nil halves mark dropped users; aggregate only
-	// the present subset. Both servers must mask the same subset (the
-	// deploy layer agrees on it via the participant bitmap exchange).
-	participants := ParticipantIndices(subs)
-	active, adjust, err := subsetInputs(cfg, subs, participants)
+	// Partial participation: aggregate only the present subset. Both
+	// servers must mask the same subset (the deploy layer agrees on it via
+	// the participant bitmap exchange, whole groups at a time).
+	active, participants, adjust, err := groupInputs(cfg, groups)
 	if err != nil {
 		return nil, err
 	}
@@ -198,7 +210,7 @@ func RunS1(ctx context.Context, rng io.Reader, cfg Config, keys KeysS1,
 		return nil, fmt.Errorf("protocol: S1 threshold check: %w", err)
 	}
 	if !pass {
-		return &Outcome{Consensus: false, Label: -1, Participants: len(active)}, nil
+		return &Outcome{Consensus: false, Label: -1, Participants: len(participants)}, nil
 	}
 
 	// Step 6: second Secure Sum (noisy shares).
@@ -247,7 +259,7 @@ func RunS1(ctx context.Context, rng io.Reader, cfg Config, keys KeysS1,
 	if err != nil {
 		return nil, err
 	}
-	return &Outcome{Consensus: true, Label: label, Participants: len(active)}, nil
+	return &Outcome{Consensus: true, Label: label, Participants: len(participants)}, nil
 }
 
 // S2Pools holds S2's precomputed DGK comparison material, kept warm by
@@ -338,6 +350,23 @@ func RunS2WithPools(ctx context.Context, rng io.Reader, cfg Config, keys KeysS2,
 	if len(subs) != cfg.Users {
 		return nil, fmt.Errorf("protocol: got %d submissions, want %d", len(subs), cfg.Users)
 	}
+	return RunS2GroupsWithPools(ctx, rng, cfg, keys, conn, GroupSingletons(subs), meter, pools)
+}
+
+// RunS2Groups is RunS2 over pre-aggregated ingestion groups; see
+// RunS1Groups.
+func RunS2Groups(ctx context.Context, rng io.Reader, cfg Config, keys KeysS2,
+	conn transport.Conn, groups []Group, meter *transport.Meter) (*Outcome, error) {
+	return RunS2GroupsWithPools(ctx, rng, cfg, keys, conn, groups, meter, nil)
+}
+
+// RunS2GroupsWithPools is RunS2WithPools over pre-aggregated ingestion
+// groups; see RunS1Groups.
+func RunS2GroupsWithPools(ctx context.Context, rng io.Reader, cfg Config, keys KeysS2,
+	conn transport.Conn, groups []Group, meter *transport.Meter, pools *S2Pools) (*Outcome, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	keys.Precompute() // warm fixed-base tables before the first phase
 	sess := newMuxSession(cfg, conn, meter)
 	if sess.mux != nil {
@@ -347,9 +376,8 @@ func RunS2WithPools(ctx context.Context, rng io.Reader, cfg Config, keys KeysS2,
 	conn = sess.seq
 	par := cfg.parallelism()
 
-	// Partial participation: mirror RunS1's subset masking exactly.
-	participants := ParticipantIndices(subs)
-	active, adjust, err := subsetInputs(cfg, subs, participants)
+	// Partial participation: mirror RunS1Groups' subset masking exactly.
+	active, participants, adjust, err := groupInputs(cfg, groups)
 	if err != nil {
 		return nil, err
 	}
@@ -429,7 +457,7 @@ func RunS2WithPools(ctx context.Context, rng io.Reader, cfg Config, keys KeysS2,
 		return nil, fmt.Errorf("protocol: S2 threshold check: %w", err)
 	}
 	if !pass {
-		return &Outcome{Consensus: false, Label: -1, Participants: len(active)}, nil
+		return &Outcome{Consensus: false, Label: -1, Participants: len(participants)}, nil
 	}
 
 	err = timeStep(ctx, meter, StepSecureSum2, func() error {
@@ -473,30 +501,46 @@ func RunS2WithPools(ctx context.Context, rng io.Reader, cfg Config, keys KeysS2,
 	if err != nil {
 		return nil, err
 	}
-	return &Outcome{Consensus: true, Label: label, Participants: len(active)}, nil
+	return &Outcome{Consensus: true, Label: label, Participants: len(participants)}, nil
 }
 
-// subsetInputs resolves a full-length submission slice (nil halves = dropped
-// users) into the dense active slice to aggregate plus the threshold
-// adjustment delta for the participant set. Present halves must carry all
-// three ciphertext vectors.
-func subsetInputs(cfg Config, subs []SubmissionHalf, participants []int) ([]SubmissionHalf, *big.Int, error) {
-	if len(participants) == 0 {
-		return nil, nil, fmt.Errorf("protocol: no participating submissions")
+// groupInputs resolves the ingestion groups of one query instance into the
+// dense half slice to aggregate, the sorted participant indices, and the
+// threshold adjustment delta for that participant set. Groups must be
+// non-empty, disjoint, in range, and carry all three ciphertext vectors.
+func groupInputs(cfg Config, groups []Group) ([]SubmissionHalf, []int, *big.Int, error) {
+	if len(groups) == 0 {
+		return nil, nil, nil, fmt.Errorf("protocol: no participating submissions")
 	}
-	active := make([]SubmissionHalf, 0, len(participants))
-	for _, u := range participants {
-		h := subs[u]
-		if len(h.Thresh) != len(h.Votes) || len(h.Noisy) != len(h.Votes) {
-			return nil, nil, fmt.Errorf("protocol: user %d submission half is incomplete", u)
+	seen := make(map[int]bool)
+	participants := make([]int, 0, len(groups))
+	active := make([]SubmissionHalf, 0, len(groups))
+	for gi, g := range groups {
+		if len(g.Members) == 0 {
+			return nil, nil, nil, fmt.Errorf("protocol: group %d has no members", gi)
+		}
+		for _, u := range g.Members {
+			if u < 0 || u >= cfg.Users {
+				return nil, nil, nil, fmt.Errorf("protocol: group %d member %d outside [0, %d)", gi, u, cfg.Users)
+			}
+			if seen[u] {
+				return nil, nil, nil, fmt.Errorf("protocol: user %d appears in more than one group", u)
+			}
+			seen[u] = true
+			participants = append(participants, u)
+		}
+		h := g.Half
+		if !h.Present() || len(h.Thresh) != len(h.Votes) || len(h.Noisy) != len(h.Votes) {
+			return nil, nil, nil, fmt.Errorf("protocol: group %d submission half is incomplete", gi)
 		}
 		active = append(active, h)
 	}
+	sort.Ints(participants)
 	adjust, err := cfg.thresholdAdjustment(participants)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return active, adjust, nil
+	return active, participants, adjust, nil
 }
 
 // aggregate homomorphically sums one field of every user's submission

@@ -335,6 +335,35 @@ func ParticipantIndices(subs []SubmissionHalf) []int {
 	return out
 }
 
+// Group is one pre-aggregated ingestion unit entering Alg. 5: the
+// homomorphic sum of the listed members' submission halves. Direct user
+// submissions are singleton groups; a relay's combined frame (see
+// internal/ingest) arrives as one multi-member group. Paillier addition is
+// ciphertext multiplication mod N^2 — commutative and associative — so any
+// grouping of the same participant set aggregates to the byte-identical
+// ciphertext vector, which is what makes relay pre-summing transparent to
+// the protocol.
+type Group struct {
+	// Members are the user indices whose shares Half sums. Every user must
+	// appear in exactly one group per query instance.
+	Members []int
+	// Half is the homomorphic sum of the members' submission halves.
+	Half SubmissionHalf
+}
+
+// GroupSingletons lifts a full-length (Users-sized) submission slice into
+// one singleton group per present submission; nil halves mark dropped
+// users, exactly as in RunS1/RunS2.
+func GroupSingletons(subs []SubmissionHalf) []Group {
+	out := make([]Group, 0, len(subs))
+	for u, h := range subs {
+		if h.Present() {
+			out = append(out, Group{Members: []int{u}, Half: h})
+		}
+	}
+	return out
+}
+
 // Keys bundles all key material for a protocol deployment. S1 owns the
 // (pk1, sk1) Paillier pair, S2 owns (pk2, sk2) and the DGK key.
 type Keys struct {
