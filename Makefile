@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 60s
 
-.PHONY: build vet fmt-check test race chaos fuzz cover bench bench-guard obs-smoke loadgen-smoke ingest-guard ci
+.PHONY: build vet fmt-check test race chaos chaos-packed fuzz cover bench bench-guard obs-smoke loadgen-smoke loadgen-smoke-packed ingest-guard ci
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,13 @@ race:
 # correct label or fail cleanly.
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos' -v ./internal/deploy/ ./internal/ingest/
+
+# The same chaos suite with slot-packed submissions end to end: CHAOS_PACKED
+# flips every test deployment to packed wire (packed submit frames, packed
+# relay pre-sums, the blinded unpack round). Outcomes must be identical to
+# the unpacked suite — the assertions do not change.
+chaos-packed:
+	CHAOS_PACKED=1 $(GO) test -race -count=1 -run 'TestChaos' -v ./internal/deploy/ ./internal/ingest/
 
 # Fuzz the attack surfaces: the transport frame decoder, the mux unwrapper,
 # the partial-write recomposition, the fault-spec parser, and the fixed-base
@@ -64,11 +71,21 @@ obs-smoke:
 
 # Ingestion load harness smoke: 1k simulated users through a two-level
 # relay tree on loopback plus a tree-vs-direct full-protocol parity run,
-# refreshing the machine-readable record in results/BENCH_ingest.json.
+# refreshing the machine-readable record in results/BENCH_ingest.json. The
+# compare arm re-measures the same shape with slot packing on, so the
+# committed record carries the packed-vs-unpacked before/after numbers.
 # Scale it up by hand with e.g. `go run ./cmd/loadgen -large 100000`.
 loadgen-smoke:
 	$(GO) run ./cmd/loadgen -users 1000 -relays 2 -batch 64 -workers 8 \
-		-parity-users 20 -out results/BENCH_ingest.json
+		-parity-users 20 -packed-compare -out results/BENCH_ingest.json
+
+# The ingest lane with packing on as the primary mode: packed frames
+# through the relay tree and sinks, plus the packed tree-vs-direct parity
+# run (the process exits non-zero on a parity mismatch). The record is not
+# committed — the packed before/after numbers live in BENCH_ingest.json.
+loadgen-smoke-packed:
+	$(GO) run ./cmd/loadgen -users 1000 -relays 2 -batch 64 -workers 8 \
+		-parity-users 20 -packed
 
 # Regenerate the ingestion record, then fail if throughput or ack p99
 # regressed more than 25% against the committed baseline (skips gracefully

@@ -344,6 +344,32 @@ func BenchmarkArgmaxStrategy(b *testing.B) {
 			})
 		}
 	}
+
+	// Packed arm: slot-packed submissions against the unpacked twin at the
+	// same 256-bit key size (packing needs slot room the 64-bit prototype
+	// default lacks). The comparison phases are identical work in both
+	// modes — the packed runs add only the blinded unpack exchange — so
+	// the reported gap isolates the packing overhead on the servers.
+	for _, packed := range []bool{false, true} {
+		b.Run(fmt.Sprintf("tournament-256/packed=%v/C=10", packed), func(b *testing.B) {
+			var overall time.Duration
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.ProtocolBench(experiments.ProtocolBenchConfig{
+					Instances: 1, Users: 10, Classes: 10,
+					Seed: int64(i + 1), ForceConsensus: true,
+					PaillierBits: 256, Packing: packed,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				overall += res.Overall
+				if i == 0 {
+					b.ReportMetric(float64(res.UserToServerBytes), "user-bytes/inst")
+				}
+			}
+			b.ReportMetric(float64(overall.Milliseconds())/float64(b.N), "overall-ms/inst")
+		})
+	}
 }
 
 // BenchmarkObsOverhead measures the cost of the observability layer on the

@@ -66,6 +66,8 @@ type options struct {
 	mode        string
 	parityUsers int
 	large       int
+	packed      bool
+	packedCmp   bool
 }
 
 func run(args []string) error {
@@ -86,6 +88,8 @@ func run(args []string) error {
 	fs.StringVar(&o.mode, "mode", "tree", "ingestion mode: tree | direct")
 	fs.IntVar(&o.parityUsers, "parity-users", 20, "users for the tree-vs-direct full-protocol parity run (0 skips)")
 	fs.IntVar(&o.large, "large", 0, "also measure at this population (e.g. 100000) into the large_* fields")
+	fs.BoolVar(&o.packed, "packed", false, "slot-packed submissions for the measured run (and the parity run)")
+	fs.BoolVar(&o.packedCmp, "packed-compare", false, "re-measure the same shape with packing on and record the packed_* comparison fields (requires -packed=false)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -101,16 +105,19 @@ func run(args []string) error {
 	if _, err := parseArrival(o.arrival, 1, o.seed); err != nil {
 		return err
 	}
+	if o.packed && o.packedCmp {
+		return fmt.Errorf("-packed-compare re-measures with packing on; the primary run must use -packed=false")
+	}
 
 	ctx := context.Background()
 	rec := experiments.IngestJSON{
 		Mode: o.mode, Users: o.users, Relays: o.relays, Levels: o.levels,
 		Batch: o.batch, Workers: o.workers, Arrival: o.arrival,
 		PaillierBits: o.bits, Classes: o.classes, Instances: o.instances,
-		Seed: o.seed,
+		Seed: o.seed, Packing: o.packed,
 	}
 
-	m, err := measure(ctx, o, o.users)
+	m, err := measure(ctx, o, o.users, o.packed)
 	if err != nil {
 		return err
 	}
@@ -122,9 +129,24 @@ func run(args []string) error {
 	rec.QuorumWaitS1Ns = m.waitS1.Nanoseconds()
 	rec.QuorumWaitS2Ns = m.waitS2.Nanoseconds()
 	rec.Rehomes = m.rehomes
-	fmt.Printf("measured %d users (%s, %s): %.0f users/sec, ack p99 %v, quorum wait s1=%v s2=%v\n",
-		o.users, o.mode, o.arrival, rec.ThroughputUsersPerSec,
-		time.Duration(rec.AckP99Ns), m.waitS1, m.waitS2)
+	rec.BytesPerUser = m.bytesPerUser
+	fmt.Printf("measured %d users (%s, %s, packed=%v): %.0f users/sec, ack p99 %v, %dB/user, quorum wait s1=%v s2=%v\n",
+		o.users, o.mode, o.arrival, o.packed, rec.ThroughputUsersPerSec,
+		time.Duration(rec.AckP99Ns), rec.BytesPerUser, m.waitS1, m.waitS2)
+
+	if o.packedCmp {
+		pm, err := measure(ctx, o, o.users, true)
+		if err != nil {
+			return fmt.Errorf("packed compare run: %w", err)
+		}
+		elapsed := pm.elapsed.Seconds()
+		rec.PackedThroughputUsersPerSec = float64(o.users) / elapsed
+		rec.PackedAckP99Ns = percentile(pm.acks, 99).Nanoseconds()
+		rec.PackedBytesPerUser = pm.bytesPerUser
+		fmt.Printf("packed compare %d users: %.0f users/sec, ack p99 %v, %dB/user (unpacked %dB/user)\n",
+			o.users, rec.PackedThroughputUsersPerSec,
+			time.Duration(rec.PackedAckP99Ns), pm.bytesPerUser, m.bytesPerUser)
+	}
 
 	if o.parityUsers > 0 {
 		ok, err := parityCheck(ctx, o)
@@ -139,7 +161,7 @@ func run(args []string) error {
 	}
 
 	if o.large > 0 {
-		lm, err := measure(ctx, o, o.large)
+		lm, err := measure(ctx, o, o.large, o.packed)
 		if err != nil {
 			return fmt.Errorf("large run: %w", err)
 		}
@@ -165,14 +187,38 @@ func run(args []string) error {
 
 // harnessConfig builds the protocol configuration the ingestion sinks and
 // relays validate against.
-func harnessConfig(users, classes, bits int) protocol.Config {
+func harnessConfig(users, classes, bits int, packed bool) protocol.Config {
 	cfg := protocol.DefaultConfig(users)
 	cfg.Classes = classes
 	cfg.PaillierBits = bits
 	cfg.Kappa = 24
 	cfg.Sigma1, cfg.Sigma2 = 0, 0
 	cfg.DGK = dgk.Params{NBits: 160, TBits: 32, U: 1009, L: 50}
+	cfg.Packing = packed
 	return cfg
+}
+
+// encodeUserHalf encodes one submission half in the configuration's wire
+// format: a packed frame when slot packing is on, the legacy per-class
+// frame otherwise.
+func encodeUserHalf(cfg protocol.Config, user, instance int, h protocol.SubmissionHalf) (*transport.Message, error) {
+	if cfg.Packing {
+		return ingest.EncodePackedHalf(user, instance, cfg.Classes, cfg.PackedWidth(), h)
+	}
+	return ingest.EncodeHalf(user, instance, h)
+}
+
+// relayPacked returns the relay-side packed layout for the configuration,
+// nil when packing is off.
+func relayPacked(cfg protocol.Config) *ingest.PackedParams {
+	if !cfg.Packing {
+		return nil
+	}
+	return &ingest.PackedParams{
+		Width:    cfg.PackedWidth(),
+		PerVec:   cfg.PackedCiphertexts(),
+		Headroom: cfg.PackedHeadroomBits(),
+	}
 }
 
 // measurement is one ingestion run's raw numbers.
@@ -181,11 +227,12 @@ type measurement struct {
 	acks           []time.Duration
 	waitS1, waitS2 time.Duration
 	rehomes        int
+	bytesPerUser   int64
 }
 
 // measure runs one open-loop ingestion measurement at the given population.
-func measure(ctx context.Context, o options, users int) (*measurement, error) {
-	cfg := harnessConfig(users, o.classes, o.bits)
+func measure(ctx context.Context, o options, users int, packed bool) (*measurement, error) {
+	cfg := harnessConfig(users, o.classes, o.bits, packed)
 	keys, err := protocol.GenerateKeys(rand.New(rand.NewSource(o.seed)), cfg)
 	if err != nil {
 		return nil, err
@@ -263,6 +310,7 @@ func measure(ctx context.Context, o options, users int) (*measurement, error) {
 					RelayID: int64(101 + m), Users: users, Instances: o.instances,
 					Classes: cfg.Classes, PK1: pub.PK1, PK2: pub.PK2,
 					BatchSize: o.batch, Seed: o.seed + int64(100+m),
+					Packed: relayPacked(cfg),
 				})
 				if err != nil {
 					return nil, err
@@ -314,13 +362,13 @@ func measure(ctx context.Context, o options, users int) (*measurement, error) {
 				}
 				t0 := time.Now()
 				for i := 0; i < o.instances; i++ {
-					f1, err := ingest.EncodeHalf(u, i, tmpl.ToS1)
+					f1, err := encodeUserHalf(cfg, u, i, tmpl.ToS1)
 					if err == nil {
 						err = up1.Send(runCtx, f1)
 					}
 					var f2 *transport.Message
 					if err == nil {
-						f2, err = ingest.EncodeHalf(u, i, tmpl.ToS2)
+						f2, err = encodeUserHalf(cfg, u, i, tmpl.ToS2)
 					}
 					if err == nil {
 						err = up2.Send(runCtx, f2)
@@ -352,7 +400,8 @@ func measure(ctx context.Context, o options, users int) (*measurement, error) {
 	}
 	elapsed := time.Since(start)
 
-	m := &measurement{elapsed: elapsed, acks: acks, rehomes: rehomes}
+	m := &measurement{elapsed: elapsed, acks: acks, rehomes: rehomes,
+		bytesPerUser: int64(protocol.SubmissionBytes(tmpl.ToS1) + protocol.SubmissionBytes(tmpl.ToS2))}
 	for i := range sinkDone {
 		out := <-sinkDone[i]
 		if out.err != nil {
@@ -385,7 +434,7 @@ func startLeaves(ctx context.Context, o options, users int, cfg protocol.Config,
 			UpstreamS1: upS1, UpstreamS2: upS2, RelayID: int64(r + 1),
 			Users: users, Instances: o.instances, Classes: cfg.Classes,
 			PK1: pub.PK1, PK2: pub.PK2, BatchSize: o.batch,
-			Seed: o.seed + int64(r),
+			Seed: o.seed + int64(r), Packed: relayPacked(cfg),
 		})
 		if err != nil {
 			return nil, nil, err
@@ -498,7 +547,7 @@ func percentile(durs []time.Duration, p int) time.Duration {
 // honest end to end.
 func parityCheck(ctx context.Context, o options) (bool, error) {
 	users := o.parityUsers
-	cfg := harnessConfig(users, o.classes, o.bits)
+	cfg := harnessConfig(users, o.classes, o.bits, o.packed)
 	cfg.ThresholdFrac = 0.5
 	keys, err := protocol.GenerateKeys(rand.New(rand.NewSource(o.seed+11)), cfg)
 	if err != nil {
@@ -546,6 +595,7 @@ func parityCheck(ctx context.Context, o options) (bool, error) {
 				UpstreamS1: s1Addr, UpstreamS2: s2Addr, RelayID: 1,
 				Users: users, Instances: 1, Classes: cfg.Classes,
 				PK1: pub.PK1, PK2: pub.PK2, BatchSize: 4, Seed: o.seed + 31,
+				Packed: relayPacked(cfg),
 			})
 			if err != nil {
 				return nil, nil, err
@@ -554,6 +604,7 @@ func parityCheck(ctx context.Context, o options) (bool, error) {
 				UpstreamS1: s1Addr, UpstreamS2: s2Addr, RelayID: 2,
 				Users: users, Instances: 1, Classes: cfg.Classes,
 				PK1: pub.PK1, PK2: pub.PK2, BatchSize: 4, Seed: o.seed + 32,
+				Packed: relayPacked(cfg),
 			})
 			if err != nil {
 				return nil, nil, err
@@ -582,7 +633,7 @@ func parityCheck(ctx context.Context, o options) (bool, error) {
 			}
 			up1 := &ingest.Uploader{Endpoints: e1, Seed: o.seed + int64(u)}
 			up2 := &ingest.Uploader{Endpoints: e2, Seed: o.seed + int64(u) + 1}
-			f1, err := ingest.EncodeHalf(u, 0, sub.ToS1)
+			f1, err := encodeUserHalf(cfg, u, 0, sub.ToS1)
 			if err == nil {
 				err = up1.Send(runCtx, f1)
 			}
@@ -591,7 +642,7 @@ func parityCheck(ctx context.Context, o options) (bool, error) {
 			}
 			if err == nil {
 				var f2 *transport.Message
-				if f2, err = ingest.EncodeHalf(u, 0, sub.ToS2); err == nil {
+				if f2, err = encodeUserHalf(cfg, u, 0, sub.ToS2); err == nil {
 					if err = up2.Send(runCtx, f2); err == nil {
 						err = up2.Confirm(runCtx, int64(u))
 					}

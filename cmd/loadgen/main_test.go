@@ -63,7 +63,7 @@ func TestLoadgenSmoke(t *testing.T) {
 	err := run([]string{
 		"-users", "60", "-relays", "2", "-batch", "8", "-workers", "4",
 		"-arrival", "burst:30@20ms", "-parity-users", "4", "-bits", "128",
-		"-seed", "5", "-out", out,
+		"-seed", "5", "-packed-compare", "-out", out,
 	})
 	if err != nil {
 		t.Fatalf("loadgen run: %v", err)
@@ -76,7 +76,7 @@ func TestLoadgenSmoke(t *testing.T) {
 	if err := json.Unmarshal(data, &rec); err != nil {
 		t.Fatalf("record is not valid JSON: %v", err)
 	}
-	if rec["schema"] != "privconsensus/ingest-bench/v1" {
+	if rec["schema"] != "privconsensus/ingest-bench/v2" {
 		t.Errorf("schema = %v", rec["schema"])
 	}
 	if tput, _ := rec["throughput_users_per_sec"].(float64); tput <= 0 {
@@ -87,5 +87,15 @@ func TestLoadgenSmoke(t *testing.T) {
 	}
 	if n, _ := rec["rehomes"].(float64); n != 0 {
 		t.Errorf("rehomes = %v in a failure-free run", rec["rehomes"])
+	}
+	// The primary run is unpacked; the compare arm appends the packed
+	// re-measurement with a strictly smaller per-user upload.
+	if packed, _ := rec["packing"].(bool); packed {
+		t.Error("packing = true on the -packed-compare primary run")
+	}
+	ub, _ := rec["bytes_per_user"].(float64)
+	pb, _ := rec["packed_bytes_per_user"].(float64)
+	if ub <= 0 || pb <= 0 || pb >= ub {
+		t.Errorf("bytes_per_user = %v, packed = %v; want 0 < packed < unpacked", ub, pb)
 	}
 }

@@ -44,6 +44,7 @@ func run(args []string) error {
 		seed      = fs.Int64("seed", 0, "deterministic seed (0 = crypto/rand)")
 		par       = fs.Int("parallelism", 0, "protocol worker bound (0 = key file / NumCPU, 1 = sequential wire format; both servers must agree)")
 		argmax    = fs.String("argmax", "", "argmax strategy: tournament (batched bracket, the default) or allpairs (legacy wire format; both servers must agree)")
+		packed    = fs.String("packed", "", "slot-packed submissions: on, off, or empty for the key file's setting (changes the wire format; servers, relays and users must agree)")
 		metrics   = fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (empty = disabled)")
 		linger    = fs.Duration("metrics-linger", 0, "keep the metrics endpoint up this long after the last instance")
 		retries   = fs.Int("max-retries", 0, "per-instance retry budget on transient I/O failures (0 = legacy wire protocol; both servers must agree)")
@@ -74,6 +75,7 @@ func run(args []string) error {
 		Seed:           *seed,
 		Parallelism:    *par,
 		ArgmaxStrategy: *argmax,
+		Packing:        *packed,
 		MetricsAddr:    *metrics,
 		MetricsLinger:  *linger,
 		MaxRetries:     *retries,

@@ -40,6 +40,7 @@ func run(args []string) error {
 		backoff  = fs.Duration("backoff", 50*time.Millisecond, "initial retry backoff (doubles per retry)")
 		faults   = fs.String("fault-spec", "", "inject deterministic connection faults (testing only)")
 		journal  = fs.String("journal", "", "append a hash-chained JSONL event journal at this path and join the servers' cross-process trace (see cmd/trace)")
+		packed   = fs.String("packed", "", "slot-packed submissions: on, off, or empty for the key file's setting (must match the servers)")
 		logLevel = fs.String("log-level", "", "log threshold: debug, info (default), warn or silent")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -76,7 +77,7 @@ func run(args []string) error {
 	if err := deploy.SubmitVotes(ctx, &pub, deploy.UserOptions{
 		User: *userIdx, S1Addr: *s1Addr, S2Addr: *s2Addr, Seed: *seed,
 		MaxRetries: *retries, Backoff: *backoff, FaultSpec: *faults,
-		JournalPath: *journal, LogLevel: *logLevel,
+		JournalPath: *journal, LogLevel: *logLevel, Packing: *packed,
 		Logf: deploy.DefaultLogger(fmt.Sprintf("[user%d] ", *userIdx)),
 	}, votes); err != nil {
 		return err

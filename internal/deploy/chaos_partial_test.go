@@ -110,8 +110,8 @@ func TestChaosUserDropoutSchedule(t *testing.T) {
 	// the submission contract — a wrong vote-vector length for instance 0
 	// and out-of-ring ciphertexts for instance 1. Both must be rejected and
 	// excluded from the participant set without breaking the server.
-	sendMalformed(ctx, t, s1Addr, malformedUser, cfg.Classes)
-	sendMalformed(ctx, t, s2Addr, malformedUser, cfg.Classes)
+	sendMalformed(ctx, t, s1Addr, malformedUser, cfg)
+	sendMalformed(ctx, t, s2Addr, malformedUser, cfg)
 
 	for u := 0; u < present; u++ {
 		if err := <-userErr; err != nil {
@@ -160,9 +160,11 @@ func TestChaosUserDropoutSchedule(t *testing.T) {
 }
 
 // sendMalformed delivers two hostile-but-well-framed submission frames to
-// one server: a vote vector of the wrong length, and ciphertexts far
-// outside the Paillier ring.
-func sendMalformed(ctx context.Context, t *testing.T, addr string, user, classes int) {
+// one server: a vector of the wrong ciphertext count, and ciphertexts far
+// outside the Paillier ring. In packed mode the frames are self-consistent
+// KindPacked frames with the same two defects, so both wire modes exercise
+// the same bad-length and out-of-ring rejection counters.
+func sendMalformed(ctx context.Context, t *testing.T, addr string, user int, cfg protocol.Config) {
 	t.Helper()
 	conn, err := transport.Dial(ctx, addr)
 	if err != nil {
@@ -177,18 +179,30 @@ func sendMalformed(ctx context.Context, t *testing.T, addr string, user, classes
 		for i := range values {
 			values[i] = val
 		}
+		if cfg.Packing {
+			return &transport.Message{
+				Kind: transport.KindPacked,
+				Flags: []int64{int64(user), int64(instance), int64(cfg.Classes),
+					int64(cfg.PackedWidth()), int64(k)},
+				Values: values,
+			}
+		}
 		return &transport.Message{
 			Kind:   transport.KindShares,
 			Flags:  []int64{int64(user), int64(instance), int64(k)},
 			Values: values,
 		}
 	}
-	// Instance 0: wrong vote-vector length. Instance 1: values no 64-bit
-	// (or production-size) Paillier ring can contain.
+	// Instance 0: wrong per-sequence ciphertext count. Instance 1: values
+	// no 64-bit (or production-size) Paillier ring can contain.
+	perVec := cfg.Classes
+	if cfg.Packing {
+		perVec = cfg.PackedCiphertexts()
+	}
 	huge := new(big.Int).Lsh(big.NewInt(1), 4100)
 	for _, m := range []*transport.Message{
-		frame(0, classes+1, big.NewInt(7)),
-		frame(1, classes, huge),
+		frame(0, perVec+1, big.NewInt(7)),
+		frame(1, perVec, huge),
 	} {
 		if err := conn.Send(ctx, m); err != nil {
 			t.Fatalf("malformed user send: %v", err)

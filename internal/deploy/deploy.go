@@ -101,9 +101,18 @@ type collector struct {
 	mu        sync.Mutex
 	users     int
 	instances int
-	classes   int
-	ring      *big.Int                     // Paillier N² the halves must live in (nil disables the check)
-	halves    [][]*protocol.SubmissionHalf // [instance][user]
+	// perVec is the expected ciphertext count per vector: Classes on an
+	// unpacked grid, PackedCiphertexts() on a packed one.
+	perVec int
+	// packed, when non-nil, marks the grid as slot-packed: frames must
+	// declare exactly this layout (checked by the serving loops before
+	// add/addBatch) and carry perVec packed ciphertexts per vector.
+	packed *ingest.PackedParams
+	// packedClasses is the logical class count K packed frames must
+	// declare (0 on an unpacked grid).
+	packedClasses int
+	ring          *big.Int                     // Paillier N² the halves must live in (nil disables the check)
+	halves        [][]*protocol.SubmissionHalf // [instance][user]
 	// covered has bit u set iff user u's submission for the instance is
 	// held locally — directly in halves, or pre-summed inside a relay
 	// batch. It is the authoritative participant bitmap.
@@ -136,11 +145,11 @@ type batchKey struct {
 // newCollector prepares an empty submission grid. ring is the N² modulus of
 // the Paillier key the stored halves are encrypted under; every ciphertext
 // of every submission must fall in [0, ring) or the submission is rejected.
-func newCollector(users, instances, classes int, ring *big.Int) *collector {
+func newCollector(users, instances, perVec int, ring *big.Int) *collector {
 	c := &collector{
 		users:     users,
 		instances: instances,
-		classes:   classes,
+		perVec:    perVec,
 		ring:      ring,
 		halves:    make([][]*protocol.SubmissionHalf, instances),
 		covered:   make([]*big.Int, instances),
@@ -183,9 +192,9 @@ func (c *collector) add(user, instance int, half protocol.SubmissionHalf) error 
 	if instance < 0 || instance >= c.instances {
 		return c.reject("bad-instance", fmt.Errorf("instance index %d outside [0, %d)", instance, c.instances))
 	}
-	if len(half.Votes) != c.classes || len(half.Thresh) != c.classes || len(half.Noisy) != c.classes {
+	if len(half.Votes) != c.perVec || len(half.Thresh) != c.perVec || len(half.Noisy) != c.perVec {
 		return c.reject("bad-length", fmt.Errorf("submission has %d/%d/%d ciphertexts, want %d each",
-			len(half.Votes), len(half.Thresh), len(half.Noisy), c.classes))
+			len(half.Votes), len(half.Thresh), len(half.Noisy), c.perVec))
 	}
 	if c.ring != nil {
 		for _, group := range [][]*paillier.Ciphertext{half.Votes, half.Thresh, half.Noisy} {
@@ -235,9 +244,9 @@ func (c *collector) addBatch(relay, seq int64, instance int, bm *big.Int, half p
 	if bm == nil || bm.Sign() <= 0 || bm.BitLen() > c.users {
 		return c.reject("bad-bitmap", fmt.Errorf("batch relay=%d seq=%d bitmap names users outside [0, %d)", relay, seq, c.users))
 	}
-	if len(half.Votes) != c.classes || len(half.Thresh) != c.classes || len(half.Noisy) != c.classes {
+	if len(half.Votes) != c.perVec || len(half.Thresh) != c.perVec || len(half.Noisy) != c.perVec {
 		return c.reject("bad-length", fmt.Errorf("batch has %d/%d/%d ciphertexts, want %d each",
-			len(half.Votes), len(half.Thresh), len(half.Noisy), c.classes))
+			len(half.Votes), len(half.Thresh), len(half.Noisy), c.perVec))
 	}
 	if c.ring != nil {
 		for _, group := range [][]*paillier.Ciphertext{half.Votes, half.Thresh, half.Noisy} {
@@ -419,9 +428,32 @@ func serveUserConn(ctx context.Context, conn transport.Conn, col *collector) err
 			}
 			continue
 		}
-		user, instance, half, err := DecodeHalf(msg)
-		if err != nil {
-			return err
+		var (
+			user, instance int
+			half           protocol.SubmissionHalf
+		)
+		if p := col.packed; p != nil {
+			var classes, width int
+			user, instance, classes, width, half, err = ingest.DecodePackedHalf(msg)
+			if err != nil {
+				return err
+			}
+			// Layout mismatches are counted rejections, not connection
+			// errors: one hostile frame must not suppress later valid ones.
+			if p.Capacity(width) < 1 {
+				_ = col.reject("slot-overflow", fmt.Errorf("user %d declared slot width %d below the %d headroom bits", user, width, p.Headroom))
+				continue
+			}
+			if classes != col.packedClasses || width != p.Width {
+				_ = col.reject("bad-width", fmt.Errorf("user %d declared packed layout %dx%d, want %dx%d",
+					user, classes, width, col.packedClasses, p.Width))
+				continue
+			}
+		} else {
+			user, instance, half, err = DecodeHalf(msg)
+			if err != nil {
+				return err
+			}
 		}
 		if err := col.add(user, instance, half); err != nil {
 			if errors.Is(err, errDuplicateSubmission) {

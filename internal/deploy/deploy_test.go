@@ -3,6 +3,7 @@ package deploy
 import (
 	"context"
 	"math/rand"
+	"os"
 	"testing"
 	"time"
 
@@ -23,6 +24,13 @@ func testSetup(t *testing.T, users int) (*keystore.S1File, *keystore.S2File, *ke
 	cfg.Sigma1, cfg.Sigma2 = 0, 0
 	cfg.ThresholdFrac = 0.5
 	cfg.DGK = dgk.Params{NBits: 160, TBits: 32, U: 1009, L: 50}
+	// CHAOS_PACKED=1 (the `make chaos-packed` lane) flips every test
+	// deployment to slot-packed submissions: the key files carry the mode,
+	// so servers and users follow without per-test wiring. The assertions
+	// stay identical — outcomes must not depend on the wire encoding.
+	if os.Getenv("CHAOS_PACKED") == "1" {
+		cfg.Packing = true
+	}
 	keys, err := protocol.GenerateKeys(testRNG(200), cfg)
 	if err != nil {
 		t.Fatal(err)

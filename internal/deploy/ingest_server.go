@@ -33,7 +33,12 @@ func serveRelayConn(ctx context.Context, conn transport.Conn, s *serverSetup, op
 		if err != nil {
 			return // relay closed or reconnecting; normal end of stream
 		}
-		c, err := ingest.DecodeCombined(msg)
+		var c ingest.Combined
+		if msg.Kind == transport.KindPacked {
+			c, err = ingest.DecodePackedCombined(msg)
+		} else {
+			c, err = ingest.DecodeCombined(msg)
+		}
 		if err != nil {
 			submissionsRejected("bad-frame").Inc()
 			s.journalEvent(opts, obs.Event{Type: obs.EventRejection, Instance: -1, Note: "bad-frame"})
@@ -41,20 +46,26 @@ func serveRelayConn(ctx context.Context, conn transport.Conn, s *serverSetup, op
 			continue
 		}
 		status := ingest.BatchAccepted
-		err = s.col.addBatch(c.Relay, c.Seq, c.Instance, c.Bitmap, c.Half, ingest.FrameDigest(msg))
-		switch {
-		case err == nil:
-			relayBatchesTotal("accepted").Inc()
-			s.journalEvent(opts, obs.Event{Type: obs.EventRelayBatch, Instance: c.Instance,
-				Note: fmt.Sprintf("relay=%d seq=%d users=%d", c.Relay, c.Seq, c.Users())})
-		case errors.Is(err, errDuplicateSubmission):
-			relayBatchesTotal("replay").Inc() // idempotent retransmission; re-ack
-		case errors.Is(err, errRejectedSubmission):
+		if reason, lerr := packedBatchCheck(s.col, c); reason != "" {
+			_ = s.col.reject(reason, lerr)
 			relayBatchesTotal("rejected").Inc()
 			status = ingest.BatchRejected
-		default:
-			opts.log(levelWarn, "relay connection error: %v", err)
-			return
+		} else {
+			err = s.col.addBatch(c.Relay, c.Seq, c.Instance, c.Bitmap, c.Half, ingest.FrameDigest(msg))
+			switch {
+			case err == nil:
+				relayBatchesTotal("accepted").Inc()
+				s.journalEvent(opts, obs.Event{Type: obs.EventRelayBatch, Instance: c.Instance,
+					Note: fmt.Sprintf("relay=%d seq=%d users=%d", c.Relay, c.Seq, c.Users())})
+			case errors.Is(err, errDuplicateSubmission):
+				relayBatchesTotal("replay").Inc() // idempotent retransmission; re-ack
+			case errors.Is(err, errRejectedSubmission):
+				relayBatchesTotal("rejected").Inc()
+				status = ingest.BatchRejected
+			default:
+				opts.log(levelWarn, "relay connection error: %v", err)
+				return
+			}
 		}
 		ack := &transport.Message{Kind: transport.KindControl,
 			Flags: []int64{ingest.CtrlBatchAck, c.Relay, c.Seq, status}}
@@ -62,6 +73,30 @@ func serveRelayConn(ctx context.Context, conn transport.Conn, s *serverSetup, op
 			return
 		}
 	}
+}
+
+// packedBatchCheck validates a combined frame's declared packing mode and
+// slot layout against the collector's expectations, returning a rejection
+// reason ("" when the frame is acceptable). Overflow capacity is judged
+// against the frame's own declared width before the layout comparison,
+// mirroring the relay tier's validation order.
+func packedBatchCheck(col *collector, c ingest.Combined) (string, error) {
+	p := col.packed
+	if (p != nil) != (c.Width > 0) {
+		return "bad-frame", fmt.Errorf("combined frame packing mode mismatch (frame packed=%v, server packed=%v)", c.Width > 0, p != nil)
+	}
+	if p == nil {
+		return "", nil
+	}
+	if c.Users() > p.Capacity(c.Width) {
+		return "slot-overflow", fmt.Errorf("batch relay=%d seq=%d sums %d users but width %d absorbs at most %d",
+			c.Relay, c.Seq, c.Users(), c.Width, p.Capacity(c.Width))
+	}
+	if c.Classes != col.packedClasses || c.Width != p.Width {
+		return "bad-width", fmt.Errorf("batch relay=%d seq=%d declared packed layout %dx%d, want %dx%d",
+			c.Relay, c.Seq, c.Classes, c.Width, col.packedClasses, p.Width)
+	}
+	return "", nil
 }
 
 // IngestInstance is one instance's final ingestion state.

@@ -8,6 +8,7 @@ import (
 	"math/bits"
 	"time"
 
+	"github.com/privconsensus/privconsensus/internal/ingest"
 	"github.com/privconsensus/privconsensus/internal/obs"
 	"github.com/privconsensus/privconsensus/internal/protocol"
 	"github.com/privconsensus/privconsensus/internal/transport"
@@ -48,6 +49,13 @@ const capPartial int64 = 2
 // schedule and the batch frames change the peer wire format.
 const capBatched int64 = 4
 
+// capPacked is the hello capability bit advertising slot-packed
+// submissions (bit 5, shared with the ingestion tier's relay hello). Both
+// servers must resolve to the same packing mode: packed submissions change
+// the submit frame grammar and insert the blinded unpack round into the
+// peer wire format.
+const capPacked int64 = ingest.CapPacked
+
 // Participant exchange control codes (Flags[0] of KindControl frames).
 const (
 	ctrlParticipants    int64 = 104 // [code, instance] + Values [bitmap]  S1→S2
@@ -79,6 +87,9 @@ func (o ServerOptions) helloCaps(cfg protocol.Config) int64 {
 	}
 	if o.traced() {
 		caps |= capTrace
+	}
+	if cfg.Packing {
+		caps |= capPacked
 	}
 	return caps
 }
@@ -132,6 +143,9 @@ func checkPeerCaps(caps int64, opts ServerOptions, cfg protocol.Config) error {
 	}
 	if opts.traced() != (caps&capTrace != 0) {
 		return fmt.Errorf("deploy: S1 and S2 disagree on trace journaling; run both servers with the same -journal setting")
+	}
+	if cfg.Packing != (caps&capPacked != 0) {
+		return fmt.Errorf("deploy: S1 and S2 disagree on slot packing; run both servers with the same -packed setting")
 	}
 	return nil
 }

@@ -51,6 +51,12 @@ type ServerOptions struct {
 	// so both server processes must resolve to the same one — the peer
 	// hello carries it as a capability bit and S1 rejects a mismatch.
 	ArgmaxStrategy string
+	// Packing overrides the key file's slot-packing mode: "on", "off", or
+	// "" to keep the key file's setting. Packing changes the wire format
+	// for submissions and the aggregation phase, so both servers, every
+	// relay and every user must resolve to the same mode — the peer hello
+	// carries it as a capability bit and S1 rejects a mismatch.
+	Packing string
 	// MetricsAddr, when non-empty, serves the observability admin endpoint
 	// (/metrics, /healthz, /debug/pprof/*, /debug/vars) on that address.
 	MetricsAddr string
@@ -209,7 +215,30 @@ func (o ServerOptions) validate() error {
 	if _, err := parseLogLevel(o.LogLevel); err != nil {
 		return err
 	}
+	if err := checkPackingMode(o.Packing); err != nil {
+		return err
+	}
 	return nil
+}
+
+// checkPackingMode validates a -packed override value.
+func checkPackingMode(mode string) error {
+	switch mode {
+	case "", "on", "off":
+		return nil
+	}
+	return fmt.Errorf("deploy: unknown packing mode %q (want \"on\", \"off\" or empty)", mode)
+}
+
+// applyPacking resolves a -packed override onto the config ("" keeps the
+// key file's setting).
+func applyPacking(cfg *protocol.Config, mode string) {
+	switch mode {
+	case "on":
+		cfg.Packing = true
+	case "off":
+		cfg.Packing = false
+	}
 }
 
 // adminHandle is a running admin endpoint tied to one server run.
@@ -335,6 +364,7 @@ func setupServer(ctx context.Context, role string, cfg protocol.Config, opts Ser
 	if opts.ArgmaxStrategy != "" {
 		cfg.ArgmaxStrategy = opts.ArgmaxStrategy
 	}
+	applyPacking(&cfg, opts.Packing)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -392,7 +422,19 @@ func setupServer(ctx context.Context, role string, cfg protocol.Config, opts Ser
 	opts.log(levelInfo, "%s listening on %s", role, l.Addr())
 	opts.announceReady(l.Addr())
 	s.l = l
-	s.col = newCollector(cfg.Users, opts.Instances, cfg.Classes, ring)
+	perVec := cfg.Classes
+	if cfg.Packing {
+		perVec = cfg.PackedCiphertexts()
+	}
+	s.col = newCollector(cfg.Users, opts.Instances, perVec, ring)
+	if cfg.Packing {
+		s.col.packed = &ingest.PackedParams{
+			Width:    cfg.PackedWidth(),
+			PerVec:   cfg.PackedCiphertexts(),
+			Headroom: cfg.PackedHeadroomBits(),
+		}
+		s.col.packedClasses = cfg.Classes
+	}
 	if s.journal != nil {
 		s.col.events = func(reason string) {
 			s.journalEvent(opts, obs.Event{Type: obs.EventRejection, Instance: -1, Note: reason})
@@ -1144,6 +1186,14 @@ func acceptLoop(ctx context.Context, s *serverSetup, peerCh chan<- peerConn, ps 
 				// server that does not understand combined frames silently.
 				if caps&ingest.CapPresum == 0 {
 					opts.log(levelWarn, "relay hello without presum capability; dropping")
+					conn.Close()
+					return
+				}
+				// The packed bit must agree with the server's resolved mode:
+				// a mixed tree would silently mix frame grammars.
+				if (caps&ingest.CapPacked != 0) != s.cfg.Packing {
+					opts.log(levelWarn, "relay hello packing capability mismatch (relay packed=%v, server packed=%v); dropping",
+						caps&ingest.CapPacked != 0, s.cfg.Packing)
 					conn.Close()
 					return
 				}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/privconsensus/privconsensus/internal/fixedpoint"
+	"github.com/privconsensus/privconsensus/internal/ingest"
 	"github.com/privconsensus/privconsensus/internal/keystore"
 	"github.com/privconsensus/privconsensus/internal/obs"
 	"github.com/privconsensus/privconsensus/internal/protocol"
@@ -53,6 +54,10 @@ type UserOptions struct {
 	LogLevel string
 	// Logf receives progress lines; nil silences logging.
 	Logf func(format string, args ...any)
+	// Packing overrides the key file's slot-packing mode: "on", "off", or
+	// "" to keep the key file's setting. Must match the servers' resolved
+	// mode — a packed server rejects unpacked frames and vice versa.
+	Packing string
 }
 
 // attemptTimeout returns the per-attempt deadline with its default.
@@ -143,6 +148,10 @@ func SubmitVotes(ctx context.Context, pub *keystore.PublicFile, opts UserOptions
 		return err
 	}
 	cfg := pub.Config
+	if err := checkPackingMode(opts.Packing); err != nil {
+		return err
+	}
+	applyPacking(&cfg, opts.Packing)
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
@@ -210,11 +219,11 @@ func SubmitVotes(ctx context.Context, pub *keystore.PublicFile, opts UserOptions
 		if err != nil {
 			return fmt.Errorf("deploy: build submission %d: %w", instance, err)
 		}
-		msg1, err := EncodeHalf(opts.User, instance, sub.ToS1)
+		msg1, err := encodeSubmission(cfg, opts.User, instance, sub.ToS1)
 		if err != nil {
 			return err
 		}
-		msg2, err := EncodeHalf(opts.User, instance, sub.ToS2)
+		msg2, err := encodeSubmission(cfg, opts.User, instance, sub.ToS2)
 		if err != nil {
 			return err
 		}
@@ -250,11 +259,11 @@ func submitResilient(ctx context.Context, pub *keystore.PublicFile, opts UserOpt
 		if err != nil {
 			return fmt.Errorf("deploy: build submission %d: %w", instance, err)
 		}
-		m1, err := EncodeHalf(opts.User, instance, sub.ToS1)
+		m1, err := encodeSubmission(cfg, opts.User, instance, sub.ToS1)
 		if err != nil {
 			return err
 		}
-		m2, err := EncodeHalf(opts.User, instance, sub.ToS2)
+		m2, err := encodeSubmission(cfg, opts.User, instance, sub.ToS2)
 		if err != nil {
 			return err
 		}
@@ -347,6 +356,16 @@ func uploadOnce(ctx context.Context, addr string, msgs []*transport.Message,
 		return transport.MarkFatal(fmt.Errorf("deploy: unexpected upload ack %v", ack.Flags))
 	}
 	return nil
+}
+
+// encodeSubmission picks the submit frame grammar by the resolved packing
+// mode: an unpacked config produces the original KindShares frame byte for
+// byte; a packed one the KindPacked frame with its slot-layout flags.
+func encodeSubmission(cfg protocol.Config, user, instance int, h protocol.SubmissionHalf) (*transport.Message, error) {
+	if cfg.Packing {
+		return ingest.EncodePackedHalf(user, instance, cfg.Classes, cfg.PackedWidth(), h)
+	}
+	return EncodeHalf(user, instance, h)
 }
 
 // votesToUnits converts a [0,1] float vote vector to fixed-point units.

@@ -39,6 +39,11 @@ type BenchJSON struct {
 	// regression guard only compares phase timings between records of the
 	// same strategy.
 	ArgmaxStrategy string `json:"argmax_strategy"`
+	// Packing (schema v4) reports whether the primary record measured
+	// slot-packed submissions. The guard only compares phase timings
+	// between records of the same mode: packing moves the submission cost
+	// off the users and adds the blinded unpack exchange.
+	Packing bool `json:"packing"`
 
 	// NsPerOp is the mean end-to-end time of one query instance.
 	NsPerOp int64 `json:"ns_per_op"`
@@ -49,6 +54,17 @@ type BenchJSON struct {
 	UserToServerBytes  int64 `json:"user_to_server_bytes"`
 	UserToServerBytes2 int64 `json:"user_to_server_bytes2"`
 	ConsensusInstances int   `json:"consensus_instances"`
+
+	// Per-user upload sizing (schema v4): one user's full submission
+	// (both halves) measured with packing off and on at the same workload
+	// shape and a packed-capable key size (packed_paillier_bits). The
+	// guard checks the packed upload stays >= 4x smaller with >= 2x fewer
+	// user-side Paillier encryptions.
+	PackedPaillierBits         int   `json:"packed_paillier_bits"`
+	BytesPerUserUnpacked       int64 `json:"bytes_per_user_unpacked"`
+	BytesPerUserPacked         int64 `json:"bytes_per_user_packed"`
+	EncryptionsPerUserUnpacked int   `json:"encryptions_per_user_unpacked"`
+	EncryptionsPerUserPacked   int   `json:"encryptions_per_user_packed"`
 
 	// Crypto micro-kernel timings (schema v2): mean single-threaded
 	// fresh-nonce encryption cost with pools bypassed, the direct view of
@@ -70,7 +86,7 @@ type BenchJSON struct {
 // BenchJSONFrom converts a benchmark result into its JSON record.
 func BenchJSONFrom(res *ProtocolBenchResult) BenchJSON {
 	out := BenchJSON{
-		Schema:             "privconsensus/protocol-bench/v3",
+		Schema:             "privconsensus/protocol-bench/v4",
 		GeneratedAt:        time.Now().UTC().Format(time.RFC3339),
 		GoVersion:          runtime.Version(),
 		GOOS:               runtime.GOOS,
@@ -83,6 +99,7 @@ func BenchJSONFrom(res *ProtocolBenchResult) BenchJSON {
 		UseDGKPool:         res.Config.UseDGKPool,
 		Seed:               res.Config.Seed,
 		ArgmaxStrategy:     res.Config.ResolvedArgmaxStrategy(),
+		Packing:            res.Config.Packing,
 		NsPerOp:            res.Overall.Nanoseconds(),
 		UserToServerBytes:  res.UserToServerBytes,
 		UserToServerBytes2: res.UserToServerBytes2,
@@ -100,12 +117,19 @@ func BenchJSONFrom(res *ProtocolBenchResult) BenchJSON {
 	return out
 }
 
+// packedSizeBits is the Paillier modulus used for the packed-vs-unpacked
+// upload sizing in the bench record: large enough for the packed slot width
+// at the paper's statistical parameter, unlike the 64-bit prototype keys
+// the timing runs use.
+const packedSizeBits = 1024
+
 // WriteBenchJSON writes the benchmark record to path, indented for diffing.
 // res is the primary run (the configured strategy); oracle, when non-nil, is
 // the same workload under the all-pairs schedule and lands in the
 // allpairs_* fields so one record carries both strategies' per-phase costs.
-// It also runs the crypto micro-benchmarks so the record carries the
-// fixed-base kernel timings the regression guard watches.
+// It also runs the crypto micro-benchmarks and the packed-vs-unpacked
+// upload sizing so the record carries the fixed-base kernel timings and the
+// bytes_per_user_{packed,unpacked} figures the regression guard watches.
 func WriteBenchJSON(path string, res, oracle *ProtocolBenchResult) error {
 	out := BenchJSONFrom(res)
 	if oracle != nil {
@@ -119,6 +143,15 @@ func WriteBenchJSON(path string, res, oracle *ProtocolBenchResult) error {
 	}
 	out.PaillierEncNs = micro.PaillierEncNs
 	out.DGKEncNs = micro.DGKEncNs
+	sizes, err := MeasurePackedSizes(res.Config.Users, res.Config.Classes, packedSizeBits, res.Config.Seed)
+	if err != nil {
+		return err
+	}
+	out.PackedPaillierBits = sizes.PaillierBits
+	out.BytesPerUserUnpacked = sizes.UnpackedBytes
+	out.BytesPerUserPacked = sizes.PackedBytes
+	out.EncryptionsPerUserUnpacked = sizes.UnpackedEncryptions
+	out.EncryptionsPerUserPacked = sizes.PackedEncryptions
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return fmt.Errorf("experiments: marshal bench json: %w", err)

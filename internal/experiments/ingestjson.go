@@ -32,6 +32,10 @@ type IngestJSON struct {
 	Classes      int    `json:"classes"`
 	Instances    int    `json:"instances"`
 	Seed         int64  `json:"seed"`
+	// Packing (schema v2) reports whether the measured run used
+	// slot-packed submissions; packed and unpacked runs move very
+	// different byte volumes, so it is a shape key.
+	Packing bool `json:"packing"`
 
 	// ElapsedNs is the wall time from the first frame sent to the last
 	// upload confirmed.
@@ -52,11 +56,23 @@ type IngestJSON struct {
 	// (expected 0 — the harness kills nothing).
 	Rehomes int `json:"rehomes"`
 
+	// BytesPerUser (schema v2) is the wire size of one user's upload for
+	// one query instance (both submission halves) in the measured run's
+	// packing mode.
+	BytesPerUser int64 `json:"bytes_per_user"`
+
 	// Parity: whether the relay tree and direct ingestion produced identical
 	// consensus outcomes on a small full-protocol run.
 	ParityChecked bool `json:"parity_checked"`
 	ParityOK      bool `json:"parity_ok"`
 	ParityUsers   int  `json:"parity_users"`
+
+	// Packed comparison (schema v2): the same workload re-measured with
+	// slot packing on, appended when the harness runs the compare arm so
+	// one record carries the before/after numbers.
+	PackedThroughputUsersPerSec float64 `json:"packed_throughput_users_per_sec,omitempty"`
+	PackedAckP99Ns              int64   `json:"packed_ack_p99_ns,omitempty"`
+	PackedBytesPerUser          int64   `json:"packed_bytes_per_user,omitempty"`
 
 	// Large-run fields (flat, so the guard's line extraction stays trivial):
 	// a second measurement at -large scale, appended when requested.
@@ -70,7 +86,7 @@ type IngestJSON struct {
 // WriteIngestJSON stamps the environment fields and writes the record to
 // path, indented for diffing.
 func WriteIngestJSON(path string, rec IngestJSON) error {
-	rec.Schema = "privconsensus/ingest-bench/v1"
+	rec.Schema = "privconsensus/ingest-bench/v2"
 	rec.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
 	rec.GoVersion = runtime.Version()
 	rec.GOOS = runtime.GOOS

@@ -34,6 +34,15 @@ type ProtocolBenchConfig struct {
 	// empty or "tournament" runs the batched bracket, "allpairs" the
 	// original all-pairs comparison schedule.
 	ArgmaxStrategy string
+	// Packing is forwarded to protocol.Config.Packing: true encodes each
+	// submission sequence into slot-packed Paillier plaintexts. The key
+	// must leave room for the packed slot width (see PaillierBits).
+	Packing bool
+	// PaillierBits overrides the protocol's Paillier modulus size (0 keeps
+	// the 64-bit prototype default). Packed runs need larger keys: the
+	// slot width derived from the worst-case sums does not fit a 64-bit
+	// modulus at the default statistical parameter.
+	PaillierBits int
 }
 
 // ResolvedArgmaxStrategy names the strategy the run actually uses.
@@ -103,6 +112,10 @@ func ProtocolBench(cfg ProtocolBenchConfig) (*ProtocolBenchResult, error) {
 	pcfg.UseDGKPool = cfg.UseDGKPool
 	pcfg.Parallelism = cfg.Parallelism
 	pcfg.ArgmaxStrategy = cfg.ArgmaxStrategy
+	pcfg.Packing = cfg.Packing
+	if cfg.PaillierBits > 0 {
+		pcfg.PaillierBits = cfg.PaillierBits
+	}
 	if err := pcfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -189,6 +202,64 @@ func buildInstance(rng *rand.Rand, pcfg protocol.Config, cfg ProtocolBenchConfig
 		bytes2 += int64(halfBytes(sub.ToS1.Noisy))
 	}
 	return subs, bytes1, bytes2, nil
+}
+
+// PackedSizes is one user's per-instance upload cost measured in both
+// packing modes at the same workload shape: the wire bytes of both
+// submission halves and the number of Paillier encryptions the user
+// performs (Votes + Thresh + Noisy, both halves).
+type PackedSizes struct {
+	PaillierBits        int
+	UnpackedBytes       int64
+	PackedBytes         int64
+	UnpackedEncryptions int
+	PackedEncryptions   int
+}
+
+// MeasurePackedSizes builds one submission with packing off and one with
+// packing on and reports their sizes. bits must leave room for the packed
+// slot width — 1024 fits the paper's kappa=40 at C=10 — which the 64-bit
+// prototype default does not.
+func MeasurePackedSizes(users, classes, bits int, seed int64) (*PackedSizes, error) {
+	base := protocol.DefaultConfig(users)
+	base.Classes = classes
+	base.PaillierBits = bits
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	keys, err := protocol.GenerateKeys(rand.New(rand.NewSource(seed)), base)
+	if err != nil {
+		return nil, err
+	}
+	votes := make([]*big.Int, classes)
+	for i := range votes {
+		votes[i] = big.NewInt(0)
+	}
+	votes[0] = big.NewInt(protocol.VoteScale)
+
+	out := &PackedSizes{PaillierBits: bits}
+	for _, packed := range []bool{false, true} {
+		pcfg := base
+		pcfg.Packing = packed
+		if err := pcfg.Validate(); err != nil {
+			return nil, err
+		}
+		sub, _, err := protocol.BuildSubmission(rand.New(rand.NewSource(seed+1)),
+			rand.New(rand.NewSource(seed+2)), pcfg, 0, votes,
+			keys.S1Paillier.Public(), keys.S2Paillier.Public())
+		if err != nil {
+			return nil, err
+		}
+		bytes := int64(protocol.SubmissionBytes(sub.ToS1) + protocol.SubmissionBytes(sub.ToS2))
+		encs := len(sub.ToS1.Votes) + len(sub.ToS1.Thresh) + len(sub.ToS1.Noisy) +
+			len(sub.ToS2.Votes) + len(sub.ToS2.Thresh) + len(sub.ToS2.Noisy)
+		if packed {
+			out.PackedBytes, out.PackedEncryptions = bytes, encs
+		} else {
+			out.UnpackedBytes, out.UnpackedEncryptions = bytes, encs
+		}
+	}
+	return out, nil
 }
 
 // halfBytes sums the wire size of a ciphertext vector.

@@ -38,15 +38,21 @@ func chaosUserFrames(t *testing.T, cfg protocol.Config, pub *keystore.PublicFile
 	if err != nil {
 		t.Fatal(err)
 	}
-	f1, err := ingest.EncodeHalf(u, 0, sub.ToS1)
-	if err != nil {
-		t.Fatal(err)
+	encode := func(h protocol.SubmissionHalf) *transport.Message {
+		if cfg.Packing {
+			f, err := ingest.EncodePackedHalf(u, 0, cfg.Classes, cfg.PackedWidth(), h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return f
+		}
+		f, err := ingest.EncodeHalf(u, 0, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
 	}
-	f2, err := ingest.EncodeHalf(u, 0, sub.ToS2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return f1, f2
+	return encode(sub.ToS1), encode(sub.ToS2)
 }
 
 // chaosServers starts the full S1/S2 protocol servers in partial mode and
@@ -165,7 +171,7 @@ func TestChaosRelayRehoming(t *testing.T) {
 				return ingest.Options{
 					UpstreamS1: s1Addr, UpstreamS2: s2Addr, RelayID: id,
 					Users: users, Instances: 1, Classes: cfg.Classes,
-					PK1: pub.PK1, PK2: pub.PK2,
+					PK1: pub.PK1, PK2: pub.PK2, Packed: packedRelay(cfg),
 					BatchSize: 1, FlushInterval: 10 * time.Millisecond,
 					MaxRetries: 2, Backoff: 5 * time.Millisecond,
 					Seed: id, FaultSpec: fault,

@@ -6,6 +6,7 @@ import (
 	"context"
 	"math/big"
 	"math/rand"
+	"os"
 	"testing"
 	"time"
 
@@ -32,6 +33,11 @@ func testSetupFrac(t *testing.T, users int, frac float64) (*keystore.S1File, *ke
 	cfg.Sigma1, cfg.Sigma2 = 0, 0
 	cfg.ThresholdFrac = frac
 	cfg.DGK = dgk.Params{NBits: 160, TBits: 32, U: 1009, L: 50}
+	// CHAOS_PACKED=1 (the `make chaos-packed` lane) flips the deployment
+	// to slot-packed submissions; see the deploy package's testSetup.
+	if os.Getenv("CHAOS_PACKED") == "1" {
+		cfg.Packing = true
+	}
 	keys, err := protocol.GenerateKeys(rand.New(rand.NewSource(200)), cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -48,6 +54,19 @@ func oneHot(classes, label int) []float64 {
 	v := make([]float64, classes)
 	v[label] = 1
 	return v
+}
+
+// packedRelay derives the relay's slot-layout validation parameters from
+// the config, or nil when the deployment is unpacked.
+func packedRelay(cfg protocol.Config) *ingest.PackedParams {
+	if !cfg.Packing {
+		return nil
+	}
+	return &ingest.PackedParams{
+		Width:    cfg.PackedWidth(),
+		PerVec:   cfg.PackedCiphertexts(),
+		Headroom: cfg.PackedHeadroomBits(),
+	}
 }
 
 // startRelay launches one relay and returns its bound listen addresses.
@@ -116,7 +135,7 @@ func TestTreeIngestionEndToEnd(t *testing.T) {
 		return ingest.Options{
 			UpstreamS1: s1Addr, UpstreamS2: s2Addr, RelayID: id,
 			Users: users, Instances: 1, Classes: cfg.Classes,
-			PK1: pub.PK1, PK2: pub.PK2,
+			PK1: pub.PK1, PK2: pub.PK2, Packed: packedRelay(cfg),
 			BatchSize: 4, FlushInterval: 20 * time.Millisecond, Seed: id,
 		}
 	}

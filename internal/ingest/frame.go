@@ -55,6 +55,13 @@ const (
 // so a relay can never feed a pre-capability server silently.
 const CapPresum int64 = 16
 
+// CapPacked is the hello capability bit marking a connection that
+// carries slot-packed submission frames (KindPacked grammar below). The
+// servers' peer hello also exchanges it so both servers agree on the
+// packing mode before any submission is accepted; a mismatch drops the
+// connection rather than silently mixing frame grammars.
+const CapPacked int64 = 32
+
 // Control codes on the user/relay ingestion path. CtrlUploadDone and
 // CtrlUploadAck mirror the deploy session protocol (a relay answers them on
 // behalf of the server so resilient user uploads confirm against the relay
@@ -114,6 +121,52 @@ func DecodeHalf(msg *transport.Message) (user, instance int, half protocol.Submi
 	return int(msg.Flags[0]), int(msg.Flags[1]), half, nil
 }
 
+// EncodePackedHalf packs one user's slot-packed submission half into its
+// wire frame: Flags [user, instance, classes, width, perVec] and 3*perVec
+// packed ciphertexts. classes and width describe the slot layout so
+// relays can validate shape and overflow capacity without key material.
+func EncodePackedHalf(user, instance, classes, width int, h protocol.SubmissionHalf) (*transport.Message, error) {
+	p := len(h.Votes)
+	if p == 0 || len(h.Thresh) != p || len(h.Noisy) != p {
+		return nil, fmt.Errorf("ingest: malformed packed half (%d/%d/%d ciphertexts)",
+			len(h.Votes), len(h.Thresh), len(h.Noisy))
+	}
+	if classes < 2 || width < 1 {
+		return nil, fmt.Errorf("ingest: packed half needs classes >= 2 and width >= 1 (got %d/%d)", classes, width)
+	}
+	values := make([]*big.Int, 0, 3*p)
+	for _, group := range [][]*paillier.Ciphertext{h.Votes, h.Thresh, h.Noisy} {
+		for _, c := range group {
+			if c == nil || c.C == nil {
+				return nil, fmt.Errorf("ingest: nil ciphertext in packed submission")
+			}
+			values = append(values, c.C)
+		}
+	}
+	return &transport.Message{
+		Kind:   transport.KindPacked,
+		Flags:  []int64{int64(user), int64(instance), int64(classes), int64(width), int64(p)},
+		Values: values,
+	}, nil
+}
+
+// DecodePackedHalf unpacks a packed wire submission frame.
+func DecodePackedHalf(msg *transport.Message) (user, instance, classes, width int, half protocol.SubmissionHalf, err error) {
+	if msg.Kind != transport.KindPacked || len(msg.Flags) != 5 {
+		return 0, 0, 0, 0, half, fmt.Errorf("ingest: malformed packed submission frame")
+	}
+	classes = int(msg.Flags[2])
+	width = int(msg.Flags[3])
+	p := int(msg.Flags[4])
+	if classes < 2 || width < 1 || p <= 0 || len(msg.Values) != 3*p {
+		return 0, 0, 0, 0, half, fmt.Errorf("ingest: packed frame has %d values for %d packed ciphertexts", len(msg.Values), p)
+	}
+	half.Votes = toCiphertexts(msg.Values[:p])
+	half.Thresh = toCiphertexts(msg.Values[p : 2*p])
+	half.Noisy = toCiphertexts(msg.Values[2*p:])
+	return int(msg.Flags[0]), int(msg.Flags[1]), classes, width, half, nil
+}
+
 // toCiphertexts wraps raw wire values as ciphertexts (unvalidated; ring
 // membership is the collector's job).
 func toCiphertexts(vs []*big.Int) []*paillier.Ciphertext {
@@ -135,6 +188,11 @@ type Combined struct {
 	// Half.
 	Bitmap *big.Int
 	Half   protocol.SubmissionHalf
+	// Width > 0 marks Half as slot-packed with that slot width; Classes
+	// then carries the logical class count K (len(Half.Votes) is the
+	// packed ciphertext count P). Unpacked frames leave Width zero.
+	Width   int
+	Classes int
 }
 
 // Users returns the number of members in the batch.
@@ -191,10 +249,87 @@ func DecodeCombined(msg *transport.Message) (Combined, error) {
 	c.Relay = msg.Flags[2]
 	c.Seq = msg.Flags[3]
 	c.Bitmap = bm
+	c.Classes = k
 	cts := msg.Values[1:]
 	c.Half.Votes = toCiphertexts(cts[:k])
 	c.Half.Thresh = toCiphertexts(cts[k : 2*k])
 	c.Half.Noisy = toCiphertexts(cts[2*k:])
+	return c, nil
+}
+
+// EncodePackedCombined packs a slot-packed relay batch into its wire
+// frame: Flags [instance, classes, relay, seq, count, width, perVec]
+// and bitmap + 3*perVec values. The 7-flag arity distinguishes it from
+// a 5-flag packed per-user submit frame.
+func EncodePackedCombined(c Combined) (*transport.Message, error) {
+	p := len(c.Half.Votes)
+	if p == 0 || len(c.Half.Thresh) != p || len(c.Half.Noisy) != p {
+		return nil, fmt.Errorf("ingest: malformed packed combined half (%d/%d/%d ciphertexts)",
+			len(c.Half.Votes), len(c.Half.Thresh), len(c.Half.Noisy))
+	}
+	if c.Width < 1 || c.Classes < 2 {
+		return nil, fmt.Errorf("ingest: packed combined frame needs width >= 1 and classes >= 2 (got %d/%d)", c.Width, c.Classes)
+	}
+	if c.Bitmap == nil || c.Bitmap.Sign() <= 0 {
+		return nil, fmt.Errorf("ingest: packed combined frame needs a non-empty participant bitmap")
+	}
+	values := make([]*big.Int, 0, 1+3*p)
+	values = append(values, c.Bitmap)
+	for _, group := range [][]*paillier.Ciphertext{c.Half.Votes, c.Half.Thresh, c.Half.Noisy} {
+		for _, ct := range group {
+			if ct == nil || ct.C == nil {
+				return nil, fmt.Errorf("ingest: nil ciphertext in packed combined frame")
+			}
+			values = append(values, ct.C)
+		}
+	}
+	return &transport.Message{
+		Kind: transport.KindPacked,
+		Flags: []int64{int64(c.Instance), int64(c.Classes), c.Relay, c.Seq,
+			int64(popcount(c.Bitmap)), int64(c.Width), int64(p)},
+		Values: values,
+	}, nil
+}
+
+// decodeChild decodes a combined frame in whichever grammar the frame
+// kind declares; mode validation against the relay/server configuration
+// happens in the caller.
+func decodeChild(msg *transport.Message) (Combined, error) {
+	if msg.Kind == transport.KindPacked {
+		return DecodePackedCombined(msg)
+	}
+	return DecodeCombined(msg)
+}
+
+// DecodePackedCombined unpacks and shape-checks a packed combined frame.
+func DecodePackedCombined(msg *transport.Message) (Combined, error) {
+	var c Combined
+	if msg.Kind != transport.KindPacked || len(msg.Flags) != 7 {
+		return c, fmt.Errorf("ingest: malformed packed combined frame")
+	}
+	k := int(msg.Flags[1])
+	width := int(msg.Flags[5])
+	p := int(msg.Flags[6])
+	if k < 2 || width < 1 || p <= 0 || len(msg.Values) != 1+3*p {
+		return c, fmt.Errorf("ingest: packed combined frame has %d values for %d packed ciphertexts", len(msg.Values), p)
+	}
+	bm := msg.Values[0]
+	if bm == nil || bm.Sign() <= 0 {
+		return c, fmt.Errorf("ingest: packed combined frame bitmap is empty or negative")
+	}
+	if want := int(msg.Flags[4]); popcount(bm) != want {
+		return c, fmt.Errorf("ingest: packed combined frame declares %d members but bitmap has %d", want, popcount(bm))
+	}
+	c.Instance = int(msg.Flags[0])
+	c.Relay = msg.Flags[2]
+	c.Seq = msg.Flags[3]
+	c.Bitmap = bm
+	c.Classes = k
+	c.Width = width
+	cts := msg.Values[1:]
+	c.Half.Votes = toCiphertexts(cts[:p])
+	c.Half.Thresh = toCiphertexts(cts[p : 2*p])
+	c.Half.Noisy = toCiphertexts(cts[2*p:])
 	return c, nil
 }
 

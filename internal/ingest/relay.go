@@ -41,6 +41,13 @@ type Options struct {
 	// S2 under pk1.
 	PK1 *paillier.PublicKey
 	PK2 *paillier.PublicKey
+	// Packed, when non-nil, switches the relay to slot-packed frames:
+	// only KindPacked frames matching this layout are accepted (unpacked
+	// frames are rejected as bad-frame, and vice versa when nil), and
+	// combined batches are forwarded packed. Derive the fields from the
+	// protocol config: Width = PackedWidth(), PerVec = PackedCiphertexts(),
+	// Headroom = PackedHeadroomBits().
+	Packed *PackedParams
 	// BatchSize seals a batch after this many users (default 64).
 	BatchSize int
 	// FlushInterval seals a non-empty open batch at least this often
@@ -70,6 +77,34 @@ type Options struct {
 	// once the relay is accepting (lets tests use port 0).
 	ReadyS1 chan<- string
 	ReadyS2 chan<- string
+}
+
+// PackedParams is the slot layout a packed-mode relay validates frames
+// against without needing any key material beyond the public keys.
+type PackedParams struct {
+	// Width is the expected slot width in bits.
+	Width int
+	// PerVec is the expected packed ciphertext count per sequence.
+	PerVec int
+	// Headroom is the per-slot bit budget reserved above the user count:
+	// the bias bits plus the blinding bits plus carry guards. A slot of
+	// width W absorbs at most 2^(W-Headroom) per-user contributions
+	// before a sum can overflow into the neighbouring slot.
+	Headroom int
+}
+
+// Capacity returns how many per-user contributions a slot of the declared
+// width can absorb without overflow, given the configured headroom.
+func (p *PackedParams) Capacity(width int) int {
+	sh := width - p.Headroom
+	switch {
+	case sh <= 0:
+		return 0
+	case sh >= 31:
+		return 1 << 30 // far beyond any supported user count
+	default:
+		return 1 << sh
+	}
 }
 
 // withDefaults resolves option defaults.
@@ -108,6 +143,15 @@ func (o Options) validate() error {
 	}
 	if o.PK1 == nil || o.PK2 == nil {
 		return fmt.Errorf("ingest: relay needs both server public keys")
+	}
+	if p := o.Packed; p != nil {
+		if p.Width < 1 || p.PerVec < 1 || p.Headroom < 1 || p.Headroom >= p.Width {
+			return fmt.Errorf("ingest: relay packed layout needs 1 <= headroom < width and perVec >= 1 (got width=%d perVec=%d headroom=%d)",
+				p.Width, p.PerVec, p.Headroom)
+		}
+		if o.Users > p.Capacity(p.Width) {
+			return fmt.Errorf("ingest: relay packed layout width %d cannot absorb %d users", p.Width, o.Users)
+		}
 	}
 	return nil
 }
@@ -235,19 +279,43 @@ func (s *side) ringCheck(half [3][]*paillier.Ciphertext) bool {
 // validation order mirrors the server collector exactly: identity and shape
 // first, ring membership, then exact-once semantics.
 func (s *side) addUser(msg *transport.Message) (*sealed, error) {
-	user, instance, half, err := DecodeHalf(msg)
+	opts := s.r.opts
+	var (
+		user, instance int
+		classes, width int
+		half           protocol.SubmissionHalf
+		err            error
+	)
+	if opts.Packed != nil {
+		user, instance, classes, width, half, err = DecodePackedHalf(msg)
+	} else {
+		user, instance, half, err = DecodeHalf(msg)
+		classes = len(half.Votes)
+	}
 	if err != nil {
 		return nil, s.reject("bad-frame", err)
 	}
-	opts := s.r.opts
 	if user < 0 || user >= opts.Users {
 		return nil, s.reject("unknown-user", fmt.Errorf("user index %d outside [0, %d)", user, opts.Users))
 	}
 	if instance < 0 || instance >= opts.Instances {
 		return nil, s.reject("bad-instance", fmt.Errorf("instance index %d outside [0, %d)", instance, opts.Instances))
 	}
-	if len(half.Votes) != opts.Classes {
-		return nil, s.reject("bad-length", fmt.Errorf("submission has %d classes, want %d", len(half.Votes), opts.Classes))
+	if p := opts.Packed; p != nil {
+		if len(half.Votes) != p.PerVec {
+			return nil, s.reject("bad-length", fmt.Errorf("packed submission has %d ciphertexts, want %d", len(half.Votes), p.PerVec))
+		}
+		// The frame's own declared width must leave room for at least one
+		// contribution above the headroom before we even compare layouts.
+		if p.Capacity(width) < 1 {
+			return nil, s.reject("slot-overflow", fmt.Errorf("declared slot width %d leaves no room above %d headroom bits", width, p.Headroom))
+		}
+		if classes != opts.Classes || width != p.Width {
+			return nil, s.reject("bad-width", fmt.Errorf("packed layout %d classes x %d bits, want %d x %d",
+				classes, width, opts.Classes, p.Width))
+		}
+	} else if classes != opts.Classes {
+		return nil, s.reject("bad-length", fmt.Errorf("submission has %d classes, want %d", classes, opts.Classes))
 	}
 	if !s.ringCheck([3][]*paillier.Ciphertext{half.Votes, half.Thresh, half.Noisy}) {
 		return nil, s.reject("out-of-ring", fmt.Errorf("user %d instance %d ciphertext outside [0, N²)", user, instance))
@@ -280,17 +348,41 @@ func (s *side) addUser(msg *transport.Message) (*sealed, error) {
 // the instance's open batch. The returned ack status distinguishes a
 // tolerated replay (acked again, not re-counted) from fresh data.
 func (s *side) addChild(msg *transport.Message) (*sealed, int64, error) {
-	c, err := DecodeCombined(msg)
+	opts := s.r.opts
+	c, err := decodeChild(msg)
 	if err != nil {
 		relayBatchesIn(s.name, "rejected").Inc()
 		return nil, BatchRejected, s.reject("bad-frame", err)
 	}
-	opts := s.r.opts
+	if (opts.Packed != nil) != (c.Width > 0) {
+		relayBatchesIn(s.name, "rejected").Inc()
+		return nil, BatchRejected, s.reject("bad-frame",
+			fmt.Errorf("combined frame packing mode mismatch (frame packed=%v, relay packed=%v)", c.Width > 0, opts.Packed != nil))
+	}
 	if c.Instance < 0 || c.Instance >= opts.Instances {
 		relayBatchesIn(s.name, "rejected").Inc()
 		return nil, BatchRejected, s.reject("bad-instance", fmt.Errorf("instance index %d outside [0, %d)", c.Instance, opts.Instances))
 	}
-	if len(c.Half.Votes) != opts.Classes {
+	if p := opts.Packed; p != nil {
+		if len(c.Half.Votes) != p.PerVec {
+			relayBatchesIn(s.name, "rejected").Inc()
+			return nil, BatchRejected, s.reject("bad-length", fmt.Errorf("packed combined frame has %d ciphertexts, want %d", len(c.Half.Votes), p.PerVec))
+		}
+		// Overflow capacity is judged against the frame's own declared
+		// width first: a batch claiming more members than any slot of
+		// that width could have absorbed is structurally invalid even
+		// before the layout comparison.
+		if c.Users() > p.Capacity(c.Width) {
+			relayBatchesIn(s.name, "rejected").Inc()
+			return nil, BatchRejected, s.reject("slot-overflow",
+				fmt.Errorf("batch relay=%d seq=%d sums %d users but width %d absorbs at most %d", c.Relay, c.Seq, c.Users(), c.Width, p.Capacity(c.Width)))
+		}
+		if c.Classes != opts.Classes || c.Width != p.Width {
+			relayBatchesIn(s.name, "rejected").Inc()
+			return nil, BatchRejected, s.reject("bad-width", fmt.Errorf("packed layout %d classes x %d bits, want %d x %d",
+				c.Classes, c.Width, opts.Classes, p.Width))
+		}
+	} else if len(c.Half.Votes) != opts.Classes {
 		relayBatchesIn(s.name, "rejected").Inc()
 		return nil, BatchRejected, s.reject("bad-length", fmt.Errorf("combined frame has %d classes, want %d", len(c.Half.Votes), opts.Classes))
 	}
@@ -341,6 +433,10 @@ func (s *side) mergeLocked(inst *sideInstance, bm *big.Int, half protocol.Submis
 	}
 	o := inst.open
 	fields := [3][]*paillier.Ciphertext{half.Votes, half.Thresh, half.Noisy}
+	// One scratch big.Int serves every fold of this frame: the
+	// accumulators are private to the open batch, so in-place AddInto
+	// avoids the two allocations per element that Add would make.
+	scratch := new(big.Int)
 	for fi, vec := range fields {
 		if o.sums[fi] == nil {
 			acc := make([]*paillier.Ciphertext, len(vec))
@@ -351,11 +447,9 @@ func (s *side) mergeLocked(inst *sideInstance, bm *big.Int, half protocol.Submis
 			continue
 		}
 		for i, ct := range vec {
-			sum, err := s.pk.Add(o.sums[fi][i], ct)
-			if err != nil {
+			if err := s.pk.AddInto(o.sums[fi][i], ct, scratch); err != nil {
 				return fmt.Errorf("ingest: pre-sum class %d: %w", i, err)
 			}
-			o.sums[fi][i] = sum
 		}
 	}
 	o.bm.Or(o.bm, bm)
@@ -375,13 +469,22 @@ func (s *side) maybeSealLocked(instance int, inst *sideInstance, force bool) *se
 	inst.open = nil
 	seq := s.nextSeq
 	s.nextSeq++
-	msg, err := EncodeCombined(Combined{
+	c := Combined{
 		Relay:    s.r.opts.RelayID,
 		Seq:      seq,
 		Instance: instance,
 		Bitmap:   o.bm,
 		Half:     protocol.SubmissionHalf{Votes: o.sums[0], Thresh: o.sums[1], Noisy: o.sums[2]},
-	})
+	}
+	var msg *transport.Message
+	var err error
+	if p := s.r.opts.Packed; p != nil {
+		c.Width = p.Width
+		c.Classes = s.r.opts.Classes
+		msg, err = EncodePackedCombined(c)
+	} else {
+		msg, err = EncodeCombined(c)
+	}
 	if err != nil {
 		// Unreachable for batches built from validated frames.
 		s.r.opts.log("relay %d: seal failed: %v", s.r.opts.RelayID, err)
@@ -502,7 +605,11 @@ func (s *side) dialUpstream(ctx context.Context) (transport.Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := SendHello(ctx, conn, PartyRelay, CapPresum); err != nil {
+	caps := CapPresum
+	if opts.Packed != nil {
+		caps |= CapPacked
+	}
+	if err := SendHello(ctx, conn, PartyRelay, caps); err != nil {
 		conn.Close()
 		return nil, err
 	}
@@ -560,8 +667,9 @@ func (s *side) serve(ctx context.Context, conn transport.Conn) {
 			if err := conn.Send(ctx, ack); err != nil {
 				return
 			}
-		case msg.Kind == transport.KindShares && len(msg.Flags) == 5:
-			c, errc := DecodeCombined(msg)
+		case (msg.Kind == transport.KindShares && len(msg.Flags) == 5) ||
+			(msg.Kind == transport.KindPacked && len(msg.Flags) == 7):
+			c, errc := decodeChild(msg)
 			b, status, err := s.addChild(msg)
 			s.push(ctx, b)
 			if errc != nil {

@@ -1,0 +1,171 @@
+package ingest
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"github.com/privconsensus/privconsensus/internal/obs"
+	"github.com/privconsensus/privconsensus/internal/paillier"
+	"github.com/privconsensus/privconsensus/internal/transport"
+)
+
+// testPackedSide builds one slot-packed relay pipeline over a fresh small
+// Paillier key.
+func testPackedSide(t *testing.T, users, instances, classes, batch int, p *PackedParams) *side {
+	t.Helper()
+	sk, err := paillier.GenerateKey(rand.New(rand.NewSource(79)), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &relay{opts: Options{
+		ListenS1: "x", ListenS2: "x", UpstreamS1: "x", UpstreamS2: "x",
+		RelayID: 7, Users: users, Instances: instances, Classes: classes,
+		BatchSize: batch, Packed: p,
+	}.withDefaults()}
+	return newSide(r, "s1", sk.Public(), "x")
+}
+
+// packedFrame encodes a packed submission frame with an arbitrary declared
+// layout (hostile frames get to lie about classes, width and perVec).
+func packedFrame(t *testing.T, user, instance, classes, width, perVec int, val int64) *transport.Message {
+	t.Helper()
+	msg, err := EncodePackedHalf(user, instance, classes, width, testHalf(perVec, val))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return msg
+}
+
+// rejectedCount reads the relay rejection counter for one reason (global
+// and cumulative, so tests diff against a snapshot).
+func rejectedCount(reason string) int64 {
+	return obs.Default.CounterValue("privconsensus_relay_rejected_total",
+		obs.L("side", "s1"), obs.L("reason", reason))
+}
+
+// TestRelayPackedValidationReasons drives hostile packed user frames
+// through a packed relay: a frame whose declared width cannot absorb even
+// one contribution is slot-overflow, a layout that disagrees with the
+// relay's is bad-width, and an unpacked frame on a packed relay is a mode
+// mismatch (bad-frame). Each rejection must also tick
+// privconsensus_relay_rejected_total under its reason.
+func TestRelayPackedValidationReasons(t *testing.T) {
+	p := &PackedParams{Width: 20, PerVec: 2, Headroom: 10}
+	s := testPackedSide(t, 4, 2, 4, 3, p)
+	cases := []struct {
+		name   string
+		msg    *transport.Message
+		reason string
+	}{
+		{"mode-mismatch", userFrame(t, 0, 0, 4, 5), "bad-frame"},
+		{"unknown-user", packedFrame(t, 9, 0, 4, 20, 2, 5), "unknown-user"},
+		{"bad-instance", packedFrame(t, 0, 5, 4, 20, 2, 5), "bad-instance"},
+		{"wrong-pervec", packedFrame(t, 0, 0, 4, 20, 3, 5), "bad-length"},
+		// Width 10 equals the headroom: Capacity(10) = 0, so the frame
+		// could not hold even its own user's contribution.
+		{"slot-overflow", packedFrame(t, 0, 0, 4, 10, 2, 5), "slot-overflow"},
+		{"wrong-width", packedFrame(t, 0, 0, 4, 21, 2, 5), "bad-width"},
+		{"wrong-classes", packedFrame(t, 0, 0, 5, 20, 2, 5), "bad-width"},
+	}
+	for _, tc := range cases {
+		before := rejectedCount(tc.reason)
+		b, err := s.addUser(tc.msg)
+		if b != nil {
+			t.Errorf("%s: sealed a batch from a hostile frame", tc.name)
+		}
+		if got := rejectReason(t, err); got != tc.reason {
+			t.Errorf("%s: reason = %q, want %q", tc.name, got, tc.reason)
+		}
+		if after := rejectedCount(tc.reason); after != before+1 {
+			t.Errorf("%s: rejection counter %q moved %d -> %d, want +1", tc.name, tc.reason, before, after)
+		}
+	}
+	// A layout-conforming frame is accepted — the hostile ones above did
+	// not poison the pipeline.
+	if _, err := s.addUser(packedFrame(t, 0, 0, 4, 20, 2, 5)); err != nil {
+		t.Errorf("conforming packed frame rejected: %v", err)
+	}
+}
+
+// TestRelayUnpackedRejectsPackedFrame is the mode mismatch in the other
+// direction: an unpacked relay must refuse KindPacked frames as bad-frame
+// rather than misparse them.
+func TestRelayUnpackedRejectsPackedFrame(t *testing.T) {
+	s, _ := testSide(t, 4, 1, 2, 3)
+	if _, err := s.addUser(packedFrame(t, 0, 0, 2, 20, 2, 5)); rejectReason(t, err) != "bad-frame" {
+		t.Errorf("packed frame on unpacked relay: %v", err)
+	}
+}
+
+// TestRelayPackedChildValidation drives hostile packed combined batches
+// through a packed mid-tier relay: a batch claiming more members than any
+// slot of its declared width could have absorbed is slot-overflow, a
+// disagreeing layout is bad-width, and an unpacked combined frame is a
+// mode mismatch. All are acked BatchRejected so the child stops resending.
+func TestRelayPackedChildValidation(t *testing.T) {
+	p := &PackedParams{Width: 20, PerVec: 2, Headroom: 10}
+	s := testPackedSide(t, 8, 1, 4, 100, p)
+	packedChild := func(seq int64, bitmap int64, classes, width, perVec int) *transport.Message {
+		t.Helper()
+		msg, err := EncodePackedCombined(Combined{
+			Relay: 3, Seq: seq, Instance: 0, Bitmap: big.NewInt(bitmap),
+			Half: testHalf(perVec, 5), Width: width, Classes: classes,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return msg
+	}
+	cases := []struct {
+		name   string
+		msg    *transport.Message
+		reason string
+	}{
+		{"wrong-pervec", packedChild(0, 0b11, 4, 20, 3), "bad-length"},
+		// Width 11 absorbs Capacity(11) = 2 contributions; a bitmap
+		// naming three members overflowed its own declared slots.
+		{"slot-overflow", packedChild(1, 0b111, 4, 11, 2), "slot-overflow"},
+		{"wrong-width", packedChild(2, 0b11, 4, 21, 2), "bad-width"},
+		{"wrong-classes", packedChild(3, 0b11, 5, 20, 2), "bad-width"},
+	}
+	// Mode mismatch: an unpacked combined frame (Width = 0) on a packed
+	// relay.
+	unpacked, err := EncodeCombined(Combined{Relay: 3, Seq: 4, Instance: 0,
+		Bitmap: big.NewInt(0b11), Half: testHalf(4, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, struct {
+		name   string
+		msg    *transport.Message
+		reason string
+	}{"mode-mismatch", unpacked, "bad-frame"})
+
+	for _, tc := range cases {
+		before := rejectedCount(tc.reason)
+		b, status, err := s.addChild(tc.msg)
+		if b != nil {
+			t.Errorf("%s: sealed a batch from a hostile child frame", tc.name)
+		}
+		if status != BatchRejected {
+			t.Errorf("%s: ack status = %d, want BatchRejected", tc.name, status)
+		}
+		if got := rejectReason(t, err); got != tc.reason {
+			t.Errorf("%s: reason = %q, want %q", tc.name, got, tc.reason)
+		}
+		if after := rejectedCount(tc.reason); after != before+1 {
+			t.Errorf("%s: rejection counter %q moved %d -> %d, want +1", tc.name, tc.reason, before, after)
+		}
+	}
+	// A conforming packed child batch still merges after the hostility.
+	if _, status, err := s.addChild(packedChild(9, 0b11, 4, 20, 2)); err != nil || status != BatchAccepted {
+		t.Errorf("conforming packed child batch refused: %v (status %d)", err, status)
+	}
+	// And the other mode mismatch: a packed combined frame on an unpacked
+	// relay.
+	u, _ := testSide(t, 8, 1, 4, 100)
+	if _, status, err := u.addChild(packedChild(0, 0b11, 4, 20, 2)); rejectReason(t, err) != "bad-frame" || status != BatchRejected {
+		t.Errorf("packed child batch on unpacked relay: %v (status %d)", err, status)
+	}
+}

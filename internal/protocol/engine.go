@@ -158,6 +158,23 @@ func RunS1Groups(ctx context.Context, rng io.Reader, cfg Config, keys KeysS1,
 		return nil, fmt.Errorf("protocol: S1 secure sum: %w", err)
 	}
 
+	// Packed mode: one blinded interactive unpack turns the packed
+	// aggregates into the per-class ciphertexts the remaining steps need.
+	if cfg.Packing {
+		setStep(conn, StepUnpack1)
+		err = timeStep(ctx, meter, StepUnpack1, func() error {
+			out, uerr := unpackS1(ctx, rng, cfg, keys, conn, [][]*paillier.Ciphertext{aggVotes, aggThresh}, len(participants))
+			if uerr != nil {
+				return uerr
+			}
+			aggVotes, aggThresh = out[0], out[1]
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("protocol: S1 packed unpack: %w", err)
+		}
+	}
+
 	// Step 3: Blind-and-Permute the vote and threshold sequences together.
 	setStep(conn, StepBlindPerm1)
 	var bp *bpResultS1
@@ -221,6 +238,21 @@ func RunS1Groups(ctx context.Context, rng io.Reader, cfg Config, keys KeysS1,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("protocol: S1 secure sum 2: %w", err)
+	}
+
+	if cfg.Packing {
+		setStep(conn, StepUnpack2)
+		err = timeStep(ctx, meter, StepUnpack2, func() error {
+			out, uerr := unpackS1(ctx, rng, cfg, keys, conn, [][]*paillier.Ciphertext{aggNoisy}, len(participants))
+			if uerr != nil {
+				return uerr
+			}
+			aggNoisy = out[0]
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("protocol: S1 packed unpack 2: %w", err)
+		}
 	}
 
 	// Step 7: fresh Blind-and-Permute on the noisy votes.
@@ -414,6 +446,21 @@ func RunS2GroupsWithPools(ctx context.Context, rng io.Reader, cfg Config, keys K
 		return nil, fmt.Errorf("protocol: S2 secure sum: %w", err)
 	}
 
+	if cfg.Packing {
+		setStep(conn, StepUnpack1)
+		err = timeStep(ctx, meter, StepUnpack1, func() error {
+			out, uerr := unpackS2(ctx, rng, cfg, keys, conn, [][]*paillier.Ciphertext{aggVotes, aggThresh}, len(participants))
+			if uerr != nil {
+				return uerr
+			}
+			aggVotes, aggThresh = out[0], out[1]
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("protocol: S2 packed unpack: %w", err)
+		}
+	}
+
 	setStep(conn, StepBlindPerm1)
 	var bp *bpResultS2
 	err = timeStep(ctx, meter, StepBlindPerm1, func() error {
@@ -467,6 +514,21 @@ func RunS2GroupsWithPools(ctx context.Context, rng io.Reader, cfg Config, keys K
 	})
 	if err != nil {
 		return nil, fmt.Errorf("protocol: S2 secure sum 2: %w", err)
+	}
+
+	if cfg.Packing {
+		setStep(conn, StepUnpack2)
+		err = timeStep(ctx, meter, StepUnpack2, func() error {
+			out, uerr := unpackS2(ctx, rng, cfg, keys, conn, [][]*paillier.Ciphertext{aggNoisy}, len(participants))
+			if uerr != nil {
+				return uerr
+			}
+			aggNoisy = out[0]
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("protocol: S2 packed unpack 2: %w", err)
+		}
 	}
 
 	setStep(conn, StepBlindPerm2)
@@ -530,7 +592,11 @@ func groupInputs(cfg Config, groups []Group) ([]SubmissionHalf, []int, *big.Int,
 			participants = append(participants, u)
 		}
 		h := g.Half
-		if !h.Present() || len(h.Thresh) != len(h.Votes) || len(h.Noisy) != len(h.Votes) {
+		perVec := cfg.Classes
+		if cfg.Packing {
+			perVec = cfg.PackedCiphertexts()
+		}
+		if !h.Present() || len(h.Votes) != perVec || len(h.Thresh) != perVec || len(h.Noisy) != perVec {
 			return nil, nil, nil, fmt.Errorf("protocol: group %d submission half is incomplete", gi)
 		}
 		active = append(active, h)
@@ -555,19 +621,20 @@ func aggregate(pk *paillier.PublicKey, subs []SubmissionHalf, par int, field fun
 			return nil, fmt.Errorf("protocol: user %d vector length %d != %d", u, n, k)
 		}
 	}
-	// sumRange folds users [lo, hi) into a fresh ciphertext vector.
+	// sumRange folds users [lo, hi) into a fresh ciphertext vector,
+	// accumulating in place with one scratch big.Int per chunk so the hot
+	// loop does not allocate a fresh product per addition.
 	sumRange := func(lo, hi int) ([]*paillier.Ciphertext, error) {
 		acc := make([]*paillier.Ciphertext, k)
 		for i, c := range field(subs[lo]) {
 			acc[i] = c.Clone()
 		}
+		scratch := new(big.Int)
 		for u := lo + 1; u < hi; u++ {
 			for i, c := range field(subs[u]) {
-				sum, err := pk.Add(acc[i], c)
-				if err != nil {
+				if err := pk.AddInto(acc[i], c, scratch); err != nil {
 					return nil, fmt.Errorf("protocol: aggregate user %d class %d: %w", u, i, err)
 				}
-				acc[i] = sum
 			}
 		}
 		return acc, nil
@@ -604,12 +671,11 @@ func aggregate(pk *paillier.PublicKey, subs []SubmissionHalf, par int, field fun
 				return nil
 			}
 			b := partials[2*j+1]
+			scratch := new(big.Int)
 			for i := range a {
-				sum, err := pk.Add(a[i], b[i])
-				if err != nil {
+				if err := pk.AddInto(a[i], b[i], scratch); err != nil {
 					return fmt.Errorf("protocol: aggregate combine class %d: %w", i, err)
 				}
-				a[i] = sum
 			}
 			next[j] = a
 			return nil

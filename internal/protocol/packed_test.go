@@ -1,0 +1,243 @@
+package protocol
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// packedTestConfig returns a packing-feasible test configuration: the
+// 64-bit toy Paillier keys of testConfig cannot hold even one slot, so
+// packed tests run with 256-bit keys.
+func packedTestConfig(users int) Config {
+	cfg := testConfig(users)
+	cfg.PaillierBits = 256
+	cfg.Packing = true
+	return cfg
+}
+
+func TestPackedConfigValidation(t *testing.T) {
+	cfg := DefaultConfig(5) // kappa=40: slot width ~87 bits
+	cfg.Packing = true      // cannot fit a single slot in 64-bit keys
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Validate accepted packing with 64-bit Paillier keys")
+	}
+	cfg = packedTestConfig(5)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("Validate rejected feasible packed config: %v", err)
+	}
+	if s := cfg.packedSlotsPerPlaintext(); s < 2 {
+		t.Fatalf("packedSlotsPerPlaintext = %d, want >= 2 at 256 bits", s)
+	}
+	if p := cfg.PackedCiphertexts(); p >= cfg.Classes {
+		t.Fatalf("PackedCiphertexts = %d, want < Classes %d", p, cfg.Classes)
+	}
+	// Slot width must cover the worst-case blinded sum: sum bits plus
+	// kappa blinding bits plus a carry guard.
+	if w := cfg.PackedWidth(); w != cfg.packedSumBits()+cfg.Kappa+1 {
+		t.Fatalf("PackedWidth = %d, want sumBits+kappa+1 = %d", w, cfg.packedSumBits()+cfg.Kappa+1)
+	}
+}
+
+func TestPackedBuildSubmissionShape(t *testing.T) {
+	cfg := packedTestConfig(5)
+	keys, err := GenerateKeys(testRNG(70), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, _, err := BuildSubmission(testRNG(71), testRNG(72), cfg, 0,
+		oneHotVotes(cfg.Classes, 1), keys.S1Paillier.Public(), keys.S2Paillier.Public())
+	if err != nil {
+		t.Fatalf("BuildSubmission: %v", err)
+	}
+	p := cfg.PackedCiphertexts()
+	for name, vec := range map[string][]int{
+		"ToS1": {len(sub.ToS1.Votes), len(sub.ToS1.Thresh), len(sub.ToS1.Noisy)},
+		"ToS2": {len(sub.ToS2.Votes), len(sub.ToS2.Thresh), len(sub.ToS2.Noisy)},
+	} {
+		for i, n := range vec {
+			if n != p {
+				t.Fatalf("%s vector %d has %d ciphertexts, want %d", name, i, n, p)
+			}
+		}
+	}
+	// Hostile inputs are rejected before any packing happens.
+	bad := oneHotVotes(cfg.Classes, 1)
+	bad[0] = big.NewInt(VoteScale + 1)
+	if _, _, err := BuildSubmission(testRNG(73), testRNG(74), cfg, 0, bad,
+		keys.S1Paillier.Public(), keys.S2Paillier.Public()); err == nil {
+		t.Fatal("BuildSubmission accepted out-of-range vote in packed mode")
+	}
+}
+
+func TestPackedProtocolConsensusNoNoise(t *testing.T) {
+	cfg := packedTestConfig(5)
+	cfg.Sigma1, cfg.Sigma2 = 0, 0
+	cfg.ThresholdFrac = 0.6
+	keys, err := GenerateKeys(testRNG(75), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	votes := [][]*big.Int{
+		oneHotVotes(cfg.Classes, 2),
+		oneHotVotes(cfg.Classes, 2),
+		oneHotVotes(cfg.Classes, 2),
+		oneHotVotes(cfg.Classes, 2),
+		oneHotVotes(cfg.Classes, 0),
+	}
+	subs, _ := buildAll(t, cfg, keys, votes, 76)
+	out1, out2 := runInstance(t, cfg, keys, subs, nil)
+	if *out1 != *out2 {
+		t.Fatalf("servers disagree: %+v vs %+v", out1, out2)
+	}
+	if !out1.Consensus || out1.Label != 2 {
+		t.Fatalf("outcome = %+v, want consensus on label 2", out1)
+	}
+}
+
+// Differential: identical vote/noise draws must yield identical outcomes
+// packed and unpacked (at the same key size, so only packing differs).
+func TestPackedMatchesUnpackedOutcomes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full protocol runs are slow in -short mode")
+	}
+	for trial := 0; trial < 3; trial++ {
+		base := packedTestConfig(4)
+		base.Sigma1, base.Sigma2 = 2.0, 1.5
+		base.ThresholdFrac = 0.5
+		keys, err := GenerateKeys(testRNG(int64(80+trial)), base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		votes := make([][]*big.Int, base.Users)
+		voteRng := rand.New(rand.NewSource(int64(90 + trial)))
+		for u := range votes {
+			votes[u] = oneHotVotes(base.Classes, voteRng.Intn(base.Classes))
+		}
+
+		packedCfg := base
+		plainCfg := base
+		plainCfg.Packing = false
+
+		// Same build seeds: the share splits and noise draws happen before
+		// encryption, so both modes carry identical plaintext contributions.
+		packedSubs, discs := buildAll(t, packedCfg, keys, votes, int64(100+trial))
+		plainSubs, _ := buildAll(t, plainCfg, keys, votes, int64(100+trial))
+
+		aggVotes, _, z2, err := AggregateDisclosures(discs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Skip draws whose noisy maxima tie: permuted tie-breaking then
+		// legitimately differs between the two runs' permutations.
+		noisy := make([]*big.Int, base.Classes)
+		for i := range noisy {
+			noisy[i] = new(big.Int).Add(aggVotes[i], new(big.Int).Lsh(z2[i], 1))
+		}
+		iStar := argmaxBig(noisy)
+		unique := true
+		for i, v := range noisy {
+			if i != iStar && v.Cmp(noisy[iStar]) == 0 {
+				unique = false
+			}
+		}
+		vStar := argmaxBig(aggVotes)
+		for i, v := range aggVotes {
+			if i != vStar && v.Cmp(aggVotes[vStar]) == 0 {
+				unique = false
+			}
+		}
+		if !unique {
+			continue
+		}
+
+		packedOut1, packedOut2 := runInstance(t, packedCfg, keys, packedSubs, nil)
+		plainOut1, plainOut2 := runInstance(t, plainCfg, keys, plainSubs, nil)
+		if *packedOut1 != *packedOut2 {
+			t.Fatalf("trial %d: packed servers disagree: %+v vs %+v", trial, packedOut1, packedOut2)
+		}
+		if *plainOut1 != *plainOut2 {
+			t.Fatalf("trial %d: unpacked servers disagree: %+v vs %+v", trial, plainOut1, plainOut2)
+		}
+		if *packedOut1 != *plainOut1 {
+			t.Fatalf("trial %d: packed outcome %+v != unpacked outcome %+v", trial, packedOut1, plainOut1)
+		}
+	}
+}
+
+// Packing × partial participation: quorum-miss subsets (with the δ
+// threshold correction they trigger) decide identically packed and
+// unpacked.
+func TestPackedPartialParticipationMatchesUnpacked(t *testing.T) {
+	base := packedTestConfig(6)
+	base.Sigma1, base.Sigma2 = 0, 0
+	base.ThresholdFrac = 0.6
+	keys, err := GenerateKeys(testRNG(110), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	votes := [][]*big.Int{
+		oneHotVotes(base.Classes, 1),
+		oneHotVotes(base.Classes, 3), // dropped
+		oneHotVotes(base.Classes, 1),
+		oneHotVotes(base.Classes, 1),
+		oneHotVotes(base.Classes, 3), // dropped
+		oneHotVotes(base.Classes, 0),
+	}
+	plainCfg := base
+	plainCfg.Packing = false
+	packedSubs, _ := buildAll(t, base, keys, votes, 111)
+	plainSubs, _ := buildAll(t, plainCfg, keys, votes, 111)
+
+	for _, participants := range [][]int{{0, 2, 3, 5}, {0, 2, 3}, {2, 5}} {
+		packedOut, packedOut2 := runInstance(t, base, keys, maskSubmissions(packedSubs, participants), nil)
+		plainOut, _ := runInstance(t, plainCfg, keys, maskSubmissions(plainSubs, participants), nil)
+		if *packedOut != *packedOut2 {
+			t.Fatalf("participants %v: packed servers disagree: %+v vs %+v", participants, packedOut, packedOut2)
+		}
+		if *packedOut != *plainOut {
+			t.Fatalf("participants %v: packed %+v != unpacked %+v", participants, packedOut, plainOut)
+		}
+		if packedOut.Participants != len(participants) {
+			t.Fatalf("participants %v: recorded %d", participants, packedOut.Participants)
+		}
+	}
+}
+
+// At the paper's C=10 with production-size keys, packing must cut the
+// per-user upload by >= 4x and the encryption count by >= 2x.
+func TestPackedSubmissionSizeReduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1024-bit key generation is slow in -short mode")
+	}
+	cfg := DefaultConfig(10)
+	cfg.PaillierBits = 1024
+	cfg.Packing = true
+	plainCfg := cfg
+	plainCfg.Packing = false
+	keys, err := GenerateKeys(testRNG(120), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packedSub, _, err := BuildSubmission(testRNG(121), testRNG(122), cfg, 0,
+		oneHotVotes(cfg.Classes, 1), keys.S1Paillier.Public(), keys.S2Paillier.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainSub, _, err := BuildSubmission(testRNG(121), testRNG(122), plainCfg, 0,
+		oneHotVotes(cfg.Classes, 1), keys.S1Paillier.Public(), keys.S2Paillier.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	packedBytes := SubmissionBytes(packedSub.ToS1) + SubmissionBytes(packedSub.ToS2)
+	plainBytes := SubmissionBytes(plainSub.ToS1) + SubmissionBytes(plainSub.ToS2)
+	if packedBytes*4 > plainBytes {
+		t.Fatalf("packed upload %d bytes, unpacked %d: less than 4x smaller", packedBytes, plainBytes)
+	}
+	packedCts := len(packedSub.ToS1.Votes) + len(packedSub.ToS1.Thresh) + len(packedSub.ToS1.Noisy) +
+		len(packedSub.ToS2.Votes) + len(packedSub.ToS2.Thresh) + len(packedSub.ToS2.Noisy)
+	plainCts := 6 * cfg.Classes
+	if packedCts*2 > plainCts {
+		t.Fatalf("packed submission uses %d encryptions, unpacked %d: less than 2x fewer", packedCts, plainCts)
+	}
+}

@@ -32,10 +32,12 @@ const VoteScale = 1 << 16
 // rows of Tables I and II.
 const (
 	StepSecureSum1  = "secure-sum(2)"
+	StepUnpack1     = "packed-unpack(2)"
 	StepBlindPerm1  = "blind-and-permute(3)"
 	StepCompare1    = "secure-comparison(4)"
 	StepThreshold   = "threshold-checking(5)"
 	StepSecureSum2  = "secure-sum(6)"
+	StepUnpack2     = "packed-unpack(6)"
 	StepBlindPerm2  = "blind-and-permute(7)"
 	StepCompare2    = "secure-comparison(8)"
 	StepRestoration = "restoration(9)"
@@ -114,6 +116,18 @@ type Config struct {
 	// The released label is identical under either strategy, including
 	// on ties: both resolve them to the lowest permuted position.
 	ArgmaxStrategy string
+	// Packing slot-packs each K-length submission sequence into
+	// ⌈K/slots⌉ Paillier plaintexts (slot width derived from Users,
+	// Kappa and VoteScale so worst-case sums cannot overflow a slot), so
+	// a user uploads ~3 ciphertexts per half instead of 3K and relays
+	// and servers aggregate packed. Aggregation then ends with one
+	// blinded interactive unpack round per secure-sum phase. Both
+	// servers must agree (the capability hello enforces it); off, the
+	// wire format is byte-for-byte identical to unpacked deployments.
+	// Requires PaillierBits large enough for at least one slot per
+	// plaintext — Validate rejects infeasible combinations (the paper's
+	// 64-bit toy keys cannot pack).
+	Packing bool
 	// Parallelism bounds the number of concurrent DGK comparisons and
 	// CPU-bound crypto workers (homomorphic aggregation, Paillier
 	// re-randomization). 0 selects runtime.NumCPU(). The value 1
@@ -178,6 +192,10 @@ func (c Config) Validate() error {
 	}
 	if c.Parallelism < 0 {
 		return fmt.Errorf("%w: negative parallelism %d", ErrBadConfig, c.Parallelism)
+	}
+	if c.Packing && c.packedSlotsPerPlaintext() < 1 {
+		return fmt.Errorf("%w: packed slot width %d bits does not fit %d-bit Paillier plaintexts; use a larger key",
+			ErrBadConfig, c.PackedWidth(), c.PaillierBits)
 	}
 	switch c.ArgmaxStrategy {
 	case "", StrategyTournament, StrategyAllPairs:
@@ -254,6 +272,71 @@ func (c Config) valueBound() *big.Int {
 	agg.Add(agg, new(big.Int).Mul(users, big.NewInt(VoteScale/2)))
 	// Differences double the magnitude.
 	return agg.Lsh(agg, 1)
+}
+
+// packedSlotBound bounds |v| for any single per-user value entering a
+// packed slot. The largest case is a threshold share a - offset + z1:
+// |a| < 2^kappa + VoteScale (vote minus uniform mask), offset <=
+// VoteScale/2 + 1, |z1| <= 2^kappa, so 2^(kappa+1) + 2*VoteScale + 2
+// covers every share type with slack.
+func (c Config) packedSlotBound() *big.Int {
+	b := new(big.Int).Lsh(big.NewInt(1), uint(c.Kappa+1))
+	return b.Add(b, big.NewInt(2*VoteScale+2))
+}
+
+// packedBiasBits is the bit length of the per-slot bias 2^biasBits that
+// shifts signed per-user values into [0, 2^(biasBits+1)).
+func (c Config) packedBiasBits() int { return c.packedSlotBound().BitLen() }
+
+// packedSumBits bounds the bit length of a slot after summing all Users
+// biased contributions.
+func (c Config) packedSumBits() int {
+	sum := new(big.Int).Lsh(big.NewInt(int64(c.Users)), uint(c.packedBiasBits()+1))
+	return sum.BitLen()
+}
+
+// PackedWidth returns the slot width W in bits: the worst-case biased
+// sum plus kappa bits of statistical blinding headroom for the
+// interactive unpack, plus one carry guard bit. Sums (and blinded sums)
+// can therefore never cross into the neighbouring slot.
+func (c Config) PackedWidth() int { return c.packedSumBits() + c.Kappa + 1 }
+
+// packedSlotsPerPlaintext returns how many W-bit slots fit one Paillier
+// plaintext, leaving two guard bits below the modulus.
+func (c Config) packedSlotsPerPlaintext() int {
+	w := c.PackedWidth()
+	if w <= 0 || c.PaillierBits-2 < w {
+		return 0
+	}
+	return (c.PaillierBits - 2) / w
+}
+
+// PackedCiphertexts returns P, the number of packed ciphertexts each
+// K-length sequence costs (0 when the layout is infeasible).
+func (c Config) PackedCiphertexts() int {
+	s := c.packedSlotsPerPlaintext()
+	if s <= 0 {
+		return 0
+	}
+	return (c.Classes + s - 1) / s
+}
+
+// PackedHeadroomBits returns W minus the bits available for counting
+// participants: a packed frame declaring member count above
+// 2^(W - headroom) could overflow a slot of its declared width, which
+// is what relay-side slot-overflow rejection checks.
+func (c Config) PackedHeadroomBits() int { return c.Kappa + 1 + c.packedBiasBits() + 1 }
+
+// packedLayout builds the paillier slot-packing codec for this config.
+func (c Config) packedLayout() paillier.Packing {
+	biasBits := c.packedBiasBits()
+	return paillier.Packing{
+		Width: c.PackedWidth(),
+		Slots: c.packedSlotsPerPlaintext(),
+		Count: c.Classes,
+		Bias:  new(big.Int).Lsh(big.NewInt(1), uint(biasBits)),
+		Max:   new(big.Int).Lsh(big.NewInt(1), uint(biasBits+1)),
+	}
 }
 
 // noiseClamp bounds the magnitude of any integer noise share: 2^kappa
@@ -517,6 +600,39 @@ func BuildSubmission(cryptoRNG io.Reader, noiseRNG *rand.Rand, cfg Config, user 
 	}
 
 	sub := &Submission{}
+	if cfg.Packing {
+		layout := cfg.packedLayout()
+		enc := func(pk *paillier.PublicKey, vals []*big.Int, what string) ([]*paillier.Ciphertext, error) {
+			packed, perr := layout.Pack(vals)
+			if perr != nil {
+				return nil, fmt.Errorf("protocol: pack %s: %w", what, perr)
+			}
+			cts, eerr := pk.EncryptVector(cryptoRNG, packed)
+			if eerr != nil {
+				return nil, fmt.Errorf("protocol: encrypt packed %s: %w", what, eerr)
+			}
+			return cts, nil
+		}
+		if sub.ToS1.Votes, err = enc(pk2, a, "a shares"); err != nil {
+			return nil, nil, err
+		}
+		if sub.ToS1.Thresh, err = enc(pk2, threshS1, "threshold shares for S1"); err != nil {
+			return nil, nil, err
+		}
+		if sub.ToS1.Noisy, err = enc(pk2, noisyS1, "noisy shares for S1"); err != nil {
+			return nil, nil, err
+		}
+		if sub.ToS2.Votes, err = enc(pk1, b, "b shares"); err != nil {
+			return nil, nil, err
+		}
+		if sub.ToS2.Thresh, err = enc(pk1, threshS2, "threshold shares for S2"); err != nil {
+			return nil, nil, err
+		}
+		if sub.ToS2.Noisy, err = enc(pk1, noisyS2, "noisy shares for S2"); err != nil {
+			return nil, nil, err
+		}
+		return sub, &Disclosure{Votes: votes, Z1: z1, Z2: z2}, nil
+	}
 	if sub.ToS1.Votes, err = pk2.EncryptSignedVector(cryptoRNG, a); err != nil {
 		return nil, nil, fmt.Errorf("protocol: encrypt a shares: %w", err)
 	}
@@ -539,7 +655,9 @@ func BuildSubmission(cryptoRNG io.Reader, noiseRNG *rand.Rand, cfg Config, user 
 }
 
 // SubmissionBytes returns the encoded wire size of one submission half as
-// it would cross the user-to-server link, for Table II accounting.
+// it would cross the user-to-server link, for Table II accounting. It sums
+// the half's actual ciphertexts, so packed halves (P ciphertexts per
+// sequence) report their packed size, not the 3K unpacked equivalent.
 func SubmissionBytes(h SubmissionHalf) int {
 	size := 0
 	for _, group := range [][]*paillier.Ciphertext{h.Votes, h.Thresh, h.Noisy} {

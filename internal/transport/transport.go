@@ -44,6 +44,12 @@ const (
 	// (see batch.go). Batch frames may ride inside mux frames but never
 	// nest in each other.
 	KindBatch
+	// KindPacked carries slot-packed submission material on the ingestion
+	// path (see internal/ingest): the same shapes as KindShares frames
+	// but with P packed ciphertexts per sequence instead of K per-class
+	// ones, plus slot-layout flags. A distinct kind keeps the packed and
+	// unpacked frame grammars unambiguous (their flag arities overlap).
+	KindPacked
 )
 
 // String implements fmt.Stringer for diagnostics.
@@ -65,6 +71,8 @@ func (k MessageKind) String() string {
 		return "mux"
 	case KindBatch:
 		return "batch"
+	case KindPacked:
+		return "packed"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
