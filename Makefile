@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 60s
 
-.PHONY: build vet fmt-check test race chaos chaos-packed fuzz cover bench bench-guard obs-smoke loadgen-smoke loadgen-smoke-packed ingest-guard ci
+.PHONY: build vet fmt-check test race chaos chaos-packed soak soak-full fuzz cover bench bench-guard obs-smoke loadgen-smoke loadgen-smoke-packed ingest-guard ci
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,23 @@ chaos:
 # the unpacked suite — the assertions do not change.
 chaos-packed:
 	CHAOS_PACKED=1 $(GO) test -race -count=1 -run 'TestChaos' -v ./internal/deploy/ ./internal/ingest/
+
+# Continuous-operation soak: a serve-mode deployment streams 200 queries
+# from concurrent tenants under the seeded chaos fault schedule with one
+# epoch/key rotation mid-soak, under the race detector. The test asserts
+# zero unclean failures, that the durable ε-ledger exactly equals an
+# accountant replayed from the journaled per-query spends, and that both
+# journals chain-verify (re-checked from the CLI with cmd/trace).
+# SOAK_FULL=1 escalates to the full 1000-query soak (`make soak-full`).
+soak:
+	SOAK=1 SOAK_JOURNAL_DIR=$(CURDIR)/soak-journals \
+		$(GO) test -race -count=1 -run 'TestSoakServe' -v -timeout 30m ./internal/deploy/
+	$(GO) run ./cmd/trace -verify soak-journals/*.jsonl
+
+soak-full:
+	SOAK_FULL=1 SOAK_JOURNAL_DIR=$(CURDIR)/soak-journals \
+		$(GO) test -race -count=1 -run 'TestSoakServe' -v -timeout 60m ./internal/deploy/
+	$(GO) run ./cmd/trace -verify soak-journals/*.jsonl
 
 # Fuzz the attack surfaces: the transport frame decoder, the mux unwrapper,
 # the partial-write recomposition, the fault-spec parser, and the fixed-base

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"github.com/privconsensus/privconsensus/internal/dp"
+	"github.com/privconsensus/privconsensus/internal/fsx"
 )
 
 // Accountant tracks the cumulative Rényi-DP privacy spend of a sequence of
@@ -18,13 +19,16 @@ import (
 // additionally pay the Report Noisy Maximum cost (Lemma 2: α/σ₂²).
 //
 // An Accountant created with NewAccountantAt is durable: its state is
-// rewritten (write-temp-then-rename, so a crash never truncates it) after
-// every recorded spend, and reloaded on construction. An Accountant is
-// safe for concurrent use.
+// rewritten (write-temp-fsync-rename-fsync, so a crash never truncates or
+// loses it) after every recorded spend, and reloaded on construction. The
+// state path is guarded by an exclusive lock file for the accountant's
+// lifetime, so two processes pointed at the same path cannot interleave
+// spends; release it with Close. An Accountant is safe for concurrent use.
 type Accountant struct {
 	mu    sync.Mutex
 	inner *dp.Accountant
 	path  string
+	lock  *fsx.Lock
 }
 
 // NewAccountant returns an empty in-memory accountant.
@@ -35,21 +39,49 @@ func NewAccountant() *Accountant {
 // NewAccountantAt returns an accountant whose spend is persisted at path:
 // an existing state file is reloaded (so privacy spend survives process
 // restarts), a missing one starts the accountant empty, and every
-// RecordQuery/RecordRelease atomically rewrites the file.
+// RecordQuery/RecordRelease atomically rewrites the file with fsync.
+//
+// The path is guarded by an exclusive lock file (path + ".lock") held
+// until Close: a second process (or a second accountant in this process)
+// opening the same path fails immediately rather than silently
+// interleaving — and under-counting — the privacy spend.
 func NewAccountantAt(path string) (*Accountant, error) {
-	a := &Accountant{inner: dp.NewAccountant(), path: path}
+	lock, err := fsx.Acquire(path)
+	if err != nil {
+		if errors.Is(err, fsx.ErrLocked) {
+			return nil, fmt.Errorf("privconsensus: accountant state %s is in use by another server: %w", path, err)
+		}
+		return nil, fmt.Errorf("privconsensus: lock accountant: %w", err)
+	}
+	a := &Accountant{inner: dp.NewAccountant(), path: path, lock: lock}
 	b, err := os.ReadFile(path)
 	switch {
 	case errors.Is(err, os.ErrNotExist):
 		// First run: the file appears on the first recorded spend.
 	case err != nil:
+		lock.Unlock()
 		return nil, fmt.Errorf("privconsensus: load accountant: %w", err)
 	default:
 		if err := json.Unmarshal(b, a.inner); err != nil {
+			lock.Unlock()
 			return nil, fmt.Errorf("privconsensus: load accountant %s: %w", path, err)
 		}
 	}
 	return a, nil
+}
+
+// Close releases the exclusive lock on the state path so another
+// accountant may open it. The in-memory view stays readable; further
+// spends are rejected. Idempotent, and a no-op for in-memory accountants.
+func (a *Accountant) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.lock == nil {
+		return nil
+	}
+	lock := a.lock
+	a.lock = nil
+	return lock.Unlock()
 }
 
 // RecordQuery records the SVT spend of one threshold check with deviation
@@ -57,6 +89,9 @@ func NewAccountantAt(path string) (*Accountant, error) {
 func (a *Accountant) RecordQuery(sigma1 float64) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if err := a.checkOpen(); err != nil {
+		return err
+	}
 	if err := a.inner.AddSVT(sigma1); err != nil {
 		return err
 	}
@@ -68,28 +103,41 @@ func (a *Accountant) RecordQuery(sigma1 float64) error {
 func (a *Accountant) RecordRelease(sigma2 float64) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if err := a.checkOpen(); err != nil {
+		return err
+	}
 	if err := a.inner.AddRNM(sigma2); err != nil {
 		return err
 	}
 	return a.persist()
 }
 
-// persist atomically rewrites the state file. Callers hold mu. The spend
-// was already recorded in memory when persistence fails, so the in-memory
-// view only ever over-counts — never under-reports — the durable state.
+// checkOpen rejects spends on a durable accountant whose state lock has
+// been released: recording would race whichever accountant now owns the
+// path. Callers hold mu. In-memory accountants are always open.
+func (a *Accountant) checkOpen() error {
+	if a.path != "" && a.lock == nil {
+		return fmt.Errorf("privconsensus: accountant %s is closed", a.path)
+	}
+	return nil
+}
+
+// persist atomically rewrites the state file with fsync on both the data
+// and the directory. Callers hold mu. The spend was already recorded in
+// memory when persistence fails, so the in-memory view only ever
+// over-counts — never under-reports — the durable state.
 func (a *Accountant) persist() error {
 	if a.path == "" {
 		return nil
+	}
+	if a.lock == nil {
+		return fmt.Errorf("privconsensus: accountant %s is closed", a.path)
 	}
 	b, err := json.Marshal(a.inner)
 	if err != nil {
 		return fmt.Errorf("privconsensus: encode accountant: %w", err)
 	}
-	tmp := a.path + ".tmp"
-	if err := os.WriteFile(tmp, append(b, '\n'), 0o600); err != nil {
-		return fmt.Errorf("privconsensus: persist accountant: %w", err)
-	}
-	if err := os.Rename(tmp, a.path); err != nil {
+	if err := fsx.WriteFileSync(a.path, append(b, '\n'), 0o600); err != nil {
 		return fmt.Errorf("privconsensus: persist accountant: %w", err)
 	}
 	return nil

@@ -1,0 +1,216 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/privconsensus/privconsensus/internal/deploy"
+	"github.com/privconsensus/privconsensus/internal/experiments"
+	"github.com/privconsensus/privconsensus/internal/keystore"
+	"github.com/privconsensus/privconsensus/internal/protocol"
+)
+
+// serveCounts aggregates the open-loop run's admission outcomes.
+type serveCounts struct {
+	admitted, refused, drained, failed int
+	admitWaits                         []time.Duration
+}
+
+// runServeRate benchmarks a serve-mode deployment under open-loop load:
+// queries arrive at -serve-rate QPS regardless of completion, each worker
+// streams its arrivals through admission control, and the record captures
+// admitted/refused/drained counts plus client-observed admission latency
+// percentiles. Refused arrivals (window full) are not retried — open-loop
+// pressure is the point. After the last arrival the harness drains the
+// pair and fires probe admissions to record the typed draining refusal.
+func runServeRate(ctx context.Context, o options) error {
+	users := o.classes // small fixed population: the bench measures admission, not encryption
+	cfg := harnessConfig(users, o.classes, o.bits, o.packed)
+	cfg.ThresholdFrac = 0.5
+	var s1Files []*keystore.S1File
+	var s2Files []*keystore.S2File
+	var pubs []*keystore.PublicFile
+	for e := 0; e < 2; e++ {
+		keys, err := protocol.GenerateKeys(rand.New(rand.NewSource(o.seed+int64(51+e))), cfg)
+		if err != nil {
+			return err
+		}
+		s1, s2, pub, err := keystore.Split(cfg, keys)
+		if err != nil {
+			return err
+		}
+		s1Files, s2Files, pubs = append(s1Files, s1), append(s2Files, s2), append(pubs, pub)
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	base := deploy.ServerOptions{
+		ListenAddr:     "127.0.0.1:0",
+		Seed:           o.seed + 61,
+		MaxRetries:     2,
+		Backoff:        10 * time.Millisecond,
+		AttemptTimeout: o.deadline,
+		Quorum:         float64(users),
+		SubmitDeadline: o.deadline,
+		LogLevel:       "warn",
+	}
+	drainCh := make(chan struct{})
+	type s1Out struct {
+		rep *deploy.ServeReport
+		err error
+	}
+	s1Ready := make(chan string, 1)
+	s1Done := make(chan s1Out, 1)
+	go func() {
+		opts := base
+		opts.Ready = s1Ready
+		rep, err := deploy.ServeS1(runCtx, s1Files, deploy.ServeOptions{
+			ServerOptions: opts,
+			MaxInFlight:   o.serveInflight,
+			RotateAfter:   o.serveQueries / 2,
+			DrainCh:       drainCh,
+			DrainTimeout:  o.deadline,
+		})
+		s1Done <- s1Out{rep, err}
+	}()
+	s1Addr := <-s1Ready
+	s2Ready := make(chan string, 1)
+	s2Done := make(chan error, 1)
+	go func() {
+		opts := base
+		opts.Seed, opts.PeerAddr, opts.Ready = o.seed+62, s1Addr, s2Ready
+		_, err := deploy.ServeS2(runCtx, s2Files, deploy.ServeOptions{
+			ServerOptions: opts, DrainTimeout: o.deadline,
+		})
+		s2Done <- err
+	}()
+	s2Addr := <-s2Ready
+
+	newClient := func(tenant int64) (*deploy.ServeClient, error) {
+		return deploy.NewServeClient(pubs, deploy.ServeClientOptions{
+			Tenant: tenant, S1Addr: s1Addr, S2Addr: s2Addr,
+			Seed: o.seed + 70 + tenant, MaxRetries: 2,
+			Backoff: 10 * time.Millisecond, AttemptTimeout: o.deadline,
+			LogLevel: "warn",
+		})
+	}
+
+	// Open-loop arrivals: exponential interarrivals at the requested rate,
+	// queries handed to whichever worker owns the slot.
+	offsets := make([]time.Duration, o.serveQueries)
+	arrng := rand.New(rand.NewSource(o.seed + 67))
+	at := 0.0
+	for i := range offsets {
+		at += arrng.ExpFloat64() / o.serveRate
+		offsets[i] = time.Duration(at * float64(time.Second))
+	}
+
+	votes := make([][]float64, users)
+	for u := range votes {
+		v := make([]float64, cfg.Classes)
+		v[1] = 1
+		votes[u] = v
+	}
+
+	var (
+		mu     sync.Mutex
+		counts serveCounts
+		wg     sync.WaitGroup
+	)
+	classify := func(res *deploy.ServeResult, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch {
+		case err == nil:
+			counts.admitted++
+			counts.admitWaits = append(counts.admitWaits, res.AdmitWait)
+		case errors.Is(err, deploy.ErrOverloaded):
+			counts.refused++
+		case errors.Is(err, deploy.ErrDraining):
+			counts.drained++
+		default:
+			counts.failed++
+		}
+	}
+	start := time.Now()
+	for w := 0; w < o.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client, err := newClient(int64(w + 1))
+			if err != nil {
+				mu.Lock()
+				counts.failed += (o.serveQueries - w + o.workers - 1) / o.workers
+				mu.Unlock()
+				return
+			}
+			for q := w; q < o.serveQueries; q += o.workers {
+				if d := time.Until(start.Add(offsets[q])); d > 0 {
+					time.Sleep(d)
+				}
+				res, err := client.Do(runCtx, votes)
+				classify(res, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Exercise the drain path: stop admitting, then probe — the typed
+	// refusal (or the pair already gone) is the drained outcome.
+	close(drainCh)
+	if probe, err := newClient(99); err == nil {
+		if _, err := probe.Do(runCtx, votes); errors.Is(err, deploy.ErrDraining) || err != nil {
+			mu.Lock()
+			counts.drained++
+			mu.Unlock()
+		}
+	}
+	r1 := <-s1Done
+	if r1.err != nil {
+		return fmt.Errorf("serve s1: %w", r1.err)
+	}
+	if err := <-s2Done; err != nil {
+		return fmt.Errorf("serve s2: %w", err)
+	}
+
+	rec := experiments.IngestJSON{
+		Mode: "serve", Users: users, Workers: o.workers,
+		Arrival:      fmt.Sprintf("poisson:%g", o.serveRate),
+		PaillierBits: o.bits, Classes: o.classes, Instances: 1,
+		Seed: o.seed, Packing: o.packed,
+
+		ServeQueries:       o.serveQueries,
+		ServeRateQPS:       o.serveRate,
+		ServeAdmitted:      counts.admitted,
+		ServeRefused:       counts.refused,
+		ServeDrained:       counts.drained,
+		ServeFailed:        counts.failed,
+		ServeRotations:     r1.rep.Rotations,
+		ServeElapsedNs:     elapsed.Nanoseconds(),
+		ServeThroughputQPS: float64(counts.admitted) / elapsed.Seconds(),
+		ServeAdmitP50Ns:    percentile(counts.admitWaits, 50).Nanoseconds(),
+		ServeAdmitP95Ns:    percentile(counts.admitWaits, 95).Nanoseconds(),
+		ServeAdmitP99Ns:    percentile(counts.admitWaits, 99).Nanoseconds(),
+	}
+	fmt.Printf("serve %d queries at %g qps (%d workers): %d admitted, %d refused, %d drained, %d failed, %d rotations\n",
+		o.serveQueries, o.serveRate, o.workers,
+		counts.admitted, counts.refused, counts.drained, counts.failed, r1.rep.Rotations)
+	fmt.Printf("  completed %.1f qps, admission p50 %v p95 %v p99 %v\n",
+		rec.ServeThroughputQPS, time.Duration(rec.ServeAdmitP50Ns),
+		time.Duration(rec.ServeAdmitP95Ns), time.Duration(rec.ServeAdmitP99Ns))
+
+	if o.out == "" {
+		fmt.Printf("%+v\n", rec)
+		return nil
+	}
+	if err := experiments.WriteIngestJSON(o.out, rec); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", o.out)
+	return nil
+}

@@ -8,6 +8,17 @@
 // S2 (listens for users, dials S1):
 //
 //	server -role s2 -keys keys/s2.json -listen :9002 -peer host1:9001 -instances 5
+//
+// Continuous operation (-serve): queries are admitted on demand instead of
+// running a fixed instance count, -keys takes a comma-separated list of
+// per-epoch key files, and admission enforces per-tenant ε quotas:
+//
+//	server -role s1 -serve -keys keys/s1.e0.json,keys/s1.e1.json \
+//	    -ledger state/ledger.json -tenant-quota 1=2.5,2=1.0 -rotate-after 500
+//
+// In serve mode the first SIGINT/SIGTERM starts a graceful drain (stop
+// admitting, finish in-flight queries, flush the ledger and journal), a
+// second signal aborts, and SIGHUP requests an epoch/key rotation.
 package main
 
 import (
@@ -55,6 +66,16 @@ func run(args []string) error {
 		deadline  = fs.Duration("submit-deadline", 0, "close the submission window this long after startup once quorum is met (0 with -quorum unset = wait for everyone)")
 		journal   = fs.String("journal", "", "append a hash-chained JSONL event journal at this path and propagate a cross-process trace ID (both servers must agree; see cmd/trace)")
 		logLevel  = fs.String("log-level", "", "log threshold: debug, info (default), warn or silent")
+		serve     = fs.Bool("serve", false, "continuous operation: admit queries on demand instead of -instances; -keys becomes a comma-separated per-epoch list")
+		sf        = serveFlags{
+			ledger:       fs.String("ledger", "", "durable ε-accountant ledger path (serve mode, s1 only; empty = in-memory)"),
+			tenantQuota:  fs.String("tenant-quota", "", "per-tenant ε quotas as tenant=epsilon,... (serve mode, s1 only)"),
+			defaultQuota: fs.Float64("default-quota", 0, "ε quota for tenants not listed in -tenant-quota (0 = unlimited)"),
+			budgetDelta:  fs.Float64("budget-delta", 0, "δ at which admission projects the ε spend (0 = 1e-6)"),
+			maxInFlight:  fs.Int("max-inflight", 0, "admission window: concurrent in-flight queries (0 = default)"),
+			rotateAfter:  fs.Int("rotate-after", 0, "rotate to the next epoch's keys after this many admissions (0 = only on SIGHUP)"),
+			drainTimeout: fs.Duration("drain-timeout", 0, "bound on finishing in-flight queries during a graceful drain (0 = default)"),
+		}
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,8 +86,11 @@ func run(args []string) error {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
-	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	if !*serve {
+		var stop context.CancelFunc
+		ctx, stop = signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+		defer stop()
+	}
 
 	opts := deploy.ServerOptions{
 		ListenAddr:     *listen,
@@ -87,6 +111,10 @@ func run(args []string) error {
 		JournalPath:    *journal,
 		LogLevel:       *logLevel,
 		Logf:           deploy.DefaultLogger("[" + *role + "] "),
+	}
+
+	if *serve {
+		return runServe(ctx, *role, *keysPath, opts, sf)
 	}
 
 	var rep *deploy.Report

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	privconsensus "github.com/privconsensus/privconsensus"
+	"github.com/privconsensus/privconsensus/internal/deploy"
+	"github.com/privconsensus/privconsensus/internal/keystore"
+)
+
+// serveFlags holds the flags that only apply to -serve mode.
+type serveFlags struct {
+	ledger       *string
+	tenantQuota  *string
+	defaultQuota *float64
+	budgetDelta  *float64
+	maxInFlight  *int
+	rotateAfter  *int
+	drainTimeout *time.Duration
+}
+
+// parseQuotas parses a "tenant=epsilon,tenant=epsilon" list.
+func parseQuotas(spec string) (map[int64]float64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	quotas := make(map[int64]float64)
+	for _, field := range strings.Split(spec, ",") {
+		tenant, quota, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return nil, fmt.Errorf("quota entry %q is not tenant=epsilon", field)
+		}
+		id, err := strconv.ParseInt(tenant, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("quota tenant %q: %w", tenant, err)
+		}
+		eps, err := strconv.ParseFloat(quota, 64)
+		if err != nil {
+			return nil, fmt.Errorf("quota for tenant %d: %w", id, err)
+		}
+		if _, dup := quotas[id]; dup {
+			return nil, fmt.Errorf("tenant %d listed twice", id)
+		}
+		quotas[id] = eps
+	}
+	return quotas, nil
+}
+
+// runServe runs the continuous-operation mode: -keys is a comma-separated
+// list of per-epoch key files, the first signal starts a graceful drain,
+// the second aborts, and SIGHUP requests an epoch rotation.
+func runServe(ctx context.Context, role, keysPath string, base deploy.ServerOptions, sf serveFlags) error {
+	quotas, err := parseQuotas(*sf.tenantQuota)
+	if err != nil {
+		return err
+	}
+	opts := deploy.ServeOptions{
+		ServerOptions: base,
+		Tenants:       quotas,
+		DefaultQuota:  *sf.defaultQuota,
+		Delta:         *sf.budgetDelta,
+		LedgerPath:    *sf.ledger,
+		MaxInFlight:   *sf.maxInFlight,
+		RotateAfter:   *sf.rotateAfter,
+		DrainTimeout:  *sf.drainTimeout,
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	drainCh := make(chan struct{})
+	rotateCh := make(chan struct{}, 1)
+	opts.DrainCh = drainCh
+	opts.RotateCh = rotateCh
+
+	sig := make(chan os.Signal, 4)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+	defer signal.Stop(sig)
+	go func() {
+		drained := false
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case s := <-sig:
+				switch {
+				case s == syscall.SIGHUP:
+					select {
+					case rotateCh <- struct{}{}:
+					default:
+					}
+				case !drained:
+					fmt.Fprintln(os.Stderr, "server: draining (signal again to abort)")
+					close(drainCh)
+					drained = true
+				default:
+					fmt.Fprintln(os.Stderr, "server: aborting")
+					cancel()
+				}
+			}
+		}
+	}()
+
+	switch role {
+	case "s1":
+		files, err := loadEpochFiles[keystore.S1File](keysPath)
+		if err != nil {
+			return err
+		}
+		rep, err := deploy.ServeS1(ctx, files, opts)
+		if err != nil {
+			return err
+		}
+		printServeReport(rep)
+		return nil
+	case "s2":
+		files, err := loadEpochFiles[keystore.S2File](keysPath)
+		if err != nil {
+			return err
+		}
+		rep, err := deploy.ServeS2(ctx, files, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("s2 drained after %d queries\n", len(rep.Results))
+		return nil
+	default:
+		return fmt.Errorf("-role must be s1 or s2, got %q", role)
+	}
+}
+
+// loadEpochFiles loads a comma-separated epoch key file list, in order.
+func loadEpochFiles[T any](spec string) ([]*T, error) {
+	var files []*T
+	for _, path := range strings.Split(spec, ",") {
+		file := new(T)
+		if err := keystore.Load(strings.TrimSpace(path), file); err != nil {
+			return nil, err
+		}
+		files = append(files, file)
+	}
+	return files, nil
+}
+
+func printServeReport(rep *deploy.ServeReport) {
+	fmt.Printf("s1 drained after %d queries, %d rotations, final epoch %d\n",
+		len(rep.Results), rep.Rotations, rep.Epoch)
+	decisions := make([]string, 0, len(rep.Admissions))
+	for d := range rep.Admissions {
+		decisions = append(decisions, d)
+	}
+	sort.Strings(decisions)
+	for _, d := range decisions {
+		fmt.Printf("  admissions %s: %d\n", d, rep.Admissions[d])
+	}
+	for _, spend := range rep.Tenants {
+		fmt.Printf("  tenant %d: epsilon %.6g over %d queries (%d releases)\n",
+			spend.Tenant, spend.Epsilon, spend.Queries, spend.Releases)
+	}
+	failed := 0
+	for _, res := range rep.Results {
+		if res.Err != nil && !errors.Is(res.Err, privconsensus.ErrQuorumNotMet) {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("  %d of %d queries failed\n", failed, len(rep.Results))
+	}
+}

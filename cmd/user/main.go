@@ -3,6 +3,14 @@
 // indices, one per query instance (one-hot voting):
 //
 //	user -keys keys/public.json -user 3 -s1 host1:9001 -s2 host2:9002 -votes 2,2,7
+//
+// Against a serve-mode deployment (-serve), the command acts as a tenant
+// streaming whole queries through admission control: -keys takes a
+// comma-separated list of per-epoch public key files and each -votes
+// entry is the unanimous one-hot label for one admitted query:
+//
+//	user -serve -keys keys/public.e0.json,keys/public.e1.json \
+//	    -tenant 1 -s1 host1:9001 -s2 host2:9002 -votes 2,2,7
 package main
 
 import (
@@ -42,9 +50,18 @@ func run(args []string) error {
 		journal  = fs.String("journal", "", "append a hash-chained JSONL event journal at this path and join the servers' cross-process trace (see cmd/trace)")
 		packed   = fs.String("packed", "", "slot-packed submissions: on, off, or empty for the key file's setting (must match the servers)")
 		logLevel = fs.String("log-level", "", "log threshold: debug, info (default), warn or silent")
+		serve    = fs.Bool("serve", false, "submit queries to a serve-mode deployment: -keys becomes a comma-separated per-epoch list, each -votes entry is one query")
+		tenant   = fs.Int64("tenant", 0, "tenant ID for serve-mode admission (ε quotas are per tenant)")
+		attempt  = fs.Duration("attempt-timeout", 30*time.Second, "per-phase deadline in serve mode")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *serve {
+		return runServeClient(*keysPath, *tenant, *s1Addr, *s2Addr, *votesArg, serveClientConfig{
+			timeout: *timeout, seed: *seed, retries: *retries, backoff: *backoff,
+			attemptTimeout: *attempt, faults: *faults, packed: *packed, logLevel: *logLevel,
+		})
 	}
 	if *keysPath == "" || *userIdx < 0 || *s1Addr == "" || *s2Addr == "" {
 		return fmt.Errorf("usage: user -keys public.json -user N -s1 addr -s2 addr (-votes 2,2,7 | -probs 0.7:0.2:0.1)")

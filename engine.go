@@ -239,10 +239,17 @@ func mintEngineTraceID(seed int64) (string, error) {
 	}
 }
 
-// Close releases the engine's durable resources (currently the event
-// journal). Safe to call on an engine without a journal, and idempotent.
+// Close releases the engine's durable resources: the event journal and
+// the accountant's exclusive state lock. Safe to call on an engine
+// without either, and idempotent.
 func (e *Engine) Close() error {
-	return e.journal.Close()
+	err := e.journal.Close()
+	if e.acct != nil {
+		if cerr := e.acct.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // toProtocolConfig maps the public config onto the internal protocol

@@ -331,6 +331,16 @@ func (c *collector) waitQuorum(ctx context.Context, window time.Duration, role s
 	return nil
 }
 
+// release freezes the grid immediately: serve mode's per-query watcher
+// decides the release moment (grid full or submit window elapsed), after
+// which late frames are rejected and the participant bitmap is stable
+// across protocol retries.
+func (c *collector) release() {
+	c.mu.Lock()
+	c.released = true
+	c.mu.Unlock()
+}
+
 // counts reports filled and total grid cells.
 func (c *collector) counts() (got, want int) {
 	c.mu.Lock()

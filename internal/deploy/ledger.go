@@ -1,0 +1,284 @@
+package deploy
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+
+	"github.com/privconsensus/privconsensus/internal/dp"
+	"github.com/privconsensus/privconsensus/internal/fsx"
+	"github.com/privconsensus/privconsensus/internal/obs"
+)
+
+// budgetLedger is the serve-mode admission controller's durable per-tenant
+// privacy accountant. Admission reserves the worst-case cost of one query
+// (SVT + RNM at the configured sigmas) against the tenant's quota;
+// completion commits the actual spend (SVT always — conservative, matching
+// the engine — RNM only when a label was released) and releases the
+// reservation. With a path the committed state is persisted after every
+// commit with the same fsync + exclusive-lock discipline as the engine
+// accountant; reservations are in-memory only, so a crash forgets
+// reservations but never committed spend.
+type budgetLedger struct {
+	mu           sync.Mutex
+	path         string
+	lock         *fsx.Lock
+	tenants      map[int64]*dp.Accountant
+	reserved     map[int64]float64 // coefficient reserved by in-flight queries
+	quotas       map[int64]float64
+	defaultQuota float64
+	delta        float64
+}
+
+// ledgerState is the persisted JSON shape. Tenant keys are decimal
+// strings (JSON objects cannot key on integers).
+type ledgerState struct {
+	Version int                       `json:"version"`
+	Tenants map[string]*dp.Accountant `json:"tenants"`
+}
+
+// openLedger builds the ledger, reloading and locking the state file when
+// path is non-empty.
+func openLedger(path string, quotas map[int64]float64, defaultQuota, delta float64) (*budgetLedger, error) {
+	b := &budgetLedger{
+		path:         path,
+		tenants:      make(map[int64]*dp.Accountant),
+		reserved:     make(map[int64]float64),
+		quotas:       quotas,
+		defaultQuota: defaultQuota,
+		delta:        delta,
+	}
+	if path == "" {
+		return b, nil
+	}
+	lock, err := fsx.Acquire(path)
+	if err != nil {
+		if errors.Is(err, fsx.ErrLocked) {
+			return nil, fmt.Errorf("deploy: ledger %s is in use by another server: %w", path, err)
+		}
+		return nil, fmt.Errorf("deploy: lock ledger: %w", err)
+	}
+	b.lock = lock
+	raw, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		// First run: the file appears on the first committed spend.
+	case err != nil:
+		lock.Unlock()
+		return nil, fmt.Errorf("deploy: load ledger: %w", err)
+	default:
+		var st ledgerState
+		if err := json.Unmarshal(raw, &st); err != nil {
+			lock.Unlock()
+			return nil, fmt.Errorf("deploy: load ledger %s: %w", path, err)
+		}
+		for key, acct := range st.Tenants {
+			id, err := strconv.ParseInt(key, 10, 64)
+			if err != nil || acct == nil {
+				lock.Unlock()
+				return nil, fmt.Errorf("deploy: ledger %s: bad tenant key %q", path, key)
+			}
+			b.tenants[id] = acct
+		}
+	}
+	return b, nil
+}
+
+// close releases the state lock. Idempotent.
+func (b *budgetLedger) close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.lock == nil {
+		return nil
+	}
+	lock := b.lock
+	b.lock = nil
+	return lock.Unlock()
+}
+
+// quota returns tenant's ε quota (0 = unlimited).
+func (b *budgetLedger) quota(tenant int64) float64 {
+	if q, ok := b.quotas[tenant]; ok {
+		return q
+	}
+	return b.defaultQuota
+}
+
+// queryCost returns the worst-case linear-RDP coefficient of one query:
+// the SVT threshold check plus a released label's RNM. Zero sigmas mean
+// accounting is off (infinite per-query ε) and cost nothing.
+func queryCost(sigma1, sigma2 float64) float64 {
+	cost := 0.0
+	if sigma1 > 0 {
+		cost += 9 / (2 * sigma1 * sigma1)
+	}
+	if sigma2 > 0 {
+		cost += 1 / (sigma2 * sigma2)
+	}
+	return cost
+}
+
+// reserve admits cost against tenant's quota: it fails with
+// ErrBudgetExhausted when the committed + already-reserved + new spend
+// would exceed the quota at δ, otherwise it records the reservation.
+func (b *budgetLedger) reserve(tenant int64, cost float64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	quota := b.quota(tenant)
+	if quota <= 0 {
+		b.reserved[tenant] += cost
+		return nil
+	}
+	committed := 0.0
+	if acct := b.tenants[tenant]; acct != nil {
+		committed = acct.Coefficient()
+	}
+	projected := dp.NewAccountant()
+	if err := projected.AddLinear(committed + b.reserved[tenant] + cost); err != nil {
+		return fmt.Errorf("deploy: project tenant %d spend: %w", tenant, err)
+	}
+	eps, _, err := projected.Epsilon(b.delta)
+	if err != nil {
+		return fmt.Errorf("deploy: project tenant %d spend: %w", tenant, err)
+	}
+	if eps > quota {
+		return fmt.Errorf("%w: tenant %d projected eps %.4g > quota %.4g (delta %g)",
+			ErrBudgetExhausted, tenant, eps, quota, b.delta)
+	}
+	b.reserved[tenant] += cost
+	return nil
+}
+
+// unreserve releases a reservation without committing spend (the
+// admission was rolled back before the query registered).
+func (b *budgetLedger) unreserve(tenant int64, cost float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.releaseLocked(tenant, cost)
+}
+
+func (b *budgetLedger) releaseLocked(tenant int64, cost float64) {
+	if r := b.reserved[tenant] - cost; r > 1e-12 {
+		b.reserved[tenant] = r
+	} else {
+		delete(b.reserved, tenant)
+	}
+}
+
+// commit records the actual spend of one finished query — the SVT check
+// always, the RNM release only when released is true — persists the
+// ledger, releases the query's reservation and refreshes the tenant's
+// ε gauge. The spend is recorded in memory even when persistence fails,
+// so the live view only ever over-counts the durable state.
+func (b *budgetLedger) commit(tenant int64, cost, sigma1, sigma2 float64, released bool) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	acct := b.tenants[tenant]
+	if acct == nil {
+		acct = dp.NewAccountant()
+		b.tenants[tenant] = acct
+	}
+	if sigma1 > 0 {
+		if err := acct.AddSVT(sigma1); err != nil {
+			return err
+		}
+	}
+	if released && sigma2 > 0 {
+		if err := acct.AddRNM(sigma2); err != nil {
+			return err
+		}
+	}
+	b.releaseLocked(tenant, cost)
+	if eps, _, err := acct.Epsilon(b.delta); err == nil {
+		obs.TenantEpsilon(strconv.FormatInt(tenant, 10)).Set(eps)
+	}
+	return b.persistLocked()
+}
+
+// persistLocked rewrites the state file (fsync + atomic rename). Callers
+// hold mu.
+func (b *budgetLedger) persistLocked() error {
+	if b.path == "" {
+		return nil
+	}
+	if b.lock == nil {
+		return fmt.Errorf("deploy: ledger %s is closed", b.path)
+	}
+	st := ledgerState{Version: 1, Tenants: make(map[string]*dp.Accountant, len(b.tenants))}
+	for id, acct := range b.tenants {
+		st.Tenants[strconv.FormatInt(id, 10)] = acct
+	}
+	raw, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return fmt.Errorf("deploy: encode ledger: %w", err)
+	}
+	if err := fsx.WriteFileSync(b.path, append(raw, '\n'), 0o600); err != nil {
+		return fmt.Errorf("deploy: persist ledger: %w", err)
+	}
+	return nil
+}
+
+// exhausted reports whether every tenant with a finite quota can no
+// longer afford one more query of the given cost — the healthz
+// budget-exhausted readiness condition. With no finite quotas it is
+// always false.
+func (b *budgetLedger) exhausted(cost float64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	finite := false
+	for tenant, quota := range b.quotas {
+		if quota <= 0 {
+			continue
+		}
+		finite = true
+		committed := 0.0
+		if acct := b.tenants[tenant]; acct != nil {
+			committed = acct.Coefficient()
+		}
+		projected := dp.NewAccountant()
+		if projected.AddLinear(committed+b.reserved[tenant]+cost) != nil {
+			continue
+		}
+		eps, _, err := projected.Epsilon(b.delta)
+		if err != nil || eps <= quota {
+			return false
+		}
+	}
+	if b.defaultQuota > 0 {
+		// Unlisted tenants admit under the default quota, so the service
+		// as a whole is never exhausted for fresh tenants.
+		return false
+	}
+	return finite
+}
+
+// TenantSpend is one tenant's committed ledger state, exported for
+// reports and the soak's journal-replay assertion.
+type TenantSpend struct {
+	Tenant      int64   `json:"tenant"`
+	Coefficient float64 `json:"coefficient"`
+	Queries     int     `json:"queries"`
+	Releases    int     `json:"releases"`
+	Epsilon     float64 `json:"epsilon"`
+}
+
+// spends returns the committed per-tenant state, sorted by tenant ID.
+func (b *budgetLedger) spends() []TenantSpend {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]TenantSpend, 0, len(b.tenants))
+	for id, acct := range b.tenants {
+		q, r := acct.Counts()
+		ts := TenantSpend{Tenant: id, Coefficient: acct.Coefficient(), Queries: q, Releases: r}
+		if eps, _, err := acct.Epsilon(b.delta); err == nil {
+			ts.Epsilon = eps
+		}
+		out = append(out, ts)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}

@@ -1,0 +1,173 @@
+package deploy
+
+import (
+	"errors"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"github.com/privconsensus/privconsensus/internal/dp"
+	"github.com/privconsensus/privconsensus/internal/fsx"
+)
+
+// epsAfter computes the (ε, δ)-DP spend of n worst-case queries at the
+// given cost coefficient, the quantity the ledger projects at admission.
+func epsAfter(t *testing.T, cost float64, n int, delta float64) float64 {
+	t.Helper()
+	a := dp.NewAccountant()
+	if err := a.AddLinear(cost * float64(n)); err != nil {
+		t.Fatal(err)
+	}
+	eps, _, err := a.Epsilon(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eps
+}
+
+func TestLedgerQuotaRefusesAtProjection(t *testing.T) {
+	const (
+		sigma1, sigma2 = 4.0, 2.0
+		delta          = 1e-6
+	)
+	cost := queryCost(sigma1, sigma2)
+	if want := 9/(2*sigma1*sigma1) + 1/(sigma2*sigma2); math.Abs(cost-want) > 1e-15 {
+		t.Fatalf("queryCost = %g, want %g", cost, want)
+	}
+	// A quota between one and two queries' spend admits exactly one.
+	quota := (epsAfter(t, cost, 1, delta) + epsAfter(t, cost, 2, delta)) / 2
+	b, err := openLedger("", map[int64]float64{9: quota}, 0, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.reserve(9, cost); err != nil {
+		t.Fatalf("first reservation refused: %v", err)
+	}
+	if err := b.reserve(9, cost); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("second reservation: got %v, want ErrBudgetExhausted", err)
+	}
+	// Reservations count: the first query has not committed yet, but its
+	// worst-case spend is already held against the quota.
+	b.unreserve(9, cost)
+	if err := b.reserve(9, cost); err != nil {
+		t.Fatalf("reservation after unreserve refused: %v", err)
+	}
+	if err := b.commit(9, cost, sigma1, sigma2, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.reserve(9, cost); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("post-commit reservation: got %v, want ErrBudgetExhausted", err)
+	}
+	// An unlisted tenant under an unlimited default is never refused.
+	if err := b.reserve(1, cost); err != nil {
+		t.Fatalf("unlimited tenant refused: %v", err)
+	}
+}
+
+func TestLedgerCommitMatchesAccountant(t *testing.T) {
+	const sigma1, sigma2, delta = 4.0, 2.0, 1e-6
+	cost := queryCost(sigma1, sigma2)
+	b, err := openLedger("", nil, 0, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three queries, two of which released a label.
+	for i, released := range []bool{true, false, true} {
+		if err := b.reserve(7, cost); err != nil {
+			t.Fatalf("reserve %d: %v", i, err)
+		}
+		if err := b.commit(7, cost, sigma1, sigma2, released); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	want := dp.NewAccountant()
+	for _, released := range []bool{true, false, true} {
+		if err := want.AddSVT(sigma1); err != nil {
+			t.Fatal(err)
+		}
+		if released {
+			if err := want.AddRNM(sigma2); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	spends := b.spends()
+	if len(spends) != 1 || spends[0].Tenant != 7 {
+		t.Fatalf("spends = %+v, want one entry for tenant 7", spends)
+	}
+	if spends[0].Coefficient != want.Coefficient() {
+		t.Fatalf("ledger coefficient %g != accountant %g", spends[0].Coefficient, want.Coefficient())
+	}
+	q, r := want.Counts()
+	if spends[0].Queries != q || spends[0].Releases != r {
+		t.Fatalf("ledger counts (%d, %d) != accountant (%d, %d)", spends[0].Queries, spends[0].Releases, q, r)
+	}
+	if len(b.reserved) != 0 {
+		t.Fatalf("reservations leaked: %v", b.reserved)
+	}
+}
+
+func TestLedgerPersistsAndLocks(t *testing.T) {
+	const sigma1, sigma2, delta = 4.0, 2.0, 1e-6
+	cost := queryCost(sigma1, sigma2)
+	path := filepath.Join(t.TempDir(), "ledger.json")
+	b, err := openLedger(path, nil, 0, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.reserve(3, cost); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.commit(3, cost, sigma1, sigma2, true); err != nil {
+		t.Fatal(err)
+	}
+	// The state file is exclusively locked while open.
+	if _, err := openLedger(path, nil, 0, delta); !errors.Is(err, fsx.ErrLocked) {
+		t.Fatalf("concurrent open: got %v, want fsx.ErrLocked", err)
+	}
+	if err := b.close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reload resumes the committed spend exactly.
+	b2, err := openLedger(path, nil, 0, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.close()
+	spends := b2.spends()
+	if len(spends) != 1 || spends[0].Tenant != 3 {
+		t.Fatalf("reloaded spends = %+v", spends)
+	}
+	if want := b.spends()[0]; spends[0] != want {
+		t.Fatalf("reloaded spend %+v != original %+v", spends[0], want)
+	}
+}
+
+func TestLedgerExhaustion(t *testing.T) {
+	const sigma1, sigma2, delta = 4.0, 2.0, 1e-6
+	cost := queryCost(sigma1, sigma2)
+	quota := (epsAfter(t, cost, 1, delta) + epsAfter(t, cost, 2, delta)) / 2
+	b, err := openLedger("", map[int64]float64{1: quota, 2: quota}, 0, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.exhausted(cost) {
+		t.Fatal("fresh ledger reports exhaustion")
+	}
+	for _, tenant := range []int64{1, 2} {
+		if err := b.reserve(tenant, cost); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.commit(tenant, cost, sigma1, sigma2, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !b.exhausted(cost) {
+		t.Fatal("ledger with every quota spent does not report exhaustion")
+	}
+	// An open default quota keeps the service admitting fresh tenants.
+	b.defaultQuota = quota
+	if b.exhausted(cost) {
+		t.Fatal("ledger with an open default quota reports exhaustion")
+	}
+}

@@ -1,0 +1,974 @@
+package deploy
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"sync"
+	"time"
+
+	"github.com/privconsensus/privconsensus/internal/ingest"
+	"github.com/privconsensus/privconsensus/internal/keystore"
+	"github.com/privconsensus/privconsensus/internal/obs"
+	"github.com/privconsensus/privconsensus/internal/protocol"
+	"github.com/privconsensus/privconsensus/internal/transport"
+)
+
+// Continuous-operation S1: the admission controller, ε-budget scheduler,
+// epoch state machine and query pipeline. See docs/PROTOCOL.md
+// § Continuous operation.
+
+// serveQuery is one admitted query's lifecycle state on S1. Collection
+// (the per-query collector fed by the accept loop) overlaps the protocol
+// phases of earlier queries; the serve loop runs queries one at a time on
+// the peer protocol link once their collector releases.
+type serveQuery struct {
+	qid       int
+	tenant    int64
+	epoch     int
+	cost      float64
+	col       *collector
+	announced time.Time
+
+	res  InstanceResult
+	done chan struct{} // closed exactly once, when res is final
+}
+
+// ServeReport summarizes one serve-mode run.
+type ServeReport struct {
+	// Results holds one entry per admitted query, in admission order.
+	Results []InstanceResult
+	// Admissions counts admission decisions by label ("admitted",
+	// "budget-exhausted", "draining", "overloaded", "unavailable").
+	Admissions map[string]int
+	// Rotations is the number of committed epoch rotations.
+	Rotations int
+	// Epoch is the final admission epoch.
+	Epoch int
+	// Tenants is the committed per-tenant ledger state at shutdown.
+	Tenants []TenantSpend
+}
+
+// serveState is S1's shared serve-mode state. The accept-side admission
+// path and the serve loop communicate through it under mu; the ctl link
+// to S2 serializes its request/response exchanges independently.
+type serveState struct {
+	s     *serverSetup
+	opts  ServeOptions
+	files []*keystore.S1File
+	keys  []protocol.KeysS1 // loaded per epoch; zeroized on retirement
+	rings []*big.Int        // per-epoch peer-key N², for per-query collectors
+
+	ledger *budgetLedger
+	cost   float64 // worst-case per-query coefficient
+
+	ctl *ctlLink
+
+	mu         sync.Mutex
+	draining   bool
+	epoch      int
+	loaded     int // epochs with keys loaded: [0, loaded)
+	nextQID    int
+	queries    map[int]*serveQuery
+	grants     map[grantKey]*serveQuery
+	inflight   int
+	epochLive  map[int]int
+	retired    map[int]bool
+	admitted   int
+	admissions map[string]int
+	rotations  int
+
+	runnable   chan *serveQuery
+	rotateKick chan struct{}
+}
+
+// grantKey makes admission idempotent: a client that lost the admit reply
+// redials with the same (tenant, nonce) and receives the original grant.
+type grantKey struct {
+	tenant int64
+	nonce  int64
+}
+
+// ctlLink is S1's view of the serve-control connection S2 dials. One
+// request/response exchange at a time; a failed exchange discards the
+// connection and waits for S2's redial.
+type ctlLink struct {
+	mu      sync.Mutex
+	src     *peerSource
+	conn    transport.Conn
+	retries int
+	backoff time.Duration
+	timeout time.Duration
+}
+
+// roundTrip sends one ctl request and awaits its ack, retrying on a fresh
+// connection within the budget. Every ctl request is idempotent on S2, so
+// a retry after a lost ack is safe.
+func (c *ctlLink) roundTrip(ctx context.Context, ackCode, code int64, args ...int64) ([]int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var lastErr error
+	for try := 0; try <= c.retries; try++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if try > 0 {
+			sleepCtx(ctx, backoffDelay(c.backoff, try))
+		}
+		if c.conn == nil {
+			awaitCtx, cancel := context.WithTimeout(ctx, c.timeout)
+			conn, _, err := c.src.await(awaitCtx)
+			cancel()
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			c.conn = conn
+		} else {
+			c.conn = c.src.takeNewer(c.conn)
+		}
+		rctx, cancel := context.WithTimeout(ctx, c.timeout)
+		reply, err := sendCtl(rctx, c.conn, ackCode, code, args...)
+		cancel()
+		if err == nil {
+			return reply, nil
+		}
+		lastErr = err
+		c.conn.Close()
+		c.conn = nil
+		if !attemptRetryable(ctx, err) {
+			break
+		}
+	}
+	return nil, fmt.Errorf("deploy: serve ctl %d: %w", code, lastErr)
+}
+
+// ServeS1 runs S1 in continuous-operation mode: it admits queries over
+// the serve handshake, enforces per-tenant ε quotas at admission, runs
+// admitted queries on the resilient peer link while later queries
+// collect, rotates key epochs (files[1:] are the pre-provisioned future
+// epochs), and drains gracefully when DrainCh fires or ctx ends.
+func ServeS1(ctx context.Context, files []*keystore.S1File, opts ServeOptions) (*ServeReport, error) {
+	if len(files) == 0 {
+		return nil, fmt.Errorf("deploy: serve mode needs at least one epoch key file")
+	}
+	opts.Instances = 1 // serve mode has no batch instance count
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.validateServe(); err != nil {
+		return nil, err
+	}
+	for i, f := range files[1:] {
+		if f.Config != files[0].Config {
+			return nil, fmt.Errorf("deploy: epoch %d key file config differs from epoch 0", i+1)
+		}
+	}
+	keys0, err := files[0].KeysS1()
+	if err != nil {
+		return nil, err
+	}
+	keys0.Precompute()
+	s, err := setupServer(ctx, "S1", files[0].Config, opts.ServerOptions, ringOf(keys0.PeerPub))
+	if err != nil {
+		return nil, err
+	}
+	defer s.admin.close(ctx)
+	defer s.journal.Close()
+	defer s.l.Close()
+
+	ledger, err := openLedger(opts.LedgerPath, opts.Tenants, opts.DefaultQuota, opts.delta())
+	if err != nil {
+		return nil, err
+	}
+	defer ledger.close()
+
+	st := &serveState{
+		s:          s,
+		opts:       opts,
+		files:      files,
+		keys:       make([]protocol.KeysS1, len(files)),
+		rings:      make([]*big.Int, len(files)),
+		ledger:     ledger,
+		cost:       queryCost(s.cfg.Sigma1, s.cfg.Sigma2),
+		queries:    make(map[int]*serveQuery),
+		grants:     make(map[grantKey]*serveQuery),
+		epochLive:  make(map[int]int),
+		retired:    make(map[int]bool),
+		admissions: make(map[string]int),
+		runnable:   make(chan *serveQuery),
+		rotateKick: make(chan struct{}, 1),
+		loaded:     1,
+	}
+	st.keys[0] = keys0
+	st.rings[0] = ringOf(keys0.PeerPub)
+	if st.cost == 0 && st.hasFiniteQuota() {
+		return nil, fmt.Errorf("deploy: tenant quotas need positive sigma1/sigma2 (accounting is off at zero noise)")
+	}
+	st.ctl = &ctlLink{
+		src:     newPeerSource(),
+		retries: opts.MaxRetries,
+		backoff: opts.Backoff,
+		timeout: opts.attemptTimeout(),
+	}
+	defer st.ctl.src.close()
+
+	ps := newPeerSource()
+	defer ps.close()
+	acceptErr := make(chan error, 1)
+	acceptCtx, stopAccept := context.WithCancel(ctx)
+	defer stopAccept()
+	go st.acceptLoop(acceptCtx, ps, acceptErr)
+
+	obs.ServeEpoch("s1").Set(0)
+	st.updateReadiness()
+	defer obs.SetReadiness("", true)
+
+	// The startup wait spans S2's full dial-retry budget: under fault
+	// injection the first protocol dial may be dropped several times.
+	awaitCtx, cancel := context.WithTimeout(ctx, time.Duration(opts.MaxRetries+1)*opts.attemptTimeout())
+	peer, caps, err := ps.await(awaitCtx)
+	cancel()
+	if err != nil {
+		select {
+		case aerr := <-acceptErr:
+			return nil, aerr
+		default:
+		}
+		return nil, fmt.Errorf("deploy: waiting for S2 serve link: %w", err)
+	}
+	if caps&capServe == 0 {
+		peer.Close()
+		return nil, fmt.Errorf("deploy: peer S2 did not advertise serve mode; run both servers with -serve")
+	}
+	if err := checkPeerCaps(caps, opts.ServerOptions, s.cfg); err != nil {
+		peer.Close()
+		return nil, err
+	}
+	opts.log(levelInfo, "S1 serving: admission open (window %d, epoch 0 of %d provisioned)",
+		opts.maxInFlight(), len(files))
+	return st.run(ctx, ps, peer)
+}
+
+// hasFiniteQuota reports whether any quota actually binds.
+func (st *serveState) hasFiniteQuota() bool {
+	if st.opts.DefaultQuota > 0 {
+		return true
+	}
+	for _, q := range st.opts.Tenants {
+		if q > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// acceptLoop routes inbound serve-mode connections: peer hellos carrying
+// capServeCtl feed the ctl link, other peer hellos the protocol source,
+// user hellos the serve admission/upload handler.
+func (st *serveState) acceptLoop(ctx context.Context, ps *peerSource, errCh chan<- error) {
+	opts := st.opts
+	for {
+		conn, err := st.s.l.Accept()
+		if err != nil {
+			select {
+			case <-ctx.Done():
+			default:
+				select {
+				case errCh <- fmt.Errorf("deploy: accept: %w", err):
+				default:
+				}
+			}
+			return
+		}
+		go func(conn transport.Conn) {
+			party, caps, err := recvHello(ctx, conn)
+			if err != nil {
+				opts.log(levelWarn, "dropping connection with bad hello: %v", err)
+				conn.Close()
+				return
+			}
+			switch party {
+			case partyPeer:
+				if caps&capTrace != 0 && opts.traced() {
+					if err := replyTraceContext(ctx, st.s, conn); err != nil {
+						opts.log(levelWarn, "peer trace context send failed: %v", err)
+						conn.Close()
+						return
+					}
+				}
+				if caps&capServeCtl != 0 {
+					st.ctl.src.offer(conn, caps)
+					return
+				}
+				ps.offer(conn, caps)
+			case partyUser:
+				if caps&capTrace != 0 {
+					if err := replyTraceContext(ctx, st.s, conn); err != nil {
+						opts.log(levelWarn, "user trace context send failed: %v", err)
+						conn.Close()
+						return
+					}
+				}
+				if err := st.serveUser(ctx, conn); err != nil {
+					opts.log(levelWarn, "serve user connection error: %v", err)
+				}
+				conn.Close()
+			default:
+				opts.log(levelWarn, "dropping unexpected party %d in serve mode", party)
+				conn.Close()
+			}
+		}(conn)
+	}
+}
+
+// serveUser drains one client connection: admission requests, submission
+// frames routed to per-query collectors, and blocking result waits.
+func (st *serveState) serveUser(ctx context.Context, conn transport.Conn) error {
+	for {
+		msg, err := conn.Recv(ctx)
+		if err != nil {
+			return nil //nolint:nilerr // EOF-equivalent by protocol design
+		}
+		if msg.Kind == transport.KindControl && len(msg.Flags) >= 1 {
+			switch msg.Flags[0] {
+			case ctrlUploadDone:
+				user := int64(-1)
+				if len(msg.Flags) >= 2 {
+					user = msg.Flags[1]
+				}
+				ack := &transport.Message{Kind: transport.KindControl, Flags: []int64{ctrlUploadAck, user}}
+				if err := conn.Send(ctx, ack); err != nil {
+					return nil //nolint:nilerr // client gone; it will retry
+				}
+			case ctrlAdmitRequest:
+				if len(msg.Flags) < 3 {
+					return fmt.Errorf("deploy: short admit request %v", msg.Flags)
+				}
+				status, qid, epoch := st.admit(ctx, msg.Flags[1], msg.Flags[2])
+				if err := transport.SendControl(ctx, conn, ctrlAdmitReply, status, int64(qid), int64(epoch)); err != nil {
+					return nil //nolint:nilerr // client gone; the grant is idempotent
+				}
+			case ctrlResultWait:
+				if len(msg.Flags) < 2 {
+					return fmt.Errorf("deploy: short result wait %v", msg.Flags)
+				}
+				if err := st.replyResult(ctx, conn, msg.Flags[1]); err != nil {
+					return nil //nolint:nilerr // client gone; results are re-queryable
+				}
+			}
+			continue
+		}
+		if err := st.acceptUpload(msg); err != nil {
+			return err
+		}
+	}
+}
+
+// acceptUpload decodes one submission frame and routes it to its query's
+// collector. Frames for unknown queries are counted rejections, not
+// connection errors.
+func (st *serveState) acceptUpload(msg *transport.Message) error {
+	user, qid, half, err := decodeServeUpload(st.s, msg)
+	if errors.Is(err, errFrameRejected) {
+		return nil // already counted as a rejection
+	}
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	q := st.queries[qid]
+	st.mu.Unlock()
+	if q == nil {
+		submissionsRejected("unknown-query").Inc()
+		st.s.journalEvent(st.opts.ServerOptions, obs.Event{Type: obs.EventRejection, Instance: qid, Note: "unknown-query"})
+		return nil
+	}
+	if err := q.col.add(user, 0, half); err != nil {
+		if errors.Is(err, errDuplicateSubmission) || errors.Is(err, errRejectedSubmission) {
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// errFrameRejected marks a frame already counted as a rejection.
+var errFrameRejected = errors.New("deploy: frame rejected")
+
+// decodeServeUpload decodes a submit frame in the server's resolved
+// grammar (packed or unpacked), applying the same layout validation as
+// the batch path. The returned instance slot carries the query ID.
+func decodeServeUpload(s *serverSetup, msg *transport.Message) (user, qid int, half protocol.SubmissionHalf, err error) {
+	if p := s.col.packed; p != nil {
+		var classes, width int
+		user, qid, classes, width, half, err = ingest.DecodePackedHalf(msg)
+		if err != nil {
+			return 0, 0, protocol.SubmissionHalf{}, err
+		}
+		if p.Capacity(width) < 1 {
+			_ = s.col.reject("slot-overflow", fmt.Errorf("user %d declared slot width %d below the %d headroom bits", user, width, p.Headroom))
+			return 0, 0, protocol.SubmissionHalf{}, errFrameRejected
+		}
+		if classes != s.col.packedClasses || width != p.Width {
+			_ = s.col.reject("bad-width", fmt.Errorf("user %d declared packed layout %dx%d, want %dx%d",
+				user, classes, width, s.col.packedClasses, p.Width))
+			return 0, 0, protocol.SubmissionHalf{}, errFrameRejected
+		}
+		return user, qid, half, nil
+	}
+	user, qid, half, err = DecodeHalf(msg)
+	return user, qid, half, err
+}
+
+// admit is the admission controller: idempotent grant replay, drain and
+// window checks, ε-budget reservation, and the ctl announce that
+// registers the query on S2 before the grant is returned. Refusals spend
+// no protocol bytes.
+func (st *serveState) admit(ctx context.Context, tenant, nonce int64) (status int64, qid, epoch int) {
+	start := time.Now()
+	defer func() {
+		obs.AdmissionWaitSeconds("s1").Observe(time.Since(start).Seconds())
+	}()
+
+	key := grantKey{tenant: tenant, nonce: nonce}
+	st.mu.Lock()
+	if q, ok := st.grants[key]; ok {
+		st.mu.Unlock()
+		return admitOK, q.qid, q.epoch // idempotent replay of a lost reply
+	}
+	if st.draining {
+		st.mu.Unlock()
+		return st.refuse(admitDraining, tenant)
+	}
+	if st.inflight >= st.opts.maxInFlight() {
+		st.mu.Unlock()
+		return st.refuse(admitOverloaded, tenant)
+	}
+	st.mu.Unlock()
+
+	if err := st.ledger.reserve(tenant, st.cost); err != nil {
+		if errors.Is(err, ErrBudgetExhausted) {
+			st.opts.log(levelWarn, "S1 refusing tenant %d: %v", tenant, err)
+			status, qid, epoch = st.refuse(admitBudgetExhausted, tenant)
+			st.updateReadiness()
+			return status, qid, epoch
+		}
+		st.opts.log(levelWarn, "S1 budget reservation error for tenant %d: %v", tenant, err)
+		return st.refuse(admitUnavailable, tenant)
+	}
+
+	st.mu.Lock()
+	if st.draining { // drain began while reserving
+		st.mu.Unlock()
+		st.ledger.unreserve(tenant, st.cost)
+		return st.refuse(admitDraining, tenant)
+	}
+	q := &serveQuery{
+		qid:       st.nextQID,
+		tenant:    tenant,
+		epoch:     st.epoch,
+		cost:      st.cost,
+		announced: time.Now(),
+		done:      make(chan struct{}),
+	}
+	q.res = InstanceResult{Instance: q.qid, Outcome: protocol.Outcome{Consensus: false, Label: -1}}
+	q.col = st.newQueryCollector(q.epoch)
+	st.nextQID++
+	st.queries[q.qid] = q
+	st.grants[key] = q
+	st.inflight++
+	st.epochLive[q.epoch]++
+	st.admitted++
+	rotateDue := st.opts.RotateAfter > 0 && st.admitted == st.opts.RotateAfter
+	st.mu.Unlock()
+
+	reply, err := st.ctl.roundTrip(ctx, ctrlServeAck, ctrlServeAnnounce, int64(q.qid), int64(q.epoch), tenant)
+	if err == nil && (len(reply) < 2 || reply[1] != 0) {
+		err = fmt.Errorf("deploy: S2 refused query %d (ack %v)", q.qid, reply)
+	}
+	if err != nil {
+		st.opts.log(levelWarn, "S1 could not announce query %d to S2: %v", q.qid, err)
+		st.mu.Lock()
+		delete(st.queries, q.qid)
+		delete(st.grants, key)
+		st.inflight--
+		st.epochLive[q.epoch]--
+		st.mu.Unlock()
+		st.ledger.unreserve(tenant, st.cost)
+		return st.refuse(admitUnavailable, tenant)
+	}
+
+	st.decide("admitted", tenant, q.qid)
+	obs.ServeInflight("s1").Add(1)
+	go st.watch(ctx, q)
+	if rotateDue {
+		select {
+		case st.rotateKick <- struct{}{}:
+		default:
+		}
+	}
+	return admitOK, q.qid, q.epoch
+}
+
+// refuse records one typed refusal.
+func (st *serveState) refuse(status int64, tenant int64) (int64, int, int) {
+	st.decide(admitDecision(status), tenant, -1)
+	return status, 0, 0
+}
+
+// decide counts and journals one admission decision.
+func (st *serveState) decide(decision string, tenant int64, qid int) {
+	st.mu.Lock()
+	st.admissions[decision]++
+	st.mu.Unlock()
+	obs.Admissions("s1", decision).Inc()
+	st.s.journalEvent(st.opts.ServerOptions, obs.Event{Type: obs.EventAdmission, Instance: qid,
+		Note: fmt.Sprintf("decision=%s tenant=%d", decision, tenant)})
+}
+
+// newQueryCollector builds the one-instance submission grid for a query
+// admitted under the given epoch. Callers hold st.mu (reads loaded keys).
+func (st *serveState) newQueryCollector(epoch int) *collector {
+	cfg := st.s.cfg
+	perVec := cfg.Classes
+	if cfg.Packing {
+		perVec = cfg.PackedCiphertexts()
+	}
+	col := newCollector(cfg.Users, 1, perVec, st.rings[epoch])
+	col.packed = st.s.col.packed
+	col.packedClasses = st.s.col.packedClasses
+	col.events = st.s.col.events
+	return col
+}
+
+// watch releases the query when its grid fills or its submit window
+// elapses, then hands it to the serve loop.
+func (st *serveState) watch(ctx context.Context, q *serveQuery) {
+	window := st.opts.submitWindow()
+	timer := time.NewTimer(time.Until(q.announced.Add(window)))
+	defer timer.Stop()
+	select {
+	case <-q.col.done:
+	case <-timer.C:
+	case <-ctx.Done():
+		return
+	}
+	q.col.release()
+	select {
+	case st.runnable <- q:
+	case <-ctx.Done():
+	}
+}
+
+// updateReadiness publishes the /healthz serve state.
+func (st *serveState) updateReadiness() {
+	st.mu.Lock()
+	draining := st.draining
+	st.mu.Unlock()
+	switch {
+	case draining:
+		obs.SetReadiness("draining", false)
+	case st.ledger.exhausted(st.cost):
+		obs.SetReadiness("budget-exhausted", false)
+	default:
+		obs.SetReadiness("admitting", true)
+	}
+}
+
+// run is the serve loop: it executes runnable queries sequentially on the
+// peer protocol link (collection of later queries overlaps), applies
+// rotation and drain triggers, and returns the report once drained.
+func (st *serveState) run(ctx context.Context, ps *peerSource, peer transport.Conn) (*ServeReport, error) {
+	rng := newRNG(st.opts.Seed)
+	prev := statusNone
+	drainC := st.opts.DrainCh
+	var drainTimer <-chan time.Time
+	var runErr error
+
+loop:
+	for {
+		if st.drained() {
+			break
+		}
+		select {
+		case q := <-st.runnable:
+			peer = st.runQuery(ctx, q, ps, peer, rng, &prev)
+			st.resolve(q)
+			st.maybeRetire(ctx)
+			st.updateReadiness()
+		case <-st.rotateKick:
+			st.rotate(ctx)
+		case <-st.external(st.opts.RotateCh):
+			st.rotate(ctx)
+		case <-st.external(drainC):
+			drainC = nil
+			st.beginDrain()
+			drainTimer = time.After(st.opts.drainTimeout())
+		case <-drainTimer:
+			st.opts.log(levelWarn, "S1 drain timeout; failing %d unresolved queries", st.inflightCount())
+			st.failUnresolved(fmt.Errorf("deploy: drain timeout: %w", ErrDraining))
+			break loop
+		case <-ctx.Done():
+			runErr = ctx.Err()
+			st.beginDrain()
+			st.failUnresolved(fmt.Errorf("deploy: serve cancelled: %w", ctx.Err()))
+			break loop
+		}
+	}
+
+	// Tell S2 the stream is over: a drain marker on the ctl link (so it
+	// stops expecting announces) and the end-of-session frame on the
+	// protocol link (so its frame loop exits).
+	dctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), st.opts.attemptTimeout())
+	if _, err := st.ctl.roundTrip(dctx, ctrlEpochAck, ctrlServeDrain, 0); err != nil {
+		st.opts.log(levelWarn, "S1 could not deliver drain marker to S2: %v", err)
+	}
+	peer = s1SendEnd(dctx, st.s, st.opts.ServerOptions, ps, peer, prev)
+	cancel()
+	if peer != nil {
+		peer.Close()
+	}
+
+	st.mu.Lock()
+	results := make([]InstanceResult, 0, len(st.queries))
+	for qid := 0; qid < st.nextQID; qid++ {
+		if q, ok := st.queries[qid]; ok {
+			results = append(results, q.res)
+		}
+	}
+	rep := &ServeReport{
+		Results:    results,
+		Admissions: make(map[string]int, len(st.admissions)),
+		Rotations:  st.rotations,
+		Epoch:      st.epoch,
+	}
+	for k, v := range st.admissions {
+		rep.Admissions[k] = v
+	}
+	st.mu.Unlock()
+	rep.Tenants = st.ledger.spends()
+	st.opts.log(levelInfo, "S1 drained: %d queries, %d rotations, final epoch %d", len(rep.Results), rep.Rotations, rep.Epoch)
+	return rep, runErr
+}
+
+// external adapts a possibly-nil trigger channel for select (a nil
+// channel never fires).
+func (st *serveState) external(ch <-chan struct{}) <-chan struct{} { return ch }
+
+// drained reports whether the loop may exit: draining with nothing in
+// flight.
+func (st *serveState) drained() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.draining && st.inflight == 0
+}
+
+// inflightCount returns the live admission count.
+func (st *serveState) inflightCount() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.inflight
+}
+
+// beginDrain stops admission; in-flight queries keep running.
+func (st *serveState) beginDrain() {
+	st.mu.Lock()
+	already := st.draining
+	st.draining = true
+	st.mu.Unlock()
+	if !already {
+		st.opts.log(levelInfo, "S1 draining: admission closed, %d queries in flight", st.inflightCount())
+		obs.SetReadiness("draining", false)
+		st.s.journalEvent(st.opts.ServerOptions, obs.Event{Type: obs.EventEpoch, Instance: -1, Note: "draining"})
+	}
+}
+
+// runQuery executes one released query on the peer link with the session
+// retry discipline of the batch path: begin frame (query ID in the
+// instance slot), participant exchange, protocol run; transient failures
+// retry on a fresh connection within the budget. It returns the (possibly
+// replaced) peer connection; q.res holds the terminal result.
+func (st *serveState) runQuery(ctx context.Context, q *serveQuery, ps *peerSource,
+	peer transport.Conn, rng io.Reader, prev *int64) transport.Conn {
+	opts := st.opts
+	keys := st.epochKeys(q.epoch)
+	var lastErr error
+	participants := st.s.cfg.Users
+	for attempt := 0; attempt <= opts.MaxRetries; attempt++ {
+		q.res.Attempts = attempt + 1
+		if attempt > 0 {
+			retriesTotal("s1", "instance").Inc()
+			st.s.journalEvent(opts.ServerOptions, obs.Event{Type: obs.EventRetry, Instance: q.qid, Attempt: attempt + 1, Note: "instance"})
+			sleepCtx(ctx, backoffDelay(opts.Backoff, attempt))
+		}
+		if err := ctx.Err(); err != nil {
+			lastErr = err
+			break
+		}
+		if peer == nil {
+			awaitCtx, cancel := context.WithTimeout(ctx, opts.attemptTimeout())
+			var err error
+			peer, _, err = ps.await(awaitCtx)
+			cancel()
+			if err != nil {
+				lastErr = err
+				retriesTotal("s1", "reconnect").Inc()
+				st.s.journalEvent(opts.ServerOptions, obs.Event{Type: obs.EventRetry, Instance: q.qid, Note: "reconnect"})
+				continue
+			}
+		} else {
+			peer = ps.takeNewer(peer)
+		}
+		actx, cancel := context.WithTimeout(ctx, opts.attemptTimeout())
+		out, err := func() (*protocol.Outcome, error) {
+			if err := sendBegin(actx, peer, q.qid, attempt, *prev); err != nil {
+				return nil, fmt.Errorf("deploy: begin query %d: %w", q.qid, err)
+			}
+			groups, p, err := st.prepareQuery(actx, q, peer)
+			participants = p
+			if err != nil {
+				return nil, err
+			}
+			return runInstance(actx, st.s, "s1", q.qid, attempt, p, st.s.cfg.Users-p, opts.ServerOptions,
+				func(qctx context.Context, meter *transport.Meter) (*protocol.Outcome, error) {
+					return protocol.RunS1Groups(qctx, rng, st.s.cfg, keys, peer, groups, meter)
+				})
+		}()
+		cancel()
+		if err == nil {
+			q.res.Outcome = *out
+			lastErr = nil
+			break
+		}
+		lastErr = err
+		if errors.Is(err, protocol.ErrQuorumNotMet) {
+			// Clean verdict on a clean wire: keep the connection.
+			break
+		}
+		peer.Close()
+		peer = nil
+		if !attemptRetryable(ctx, err) {
+			break
+		}
+		opts.log(levelWarn, "S1 query %d attempt %d failed, will retry: %v", q.qid, attempt+1, err)
+	}
+	q.res.Participants = participants
+	q.res.Dropped = st.s.cfg.Users - participants
+	if lastErr != nil {
+		q.res.Err = lastErr
+		if !errors.Is(lastErr, protocol.ErrQuorumNotMet) {
+			queriesFailed("s1").Inc()
+		}
+		opts.log(levelWarn, "S1 query %d failed after %d attempts: %v", q.qid, q.res.Attempts, lastErr)
+		*prev = statusFailed
+	} else {
+		*prev = statusOK
+	}
+	return peer
+}
+
+// epochKeys returns the loaded key view for an epoch.
+func (st *serveState) epochKeys(epoch int) protocol.KeysS1 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.keys[epoch]
+}
+
+// prepareQuery is the per-query participant exchange: S1 proposes its
+// released bitmap (frames keyed by query ID), S2 intersects, and the
+// agreed set is masked onto the collector. Serve mode always runs the
+// exchange — per-query release means the servers' sets can differ even
+// at full participation.
+func (st *serveState) prepareQuery(ctx context.Context, q *serveQuery, peer transport.Conn) ([]protocol.Group, int, error) {
+	opts := st.opts
+	local := q.col.bitmap(0)
+	agreed, err := exchangeParticipantsS1(ctx, peer, q.qid, local)
+	if err != nil {
+		return nil, st.s.cfg.Users, err
+	}
+	participants := popcount(agreed)
+	obs.Participants("s1").Set(float64(participants))
+	st.s.journalEvent(opts.ServerOptions, obs.Event{Type: obs.EventQuorum, Instance: q.qid,
+		Note: fmt.Sprintf("participants=%d dropped=%d quorum=%d",
+			participants, st.s.cfg.Users-participants, opts.quorumCount(st.s.cfg.Users))})
+	if participants < opts.quorumCount(st.s.cfg.Users) {
+		queriesTotal("s1", "quorum-not-met").Inc()
+		opts.log(levelWarn, "S1 query %d released %d of %d users, below quorum %d",
+			q.qid, participants, st.s.cfg.Users, opts.quorumCount(st.s.cfg.Users))
+		return nil, participants, fmt.Errorf("deploy: query %d has %d of %d participants: %w",
+			q.qid, participants, st.s.cfg.Users, protocol.ErrQuorumNotMet)
+	}
+	groups, err := q.col.maskedGroups(0, agreed)
+	if err != nil {
+		return nil, participants, err
+	}
+	return groups, participants, nil
+}
+
+// resolve finalizes a query: ledger commit (SVT always — conservative,
+// protocol bytes may have flowed on any attempt — RNM only on a released
+// label), the spend journal records the soak replays, bookkeeping, and
+// the result broadcast to waiting clients.
+func (st *serveState) resolve(q *serveQuery) {
+	released := q.res.Err == nil && q.res.Outcome.Consensus
+	cfg := st.s.cfg
+	if err := st.ledger.commit(q.tenant, q.cost, cfg.Sigma1, cfg.Sigma2, released); err != nil {
+		st.opts.log(levelWarn, "S1 ledger commit for query %d failed: %v", q.qid, err)
+	}
+	if cfg.Sigma1 > 0 {
+		st.s.journalEvent(st.opts.ServerOptions, obs.Event{Type: obs.EventSpend, Instance: q.qid,
+			Note: fmt.Sprintf("svt sigma=%g tenant=%d", cfg.Sigma1, q.tenant)})
+	}
+	if released && cfg.Sigma2 > 0 {
+		st.s.journalEvent(st.opts.ServerOptions, obs.Event{Type: obs.EventSpend, Instance: q.qid,
+			Note: fmt.Sprintf("rnm sigma=%g tenant=%d", cfg.Sigma2, q.tenant)})
+	}
+	st.mu.Lock()
+	st.inflight--
+	st.epochLive[q.epoch]--
+	st.mu.Unlock()
+	obs.ServeInflight("s1").Add(-1)
+	close(q.done)
+}
+
+// failUnresolved resolves every still-open query with err (drain timeout
+// or cancellation). The queries never ran, but their admission was
+// granted, so they still commit conservatively.
+func (st *serveState) failUnresolved(err error) {
+	st.mu.Lock()
+	var open []*serveQuery
+	for _, q := range st.queries {
+		select {
+		case <-q.done:
+		default:
+			open = append(open, q)
+		}
+	}
+	st.mu.Unlock()
+	for _, q := range open {
+		q.res.Err = err
+		queriesFailed("s1").Inc()
+		st.resolve(q)
+	}
+}
+
+// replyResult answers a result-wait: it blocks until the query resolves
+// (the client sends nothing else on the connection until the reply), then
+// reports the terminal status.
+func (st *serveState) replyResult(ctx context.Context, conn transport.Conn, qid64 int64) error {
+	qid := int(qid64)
+	st.mu.Lock()
+	q := st.queries[qid]
+	st.mu.Unlock()
+	if q == nil {
+		return transport.SendControl(ctx, conn, ctrlResultReply, qid64, resultUnknown, -1, 0)
+	}
+	select {
+	case <-q.done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	status := resultFailed
+	label := int64(-1)
+	switch {
+	case q.res.Err == nil && q.res.Outcome.Consensus:
+		status = resultConsensus
+		label = int64(q.res.Outcome.Label)
+	case q.res.Err == nil:
+		status = resultNoConsensus
+	case errors.Is(q.res.Err, protocol.ErrQuorumNotMet):
+		status = resultQuorumMiss
+	}
+	return transport.SendControl(ctx, conn, ctrlResultReply, qid64, status, label, int64(q.res.Attempts))
+}
+
+// rotate performs one S1-led two-phase epoch bump: load and prepare the
+// next epoch's keys on both sides, then commit — admission flips to the
+// new epoch while in-flight queries drain under the old one. The old
+// epoch's material is zeroized by maybeRetire once its last query
+// resolves.
+func (st *serveState) rotate(ctx context.Context) {
+	st.mu.Lock()
+	next := st.epoch + 1
+	if next >= len(st.files) {
+		st.mu.Unlock()
+		st.opts.log(levelWarn, "S1 rotation requested but no epoch %d key file is provisioned", next)
+		st.s.journalEvent(st.opts.ServerOptions, obs.Event{Type: obs.EventEpoch, Instance: -1,
+			Note: fmt.Sprintf("rotate-skipped epoch=%d reason=no-keys", next)})
+		return
+	}
+	st.mu.Unlock()
+
+	keys, err := st.files[next].KeysS1()
+	if err != nil {
+		st.opts.log(levelWarn, "S1 epoch %d key load failed: %v", next, err)
+		return
+	}
+	keys.Precompute()
+
+	reply, err := st.ctl.roundTrip(ctx, ctrlEpochAck, ctrlEpochPrepare, int64(next))
+	if err != nil || len(reply) < 2 || reply[1] != 0 {
+		st.opts.log(levelWarn, "S1 epoch %d prepare failed on S2 (reply %v): %v", next, reply, err)
+		st.s.journalEvent(st.opts.ServerOptions, obs.Event{Type: obs.EventEpoch, Instance: -1,
+			Note: fmt.Sprintf("prepare-failed epoch=%d", next)})
+		return
+	}
+	st.s.journalEvent(st.opts.ServerOptions, obs.Event{Type: obs.EventEpoch, Instance: -1,
+		Note: fmt.Sprintf("prepared epoch=%d", next)})
+
+	st.mu.Lock()
+	st.keys[next] = keys
+	st.rings[next] = ringOf(keys.PeerPub)
+	if next >= st.loaded {
+		st.loaded = next + 1
+	}
+	st.epoch = next
+	st.rotations++
+	st.mu.Unlock()
+	obs.ServeEpoch("s1").Set(float64(next))
+	st.s.journalEvent(st.opts.ServerOptions, obs.Event{Type: obs.EventEpoch, Instance: -1,
+		Note: fmt.Sprintf("committed epoch=%d", next)})
+	st.opts.log(levelInfo, "S1 rotated to epoch %d; epoch %d drains %d in-flight queries", next, next-1, st.epochLiveCount(next-1))
+
+	if _, err := st.ctl.roundTrip(ctx, ctrlEpochAck, ctrlEpochCommit, int64(next)); err != nil {
+		// S2 learns epochs authoritatively from announces; the commit
+		// marker is observability, so its loss is logged, not fatal.
+		st.opts.log(levelWarn, "S1 epoch %d commit marker lost: %v", next, err)
+	}
+	st.maybeRetire(ctx)
+}
+
+// epochLiveCount returns the in-flight count of one epoch.
+func (st *serveState) epochLiveCount(epoch int) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.epochLive[epoch]
+}
+
+// maybeRetire zeroizes every pre-current epoch whose last in-flight query
+// has resolved, telling S2 to do the same. Admission can no longer grant
+// into those epochs (grants only use the current one), so retirement is
+// final.
+func (st *serveState) maybeRetire(ctx context.Context) {
+	st.mu.Lock()
+	var retire []int
+	for e := 0; e < st.epoch; e++ {
+		if e < st.loaded && !st.retired[e] && st.epochLive[e] == 0 {
+			st.retired[e] = true
+			retire = append(retire, e)
+		}
+	}
+	st.mu.Unlock()
+	for _, e := range retire {
+		if _, err := st.ctl.roundTrip(ctx, ctrlEpochAck, ctrlEpochRetire, int64(e)); err != nil {
+			st.opts.log(levelWarn, "S1 epoch %d retire marker lost: %v", e, err)
+		}
+		st.keys[e].Zeroize()
+		st.s.journalEvent(st.opts.ServerOptions, obs.Event{Type: obs.EventEpoch, Instance: -1,
+			Note: fmt.Sprintf("retired epoch=%d", e)})
+		st.opts.log(levelInfo, "S1 retired epoch %d: private material zeroized", e)
+	}
+}

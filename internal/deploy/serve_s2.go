@@ -1,0 +1,643 @@
+package deploy
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/privconsensus/privconsensus/internal/keystore"
+	"github.com/privconsensus/privconsensus/internal/obs"
+	"github.com/privconsensus/privconsensus/internal/protocol"
+	"github.com/privconsensus/privconsensus/internal/transport"
+)
+
+// Continuous-operation S2: the serve-control follower. S2 dials two links
+// to S1 — the dedicated ctl link, on which S1 announces queries and
+// drives the epoch state machine, and the protocol link, on which S1's
+// begin frames (query ID in the instance slot) trigger protocol runs.
+// User submissions arrive on the accept loop keyed by query ID.
+
+// s2Query is one announced query's state on S2.
+type s2Query struct {
+	qid       int
+	tenant    int64
+	epoch     int
+	col       *collector
+	announced time.Time
+}
+
+// s2Epoch is one epoch's loaded material on S2.
+type s2Epoch struct {
+	keys  protocol.KeysS2
+	pools *protocol.S2Pools
+	ring  *big.Int
+	live  int // protocol runs currently using this epoch's keys
+}
+
+// serveS2 is S2's shared serve-mode state.
+type serveS2 struct {
+	s     *serverSetup
+	opts  ServeOptions
+	files []*keystore.S2File
+
+	mu         sync.Mutex
+	epochs     map[int]*s2Epoch
+	retired    map[int]bool
+	wantRetire map[int]bool
+	queries    map[int]*s2Query
+	results    map[int]InstanceResult
+	draining   bool
+	maxQID     int
+}
+
+// ServeS2 runs S2 in continuous-operation mode until S1 drains the
+// stream (or ctx ends). files[0] is the initial epoch; later entries are
+// the pre-provisioned rotation epochs, loaded on demand when S1 prepares
+// or announces into them.
+func ServeS2(ctx context.Context, files []*keystore.S2File, opts ServeOptions) (*Report, error) {
+	if len(files) == 0 {
+		return nil, fmt.Errorf("deploy: serve mode needs at least one epoch key file")
+	}
+	opts.Instances = 1
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.validateServe(); err != nil {
+		return nil, err
+	}
+	if opts.PeerAddr == "" {
+		return nil, fmt.Errorf("deploy: S2 requires the S1 peer address")
+	}
+	for i, f := range files[1:] {
+		if f.Config != files[0].Config {
+			return nil, fmt.Errorf("deploy: epoch %d key file config differs from epoch 0", i+1)
+		}
+	}
+	keys0, err := files[0].KeysS2()
+	if err != nil {
+		return nil, err
+	}
+	s, err := setupServer(ctx, "S2", files[0].Config, opts.ServerOptions, ringOf(keys0.PeerPub))
+	if err != nil {
+		return nil, err
+	}
+	defer s.admin.close(ctx)
+	defer s.journal.Close()
+	defer s.l.Close()
+
+	st := &serveS2{
+		s:          s,
+		opts:       opts,
+		files:      files,
+		epochs:     make(map[int]*s2Epoch),
+		retired:    make(map[int]bool),
+		wantRetire: make(map[int]bool),
+		queries:    make(map[int]*s2Query),
+		results:    make(map[int]InstanceResult),
+	}
+	defer st.closeEpochs()
+	if err := st.ensureEpoch(0); err != nil {
+		return nil, err
+	}
+	obs.ServeEpoch("s2").Set(0)
+
+	// drainCtx bounds the protocol loop once S1's drain marker arrives: if
+	// the end-of-session frame is lost, the loop still exits within the
+	// drain timeout instead of blocking on an idle link forever.
+	drainCtx, cancelDrain := context.WithCancel(ctx)
+	defer cancelDrain()
+	var drainOnce sync.Once
+	drained := func() {
+		drainOnce.Do(func() {
+			go func() {
+				sleepCtx(ctx, opts.drainTimeout())
+				cancelDrain()
+			}()
+		})
+	}
+
+	acceptErr := make(chan error, 1)
+	acceptCtx, stopAccept := context.WithCancel(ctx)
+	defer stopAccept()
+	go st.acceptUsers(acceptCtx, acceptErr)
+
+	ctlCtx, stopCtl := context.WithCancel(ctx)
+	defer stopCtl()
+	go st.ctlLoop(ctlCtx, drained)
+
+	rep, err := st.protocolLoop(drainCtx)
+	stopCtl()
+	return rep, err
+}
+
+// closeEpochs releases every still-open epoch's pools and zeroizes keys.
+func (st *serveS2) closeEpochs() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for e, ep := range st.epochs {
+		if st.retired[e] {
+			continue
+		}
+		if ep.pools != nil {
+			ep.pools.Close()
+		}
+		ep.keys.Zeroize()
+		st.retired[e] = true
+	}
+}
+
+// ensureEpoch loads epoch e's key material (idempotent). Announcing or
+// preparing a retired epoch is refused: its material is gone.
+func (st *serveS2) ensureEpoch(e int) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.ensureEpochLocked(e)
+}
+
+func (st *serveS2) ensureEpochLocked(e int) error {
+	if st.retired[e] {
+		return fmt.Errorf("deploy: epoch %d is retired", e)
+	}
+	if _, ok := st.epochs[e]; ok {
+		return nil
+	}
+	if e < 0 || e >= len(st.files) {
+		return fmt.Errorf("deploy: no epoch %d key file is provisioned", e)
+	}
+	keys, err := st.files[e].KeysS2()
+	if err != nil {
+		return err
+	}
+	keys.Precompute()
+	pools, err := protocol.NewS2Pools(st.s.cfg, keys)
+	if err != nil {
+		return err
+	}
+	st.epochs[e] = &s2Epoch{keys: keys, pools: pools, ring: ringOf(keys.PeerPub)}
+	return nil
+}
+
+// retire marks epoch e for retirement; the zeroize happens immediately
+// when no protocol run is using the epoch, or right after the last one
+// finishes. Idempotent.
+func (st *serveS2) retire(e int) {
+	st.mu.Lock()
+	st.wantRetire[e] = true
+	st.finishRetireLocked(e)
+	st.mu.Unlock()
+}
+
+func (st *serveS2) finishRetireLocked(e int) {
+	ep := st.epochs[e]
+	if ep == nil || st.retired[e] || !st.wantRetire[e] || ep.live > 0 {
+		return
+	}
+	if ep.pools != nil {
+		ep.pools.Close()
+	}
+	ep.keys.Zeroize()
+	st.retired[e] = true
+	st.s.journalEvent(st.opts.ServerOptions, obs.Event{Type: obs.EventEpoch, Instance: -1,
+		Note: fmt.Sprintf("retired epoch=%d", e)})
+	st.opts.log(levelInfo, "S2 retired epoch %d: private material zeroized", e)
+}
+
+// announce registers an announced query (idempotent — a re-announce after
+// a lost ack returns success without a second registration).
+func (st *serveS2) announce(qid int, epoch int, tenant int64) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.queries[qid]; ok {
+		return nil
+	}
+	if err := st.ensureEpochLocked(epoch); err != nil {
+		return err
+	}
+	cfg := st.s.cfg
+	perVec := cfg.Classes
+	if cfg.Packing {
+		perVec = cfg.PackedCiphertexts()
+	}
+	col := newCollector(cfg.Users, 1, perVec, st.epochs[epoch].ring)
+	col.packed = st.s.col.packed
+	col.packedClasses = st.s.col.packedClasses
+	col.events = st.s.col.events
+	st.queries[qid] = &s2Query{qid: qid, tenant: tenant, epoch: epoch, col: col, announced: time.Now()}
+	if qid >= st.maxQID {
+		st.maxQID = qid + 1
+	}
+	obs.ServeInflight("s2").Add(1)
+	return nil
+}
+
+// ctlLoop keeps the serve-control link to S1 alive and answers its
+// requests. Every request is idempotent, so replays after a lost ack are
+// safe. drained is invoked once the drain marker arrives.
+func (st *serveS2) ctlLoop(ctx context.Context, drained func()) {
+	opts := st.opts
+	fails := 0
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		if fails > 0 {
+			sleepCtx(ctx, backoffDelay(opts.Backoff, fails))
+		}
+		conn, err := st.dialS1(ctx, capServe|capServeCtl, opts.Seed+43)
+		if err != nil {
+			fails++
+			opts.log(levelWarn, "S2 ctl link dial failed: %v", err)
+			continue
+		}
+		opts.log(levelDebug, "S2 ctl link to S1 established")
+		fails = 0
+		if err := st.ctlServe(ctx, conn, drained); err != nil {
+			opts.log(levelWarn, "S2 ctl link error, redialing: %v", err)
+			fails++
+		}
+		conn.Close()
+	}
+}
+
+// ctlServe answers requests on one ctl connection until it fails.
+func (st *serveS2) ctlServe(ctx context.Context, conn transport.Conn, drained func()) error {
+	for {
+		msg, err := transport.ExpectKind(ctx, conn, transport.KindControl)
+		if err != nil {
+			return err
+		}
+		if len(msg.Flags) < 2 {
+			return fmt.Errorf("deploy: short ctl frame %v", msg.Flags)
+		}
+		code, arg := msg.Flags[0], msg.Flags[1]
+		var reply *transport.Message
+		switch code {
+		case ctrlServeAnnounce:
+			if len(msg.Flags) < 4 {
+				return fmt.Errorf("deploy: short announce frame %v", msg.Flags)
+			}
+			status := int64(0)
+			if err := st.announce(int(arg), int(msg.Flags[2]), msg.Flags[3]); err != nil {
+				st.opts.log(levelWarn, "S2 refusing announced query %d: %v", arg, err)
+				status = 1
+			}
+			reply = &transport.Message{Kind: transport.KindControl, Flags: []int64{ctrlServeAck, arg, status}}
+		case ctrlEpochPrepare:
+			status := int64(0)
+			if err := st.ensureEpoch(int(arg)); err != nil {
+				st.opts.log(levelWarn, "S2 epoch %d prepare failed: %v", arg, err)
+				status = 1
+			} else {
+				st.s.journalEvent(st.opts.ServerOptions, obs.Event{Type: obs.EventEpoch, Instance: -1,
+					Note: fmt.Sprintf("prepared epoch=%d", arg)})
+			}
+			reply = &transport.Message{Kind: transport.KindControl, Flags: []int64{ctrlEpochAck, arg, status}}
+		case ctrlEpochCommit:
+			obs.ServeEpoch("s2").Set(float64(arg))
+			st.s.journalEvent(st.opts.ServerOptions, obs.Event{Type: obs.EventEpoch, Instance: -1,
+				Note: fmt.Sprintf("committed epoch=%d", arg)})
+			reply = &transport.Message{Kind: transport.KindControl, Flags: []int64{ctrlEpochAck, arg, 0}}
+		case ctrlEpochRetire:
+			st.retire(int(arg))
+			reply = &transport.Message{Kind: transport.KindControl, Flags: []int64{ctrlEpochAck, arg, 0}}
+		case ctrlServeDrain:
+			st.mu.Lock()
+			st.draining = true
+			st.mu.Unlock()
+			st.s.journalEvent(st.opts.ServerOptions, obs.Event{Type: obs.EventEpoch, Instance: -1, Note: "draining"})
+			reply = &transport.Message{Kind: transport.KindControl, Flags: []int64{ctrlEpochAck, 0, 0}}
+			drained()
+		default:
+			return transport.MarkFatal(fmt.Errorf("deploy: unknown ctl code %d", code))
+		}
+		if err := conn.Send(ctx, reply); err != nil {
+			return err
+		}
+	}
+}
+
+// dialS1 establishes one capability-tagged peer connection to S1.
+func (st *serveS2) dialS1(ctx context.Context, extraCaps, seed int64) (transport.Conn, error) {
+	opts := st.opts
+	d := transport.Dialer{
+		Attempts:       opts.MaxRetries + 1,
+		Backoff:        opts.Backoff,
+		AttemptTimeout: opts.attemptTimeout(),
+		Seed:           seed,
+		Faults:         st.s.faults,
+	}
+	conn, err := d.Dial(ctx, opts.PeerAddr)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: dial S1: %w", err)
+	}
+	if err := sendHelloCaps(ctx, conn, partyPeer, opts.helloCaps(st.s.cfg)|extraCaps); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if opts.traced() {
+		id, err := recvTraceContext(ctx, conn)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		st.s.adoptTraceID(id, opts.ServerOptions)
+	}
+	return conn, nil
+}
+
+// acceptUsers routes inbound user connections to the per-query upload
+// handler. (S2 accepts no peer connections — it dials S1.)
+func (st *serveS2) acceptUsers(ctx context.Context, errCh chan<- error) {
+	opts := st.opts
+	for {
+		conn, err := st.s.l.Accept()
+		if err != nil {
+			select {
+			case <-ctx.Done():
+			default:
+				select {
+				case errCh <- fmt.Errorf("deploy: accept: %w", err):
+				default:
+				}
+			}
+			return
+		}
+		go func(conn transport.Conn) {
+			defer conn.Close()
+			party, caps, err := recvHello(ctx, conn)
+			if err != nil {
+				opts.log(levelWarn, "dropping connection with bad hello: %v", err)
+				return
+			}
+			if party != partyUser {
+				opts.log(levelWarn, "dropping unexpected party %d in serve mode", party)
+				return
+			}
+			if caps&capTrace != 0 {
+				if err := replyTraceContext(ctx, st.s, conn); err != nil {
+					opts.log(levelWarn, "user trace context send failed: %v", err)
+					return
+				}
+			}
+			if err := st.serveUploads(ctx, conn); err != nil {
+				opts.log(levelWarn, "serve user connection error: %v", err)
+			}
+		}(conn)
+	}
+}
+
+// serveUploads drains one client connection: submission frames keyed by
+// query ID plus the upload-done flush barrier. S2 answers no admission or
+// result frames — those are S1's.
+func (st *serveS2) serveUploads(ctx context.Context, conn transport.Conn) error {
+	for {
+		msg, err := conn.Recv(ctx)
+		if err != nil {
+			return nil //nolint:nilerr // EOF-equivalent by protocol design
+		}
+		if msg.Kind == transport.KindControl && len(msg.Flags) >= 1 {
+			if msg.Flags[0] == ctrlUploadDone {
+				user := int64(-1)
+				if len(msg.Flags) >= 2 {
+					user = msg.Flags[1]
+				}
+				ack := &transport.Message{Kind: transport.KindControl, Flags: []int64{ctrlUploadAck, user}}
+				if err := conn.Send(ctx, ack); err != nil {
+					return nil //nolint:nilerr // client gone; it will retry
+				}
+			}
+			continue
+		}
+		user, qid, half, err := decodeServeUpload(st.s, msg)
+		if errors.Is(err, errFrameRejected) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		st.mu.Lock()
+		q := st.queries[qid]
+		st.mu.Unlock()
+		if q == nil {
+			submissionsRejected("unknown-query").Inc()
+			st.s.journalEvent(st.opts.ServerOptions, obs.Event{Type: obs.EventRejection, Instance: qid, Note: "unknown-query"})
+			continue
+		}
+		if err := q.col.add(user, 0, half); err != nil {
+			if errors.Is(err, errDuplicateSubmission) || errors.Is(err, errRejectedSubmission) {
+				continue
+			}
+			return err
+		}
+	}
+}
+
+// protocolLoop follows S1's begin frames on the protocol link, running
+// each named query against the local collector, until the end frame (or
+// the drain timeout backstop, when the end frame is lost).
+func (st *serveS2) protocolLoop(ctx context.Context) (*Report, error) {
+	opts := st.opts
+	seed := opts.Seed
+	if seed != 0 {
+		seed++
+	}
+	rng := newRNG(seed)
+	var peer transport.Conn
+	consecFail := 0
+	sawEnd := false
+
+	for !sawEnd {
+		if ctx.Err() != nil {
+			break
+		}
+		if peer == nil {
+			if consecFail > opts.MaxRetries {
+				opts.log(levelWarn, "S2 reconnect budget exhausted; assembling report from local results")
+				break
+			}
+			if consecFail > 0 {
+				retriesTotal("s2", "reconnect").Inc()
+				st.s.journalEvent(opts.ServerOptions, obs.Event{Type: obs.EventRetry, Instance: -1, Note: "reconnect"})
+				sleepCtx(ctx, backoffDelay(opts.Backoff, consecFail))
+			}
+			var err error
+			peer, err = st.dialS1(ctx, capServe, opts.Seed+17)
+			if err != nil {
+				consecFail++
+				opts.log(levelWarn, "S2 reconnect to S1 failed: %v", err)
+				continue
+			}
+			opts.log(levelDebug, "S2 protocol link to S1 established")
+		}
+		// No per-frame deadline: an idle serve link between queries is
+		// normal. A dead connection surfaces as a Recv error (S1 closes
+		// its end before retrying), and the drain backstop bounds exit.
+		frame, err := recvSessionFrame(ctx, peer)
+		if err != nil {
+			peer.Close()
+			peer = nil
+			if ctx.Err() != nil {
+				break
+			}
+			if !attemptRetryable(ctx, err) {
+				return st.report(), fmt.Errorf("deploy: s2 serve session: %w", err)
+			}
+			consecFail++
+			continue
+		}
+		consecFail = 0
+		switch frame.code {
+		case ctrlEndSession:
+			sawEnd = true
+		case ctrlBeginInstance:
+			if st.runServeQuery(ctx, frame, peer, rng) {
+				continue
+			}
+			peer.Close()
+			peer = nil
+			consecFail++
+		}
+	}
+	if peer != nil {
+		peer.Close()
+	}
+	return st.report(), nil
+}
+
+// runServeQuery executes one begin frame. It returns false when the
+// connection must be discarded (transport failure mid-run).
+func (st *serveS2) runServeQuery(ctx context.Context, frame sessionFrame, peer transport.Conn, rng io.Reader) bool {
+	opts := st.opts
+	qid := frame.instance
+	st.mu.Lock()
+	q := st.queries[qid]
+	st.mu.Unlock()
+	if q == nil {
+		// The announce ack was delivered before any begin frame can name
+		// this query, so an unknown qid means state divergence; drop the
+		// connection and let S1's retry budget drive recovery.
+		opts.log(levelWarn, "S2 received begin for unannounced query %d", qid)
+		return false
+	}
+	if frame.attempt > 0 {
+		retriesTotal("s2", "instance").Inc()
+		st.s.journalEvent(opts.ServerOptions, obs.Event{Type: obs.EventRetry, Instance: qid, Attempt: frame.attempt + 1, Note: "instance"})
+	}
+
+	// Wait for the local collector to fill or the submit window to lapse,
+	// mirroring S1's watcher, then run the per-query participant exchange.
+	window := opts.submitWindow()
+	timer := time.NewTimer(time.Until(q.announced.Add(window)))
+	select {
+	case <-q.col.done:
+	case <-timer.C:
+	case <-ctx.Done():
+		timer.Stop()
+		return false
+	}
+	timer.Stop()
+	q.col.release()
+
+	st.mu.Lock()
+	ep := st.epochs[q.epoch]
+	if ep == nil || st.retired[q.epoch] {
+		st.mu.Unlock()
+		opts.log(levelWarn, "S2 cannot run query %d: epoch %d unavailable", qid, q.epoch)
+		return false
+	}
+	ep.live++
+	st.mu.Unlock()
+	defer func() {
+		st.mu.Lock()
+		ep.live--
+		st.finishRetireLocked(q.epoch)
+		st.mu.Unlock()
+	}()
+
+	actx, cancel := context.WithTimeout(ctx, opts.attemptTimeout())
+	defer cancel()
+	out, err := func() (*protocol.Outcome, error) {
+		local := q.col.bitmap(0)
+		agreed, err := exchangeParticipantsS2(actx, peer, qid, local)
+		if err != nil {
+			return nil, err
+		}
+		p := popcount(agreed)
+		obs.Participants("s2").Set(float64(p))
+		if p < opts.quorumCount(st.s.cfg.Users) {
+			queriesTotal("s2", "quorum-not-met").Inc()
+			return nil, fmt.Errorf("deploy: query %d has %d of %d participants: %w",
+				qid, p, st.s.cfg.Users, protocol.ErrQuorumNotMet)
+		}
+		groups, err := q.col.maskedGroups(0, agreed)
+		if err != nil {
+			return nil, err
+		}
+		return runInstance(actx, st.s, "s2", qid, frame.attempt, p, st.s.cfg.Users-p, opts.ServerOptions,
+			func(qctx context.Context, meter *transport.Meter) (*protocol.Outcome, error) {
+				return protocol.RunS2GroupsWithPools(qctx, rng, st.s.cfg, ep.keys, peer, groups, meter, ep.pools)
+			})
+	}()
+	res := InstanceResult{Instance: qid, Outcome: protocol.Outcome{Consensus: false, Label: -1}, Attempts: frame.attempt + 1}
+	if err != nil {
+		res.Err = err
+		st.setResult(qid, res)
+		if errors.Is(err, protocol.ErrQuorumNotMet) {
+			// Clean verdict on a clean wire: keep the connection.
+			return true
+		}
+		opts.log(levelWarn, "S2 query %d attempt failed, awaiting replay: %v", qid, err)
+		return false
+	}
+	res.Outcome = *out
+	res.Participants = out.Participants
+	res.Dropped = st.s.cfg.Users - out.Participants
+	st.setResult(qid, res)
+	return true
+}
+
+// setResult records a query's freshest local result.
+func (st *serveS2) setResult(qid int, res InstanceResult) {
+	st.mu.Lock()
+	prev, seen := st.results[qid]
+	if !seen {
+		obs.ServeInflight("s2").Add(-1)
+	}
+	if seen && prev.Err == nil && res.Err != nil {
+		// A completed outcome is never downgraded by a later failed replay.
+		res = prev
+		res.Attempts++
+	}
+	st.results[qid] = res
+	st.mu.Unlock()
+}
+
+// report assembles the per-query report in query order. Announced queries
+// that never ran locally appear with an error entry.
+func (st *serveS2) report() *Report {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	qids := make([]int, 0, len(st.queries))
+	for qid := range st.queries {
+		qids = append(qids, qid)
+	}
+	sort.Ints(qids)
+	results := make([]InstanceResult, 0, len(qids))
+	for _, qid := range qids {
+		if res, ok := st.results[qid]; ok {
+			results = append(results, res)
+			continue
+		}
+		results = append(results, InstanceResult{
+			Instance: qid,
+			Outcome:  protocol.Outcome{Consensus: false, Label: -1},
+			Err:      fmt.Errorf("deploy: s2 query %d never completed: %w", qid, errPeerGone),
+		})
+	}
+	return &Report{Results: results}
+}

@@ -1,0 +1,458 @@
+package deploy
+
+import (
+	"context"
+	"errors"
+	"io"
+	mrand "math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/privconsensus/privconsensus/internal/dgk"
+	"github.com/privconsensus/privconsensus/internal/keystore"
+	"github.com/privconsensus/privconsensus/internal/obs"
+	"github.com/privconsensus/privconsensus/internal/protocol"
+	"github.com/privconsensus/privconsensus/internal/transport"
+)
+
+// serveTestSetup generates key files for a serve-mode deployment with the
+// given number of pre-provisioned epochs (distinct key material per
+// epoch, identical config).
+func serveTestSetup(t *testing.T, users, epochs int, sigma1, sigma2 float64) (
+	[]*keystore.S1File, []*keystore.S2File, []*keystore.PublicFile, protocol.Config) {
+	t.Helper()
+	cfg := protocol.DefaultConfig(users)
+	cfg.Classes = 4
+	cfg.Kappa = 24
+	cfg.Sigma1, cfg.Sigma2 = sigma1, sigma2
+	cfg.ThresholdFrac = 0.5
+	cfg.DGK = dgk.Params{NBits: 160, TBits: 32, U: 1009, L: 50}
+	if os.Getenv("CHAOS_PACKED") == "1" {
+		cfg.Packing = true
+	}
+	var s1s []*keystore.S1File
+	var s2s []*keystore.S2File
+	var pubs []*keystore.PublicFile
+	for e := 0; e < epochs; e++ {
+		keys, err := protocol.GenerateKeys(testRNG(int64(210+37*e)), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1, s2, pub, err := keystore.Split(cfg, keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1s, s2s, pubs = append(s1s, s1), append(s2s, s2), append(pubs, pub)
+	}
+	return s1s, s2s, pubs, cfg
+}
+
+// serveResult carries one server goroutine's return.
+type s1ServeResult struct {
+	rep *ServeReport
+	err error
+}
+
+type s2ServeResult struct {
+	rep *Report
+	err error
+}
+
+// admitRaw performs a raw admission handshake on an open S1 user conn.
+func admitRaw(ctx context.Context, t *testing.T, conn transport.Conn, tenant, nonce int64) (status int64, qid, epoch int) {
+	t.Helper()
+	if err := transport.SendControl(ctx, conn, ctrlAdmitRequest, tenant, nonce); err != nil {
+		t.Fatalf("admit request: %v", err)
+	}
+	reply, err := transport.ExpectControl(ctx, conn, ctrlAdmitReply)
+	if err != nil {
+		t.Fatalf("admit reply: %v", err)
+	}
+	if len(reply) < 3 {
+		t.Fatalf("short admit reply %v", reply)
+	}
+	return reply[0], int(reply[1]), int(reply[2])
+}
+
+// serveUserConnTo dials addr and performs the serve user hello.
+func serveUserConnTo(ctx context.Context, t *testing.T, addr string) transport.Conn {
+	t.Helper()
+	conn, err := transport.Dial(ctx, addr)
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	if err := sendHelloCaps(ctx, conn, partyUser, capServe); err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	return conn
+}
+
+// uploadQueryRaw builds and delivers every user's halves for one granted
+// query ID over the given open connections, with the done/ack barrier.
+func uploadQueryRaw(ctx context.Context, t *testing.T, cfg protocol.Config, pub *keystore.PublicFile,
+	qid, label int, crypto io.Reader, noise *mrand.Rand, conn1, conn2 transport.Conn) {
+	t.Helper()
+	for user := 0; user < cfg.Users; user++ {
+		units, err := votesToUnits(oneHot(cfg.Classes, label), cfg.Classes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, _, err := protocol.BuildSubmission(crypto, noise, cfg, user, units, pub.PK1, pub.PK2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m1, err := encodeSubmission(cfg, user, qid, sub.ToS1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, err := encodeSubmission(cfg, user, qid, sub.ToS2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := conn1.Send(ctx, m1); err != nil {
+			t.Fatalf("send to S1: %v", err)
+		}
+		if err := conn2.Send(ctx, m2); err != nil {
+			t.Fatalf("send to S2: %v", err)
+		}
+	}
+	for _, conn := range []transport.Conn{conn1, conn2} {
+		if err := transport.SendControl(ctx, conn, ctrlUploadDone, -1); err != nil {
+			t.Fatalf("upload done: %v", err)
+		}
+		if _, err := transport.ExpectControl(ctx, conn, ctrlUploadAck); err != nil {
+			t.Fatalf("upload ack: %v", err)
+		}
+	}
+}
+
+// healthzState fetches /healthz and returns (status code, body state).
+func healthzState(t *testing.T, addr string) (int, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 256))
+	if err != nil {
+		t.Fatalf("healthz body: %v", err)
+	}
+	return resp.StatusCode, strings.TrimSpace(string(body))
+}
+
+// TestServeGracefulShutdown covers the serve-mode lifecycle end to end:
+// pipelined admission (a second query completes while the first is still
+// collecting), /healthz readiness transitions, the drain handshake (stop
+// admitting, finish in-flight queries, flush state) and journal
+// integrity with no torn tail.
+func TestServeGracefulShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serve deployment test is slow in -short mode")
+	}
+	const users = 2
+	s1Files, s2Files, pubs, cfg := serveTestSetup(t, users, 1, 0, 0)
+	journalDir := t.TempDir()
+	s1Journal := filepath.Join(journalDir, "s1.jsonl")
+	s2Journal := filepath.Join(journalDir, "s2.jsonl")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+
+	drainCh := make(chan struct{})
+	s1Ready := make(chan string, 1)
+	metricsReady := make(chan string, 1)
+	s1Done := make(chan s1ServeResult, 1)
+	base := ServerOptions{
+		ListenAddr:     "127.0.0.1:0",
+		Seed:           611,
+		MaxRetries:     3,
+		Backoff:        5 * time.Millisecond,
+		AttemptTimeout: 30 * time.Second,
+		Quorum:         float64(users),
+		SubmitDeadline: 30 * time.Second,
+	}
+	go func() {
+		opts := base
+		opts.Ready = s1Ready
+		opts.MetricsAddr = "127.0.0.1:0"
+		opts.MetricsReady = metricsReady
+		opts.JournalPath = s1Journal
+		rep, err := ServeS1(ctx, s1Files, ServeOptions{
+			ServerOptions: opts,
+			DrainCh:       drainCh,
+			DrainTimeout:  time.Minute,
+		})
+		s1Done <- s1ServeResult{rep, err}
+	}()
+	s1Addr := <-s1Ready
+	metricsAddr := <-metricsReady
+
+	s2Ready := make(chan string, 1)
+	s2Done := make(chan s2ServeResult, 1)
+	go func() {
+		opts := base
+		opts.Seed = 612
+		opts.PeerAddr = s1Addr
+		opts.Ready = s2Ready
+		opts.JournalPath = s2Journal
+		rep, err := ServeS2(ctx, s2Files, ServeOptions{ServerOptions: opts, DrainTimeout: time.Minute})
+		s2Done <- s2ServeResult{rep, err}
+	}()
+	s2Addr := <-s2Ready
+
+	if code, state := healthzState(t, metricsAddr); code != http.StatusOK || state != "admitting" {
+		t.Errorf("healthz before drain = (%d, %q), want (200, admitting)", code, state)
+	}
+
+	// Admit query A but withhold its uploads: it stays in flight,
+	// collecting.
+	connA1 := serveUserConnTo(ctx, t, s1Addr)
+	defer connA1.Close()
+	status, qidA, epochA := admitRaw(ctx, t, connA1, 1, 1001)
+	if status != admitOK {
+		t.Fatalf("query A admission status %d", status)
+	}
+	// Replaying the same (tenant, nonce) returns the original grant.
+	status2, qidA2, _ := admitRaw(ctx, t, connA1, 1, 1001)
+	if status2 != admitOK || qidA2 != qidA {
+		t.Fatalf("admission replay = (%d, qid %d), want the original grant (0, qid %d)", status2, qidA2, qidA)
+	}
+
+	// Query B runs start to finish while A is still collecting: admission
+	// is pipelined with A's open collection window.
+	clientB, err := NewServeClient(pubs, ServeClientOptions{
+		Tenant: 2, S1Addr: s1Addr, S2Addr: s2Addr, Seed: 621,
+		MaxRetries: 3, Backoff: 5 * time.Millisecond, AttemptTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	votes := make([][]float64, users)
+	for u := range votes {
+		votes[u] = oneHot(cfg.Classes, 1)
+	}
+	resB, err := clientB.Do(ctx, votes)
+	if err != nil {
+		t.Fatalf("query B while A in flight: %v", err)
+	}
+	if !resB.Consensus || resB.Label != 1 {
+		t.Fatalf("query B outcome %+v, want consensus on label 1", resB)
+	}
+	if resB.QID == qidA {
+		t.Fatalf("query B was granted A's query ID %d", qidA)
+	}
+
+	// Drain with A still in flight: admission must refuse with the typed
+	// draining status, A must still complete, and the servers must return.
+	close(drainCh)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if code, state := healthzState(t, metricsAddr); code == http.StatusServiceUnavailable && state == "draining" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("healthz never reported draining")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := clientB.Do(ctx, votes); !errors.Is(err, ErrDraining) {
+		t.Fatalf("admission during drain: got %v, want ErrDraining", err)
+	}
+
+	// Deliver A's withheld uploads; the drain must wait for it.
+	connA2 := serveUserConnTo(ctx, t, s2Addr)
+	defer connA2.Close()
+	uploadQueryRaw(ctx, t, cfg, pubs[epochA], qidA, 1, testRNG(631), mrand.New(mrand.NewSource(632)), connA1, connA2)
+	if err := transport.SendControl(ctx, connA1, ctrlResultWait, int64(qidA)); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := transport.ExpectControl(ctx, connA1, ctrlResultReply)
+	if err != nil {
+		t.Fatalf("query A result: %v", err)
+	}
+	if len(reply) < 4 || reply[1] != resultConsensus || reply[2] != 1 {
+		t.Fatalf("query A result reply %v, want consensus on label 1", reply)
+	}
+
+	r1 := <-s1Done
+	r2 := <-s2Done
+	if r1.err != nil {
+		t.Fatalf("S1 serve: %v", r1.err)
+	}
+	if r2.err != nil {
+		t.Fatalf("S2 serve: %v", r2.err)
+	}
+	if got := len(r1.rep.Results); got != 2 {
+		t.Fatalf("S1 report has %d results, want 2", got)
+	}
+	for _, res := range r1.rep.Results {
+		if res.Err != nil {
+			t.Errorf("query %d failed under graceful drain: %v", res.Instance, res.Err)
+		}
+	}
+	if got := r1.rep.Admissions["admitted"]; got != 2 {
+		t.Errorf("admitted count %d, want 2", got)
+	}
+	if got := r1.rep.Admissions["draining"]; got < 1 {
+		t.Errorf("draining refusals %d, want >= 1", got)
+	}
+
+	// Both journals must verify end to end — a drain that tears the tail
+	// beyond the one-record crash tolerance is a flush bug.
+	for _, path := range []string{s1Journal, s2Journal} {
+		if n, err := obs.VerifyJournalFile(path); err != nil || n == 0 {
+			t.Errorf("%s after drain: %d records, err %v", path, n, err)
+		}
+	}
+	evs, err := obs.ReadJournalFile(s1Journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var admitted, refused, drainMark int
+	for _, ev := range evs {
+		if ev.Type != obs.EventAdmission && !(ev.Type == obs.EventEpoch && ev.Note == "draining") {
+			continue
+		}
+		switch {
+		case ev.Type == obs.EventEpoch:
+			drainMark++
+		case strings.Contains(ev.Note, "decision=admitted"):
+			admitted++
+		case strings.Contains(ev.Note, "decision=draining"):
+			refused++
+		}
+	}
+	if admitted != 2 || refused < 1 || drainMark < 1 {
+		t.Errorf("journal admission trail: admitted=%d refused=%d drain=%d, want 2/>=1/>=1", admitted, refused, drainMark)
+	}
+}
+
+// TestServeBudgetRefusal asserts the ε-budget admission path: a tenant
+// whose quota affords exactly one query is granted once and refused with
+// the typed budget-exhausted status on the second attempt — before any
+// protocol bytes are spent — while the durable ledger records exactly the
+// committed spend. When every configured quota is exhausted, /healthz
+// flips to budget-exhausted.
+func TestServeBudgetRefusal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serve deployment test is slow in -short mode")
+	}
+	const (
+		users  = 2
+		sigma1 = 4.0
+		sigma2 = 2.0
+		delta  = 1e-6
+	)
+	s1Files, s2Files, pubs, cfg := serveTestSetup(t, users, 1, sigma1, sigma2)
+	cost := queryCost(sigma1, sigma2)
+	quota := (epsAfter(t, cost, 1, delta) + epsAfter(t, cost, 2, delta)) / 2
+	ledgerPath := filepath.Join(t.TempDir(), "ledger.json")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+
+	drainCh := make(chan struct{})
+	s1Ready := make(chan string, 1)
+	metricsReady := make(chan string, 1)
+	s1Done := make(chan s1ServeResult, 1)
+	base := ServerOptions{
+		ListenAddr:     "127.0.0.1:0",
+		Seed:           711,
+		MaxRetries:     3,
+		Backoff:        5 * time.Millisecond,
+		AttemptTimeout: 30 * time.Second,
+		Quorum:         float64(users),
+		SubmitDeadline: 30 * time.Second,
+	}
+	go func() {
+		opts := base
+		opts.Ready = s1Ready
+		opts.MetricsAddr = "127.0.0.1:0"
+		opts.MetricsReady = metricsReady
+		rep, err := ServeS1(ctx, s1Files, ServeOptions{
+			ServerOptions: opts,
+			Tenants:       map[int64]float64{9: quota},
+			Delta:         delta,
+			LedgerPath:    ledgerPath,
+			DrainCh:       drainCh,
+			DrainTimeout:  time.Minute,
+		})
+		s1Done <- s1ServeResult{rep, err}
+	}()
+	s1Addr := <-s1Ready
+	metricsAddr := <-metricsReady
+
+	s2Ready := make(chan string, 1)
+	s2Done := make(chan s2ServeResult, 1)
+	go func() {
+		opts := base
+		opts.Seed = 712
+		opts.PeerAddr = s1Addr
+		opts.Ready = s2Ready
+		rep, err := ServeS2(ctx, s2Files, ServeOptions{ServerOptions: opts, DrainTimeout: time.Minute})
+		s2Done <- s2ServeResult{rep, err}
+	}()
+	s2Addr := <-s2Ready
+
+	client, err := NewServeClient(pubs, ServeClientOptions{
+		Tenant: 9, S1Addr: s1Addr, S2Addr: s2Addr, Seed: 721,
+		MaxRetries: 3, Backoff: 5 * time.Millisecond, AttemptTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	votes := make([][]float64, users)
+	for u := range votes {
+		votes[u] = oneHot(cfg.Classes, 1)
+	}
+	if _, err := client.Do(ctx, votes); err != nil {
+		t.Fatalf("first query within quota: %v", err)
+	}
+	if _, err := client.Do(ctx, votes); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("second query: got %v, want ErrBudgetExhausted", err)
+	}
+
+	// Every configured quota is now exhausted: readiness flips.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if code, state := healthzState(t, metricsAddr); code == http.StatusServiceUnavailable && state == "budget-exhausted" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("healthz never reported budget-exhausted")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	close(drainCh)
+	r1 := <-s1Done
+	<-s2Done
+	if r1.err != nil {
+		t.Fatalf("S1 serve: %v", r1.err)
+	}
+	if got := r1.rep.Admissions["budget-exhausted"]; got < 1 {
+		t.Errorf("budget-exhausted refusals %d, want >= 1", got)
+	}
+	if len(r1.rep.Tenants) != 1 || r1.rep.Tenants[0].Tenant != 9 || r1.rep.Tenants[0].Queries != 1 {
+		t.Fatalf("tenant spends %+v, want one committed query for tenant 9", r1.rep.Tenants)
+	}
+
+	// The durable ledger reloads to exactly the committed spend.
+	b, err := openLedger(ledgerPath, map[int64]float64{9: quota}, 0, delta)
+	if err != nil {
+		t.Fatalf("reload ledger: %v", err)
+	}
+	defer b.close()
+	spends := b.spends()
+	if len(spends) != 1 || spends[0] != r1.rep.Tenants[0] {
+		t.Fatalf("reloaded ledger %+v != report %+v", spends, r1.rep.Tenants)
+	}
+	if err := b.reserve(9, cost); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("reloaded ledger still admits tenant 9: %v", err)
+	}
+}

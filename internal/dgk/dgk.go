@@ -147,6 +147,34 @@ type PrivateKey struct {
 	decTable map[string]uint64
 }
 
+// Zeroize destroys the private half of the key in place: the secret
+// factor and subgroup order have their limbs overwritten with zeros, and
+// the decryption table (whose keys are powers of a secret subgroup
+// element) is dropped. The embedded PublicKey holds no secrets and is
+// left intact. The key is unusable for decryption afterwards.
+func (sk *PrivateKey) Zeroize() {
+	if sk == nil {
+		return
+	}
+	for _, v := range []*big.Int{sk.p, sk.vp} {
+		if v == nil {
+			continue
+		}
+		bits := v.Bits()
+		for i := range bits {
+			bits[i] = 0
+		}
+		v.SetInt64(0)
+	}
+	sk.p, sk.vp = nil, nil
+	// Map keys cannot be scrubbed in place; dropping every entry is the
+	// best Go allows, and the table is useless without vp anyway.
+	for k := range sk.decTable {
+		delete(sk.decTable, k)
+	}
+	sk.decTable = nil
+}
+
 // Ciphertext is a DGK ciphertext in Z_n^*.
 type Ciphertext struct {
 	C *big.Int

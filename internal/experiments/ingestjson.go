@@ -74,6 +74,24 @@ type IngestJSON struct {
 	PackedAckP99Ns              int64   `json:"packed_ack_p99_ns,omitempty"`
 	PackedBytesPerUser          int64   `json:"packed_bytes_per_user,omitempty"`
 
+	// Serve-mode fields (-serve-rate): an open-loop admission benchmark
+	// against a continuous-operation server pair. Mode is "serve" for
+	// these records, so the shape-key comparison never mixes them with
+	// ingestion runs. Admission percentiles are client-observed: first
+	// admission dial to the grant, including redials.
+	ServeQueries       int     `json:"serve_queries,omitempty"`
+	ServeRateQPS       float64 `json:"serve_rate_qps,omitempty"`
+	ServeAdmitted      int     `json:"serve_admitted,omitempty"`
+	ServeRefused       int     `json:"serve_refused,omitempty"`
+	ServeDrained       int     `json:"serve_drained,omitempty"`
+	ServeFailed        int     `json:"serve_failed,omitempty"`
+	ServeRotations     int     `json:"serve_rotations,omitempty"`
+	ServeElapsedNs     int64   `json:"serve_elapsed_ns,omitempty"`
+	ServeThroughputQPS float64 `json:"serve_throughput_qps,omitempty"`
+	ServeAdmitP50Ns    int64   `json:"serve_admit_p50_ns,omitempty"`
+	ServeAdmitP95Ns    int64   `json:"serve_admit_p95_ns,omitempty"`
+	ServeAdmitP99Ns    int64   `json:"serve_admit_p99_ns,omitempty"`
+
 	// Large-run fields (flat, so the guard's line extraction stays trivial):
 	// a second measurement at -large scale, appended when requested.
 	LargeUsers                 int     `json:"large_users,omitempty"`

@@ -1,0 +1,110 @@
+// Package fsx provides the small set of filesystem primitives the durable
+// state files (privacy accountant, per-tenant ledger) need beyond the
+// standard library: crash-safe atomic file replacement (fsync the data,
+// fsync the directory) and exclusive advisory lock files so two server
+// processes cannot interleave writes to the same state path.
+package fsx
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// ErrLocked reports that another process (or another open handle in this
+// process) already holds the exclusive lock for a state path.
+var ErrLocked = errors.New("fsx: state file locked by another process")
+
+// WriteFileSync atomically replaces path with data: the bytes are written
+// to a temporary file in the same directory, fsynced, renamed over path,
+// and the directory is fsynced so the rename itself survives a crash.
+// A reader never observes a torn file — only the old or the new contents.
+func WriteFileSync(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("fsx: create temp: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		return fmt.Errorf("fsx: chmod temp: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("fsx: write temp: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("fsx: fsync temp: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("fsx: close temp: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("fsx: rename: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable. Some
+// filesystems refuse fsync on directories; that is reported, not ignored,
+// except for the well-known "not supported" errnos.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("fsx: open dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return fmt.Errorf("fsx: fsync dir: %w", err)
+	}
+	return nil
+}
+
+// Lock is a held exclusive advisory lock on a state path. Release it with
+// Unlock; the lock also dies with the process, so a crash never wedges the
+// state file.
+type Lock struct {
+	f    *os.File
+	path string
+}
+
+// LockPath derives the lock-file path guarding a state file.
+func LockPath(statePath string) string { return statePath + ".lock" }
+
+// Acquire takes the exclusive advisory lock guarding statePath, creating
+// the lock file if needed. It fails immediately with an error wrapping
+// ErrLocked when any other handle holds it — including one in the same
+// process, so double-opening a durable state file is always caught.
+func Acquire(statePath string) (*Lock, error) {
+	path := LockPath(statePath)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("fsx: open lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		if errors.Is(err, syscall.EWOULDBLOCK) {
+			return nil, fmt.Errorf("%w: %s (is another server using this state file?)", ErrLocked, statePath)
+		}
+		return nil, fmt.Errorf("fsx: flock %s: %w", path, err)
+	}
+	// Best-effort breadcrumb for operators inspecting a held lock.
+	f.Truncate(0)
+	fmt.Fprintf(f, "pid %d\n", os.Getpid())
+	return &Lock{f: f, path: path}, nil
+}
+
+// Unlock releases the lock. Idempotent; the lock file itself is left in
+// place (removing it would race a concurrent Acquire).
+func (l *Lock) Unlock() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	f := l.f
+	l.f = nil
+	return f.Close()
+}

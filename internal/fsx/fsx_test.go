@@ -1,0 +1,61 @@
+package fsx
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileSyncAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := WriteFileSync(path, []byte("one"), 0o600); err != nil {
+		t.Fatalf("WriteFileSync: %v", err)
+	}
+	if err := WriteFileSync(path, []byte("two"), 0o600); err != nil {
+		t.Fatalf("WriteFileSync replace: %v", err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	if string(b) != "two" {
+		t.Fatalf("content = %q, want %q", b, "two")
+	}
+	// No temp droppings left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("readdir: %v", err)
+	}
+	for _, e := range entries {
+		if e.Name() != "state.json" {
+			t.Fatalf("leftover temp file %q", e.Name())
+		}
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Mode().Perm() != 0o600 {
+		t.Fatalf("stat = %v mode %v, want 0600", err, fi.Mode().Perm())
+	}
+}
+
+func TestAcquireConflictsAndReleases(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	l1, err := Acquire(path)
+	if err != nil {
+		t.Fatalf("first Acquire: %v", err)
+	}
+	if _, err := Acquire(path); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second Acquire err = %v, want ErrLocked", err)
+	}
+	if err := l1.Unlock(); err != nil {
+		t.Fatalf("Unlock: %v", err)
+	}
+	if err := l1.Unlock(); err != nil {
+		t.Fatalf("Unlock twice: %v", err)
+	}
+	l2, err := Acquire(path)
+	if err != nil {
+		t.Fatalf("Acquire after release: %v", err)
+	}
+	defer l2.Unlock()
+}

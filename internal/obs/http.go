@@ -7,13 +7,47 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync/atomic"
 	"time"
 )
+
+// readiness is the process-wide serve-mode readiness state reported by
+// /healthz. Batch deployments never set it, so they keep the historic
+// static 200 "ok"; a serve-mode admission controller publishes
+// "admitting" / "draining" / "budget-exhausted" through SetReadiness.
+var readiness atomic.Pointer[readinessState]
+
+type readinessState struct {
+	state string
+	ready bool
+}
+
+// SetReadiness publishes the serve-mode readiness state: /healthz answers
+// 200 with the state text when ready, 503 otherwise. Passing state == ""
+// restores the default static 200 "ok" probe.
+func SetReadiness(state string, ready bool) {
+	if state == "" {
+		readiness.Store(nil)
+		return
+	}
+	readiness.Store(&readinessState{state: state, ready: ready})
+}
+
+// Readiness reports the currently published serve-mode state ("" and true
+// when no serve mode is active and the probe is the static "ok").
+func Readiness() (state string, ready bool) {
+	if r := readiness.Load(); r != nil {
+		return r.state, r.ready
+	}
+	return "", true
+}
 
 // NewAdminMux builds the admin HTTP mux for a registry:
 //
 //	/metrics       Prometheus text exposition of reg
-//	/healthz       200 "ok" liveness probe
+//	/healthz       readiness probe: 200 "ok" in batch mode; in serve mode
+//	               the admission state ("admitting" 200, "draining" /
+//	               "budget-exhausted" 503) published via SetReadiness
 //	/debug/traces  JSON ring buffer of the last completed QueryTraces
 //	/debug/pprof/  stdlib profiling handlers
 //	/debug/vars    expvar JSON
@@ -31,8 +65,16 @@ func NewAdminMux(reg *Registry) *http.ServeMux {
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
+		state, ready := Readiness()
+		if state == "" {
+			state = "ok"
+		}
+		if !ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		} else {
+			w.WriteHeader(http.StatusOK)
+		}
+		fmt.Fprintln(w, state)
 	})
 	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

@@ -58,6 +58,13 @@ const (
 	// ingestion-tier hop: forwarded upstream by a relay, or accepted by a
 	// server from a relay. The note carries side, sequence and member count.
 	EventRelayBatch = "relay-batch"
+	// EventAdmission is a serve-mode admission decision: the note carries
+	// the decision (admitted, or the typed refusal reason) and the tenant;
+	// Instance is the query ID on grants, -1 on refusals.
+	EventAdmission = "admission"
+	// EventEpoch is a serve-mode epoch state transition (prepared,
+	// committed, retired); the note carries the transition and the epoch.
+	EventEpoch = "epoch"
 )
 
 // Event is one journal record. Instance is -1 for session-scoped events

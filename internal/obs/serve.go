@@ -1,0 +1,45 @@
+package obs
+
+// Continuous-operation (serve mode) metric families, published by the
+// admission controller and the epoch state machine. See
+// docs/OBSERVABILITY.md § Metrics reference.
+
+// Admissions counts serve-mode admission decisions by outcome: "admitted"
+// or a typed refusal ("budget-exhausted", "draining", "overloaded",
+// "unavailable").
+func Admissions(role, decision string) *Counter {
+	return Default.Counter("privconsensus_admissions_total",
+		"Serve-mode admission decisions by outcome.",
+		L("role", role), L("decision", decision))
+}
+
+// AdmissionWaitSeconds observes how long one admission decision took,
+// including the serve-control round trip that registers the query on the
+// peer server.
+func AdmissionWaitSeconds(role string) *Histogram {
+	return Default.Histogram("privconsensus_admission_wait_seconds",
+		"Seconds spent deciding one serve-mode admission.",
+		DurationBuckets(), L("role", role))
+}
+
+// ServeEpoch is the per-role current key epoch; it only ever steps
+// forward, once per committed rotation.
+func ServeEpoch(role string) *Gauge {
+	return Default.Gauge("privconsensus_serve_epoch",
+		"Current serve-mode key epoch.", L("role", role))
+}
+
+// ServeInflight is the number of admitted queries that have not yet
+// reached a terminal result.
+func ServeInflight(role string) *Gauge {
+	return Default.Gauge("privconsensus_serve_inflight",
+		"Admitted serve-mode queries not yet resolved.", L("role", role))
+}
+
+// TenantEpsilon is the cumulative committed ε of one tenant at the
+// ledger's configured δ (reservations for in-flight queries excluded).
+func TenantEpsilon(tenant string) *Gauge {
+	return Default.Gauge("privconsensus_tenant_epsilon",
+		"Cumulative committed (eps, delta)-DP spend per tenant.",
+		L("tenant", tenant))
+}

@@ -518,6 +518,25 @@ func (k KeysS2) Precompute() {
 	}
 }
 
+// Zeroize destroys S1's private key material in place (epoch retirement
+// after a serve-mode key rotation). Public peer keys are left intact.
+func (k KeysS1) Zeroize() {
+	if k.Own != nil {
+		k.Own.Zeroize()
+	}
+}
+
+// Zeroize destroys S2's private key material — the Paillier secret key
+// and the DGK secret key — in place. Public peer keys are left intact.
+func (k KeysS2) Zeroize() {
+	if k.Own != nil {
+		k.Own.Zeroize()
+	}
+	if k.DGK != nil {
+		k.DGK.Zeroize()
+	}
+}
+
 // ForS1 extracts S1's view of the keys.
 func (k *Keys) ForS1() KeysS1 {
 	return KeysS1{Own: k.S1Paillier, PeerPub: k.S2Paillier.Public(), DGKPub: k.S2DGK.Public()}

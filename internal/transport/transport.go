@@ -108,6 +108,30 @@ func ExpectKind(ctx context.Context, c Conn, want MessageKind) (*Message, error)
 	return msg, nil
 }
 
+// SendControl transmits a control frame whose Flags begin with code: the
+// framing used by the session, admission and epoch handshakes.
+func SendControl(ctx context.Context, c Conn, code int64, args ...int64) error {
+	return c.Send(ctx, &Message{Kind: KindControl, Flags: append([]int64{code}, args...)})
+}
+
+// ExpectControl receives a control frame and verifies its code, returning
+// the arguments after the code. Like a kind mismatch, a code mismatch is
+// a protocol-level disagreement that reconnecting cannot fix, so it is
+// marked fatal for the retry loops.
+func ExpectControl(ctx context.Context, c Conn, want int64) ([]int64, error) {
+	msg, err := ExpectKind(ctx, c, KindControl)
+	if err != nil {
+		return nil, err
+	}
+	if len(msg.Flags) < 1 {
+		return nil, MarkFatal(errors.New("transport: control frame without code"))
+	}
+	if msg.Flags[0] != want {
+		return nil, MarkFatal(fmt.Errorf("transport: expected control code %d, got %d", want, msg.Flags[0]))
+	}
+	return msg.Flags[1:], nil
+}
+
 // memConn is one end of an in-process connection pair.
 type memConn struct {
 	send chan<- *Message

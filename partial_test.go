@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"github.com/privconsensus/privconsensus/internal/fsx"
 )
 
 // partialEngine builds a deterministic engine with partial participation
@@ -142,11 +144,20 @@ func TestEngineLabelBatchDegraded(t *testing.T) {
 	}
 
 	// The spend is durable: a fresh engine on the same path resumes from
-	// the recorded counts and its batches report cumulative epsilon.
+	// the recorded counts and its batches report cumulative epsilon. The
+	// first engine must release its exclusive state lock before the second
+	// may open the path.
+	if _, err := NewAccountantAt(path); err == nil {
+		t.Fatalf("accountant path double-opened while the engine holds the lock")
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
 	e2, err := NewEngine(cfg)
 	if err != nil {
 		t.Fatalf("NewEngine reload: %v", err)
 	}
+	defer e2.Close()
 	if q, r := e2.Accountant().Counts(); q != 2 || r != 1 {
 		t.Fatalf("reloaded counts %d/%d, want 2/1", q, r)
 	}
@@ -179,10 +190,23 @@ func TestAccountantPersistence(t *testing.T) {
 		t.Fatalf("temp file left behind: %v", err)
 	}
 
+	// The exclusive lock rejects a concurrent open of the same state path
+	// with a typed error; after Close the path is free again, but the
+	// closed accountant refuses further spends.
+	if _, err := NewAccountantAt(path); !errors.Is(err, fsx.ErrLocked) {
+		t.Fatalf("concurrent open err = %v, want fsx.ErrLocked", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := a.RecordQuery(1.5); err == nil {
+		t.Fatalf("RecordQuery after Close succeeded")
+	}
 	b, err := NewAccountantAt(path)
 	if err != nil {
 		t.Fatalf("reload: %v", err)
 	}
+	defer b.Close()
 	if q, r := b.Counts(); q != 1 || r != 1 {
 		t.Fatalf("reloaded counts %d/%d, want 1/1", q, r)
 	}
